@@ -1,0 +1,1 @@
+bench/b_ablation.ml: Array Common Fp Geomix_core Geomix_geostat Geomix_linalg Geomix_tile Geomix_tlr Gpu List Machine Pm Printf Rng Sim Stdlib

@@ -1,0 +1,1 @@
+bench/b_fig1.ml: Common Fp Geomix_gpusim Geomix_linalg Geomix_precision Gpu List Printf Rng Table

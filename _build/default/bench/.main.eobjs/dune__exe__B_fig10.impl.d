@@ -1,0 +1,1 @@
+bench/b_fig10.ml: Array Common Fp Geomix_gpusim Gpu List Machine Pm Printf Sim Stdlib

@@ -1,0 +1,1 @@
+bench/b_fig11.ml: Common Fp Gpu List Machine Pm Printf Sim Stdlib Table

@@ -1,0 +1,1 @@
+bench/b_fig12.ml: Common Float Fp Gpu List Machine Pm Printf Sim Table

@@ -1,0 +1,1 @@
+bench/b_fig2_4.ml: Common Fp Geomix_core Pm Printf

@@ -1,0 +1,1 @@
+bench/b_fig5.ml: B_mc Common Geomix_geostat List

@@ -1,0 +1,1 @@
+bench/b_fig6.ml: B_mc Common Geomix_geostat List

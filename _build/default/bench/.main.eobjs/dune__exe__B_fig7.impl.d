@@ -1,0 +1,1 @@
+bench/b_fig7.ml: Common Fp List Pm Printf Unix

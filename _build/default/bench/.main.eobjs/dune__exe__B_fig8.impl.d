@@ -1,0 +1,1 @@
+bench/b_fig8.ml: Common Float Fp Geomix_precision Gpu List Machine Pm Printf Sim Table

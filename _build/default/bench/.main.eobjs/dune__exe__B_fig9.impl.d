@@ -1,0 +1,1 @@
+bench/b_fig9.ml: Array Common Geomix_runtime Gpu List Machine Printf Sim

@@ -1,0 +1,1 @@
+bench/b_kernels.ml: Analyze Bechamel Benchmark Common Fp Geomix_core Geomix_linalg Hashtbl Instance List Measure Pm Printf Rng Staged Table Test Time Toolkit

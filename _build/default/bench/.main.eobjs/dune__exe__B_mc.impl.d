@@ -1,0 +1,1 @@
+bench/b_mc.ml: Array Common Format Geomix_geostat Geomix_util List Printf Rng String Unix

@@ -1,0 +1,1 @@
+bench/b_table1.ml: Common Fp Gpu List Printf Table

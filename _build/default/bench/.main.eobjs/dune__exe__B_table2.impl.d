@@ -1,0 +1,1 @@
+bench/b_table2.ml: Common Fp Geomix_gpusim Gpu List Machine Printf Table

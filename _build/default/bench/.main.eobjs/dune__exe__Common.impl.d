@@ -1,0 +1,1 @@
+bench/common.ml: Geomix_core Geomix_geostat Geomix_gpusim Geomix_precision Geomix_util Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Array B_ablation B_fig1 B_fig10 B_fig11 B_fig12 B_fig2_4 B_fig5 B_fig6 B_fig7 B_fig8 B_fig9 B_kernels B_table1 B_table2 Common List Printf String Sys Unix

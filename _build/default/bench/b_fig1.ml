@@ -1,0 +1,67 @@
+(* Fig 1: accuracy and performance of the GEMM benchmark per precision on
+   V100 / A100 / H100.
+
+   Accuracy is measured for real: the per-operation emulated GEMM against
+   the FP64 result (sizes scaled down — accuracy depends on n only through
+   a slow √n factor).  Performance comes from the calibrated device model,
+   with and without the datatype-conversion overhead the paper accounts. *)
+
+open Common
+module Emul = Geomix_linalg.Blas_emul
+module Exec_model = Geomix_gpusim.Exec_model
+
+let precisions = [ Fp.Fp64; Fp.Fp32; Fp.Tf32; Fp.Fp16_32; Fp.Bf16_32; Fp.Fp16 ]
+
+let accuracy_table (scale : scale) =
+  let sizes = if scale.full then [ 64; 128; 256; 512 ] else [ 64; 128; 256 ] in
+  let rng = Rng.create ~seed:1 in
+  Printf.printf "\n  GEMM accuracy: relative Frobenius error vs FP64 (emulated arithmetic)\n";
+  Table.print
+    ~align:(Table.Left :: List.map (fun _ -> Table.Right) sizes)
+    ~headers:("Precision" :: List.map (fun n -> Printf.sprintf "n=%d" n) sizes)
+    (List.map
+       (fun prec ->
+         Fp.name prec
+         :: List.map
+              (fun n ->
+                Printf.sprintf "%.2e" (Emul.gemm_accuracy ~prec ~n ~rng))
+              sizes)
+       precisions);
+  paper "FP32 ~1e-7; TF32 ≈ FP16_32 ≈ 1e-5..1e-4 band; FP16 ~1e-3 (Fig 1a-c)"
+
+let performance_table (scale : scale) =
+  let sizes =
+    if scale.full then [ 2048; 4096; 8192; 16384; 22528 ] else [ 2048; 4096; 8192 ]
+  in
+  List.iter
+    (fun gen ->
+      let gpu = Gpu.of_generation gen in
+      Printf.printf "\n  Modelled GEMM Tflop/s on %s (with conversion | without)\n"
+        gpu.Gpu.name;
+      Table.print
+        ~align:(Table.Left :: List.map (fun _ -> Table.Right) sizes)
+        ~headers:("Precision" :: List.map (fun n -> Printf.sprintf "n=%d" n) sizes)
+        (List.filter_map
+           (fun prec ->
+             if not (Gpu.supports gpu prec) then None
+             else
+               Some
+                 (Fp.name prec
+                 :: List.map
+                      (fun n ->
+                        let flops = Geomix_precision.Flops.gemm_full ~m:n ~n ~k:n in
+                        let t_conv =
+                          Exec_model.gemm_time gpu ~prec ~include_conversion:true ~n ()
+                        in
+                        let t_raw = Exec_model.gemm_time gpu ~prec ~n () in
+                        Printf.sprintf "%.1f | %.1f" (flops /. t_conv /. 1e12)
+                          (flops /. t_raw /. 1e12))
+                      sizes))
+           precisions))
+    generations;
+  paper "near-theoretical peak for each precision once conversion cost is excluded (Fig 1d-f)"
+
+let run scale =
+  section "fig1" "GEMM benchmark: accuracy and performance per precision";
+  accuracy_table scale;
+  performance_table scale

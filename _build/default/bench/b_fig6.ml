@@ -1,0 +1,32 @@
+(* Fig 6: Monte-Carlo parameter-estimation boxplots for 3D synthetic
+   datasets (squared exponential, weak and strong correlation) under
+   exact / 1e-8 / 1e-4 accuracies. *)
+
+open Common
+open B_mc
+module Covariance = Geomix_geostat.Covariance
+
+let run (scale : scale) =
+  section "fig6" "Monte-Carlo MLE boxplots, 3D datasets (sqexp)";
+  let n = if scale.full then 512 else 216 in
+  let replicas = if scale.full then 25 else 5 in
+  let max_evals = if scale.full then 240 else 120 in
+  let mc_nb = if scale.full then 100 else 64 in
+  let acc3d = engines ~mc_nb [ 1e-8; 1e-4 ] in
+  let config beta label =
+    {
+      label;
+      truth = Covariance.sqexp ~nugget:0.02 ~sigma2:1. ~beta ();
+      family = Covariance.Sqexp;
+      dims = 3;
+      accuracies = acc3d;
+    }
+  in
+  note "reduced scale: n=%d, %d replicas; --full raises both" n replicas;
+  List.iter
+    (run_config ~n ~replicas ~max_evals)
+    [
+      config 0.03 "3D-sqexp, weak correlation (beta=0.03)";
+      config 0.3 "3D-sqexp, strong correlation (beta=0.3)";
+    ];
+  paper "1e-8 yields estimates highly close to the exact solution (Fig 6)"

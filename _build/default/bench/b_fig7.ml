@@ -1,0 +1,23 @@
+(* Fig 7: kernel precision executed on each tile for the three
+   applications at their operating accuracies, with the percentage of
+   tiles per precision — built with the sampled-norm estimator so the
+   paper's 409 600 matrix order is reachable directly. *)
+
+open Common
+
+let run (scale : scale) =
+  section "fig7" "Kernel-precision composition per application";
+  let n = if scale.full then 409600 else 131072 in
+  note "matrix order %d, tile size %d (paper: 409600/2048); sampled tile norms" n nb;
+  List.iter
+    (fun app ->
+      let t0 = Unix.gettimeofday () in
+      let pmap = app_precision_map app ~n in
+      Printf.printf "\n  %s (u_req = %.0e)  [map built in %.1fs]\n" app.app_name app.u_req
+        (Unix.gettimeofday () -. t0);
+      List.iter
+        (fun (p, f) -> Printf.printf "    %-8s %5.1f%%\n" (Fp.name p) (100. *. f))
+        (Pm.fractions pmap);
+      if Pm.nt pmap <= 40 then print_string (Pm.render pmap))
+    applications;
+  paper "2D-sqexp cheapest (29.5%% FP16_32 + 46.7%% FP16); 3D-sqexp >60%% in FP64+FP32"

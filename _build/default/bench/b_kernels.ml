@@ -1,0 +1,77 @@
+(* Wall-clock micro-benchmarks of the real (host-executed) kernels via
+   Bechamel: the reference FP64 tile kernels, their precision-emulated
+   variants, the norm-rule map construction, and Algorithm 2 itself —
+   whose cost the paper reports as negligible (<0.1 s). *)
+
+open Common
+module Mat = Geomix_linalg.Mat
+module Blas = Geomix_linalg.Blas
+module Emul = Geomix_linalg.Blas_emul
+module Check = Geomix_linalg.Check
+module Cm = Geomix_core.Comm_map
+open Bechamel
+open Toolkit
+
+let make_gemm_inputs n =
+  let rng = Rng.create ~seed:3 in
+  let a = Mat.init ~rows:n ~cols:n (fun _ _ -> Rng.gaussian rng) in
+  let b = Mat.init ~rows:n ~cols:n (fun _ _ -> Rng.gaussian rng) in
+  let c = Mat.create ~rows:n ~cols:n in
+  (a, b, c)
+
+let tests =
+  let n = 96 in
+  let a, b, c = make_gemm_inputs n in
+  let spd =
+    let rng = Rng.create ~seed:4 in
+    Check.spd_random ~rng ~n
+  in
+  let decay_pmap u =
+    Pm.of_element_fn ~u_req:u ~n:(200 * nb) ~nb (fun i j ->
+      exp (-2.0e-3 *. float_of_int (abs (i - j))))
+  in
+  let pmap200 = decay_pmap 1e-6 in
+  [
+    Test.make ~name:"gemm_fp64_96"
+      (Staged.stage (fun () -> Blas.gemm_nt ~alpha:(-1.) a b ~beta:1. c));
+    Test.make ~name:"gemm_emul_fp16_boundary_96"
+      (Staged.stage (fun () ->
+         Emul.gemm_nt ~fidelity:Emul.Boundary ~prec:Fp.Fp16 ~alpha:(-1.) a b ~beta:1. c));
+    Test.make ~name:"gemm_emul_fp16_perop_96"
+      (Staged.stage (fun () ->
+         Emul.gemm_nt ~fidelity:Emul.Per_op ~prec:Fp.Fp16 ~alpha:(-1.) a b ~beta:1. c));
+    Test.make ~name:"potrf_fp64_96"
+      (Staged.stage (fun () ->
+         let l = Mat.copy spd in
+         Blas.potrf_lower l));
+    Test.make ~name:"round_fp16_tile_96"
+      (Staged.stage (fun () -> ignore (Mat.rounded Fp.S_fp16 a)));
+    Test.make ~name:"algorithm2_comm_map_nt200"
+      (Staged.stage (fun () -> ignore (Cm.compute pmap200)));
+    Test.make ~name:"precision_map_sampled_nt50"
+      (Staged.stage (fun () ->
+         ignore
+           (Pm.of_element_fn ~u_req:1e-6 ~n:(50 * nb) ~nb (fun i j ->
+              exp (-2.0e-3 *. float_of_int (abs (i - j)))))));
+  ]
+
+let run (_ : scale) =
+  section "kernels" "Bechamel wall-clock micro-benchmarks (real host kernels)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.4) ~kde:(Some 10) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "  %-34s %s per run\n" name (Table.fmt_time (est /. 1e9))
+          | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+        results)
+    tests;
+  paper "Algorithm 2 (comm map) at paper scale runs well under 0.1 s — 'relatively negligible'"

@@ -1,0 +1,65 @@
+(* Shared Monte-Carlo MLE machinery for Figs 5 and 6: synthetic replicas at
+   known parameters, estimation under each accuracy engine, boxplot
+   summaries per parameter. *)
+
+open Common
+module Stats = Geomix_util.Stats
+module Locations = Geomix_geostat.Locations
+module Covariance = Geomix_geostat.Covariance
+module Field = Geomix_geostat.Field
+module Likelihood = Geomix_geostat.Likelihood
+module Mle = Geomix_geostat.Mle
+
+type config = {
+  label : string;
+  truth : Covariance.t;
+  family : Covariance.family;
+  dims : int;
+  accuracies : (string * Likelihood.engine) list;
+}
+
+let engines ~mc_nb levels =
+  ("exact", Likelihood.Exact)
+  :: List.map
+       (fun u -> (Printf.sprintf "%.0e" u, Likelihood.mixed ~u_req:u ~nb:mc_nb ()))
+       levels
+
+let param_names = function
+  | Covariance.Sqexp | Covariance.Spherical -> [ "variance (sigma^2)"; "range (beta)" ]
+  | Covariance.Matern -> [ "variance (sigma^2)"; "range (beta)"; "smoothness (nu)" ]
+  | Covariance.Powexp -> [ "variance (sigma^2)"; "range (beta)"; "power" ]
+
+let run_config ~n ~replicas ~max_evals config =
+  Printf.printf "\n  --- %s: %d sites, %d replicas, truth = [%s] ---\n%!" config.label n
+    replicas
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%g") (Covariance.theta config.truth))));
+  let rng = Rng.create ~seed:20260706 in
+  let locs =
+    Locations.morton_sort
+      (if config.dims = 2 then Locations.jittered_grid_2d ~rng ~n
+       else Locations.jittered_grid_3d ~rng ~n)
+  in
+  let zs = Field.synthesize_many ~rng ~cov:config.truth ~replicas locs in
+  let settings = { Mle.default_settings with max_evals } in
+  let dim = Array.length (Covariance.theta config.truth) in
+  let names = param_names config.family in
+  let truth = Covariance.theta config.truth in
+  let nugget = config.truth.Covariance.nugget in
+  List.iter
+    (fun (acc_label, engine) ->
+      let t0 = Unix.gettimeofday () in
+      let fits =
+        Array.map
+          (fun z -> Mle.fit ~settings ~nugget ~engine ~family:config.family ~locs ~z ())
+          zs
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "  accuracy %-7s (%.1fs)\n%!" acc_label dt;
+      for p = 0 to dim - 1 do
+        let samples = Array.map (fun f -> f.Mle.theta.(p)) fits in
+        let fn = Stats.five_number samples in
+        Printf.printf "    %-22s true %-6g est %s\n" (List.nth names p) truth.(p)
+          (Format.asprintf "%a" Stats.pp_five_number fn)
+      done)
+    config.accuracies

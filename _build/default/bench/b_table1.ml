@@ -1,0 +1,37 @@
+(* Table I: theoretical peak performance of the three GPU generations. *)
+
+open Common
+
+let rows =
+  [
+    ("FP64", Fp.Fp64, false);
+    ("FP64 Tensor", Fp.Fp64, true);
+    ("FP32", Fp.Fp32, false);
+    ("TF32 Tensor", Fp.Tf32, false);
+    ("FP16 Tensor", Fp.Fp16, false);
+    ("BF16 Tensor", Fp.Bf16_32, false);
+  ]
+
+let cell gen (label, prec, tensor_row) =
+  let gpu = Gpu.of_generation gen in
+  ignore label;
+  if tensor_row then
+    if Gpu.fp64_uses_tensor_cores gpu then
+      Printf.sprintf "%.1f" (Gpu.peak_flops gpu prec /. 1e12)
+    else "-"
+  else if not (Gpu.supports gpu prec) then "-"
+  else if prec = Fp.Fp64 && Gpu.fp64_uses_tensor_cores gpu then
+    (* The scalar FP64 row on tensor-core parts lists the vector-unit rate. *)
+    Printf.sprintf "%.1f" (match gen with Gpu.A100 -> 9.7 | _ -> 25.6)
+  else Printf.sprintf "%.1f" (Gpu.peak_flops gpu prec /. 1e12)
+
+let run (_ : scale) =
+  section "table1" "Peak performance of Nvidia GPUs (Tflop/s)";
+  Table.print
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~headers:[ "Precision"; "V100 (NVLink)"; "A100 (SXM)"; "H100 (PCIe)" ]
+    (List.map
+       (fun ((label, _, _) as row) ->
+         label :: List.map (fun gen -> cell gen row) generations)
+       rows);
+  paper "FP64 7.8/9.7/25.6, FP16 Tensor 125/312/756 (Table I)"

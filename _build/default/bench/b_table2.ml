@@ -1,0 +1,33 @@
+(* Table II: time to move one tile/matrix to the GPU and to execute a GEMM
+   on it, per precision, on one Summit V100 — straight from the calibrated
+   cost model (the paper's own numbers follow from Table I peaks and the
+   50 GB/s NVLink host link). *)
+
+open Common
+module Exec_model = Geomix_gpusim.Exec_model
+
+let sizes = [ 2048; 4096; 6144; 8192; 10240 ]
+
+let run (_ : scale) =
+  section "table2" "Time measurement on V100 (milliseconds)";
+  let machine = Machine.summit () in
+  let gpu = Gpu.v100 in
+  let move scalar n =
+    Printf.sprintf "%.2f" (1e3 *. Exec_model.tile_move_time machine ~nb:n ~scalar)
+  in
+  let exec prec n =
+    Printf.sprintf "%.2f" (1e3 *. Exec_model.gemm_time gpu ~prec ~n ())
+  in
+  Table.print
+    ~align:(Table.Left :: List.map (fun _ -> Table.Right) sizes)
+    ~headers:("Operation" :: List.map string_of_int sizes)
+    [
+      "Move one tile/matrix in FP64" :: List.map (move Fp.S_fp64) sizes;
+      "Move one tile/matrix in FP32" :: List.map (move Fp.S_fp32) sizes;
+      "Move one tile/matrix in FP16" :: List.map (move Fp.S_fp16) sizes;
+      "Execute GEMM in FP64" :: List.map (exec Fp.Fp64) sizes;
+      "Execute GEMM in FP32" :: List.map (exec Fp.Fp32) sizes;
+      "Execute GEMM in FP16" :: List.map (exec Fp.Fp16) sizes;
+    ];
+  paper "row 1: 0.67/2.68/6.04/10.74/16.78 ms; GEMM FP64: 2.2/17.6/59.5/141/275 ms";
+  note "data movement can dominate: FP16 GEMM on 2048 costs less than moving the tile in FP64"

@@ -1,0 +1,79 @@
+(* Reproduction harness: one runner per table/figure of the paper's
+   evaluation plus the ablations.  `dune exec bench/main.exe` runs all of
+   them at laptop scale; `--full` switches to paper-scale parameters;
+   `--only id1,id2` selects a subset.  The experiment index lives in
+   DESIGN.md; measured-vs-paper comparisons are recorded in
+   EXPERIMENTS.md. *)
+
+let experiments : (string * string * (Common.scale -> unit)) list =
+  [
+    ("table1", "Table I: GPU peak performance", B_table1.run);
+    ("fig1", "Fig 1: GEMM accuracy & performance", B_fig1.run);
+    ("table2", "Table II: tile move / GEMM times on V100", B_table2.run);
+    ("fig2_4", "Figs 2 & 4: precision / storage / communication maps", B_fig2_4.run);
+    ("fig5", "Fig 5: 2D Monte-Carlo MLE boxplots", B_fig5.run);
+    ("fig6", "Fig 6: 3D Monte-Carlo MLE boxplots", B_fig6.run);
+    ("fig7", "Fig 7: precision composition per application", B_fig7.run);
+    ("fig8", "Fig 8: STC vs TTC on one GPU", B_fig8.run);
+    ("fig9", "Fig 9: H100 occupancy", B_fig9.run);
+    ("fig10", "Fig 10: power & energy", B_fig10.run);
+    ("fig11", "Fig 11: single-node multi-GPU", B_fig11.run);
+    ("fig12", "Fig 12: Summit scalability", B_fig12.run);
+    ("ablations", "Ablations: STC accuracy, rule sweep, BF16 chain", B_ablation.run);
+    ("kernels", "Bechamel kernel micro-benchmarks", B_kernels.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--full] [--only id1,id2,...] [--list]";
+  print_endline "experiments:";
+  List.iter (fun (id, descr, _) -> Printf.printf "  %-10s %s\n" id descr) experiments
+
+let () =
+  let full = ref false in
+  let only = ref None in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+      full := true;
+      parse rest
+    | "--only" :: ids :: rest ->
+      only := Some (String.split_on_char ',' ids);
+      parse rest
+    | ("--list" | "--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      usage ();
+      exit 2
+  in
+  parse (List.tl args);
+  let scale = { Common.full = !full } in
+  let selected =
+    match !only with
+    | None -> experiments
+    | Some ids ->
+      List.iter
+        (fun id ->
+          if not (List.exists (fun (i, _, _) -> i = id) experiments) then begin
+            Printf.eprintf "unknown experiment %S\n" id;
+            usage ();
+            exit 2
+          end)
+        ids;
+      List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  Printf.printf
+    "GeoMix reproduction harness — %s scale\n\
+     Paper: Reducing Data Motion and Energy Consumption of Geospatial Modeling\n\
+     Applications Using Automated Precision Conversion (CLUSTER 2023)\n"
+    (if !full then "paper (--full)" else "reduced (default)");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (_, _, run) ->
+      let t = Unix.gettimeofday () in
+      run scale;
+      Printf.printf "  [%.1fs]\n%!" (Unix.gettimeofday () -. t))
+    selected;
+  Printf.printf "\nAll selected experiments completed in %.1fs.\n" (Unix.gettimeofday () -. t0)

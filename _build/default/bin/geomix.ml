@@ -1,0 +1,238 @@
+(* geomix — command-line front end to the library: precision maps,
+   simulated cluster runs, MLE fits and GEMM accuracy probes. *)
+
+open Cmdliner
+module Fp = Geomix_precision.Fpformat
+module Rng = Geomix_util.Rng
+module Pm = Geomix_core.Precision_map
+module Cm = Geomix_core.Comm_map
+module Sim = Geomix_core.Sim_cholesky
+module Machine = Geomix_gpusim.Machine
+module Gpu = Geomix_gpusim.Gpu_specs
+module Energy = Geomix_gpusim.Energy
+module Locations = Geomix_geostat.Locations
+module Covariance = Geomix_geostat.Covariance
+module Field = Geomix_geostat.Field
+module Likelihood = Geomix_geostat.Likelihood
+module Mle = Geomix_geostat.Mle
+
+(* Shared argument helpers *)
+
+let family_conv =
+  Arg.enum
+    [
+      ("sqexp", Covariance.Sqexp);
+      ("matern", Covariance.Matern);
+      ("powexp", Covariance.Powexp);
+      ("spherical", Covariance.Spherical);
+    ]
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv Covariance.Sqexp
+    & info [ "family" ] ~doc:"Covariance family: sqexp or matern.")
+
+let beta_arg = Arg.(value & opt float 0.1 & info [ "beta" ] ~doc:"Range parameter β.")
+let sigma2_arg = Arg.(value & opt float 1.0 & info [ "sigma2" ] ~doc:"Variance parameter σ².")
+let nu_arg = Arg.(value & opt float 0.5 & info [ "nu" ] ~doc:"Matérn smoothness ν.")
+let nugget_arg =
+  Arg.(value & opt float Covariance.default_nugget & info [ "nugget" ] ~doc:"Diagonal nugget τ².")
+let dims_arg = Arg.(value & opt int 2 & info [ "dims" ] ~doc:"Spatial dimension (2 or 3).")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+let u_req_arg =
+  Arg.(value & opt float 1e-6 & info [ "u-req" ] ~doc:"Application accuracy for the norm rule.")
+let nb_arg = Arg.(value & opt int 2048 & info [ "nb" ] ~doc:"Tile size.")
+
+let cov_of ~family ~sigma2 ~beta ~nu ~nugget =
+  match family with
+  | Covariance.Sqexp -> Covariance.sqexp ~nugget ~sigma2 ~beta ()
+  | Covariance.Matern -> Covariance.matern ~nugget ~sigma2 ~beta ~nu ()
+  | Covariance.Powexp -> Covariance.powexp ~nugget ~sigma2 ~beta ~power:nu ()
+  | Covariance.Spherical -> Covariance.spherical ~nugget ~sigma2 ~beta ()
+
+let sites ~dims ~seed ~n =
+  let rng = Rng.create ~seed in
+  Locations.morton_sort
+    (if dims = 3 then Locations.jittered_grid_3d ~rng ~n
+     else Locations.jittered_grid_2d ~rng ~n)
+
+(* precision-map subcommand *)
+
+let precision_map_cmd =
+  let run family sigma2 beta nu nugget dims seed u_req n nb render =
+    let cov = cov_of ~family ~sigma2 ~beta ~nu ~nugget in
+    let locs = sites ~dims ~seed ~n in
+    let pmap = Pm.of_element_fn ~u_req ~n ~nb (Covariance.element cov locs) in
+    Printf.printf "Precision map: order %d, tile %d, %dx%d tiles, u_req %.1e\n" n nb
+      (Pm.nt pmap) (Pm.nt pmap) u_req;
+    List.iter
+      (fun (p, f) -> Printf.printf "  %-8s %5.1f%%\n" (Fp.name p) (100. *. f))
+      (Pm.fractions pmap);
+    if render && Pm.nt pmap <= 64 then print_string (Pm.render pmap);
+    let cm = Cm.compute pmap in
+    Printf.printf "Automated conversion: %.1f%% of broadcasting tiles use STC\n"
+      (100. *. Cm.stc_fraction cm)
+  in
+  let n_arg = Arg.(value & opt int 65536 & info [ "order" ] ~doc:"Matrix order / site count.") in
+  let render_arg = Arg.(value & flag & info [ "render" ] ~doc:"Draw the tile map (small maps).") in
+  Cmd.v
+    (Cmd.info "precision-map" ~doc:"Compute the adaptive tile-precision map of a covariance")
+    Term.(
+      const run $ family_arg $ sigma2_arg $ beta_arg $ nu_arg $ nugget_arg $ dims_arg
+      $ seed_arg $ u_req_arg $ n_arg $ nb_arg $ render_arg)
+
+(* simulate subcommand *)
+
+let simulate_cmd =
+  let machine_conv =
+    Arg.enum
+      [ ("v100", `V100); ("a100", `A100); ("h100", `H100); ("summit", `Summit); ("guyot", `Guyot) ]
+  in
+  let config_conv =
+    Arg.enum
+      [ ("fp64", `Fp64); ("fp32", `Fp32); ("fp64-fp16", `Mixed16); ("fp64-fp16-32", `Mixed16_32) ]
+  in
+  let strategy_conv = Arg.enum [ ("stc", Sim.Stc_auto); ("ttc", Sim.Ttc_always) ] in
+  let run machine nodes ntiles config strategy nb trace_json gantt =
+    let machine =
+      match machine with
+      | `V100 -> Machine.single_gpu Gpu.V100
+      | `A100 -> Machine.single_gpu Gpu.A100
+      | `H100 -> Machine.single_gpu Gpu.H100
+      | `Summit -> Machine.summit ~nodes ()
+      | `Guyot -> Machine.guyot ()
+    in
+    let pmap =
+      match config with
+      | `Fp64 -> Pm.uniform ~nt:ntiles Fp.Fp64
+      | `Fp32 -> Pm.uniform ~nt:ntiles Fp.Fp32
+      | `Mixed16 -> Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16
+      | `Mixed16_32 -> Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16_32
+    in
+    let collect_trace = gantt || trace_json <> None in
+    let r =
+      Sim.run ~options:{ Sim.default_options with strategy; collect_trace } ~machine
+        ~pmap ~nb ()
+    in
+    Printf.printf "machine          %s (%d GPUs)\n" r.Sim.machine_name r.Sim.ngpus;
+    Printf.printf "matrix           %d (tile %d)\n" r.Sim.n r.Sim.nb;
+    Printf.printf "makespan         %.3f s\n" r.Sim.makespan;
+    Printf.printf "performance      %.1f Tflop/s (utilisation %.0f%%)\n" r.Sim.tflops
+      (100. *. r.Sim.utilisation);
+    Printf.printf "data motion      h2d %s, d2d %s, inter-node %s, %d conversions\n"
+      (Geomix_util.Table.fmt_bytes r.Sim.bytes_h2d)
+      (Geomix_util.Table.fmt_bytes r.Sim.bytes_d2d)
+      (Geomix_util.Table.fmt_bytes r.Sim.bytes_nic)
+      r.Sim.conversions;
+    Printf.printf "energy           %.0f J (%.2f Gflops/W)\n" r.Sim.energy.Energy.energy_joules
+      r.Sim.energy.Energy.gflops_per_watt;
+    (match r.Sim.trace with
+    | Some tr ->
+      (match trace_json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Geomix_runtime.Trace.to_chrome_json tr);
+        close_out oc;
+        Printf.printf "trace            written to %s (chrome://tracing)\n" path
+      | None -> ());
+      if gantt then
+        print_string (Geomix_runtime.Trace.gantt tr ~resources:r.Sim.ngpus ~width:72)
+    | None -> ())
+  in
+  let machine_arg =
+    Arg.(value & opt machine_conv `V100 & info [ "machine" ] ~doc:"v100|a100|h100|summit|guyot.")
+  in
+  let nodes_arg = Arg.(value & opt int 1 & info [ "nodes" ] ~doc:"Summit node count.") in
+  let nt_arg = Arg.(value & opt int 24 & info [ "nt" ] ~doc:"Tiles per dimension.") in
+  let config_arg =
+    Arg.(value & opt config_conv `Fp64 & info [ "config" ] ~doc:"fp64|fp32|fp64-fp16|fp64-fp16-32.")
+  in
+  let strategy_arg =
+    Arg.(value & opt strategy_conv Sim.Stc_auto & info [ "strategy" ] ~doc:"stc|ttc.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~doc:"Write a Chrome trace-event JSON of the schedule.")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the schedule.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a mixed-precision Cholesky on a modelled GPU machine")
+    Term.(
+      const run $ machine_arg $ nodes_arg $ nt_arg $ config_arg $ strategy_arg $ nb_arg
+      $ trace_arg $ gantt_arg)
+
+(* mle subcommand *)
+
+let mle_cmd =
+  let run family sigma2 beta nu nugget dims seed n u_req exact max_evals =
+    let truth = cov_of ~family ~sigma2 ~beta ~nu ~nugget in
+    let locs = sites ~dims ~seed ~n in
+    let rng = Rng.create ~seed:(seed + 1) in
+    let z = Field.synthesize ~rng ~cov:truth locs in
+    let engine =
+      if exact then Likelihood.Exact
+      else Likelihood.mixed ~u_req ~nb:(Stdlib.max 32 (n / 8)) ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let f =
+      Mle.fit
+        ~settings:{ Mle.default_settings with max_evals }
+        ~nugget ~engine ~family ~locs ~z ()
+    in
+    Printf.printf "engine       %s\n" (if exact then "exact FP64" else Printf.sprintf "mixed precision (u_req %.0e)" u_req);
+    Printf.printf "true theta   [%s]\n"
+      (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%g") (Covariance.theta truth))));
+    Printf.printf "estimate     [%s]\n"
+      (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.4f") f.Mle.theta)));
+    Printf.printf "loglik       %.3f\n" f.Mle.loglik;
+    Printf.printf "evaluations  %d (%.1fs)\n" f.Mle.evals (Unix.gettimeofday () -. t0)
+  in
+  let n_arg = Arg.(value & opt int 196 & info [ "sites" ] ~doc:"Number of sites.") in
+  let exact_arg = Arg.(value & flag & info [ "exact" ] ~doc:"Use the exact FP64 engine.") in
+  let max_evals_arg =
+    Arg.(value & opt int 150 & info [ "max-evals" ] ~doc:"Likelihood evaluation budget.")
+  in
+  Cmd.v
+    (Cmd.info "mle" ~doc:"Fit covariance parameters to a synthetic dataset by MLE")
+    Term.(
+      const run $ family_arg $ sigma2_arg $ beta_arg $ nu_arg $ nugget_arg $ dims_arg
+      $ seed_arg $ n_arg $ u_req_arg $ exact_arg $ max_evals_arg)
+
+(* gemm subcommand *)
+
+let gemm_cmd =
+  let prec_conv =
+    Arg.enum (List.map (fun p -> (String.lowercase_ascii (Fp.name p), p)) Fp.all)
+  in
+  let run prec n seed =
+    let rng = Rng.create ~seed in
+    let err = Geomix_linalg.Blas_emul.gemm_accuracy ~prec ~n ~rng in
+    Printf.printf "emulated %s GEMM, n=%d: relative error vs FP64 = %.3e\n" (Fp.name prec) n err;
+    List.iter
+      (fun gen ->
+        let gpu = Gpu.of_generation gen in
+        if Gpu.supports gpu prec then begin
+          let t = Geomix_gpusim.Exec_model.gemm_time gpu ~prec ~n:2048 () in
+          Printf.printf "modelled 2048-GEMM on %-14s %.3f ms (%.1f Tflop/s)\n" gpu.Gpu.name
+            (1e3 *. t)
+            (Geomix_precision.Flops.gemm_full ~m:2048 ~n:2048 ~k:2048 /. t /. 1e12)
+        end)
+      [ Gpu.V100; Gpu.A100; Gpu.H100 ]
+  in
+  let n_arg = Arg.(value & opt int 128 & info [ "size" ] ~doc:"Matrix order for the accuracy probe.") in
+  let prec_arg = Arg.(value & opt prec_conv Fp.Fp16 & info [ "prec" ] ~doc:"Precision.") in
+  Cmd.v
+    (Cmd.info "gemm" ~doc:"Probe emulated GEMM accuracy and modelled performance")
+    Term.(const run $ prec_arg $ n_arg $ seed_arg)
+
+let () =
+  let doc = "mixed-precision geospatial modeling toolkit (CLUSTER 2023 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
+          [ precision_map_cmd; simulate_cmd; mle_cmd; gemm_cmd ]))

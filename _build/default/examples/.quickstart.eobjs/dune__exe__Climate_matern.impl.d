@@ -1,0 +1,1 @@
+examples/climate_matern.ml: Array Geomix_geostat Geomix_util List Printf Unix

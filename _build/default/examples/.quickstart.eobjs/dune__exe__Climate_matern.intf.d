@@ -1,0 +1,1 @@
+examples/climate_matern.mli:

@@ -1,0 +1,1 @@
+examples/cluster_planner.ml: Geomix_core Geomix_gpusim Geomix_precision Geomix_util List Printf

@@ -1,0 +1,1 @@
+examples/soil3d.ml: Geomix_core Geomix_geostat Geomix_gpusim Geomix_precision Geomix_util List Printf

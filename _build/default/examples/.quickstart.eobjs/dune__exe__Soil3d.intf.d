@@ -1,0 +1,1 @@
+examples/soil3d.mli:

@@ -1,0 +1,1 @@
+examples/tlr_compression.ml: Geomix_core Geomix_geostat Geomix_linalg Geomix_tile Geomix_tlr Geomix_util List Printf

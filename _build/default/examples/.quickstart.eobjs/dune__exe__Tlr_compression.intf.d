@@ -1,0 +1,1 @@
+examples/tlr_compression.mli:

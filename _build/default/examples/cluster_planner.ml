@@ -1,0 +1,72 @@
+(* Capacity planning: how many Summit nodes does a target geospatial
+   problem need, and what does each configuration cost in time and energy?
+   Sweeps node counts × matrix sizes on the simulated machine — the kind of
+   operational question the library's hardware model answers without
+   touching the real cluster.
+
+   Run with:  dune exec examples/cluster_planner.exe *)
+
+module Fp = Geomix_precision.Fpformat
+module Table = Geomix_util.Table
+module Pm = Geomix_core.Precision_map
+module Sim = Geomix_core.Sim_cholesky
+module Machine = Geomix_gpusim.Machine
+module Gpu = Geomix_gpusim.Gpu_specs
+module Energy = Geomix_gpusim.Energy
+
+let nb = 2048
+
+let () =
+  (* The workload: a 2D squared-exponential campaign at u_req = 1e-4,
+     approximated by its banded precision structure. *)
+  let pmap_for ntiles =
+    Pm.of_element_fn ~u_req:1e-4 ~n:(ntiles * nb) ~nb (fun i j ->
+      (if i = j then 1. else 0.) +. exp (-2.0e-3 *. float_of_int (abs (i - j))))
+  in
+  Printf.printf
+    "Planning a mixed-precision geospatial campaign on simulated Summit nodes\n\
+     (adaptive maps at u_req = 1e-4, STC conversion, tile size %d)\n\n"
+    nb;
+  let sizes = [ 96; 144; 192 ] in
+  let node_counts = [ 1; 2; 4; 8 ] in
+  let headers =
+    "N \\ nodes"
+    :: List.map (fun nodes -> Printf.sprintf "%d (%d GPUs)" nodes (6 * nodes)) node_counts
+  in
+  let rows =
+    List.map
+      (fun ntiles ->
+        let pmap = pmap_for ntiles in
+        string_of_int (ntiles * nb)
+        :: List.map
+             (fun nodes ->
+               let machine = Machine.summit ~nodes () in
+               let r = Sim.run ~machine ~pmap ~nb () in
+               Printf.sprintf "%.0fs / %.0f kJ" r.Sim.makespan
+                 (r.Sim.energy.Energy.energy_joules /. 1e3))
+             node_counts)
+      sizes
+  in
+  Table.print ~align:(List.map (fun _ -> Table.Right) headers) ~headers rows;
+  (* Advice line: cheapest configuration meeting a deadline. *)
+  let deadline = 120. in
+  Printf.printf "\nCheapest configuration finishing N=%d under %.0f s: " (192 * nb) deadline;
+  let best =
+    List.filter_map
+      (fun nodes ->
+        let machine = Machine.summit ~nodes () in
+        let r = Sim.run ~machine ~pmap:(pmap_for 192) ~nb () in
+        if r.Sim.makespan <= deadline then
+          Some (nodes, r.Sim.energy.Energy.energy_joules)
+        else None)
+      node_counts
+  in
+  match best with
+  | [] -> Printf.printf "none of the tested configurations.\n"
+  | first :: rest ->
+    let nodes, joules =
+      List.fold_left
+        (fun ((_, bj) as b) ((_, j) as r) -> if j < bj then r else b)
+        first rest
+    in
+    Printf.printf "%d node(s), %.0f kJ.\n" nodes (joules /. 1e3)

@@ -1,0 +1,1 @@
+lib/core/comm_map.ml: Array Buffer Char Geomix_precision Precision_map Printf

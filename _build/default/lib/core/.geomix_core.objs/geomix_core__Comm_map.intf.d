@@ -1,0 +1,1 @@
+lib/core/comm_map.mli: Geomix_precision Precision_map

@@ -1,0 +1,1 @@
+lib/core/mp_cholesky.ml: Array Comm_map Geomix_linalg Geomix_parallel Geomix_precision Geomix_runtime Geomix_tile Precision_map Tiled

@@ -1,0 +1,1 @@
+lib/core/mp_cholesky.mli: Geomix_linalg Geomix_parallel Geomix_tile Precision_map Tiled

@@ -1,0 +1,1 @@
+lib/core/precision_map.ml: Array Geomix_precision Geomix_tile Geomix_util List Stdlib

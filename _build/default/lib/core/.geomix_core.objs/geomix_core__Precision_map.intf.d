@@ -1,0 +1,1 @@
+lib/core/precision_map.mli: Geomix_precision Geomix_tile

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Geomix_linalg Geomix_tile List Mp_cholesky Tiled

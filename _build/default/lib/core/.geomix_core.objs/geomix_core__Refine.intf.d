@@ -1,0 +1,1 @@
+lib/core/refine.mli: Geomix_tile Tiled

@@ -1,0 +1,1 @@
+lib/core/sim_cholesky.ml: Array Comm_map Float Geomix_gpusim Geomix_precision Geomix_runtime Geomix_tile Geomix_util Hashtbl Int List Precision_map

@@ -1,0 +1,1 @@
+lib/core/sim_cholesky.mli: Geomix_gpusim Geomix_runtime Precision_map

@@ -1,0 +1,128 @@
+module Fpformat = Geomix_precision.Fpformat
+
+type strategy = Stc | Ttc
+
+type t = {
+  nt : int;
+  comm : Fpformat.scalar array; (* packed lower triangle *)
+  strat : strategy array;
+}
+
+let pidx i j = (i * (i + 1) / 2) + j
+
+let nt t = t.nt
+
+let comm_scalar t i j =
+  assert (i >= j && j >= 0 && i < t.nt);
+  t.comm.(pidx i j)
+
+let strategy t i j =
+  assert (i >= j && j >= 0 && i < t.nt);
+  t.strat.(pidx i j)
+
+(* Input format consumed by the GEMM kernel running on a tile of the given
+   kernel precision. *)
+let gemm_input_scalar pmap m n = Fpformat.input_scalar (Precision_map.get pmap m n)
+
+(* Input format consumed by TRSM(m,k), which never executes below FP32. *)
+let trsm_input_scalar pmap m k =
+  match Precision_map.get pmap m k with
+  | Fpformat.Fp64 -> Fpformat.S_fp64
+  | _ -> Fpformat.S_fp32
+
+let compute pmap =
+  let n = Precision_map.nt pmap in
+  let size = n * (n + 1) / 2 in
+  let comm = Array.make size Fpformat.S_fp64 in
+  let strat = Array.make size Ttc in
+  let finish idx ~storage c =
+    (* Cap at the storage format: data cannot ship above the precision it
+       exists in; STC iff strictly below it. *)
+    if Fpformat.scalar_rank c < Fpformat.scalar_rank storage then begin
+      comm.(idx) <- c;
+      strat.(idx) <- Stc
+    end
+    else begin
+      comm.(idx) <- storage;
+      strat.(idx) <- Ttc
+    end
+  in
+  (* Diagonal tiles (k,k): POTRF(k) broadcasts to the TRSMs of column k. *)
+  for k = 0 to n - 1 do
+    let storage = Precision_map.storage pmap k k in
+    if k = n - 1 then begin
+      (* No successors: nothing ever ships. *)
+      comm.(pidx k k) <- storage;
+      strat.(pidx k k) <- Ttc
+    end
+    else begin
+      let c = ref Fpformat.S_fp32 in
+      for m = k + 1 to n - 1 do
+        c := Fpformat.higher_scalar !c (trsm_input_scalar pmap m k)
+      done;
+      finish (pidx k k) ~storage !c
+    end
+  done;
+  (* Off-diagonal tiles (m,k): TRSM(m,k) broadcasts to GEMMs of row m and
+     column m (and to SYRK(m,k), which consumes whatever ships).  The
+     broadcast floor is the tile's own input significance level: a tile the
+     norm rule classified as FP16-class carries FP16-worth of information,
+     so shipping it at FP16 to an FP64 SYRK loses nothing the rule did not
+     already discard — this is why the paper can accept "the recipient
+     might still require conversion". *)
+  for k = 0 to n - 2 do
+    for m = k + 1 to n - 1 do
+      let storage = Precision_map.storage pmap m k in
+      let c = ref (Fpformat.input_scalar (Precision_map.get pmap m k)) in
+      let capped = ref false in
+      (* Row broadcast: GEMM(m,n,k) for k < n < m. *)
+      let nn = ref (k + 1) in
+      while (not !capped) && !nn < m do
+        c := Fpformat.higher_scalar !c (gemm_input_scalar pmap m !nn);
+        if Fpformat.scalar_rank !c >= Fpformat.scalar_rank storage then capped := true;
+        incr nn
+      done;
+      (* Column broadcast: GEMM(m',m,k) for m < m' < NT. *)
+      let mm = ref (m + 1) in
+      while (not !capped) && !mm < n do
+        c := Fpformat.higher_scalar !c (gemm_input_scalar pmap !mm m);
+        if Fpformat.scalar_rank !c >= Fpformat.scalar_rank storage then capped := true;
+        incr mm
+      done;
+      finish (pidx m k) ~storage !c
+    done
+  done;
+  { nt = n; comm; strat }
+
+let stc_fraction t =
+  let stc = Array.fold_left (fun acc s -> if s = Stc then acc + 1 else acc) 0 t.strat in
+  float_of_int stc /. float_of_int (Array.length t.strat)
+
+let render t =
+  let buf = Buffer.create ((t.nt + 2) * (t.nt + 2)) in
+  let char_of = function
+    | Fpformat.S_fp64 -> '6'
+    | Fpformat.S_fp32 -> '3'
+    | Fpformat.S_tf32 -> 't'
+    | Fpformat.S_bf16 -> 'b'
+    | Fpformat.S_fp16 -> '1'
+  in
+  for i = 0 to t.nt - 1 do
+    Buffer.add_string buf "  ";
+    for j = 0 to t.nt - 1 do
+      if j > i then Buffer.add_string buf ". "
+      else begin
+        let idx = pidx i j in
+        let c = char_of t.comm.(idx) in
+        Buffer.add_char buf (if t.strat.(idx) = Stc then Char.uppercase_ascii c else c);
+        Buffer.add_char buf (if t.strat.(idx) = Stc then '*' else ' ')
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  cells: 6=FP64 3=FP32 1=FP16 (comm precision); '*' marks STC tiles \
+        (%.1f%% STC)\n"
+       (100. *. stc_fraction t));
+  Buffer.contents buf

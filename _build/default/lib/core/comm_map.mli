@@ -1,0 +1,49 @@
+(** Automated precision conversion (Section VI, Algorithm 2).
+
+    For every tile that broadcasts data — diagonal tiles through POTRF,
+    off-diagonal tiles through TRSM — this computes:
+
+    - [comm_scalar]: the format the data travels in, and
+    - the conversion strategy: {e STC} (sender/source task conversion: the
+      producer down-converts once and ships fewer bytes) exactly when every
+      successor consumes a strictly lower precision than the tile's storage
+      format, otherwise {e TTC} (receiver/target task conversion: ship the
+      storage format, each consumer converts).
+
+    The scan follows Algorithm 2 of the paper: a POTRF(k,k) broadcast
+    starts at FP32 (TRSM cannot execute below FP32) and is raised to FP64
+    if any TRSM in column k runs FP64; a TRSM(m,k) broadcast starts at the
+    tile's own input significance level (the paper's FP16 floor, for the
+    FP16-class tiles it discusses) and is raised to the highest {e input}
+    format among the GEMMs of row m and column m, capped at the tile's
+    storage format.  Two clarifications over the paper's pseudocode, both
+    recorded in DESIGN.md: the row scan covers the GEMM tiles
+    n = k+1 .. m−1 (the always-FP64 diagonal SYRK consumes whatever ships,
+    per Fig 4a — harmless because the floor already preserves every bit the
+    norm rule found significant), and each GEMM contributes the format of
+    the {e operands} it reads (an FP16_32 GEMM consumes FP16 inputs). *)
+
+module Fpformat = Geomix_precision.Fpformat
+
+type strategy = Stc | Ttc
+
+type t
+
+val compute : Precision_map.t -> t
+(** Runs Algorithm 2 over the kernel-precision map — O(NT³) like the
+    paper's, and embarrassingly parallel per tile. *)
+
+val nt : t -> int
+
+val comm_scalar : t -> int -> int -> Fpformat.scalar
+(** Transfer format of broadcasts issued from tile (i, j), i ≥ j. *)
+
+val strategy : t -> int -> int -> strategy
+
+val stc_fraction : t -> float
+(** Fraction of broadcasting tiles using STC (tiles with no successors
+    count as TTC). *)
+
+val render : t -> string
+(** ASCII map of communication precisions, upper-cased cells for STC
+    tiles — the Fig 4b view. *)

@@ -1,0 +1,143 @@
+open Geomix_tile
+module Fpformat = Geomix_precision.Fpformat
+module Mat = Geomix_linalg.Mat
+module Blas_emul = Geomix_linalg.Blas_emul
+module Pool = Geomix_parallel.Pool
+module Dag_exec = Geomix_parallel.Dag_exec
+module Task = Geomix_runtime.Task
+module Cholesky_dag = Geomix_runtime.Cholesky_dag
+
+type strategy = Automatic | Always_ttc
+
+type options = {
+  fidelity : Blas_emul.fidelity;
+  strategy : strategy;
+  model_comm_rounding : bool;
+}
+
+let default_options =
+  { fidelity = Blas_emul.Boundary; strategy = Automatic; model_comm_rounding = true }
+
+let pidx i j = (i * (i + 1) / 2) + j
+
+let factorize ?(options = default_options) ?pool ~pmap a =
+  let ntiles = Tiled.nt a in
+  if Precision_map.nt pmap <> ntiles then
+    invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
+  let dag = Cholesky_dag.create ~nt:ntiles in
+  let cmap =
+    if options.model_comm_rounding && options.strategy = Automatic then
+      Some (Comm_map.compute pmap)
+    else None
+  in
+  let kernel_precision i j = Precision_map.get pmap i j in
+  let exec_prec kind = Task.exec_precision ~kernel_precision kind in
+  (* Shipped form of each broadcast tile: what consumers read.  Written once
+     by the producing POTRF/TRSM and read concurrently afterwards — the DAG
+     ordering makes this race-free. *)
+  let shipped : Mat.t option array = Array.make (ntiles * (ntiles + 1) / 2) None in
+  let publish i j =
+    let tile = Tiled.tile a i j in
+    let storage = Precision_map.storage pmap i j in
+    Mat.round_inplace storage tile;
+    let form =
+      if not options.model_comm_rounding then tile
+      else
+        match (options.strategy, cmap) with
+        | Always_ttc, _ | Automatic, None -> tile
+        | Automatic, Some cm ->
+          if Comm_map.strategy cm i j = Comm_map.Stc then
+            Mat.rounded (Comm_map.comm_scalar cm i j) tile
+          else tile
+    in
+    shipped.(pidx i j) <- Some form
+  in
+  let read i j =
+    match shipped.(pidx i j) with
+    | Some m -> m
+    | None -> assert false (* DAG ordering guarantees the producer ran *)
+  in
+  let fidelity = options.fidelity in
+  let execute id =
+    match Cholesky_dag.kind_of dag id with
+    | Task.Potrf k ->
+      let tile = Tiled.tile a k k in
+      Blas_emul.potrf_lower ~fidelity ~prec:(exec_prec (Task.Potrf k)) tile;
+      publish k k
+    | Task.Trsm (m, k) ->
+      let b = Tiled.tile a m k in
+      Blas_emul.trsm_right_lower_trans ~fidelity
+        ~prec:(exec_prec (Task.Trsm (m, k)))
+        ~l:(read k k) b;
+      publish m k
+    | Task.Syrk (m, k) ->
+      let c = Tiled.tile a m m in
+      Blas_emul.syrk_lower ~fidelity
+        ~prec:(exec_prec (Task.Syrk (m, k)))
+        ~alpha:(-1.) (read m k) ~beta:1. c
+    | Task.Gemm (m, n, k) ->
+      let c = Tiled.tile a m n in
+      Blas_emul.gemm_nt ~fidelity
+        ~prec:(exec_prec (Task.Gemm (m, n, k)))
+        ~alpha:(-1.) (read m k) (read n k) ~beta:1. c
+  in
+  let run pool =
+    Dag_exec.run ~pool
+      ~num_tasks:(Cholesky_dag.num_tasks dag)
+      ~in_degree:(Cholesky_dag.in_degree dag)
+      ~successors:(Cholesky_dag.successors dag)
+      ~execute
+  in
+  (match pool with
+  | Some pool -> run pool
+  | None -> Pool.with_pool ~num_workers:0 run);
+  (* Clear the stale upper triangles of the diagonal tiles so the tiled
+     matrix now represents the factor L alone. *)
+  for k = 0 to ntiles - 1 do
+    Mat.zero_upper (Tiled.tile a k k)
+  done
+
+let solve_lower l b =
+  let ntiles = Tiled.nt l and nb = Tiled.nb l in
+  assert (Array.length b = Tiled.n l);
+  let y = Array.copy b in
+  for i = 0 to ntiles - 1 do
+    let ri = i * nb and rows = Tiled.tile_rows l i in
+    let bi = Array.sub y ri rows in
+    for j = 0 to i - 1 do
+      let xj = Array.sub y (j * nb) (Tiled.tile_rows l j) in
+      let contrib = Mat.matvec (Tiled.tile l i j) xj in
+      Array.iteri (fun p v -> bi.(p) <- bi.(p) -. v) contrib
+    done;
+    let yi = Geomix_linalg.Blas.trsv_lower ~l:(Tiled.tile l i i) bi in
+    Array.blit yi 0 y ri rows
+  done;
+  y
+
+let solve_lower_trans l b =
+  let ntiles = Tiled.nt l and nb = Tiled.nb l in
+  assert (Array.length b = Tiled.n l);
+  let x = Array.copy b in
+  for i = ntiles - 1 downto 0 do
+    let ri = i * nb and rows = Tiled.tile_rows l i in
+    let bi = Array.sub x ri rows in
+    for j = i + 1 to ntiles - 1 do
+      (* Tile (j, i) of L contributes L(j,i)ᵀ·x_j to row block i of Lᵀx. *)
+      let xj = Array.sub x (j * nb) (Tiled.tile_rows l j) in
+      let contrib = Mat.matvec_trans (Tiled.tile l j i) xj in
+      Array.iteri (fun p v -> bi.(p) <- bi.(p) -. v) contrib
+    done;
+    let xi = Geomix_linalg.Blas.trsv_lower_trans ~l:(Tiled.tile l i i) bi in
+    Array.blit xi 0 x ri rows
+  done;
+  x
+
+let log_det l =
+  let acc = ref 0. in
+  for i = 0 to Tiled.nt l - 1 do
+    let tile = Tiled.tile l i i in
+    for p = 0 to Mat.rows tile - 1 do
+      acc := !acc +. log (Mat.get tile p p)
+    done
+  done;
+  2. *. !acc

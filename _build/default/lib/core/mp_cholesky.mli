@@ -1,0 +1,51 @@
+(** Numeric adaptive mixed-precision tile Cholesky (Algorithm 1 under the
+    precision maps of Sections V–VI).
+
+    The factorization executes the task DAG of {!Geomix_runtime.Cholesky_dag}
+    on a {!Geomix_parallel.Pool}, each kernel running through the
+    precision-emulated {!Geomix_linalg.Blas_emul} at the precision the map
+    assigns to its tile.  When communication modelling is on, consumers of a
+    broadcast tile read the {e shipped} form of the data: under STC that is
+    the tile down-converted once to the communication format of Algorithm 2,
+    so the accuracy consequences of the automated conversion strategy — not
+    just its speed — are reproduced. *)
+
+open Geomix_tile
+module Blas_emul = Geomix_linalg.Blas_emul
+
+type strategy =
+  | Automatic   (** the paper's contribution: per-tile STC/TTC (Algorithm 2) *)
+  | Always_ttc  (** prior art (refs [18], [38]): always ship storage precision *)
+
+type options = {
+  fidelity : Blas_emul.fidelity;
+  strategy : strategy;
+  model_comm_rounding : bool;
+      (** when false, consumers read full storage-precision data regardless
+          of strategy (isolates kernel-precision error from transfer
+          error — the [ablation_stc] experiment) *)
+}
+
+val default_options : options
+(** [Boundary] fidelity, [Automatic] strategy, communication rounding on. *)
+
+val factorize :
+  ?options:options ->
+  ?pool:Geomix_parallel.Pool.t ->
+  pmap:Precision_map.t ->
+  Tiled.t ->
+  unit
+(** In-place lower Cholesky of the tiled symmetric matrix (upper triangles
+    of diagonal tiles are left untouched).  The precision map must have the
+    matrix's tile count.
+    @raise Geomix_linalg.Blas.Not_positive_definite when a diagonal pivot
+    fails, exactly as the FP64 algorithm would. *)
+
+val solve_lower : Tiled.t -> float array -> float array
+(** Forward substitution [L·y = b] on a factorized tiled matrix (FP64). *)
+
+val solve_lower_trans : Tiled.t -> float array -> float array
+(** Backward substitution [Lᵀ·x = y]. *)
+
+val log_det : Tiled.t -> float
+(** [log |A| = 2·Σ log L_ii] of a factorized matrix. *)

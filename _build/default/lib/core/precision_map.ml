@@ -1,0 +1,112 @@
+module Fpformat = Geomix_precision.Fpformat
+module Tiled = Geomix_tile.Tiled
+module Heatmap = Geomix_util.Heatmap
+
+type t = { nt : int; u_req : float; prec : Fpformat.t array }
+
+let pidx i j = (i * (i + 1) / 2) + j
+
+let nt t = t.nt
+let u_req t = t.u_req
+
+let get t i j =
+  assert (i >= j && j >= 0 && i < t.nt);
+  t.prec.(pidx i j)
+
+let storage t i j = Fpformat.storage_scalar (get t i j)
+
+(* Lowest-precision-first candidate order: FP16 before FP16_32 before FP32;
+   FP64 is the fallback and need not be listed. *)
+let candidates chain =
+  chain
+  |> List.filter (fun p -> p <> Fpformat.Fp64)
+  |> List.sort (fun a b -> Fpformat.compare_precision a b)
+
+let select ~cands ~u_req ratio =
+  let ok p = ratio <= u_req /. Fpformat.rule_epsilon p in
+  match List.find_opt ok cands with Some p -> p | None -> Fpformat.Fp64
+
+let of_tile_norms ?(chain = Fpformat.framework_chain) ~u_req ~nt ~global_norm tile_norm =
+  assert (nt > 0 && u_req > 0. && global_norm > 0.);
+  let cands = candidates chain in
+  let prec = Array.make (nt * (nt + 1) / 2) Fpformat.Fp64 in
+  for i = 0 to nt - 1 do
+    for j = 0 to i - 1 do
+      let ratio = tile_norm i j *. float_of_int nt /. global_norm in
+      prec.(pidx i j) <- select ~cands ~u_req ratio
+    done
+  done;
+  { nt; u_req; prec }
+
+let of_tiled ?chain ~u_req tiled =
+  of_tile_norms ?chain ~u_req ~nt:(Tiled.nt tiled) ~global_norm:(Tiled.frobenius tiled)
+    (fun i j -> Tiled.tile_frobenius tiled i j)
+
+let of_element_fn ?chain ?(samples_per_tile = 64) ~u_req ~n ~nb element =
+  assert (n > 0 && nb > 0 && samples_per_tile > 0);
+  let nt = (n + nb - 1) / nb in
+  let s = Stdlib.max 1 (int_of_float (sqrt (float_of_int samples_per_tile))) in
+  (* Stratified subsample of tile (i, j): an s×s grid of entries, norm
+     scaled by (tile area / sample count). *)
+  let est_norm i j =
+    let rows = Stdlib.min nb (n - (i * nb)) and cols = Stdlib.min nb (n - (j * nb)) in
+    let sr = Stdlib.min s rows and sc = Stdlib.min s cols in
+    let acc = ref 0. in
+    for a = 0 to sr - 1 do
+      for b = 0 to sc - 1 do
+        let r = (i * nb) + (a * rows / sr) + (rows / (2 * sr)) in
+        let c = (j * nb) + (b * cols / sc) + (cols / (2 * sc)) in
+        let v = element r c in
+        acc := !acc +. (v *. v)
+      done
+    done;
+    let area = float_of_int rows *. float_of_int cols in
+    sqrt (!acc *. area /. float_of_int (sr * sc))
+  in
+  let norms = Array.make (nt * (nt + 1) / 2) 0. in
+  let gsq = ref 0. in
+  for i = 0 to nt - 1 do
+    for j = 0 to i do
+      let v = est_norm i j in
+      norms.(pidx i j) <- v;
+      let w = if i = j then 1. else 2. in
+      gsq := !gsq +. (w *. v *. v)
+    done
+  done;
+  of_tile_norms ?chain ~u_req ~nt ~global_norm:(sqrt !gsq) (fun i j -> norms.(pidx i j))
+
+let uniform ~nt p = { nt; u_req = nan; prec = Array.make (nt * (nt + 1) / 2) p }
+
+let two_level ~nt ~off_diag =
+  let t = uniform ~nt off_diag in
+  for k = 0 to nt - 1 do
+    t.prec.(pidx k k) <- Fpformat.Fp64
+  done;
+  t
+
+let fractions t =
+  let total = float_of_int (Array.length t.prec) in
+  Fpformat.all
+  |> List.filter_map (fun p ->
+       let c = Array.fold_left (fun acc q -> if q = p then acc + 1 else acc) 0 t.prec in
+       if c = 0 then None else Some (p, float_of_int c /. total))
+
+let render t =
+  (* Drawing characters: FP64 '6', FP32 '3', TF32 't', FP16_32 'h',
+     BF16_32 'b', FP16 '1'. *)
+  let cats =
+    List.map2
+      (fun p ch -> (Fpformat.name p, ch))
+      Fpformat.all
+      [ '6'; '3'; 't'; 'h'; 'b'; '1' ]
+  in
+  let hm = Heatmap.create ~nt:t.nt ~categories:cats in
+  let index_of p =
+    let rec go i = function
+      | [] -> assert false
+      | q :: rest -> if q = p then i else go (i + 1) rest
+    in
+    go 0 Fpformat.all
+  in
+  Heatmap.render hm ~cell:(fun ~row ~col ->
+    if col > row then None else Some (index_of (get t row col)))

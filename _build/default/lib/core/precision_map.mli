@@ -1,0 +1,71 @@
+(** Tile-level kernel-precision assignment (Section V).
+
+    Off-diagonal tile (i, j) runs its kernels in the lowest precision [p]
+    of the admitted chain whose unit roundoff still satisfies the
+    Higham–Mary rule
+
+    {v ‖A_ij‖_F · NT / ‖A‖_F  ≤  u_req / u_low(p) v}
+
+    and diagonal tiles always run FP64 (they carry the strongest
+    correlations and host POTRF/SYRK).  The resulting map is what Figs 2a
+    and 7 visualise. *)
+
+module Fpformat = Geomix_precision.Fpformat
+
+type t
+
+val nt : t -> int
+val u_req : t -> float
+(** The application accuracy the map was built for (nan for synthetic
+    maps). *)
+
+val get : t -> int -> int -> Fpformat.t
+(** Kernel precision of tile (i, j), i ≥ j. *)
+
+val storage : t -> int -> int -> Fpformat.scalar
+(** Storage format of tile (i, j): FP64 tiles in FP64, all others FP32
+    (Fig 2b). *)
+
+val of_tile_norms :
+  ?chain:Fpformat.t list ->
+  u_req:float ->
+  nt:int ->
+  global_norm:float ->
+  (int -> int -> float) ->
+  t
+(** Build from exact tile Frobenius norms.  [chain] defaults to
+    {!Fpformat.framework_chain}. *)
+
+val of_tiled : ?chain:Fpformat.t list -> u_req:float -> Geomix_tile.Tiled.t -> t
+(** Exact norms of an in-memory tiled matrix. *)
+
+val of_element_fn :
+  ?chain:Fpformat.t list ->
+  ?samples_per_tile:int ->
+  u_req:float ->
+  n:int ->
+  nb:int ->
+  (int -> int -> float) ->
+  t
+(** Sampled norm estimator for matrices too large to materialise: each
+    tile's Frobenius norm is estimated from an s × s stratified subsample
+    of its entries ([samples_per_tile = s², default s = 8]), scaled by the
+    tile area.  This is the "sampling technologies can preprocess the
+    dataset" route the paper points to (Section VII-F) and is how the
+    paper-scale precision maps (Fig 7, matrix order 409 600) are produced
+    here. *)
+
+val uniform : nt:int -> Fpformat.t -> t
+(** Every tile (including the diagonal) at one precision — the FP64 and
+    FP32 baselines of Figs 8, 11, 12. *)
+
+val two_level : nt:int -> off_diag:Fpformat.t -> t
+(** Diagonal FP64, all off-diagonal tiles at [off_diag] — the extreme
+    FP64/FP16_32 and FP64/FP16 configurations of Fig 8. *)
+
+val fractions : t -> (Fpformat.t * float) list
+(** Fraction of lower-triangle tiles per precision, the Fig 7 annotation
+    (only precisions present in the map are listed). *)
+
+val render : t -> string
+(** ASCII heat-map with legend (Figs 2a / 7). *)

@@ -1,0 +1,68 @@
+open Geomix_tile
+module Mat = Geomix_linalg.Mat
+
+type result = {
+  x : float array;
+  iterations : int;
+  residual_norms : float list;
+  converged : bool;
+}
+
+let matvec_sym a v =
+  let n = Tiled.n a and nb = Tiled.nb a in
+  assert (Array.length v = n);
+  let y = Array.make n 0. in
+  Tiled.iter_lower a (fun ~i ~j tile ->
+    let ri = i * nb and cj = j * nb in
+    let rows = Mat.rows tile and cols = Mat.cols tile in
+    (* y_i += T · v_j *)
+    for c = 0 to cols - 1 do
+      let vc = v.(cj + c) in
+      if vc <> 0. then
+        for r = 0 to rows - 1 do
+          y.(ri + r) <- y.(ri + r) +. (Mat.unsafe_get tile r c *. vc)
+        done
+    done;
+    (* Off-diagonal tiles also contribute the mirrored block: y_j += Tᵀ·v_i. *)
+    if i <> j then
+      for c = 0 to cols - 1 do
+        let acc = ref 0. in
+        for r = 0 to rows - 1 do
+          acc := !acc +. (Mat.unsafe_get tile r c *. v.(ri + r))
+        done;
+        y.(cj + c) <- y.(cj + c) +. !acc
+      done);
+  y
+
+let norm2 v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v)
+
+let solve ?(max_iterations = 30) ?(tolerance = 1e-12) ~a ~factor ~b () =
+  let n = Tiled.n a in
+  assert (Tiled.n factor = n && Array.length b = n);
+  let bnorm = norm2 b in
+  let denom = if bnorm = 0. then 1. else bnorm in
+  let solve_with_factor rhs =
+    Mp_cholesky.solve_lower_trans factor (Mp_cholesky.solve_lower factor rhs)
+  in
+  let x = solve_with_factor b in
+  let rec iterate x iters norms =
+    let ax = matvec_sym a x in
+    let r = Array.mapi (fun i bi -> bi -. ax.(i)) b in
+    let rel = norm2 r /. denom in
+    let norms = rel :: norms in
+    if rel <= tolerance then
+      { x; iterations = iters; residual_norms = List.rev norms; converged = true }
+    else if iters >= max_iterations
+            (* Divergence guard: refinement stops helping once the update is
+               in the noise of the factorization error. *)
+            || (match norms with
+               | cur :: prev :: _ -> cur > 0.9 *. prev
+               | _ -> false)
+    then { x; iterations = iters; residual_norms = List.rev norms; converged = rel <= tolerance }
+    else begin
+      let d = solve_with_factor r in
+      let x' = Array.mapi (fun i xi -> xi +. d.(i)) x in
+      iterate x' (iters + 1) norms
+    end
+  in
+  iterate x 0 []

@@ -1,0 +1,1 @@
+lib/geostat/covariance.ml: Float Geomix_linalg Geomix_specfun Geomix_tile Locations

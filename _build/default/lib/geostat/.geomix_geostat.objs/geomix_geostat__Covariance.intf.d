@@ -1,0 +1,1 @@
+lib/geostat/covariance.mli: Geomix_linalg Geomix_tile Locations

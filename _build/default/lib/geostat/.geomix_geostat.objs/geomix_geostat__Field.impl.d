@@ -1,0 +1,1 @@
+lib/geostat/field.ml: Array Covariance Geomix_linalg Geomix_util

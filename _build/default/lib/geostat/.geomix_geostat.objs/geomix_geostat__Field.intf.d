@@ -1,0 +1,1 @@
+lib/geostat/field.mli: Covariance Geomix_util Locations

@@ -1,0 +1,1 @@
+lib/geostat/likelihood.ml: Array Covariance Float Geomix_core Geomix_linalg Geomix_precision Geomix_tile Geomix_tlr Locations

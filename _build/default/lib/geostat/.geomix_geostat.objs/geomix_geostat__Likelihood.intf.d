@@ -1,0 +1,1 @@
+lib/geostat/likelihood.mli: Covariance Geomix_core Geomix_precision Locations

@@ -1,0 +1,1 @@
+lib/geostat/locations.ml: Array Float Geomix_util Int List Stdlib

@@ -1,0 +1,1 @@
+lib/geostat/locations.mli: Geomix_util

@@ -1,0 +1,1 @@
+lib/geostat/mle.ml: Array Covariance Float Fun Geomix_optim Likelihood List Stdlib

@@ -1,0 +1,1 @@
+lib/geostat/mle.mli: Covariance Likelihood Locations

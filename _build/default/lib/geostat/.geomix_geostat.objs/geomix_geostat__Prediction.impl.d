@@ -1,0 +1,1 @@
+lib/geostat/prediction.ml: Array Covariance Float Geomix_linalg Locations

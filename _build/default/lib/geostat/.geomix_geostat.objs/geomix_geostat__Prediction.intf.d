@@ -1,0 +1,1 @@
+lib/geostat/prediction.mli: Covariance Locations

@@ -1,0 +1,80 @@
+module Gamma = Geomix_specfun.Gamma
+module Bessel = Geomix_specfun.Bessel
+
+type family = Sqexp | Matern | Powexp | Spherical
+
+type t = { family : family; sigma2 : float; beta : float; nu : float; nugget : float }
+
+let default_nugget = 1e-6
+
+let sqexp ?(nugget = default_nugget) ~sigma2 ~beta () =
+  assert (sigma2 > 0. && beta > 0.);
+  { family = Sqexp; sigma2; beta; nu = nan; nugget }
+
+let matern ?(nugget = default_nugget) ~sigma2 ~beta ~nu () =
+  assert (sigma2 > 0. && beta > 0. && nu > 0.);
+  { family = Matern; sigma2; beta; nu; nugget }
+
+let powexp ?(nugget = default_nugget) ~sigma2 ~beta ~power () =
+  assert (sigma2 > 0. && beta > 0. && power > 0. && power <= 2.);
+  { family = Powexp; sigma2; beta; nu = power; nugget }
+
+let spherical ?(nugget = default_nugget) ~sigma2 ~beta () =
+  assert (sigma2 > 0. && beta > 0.);
+  { family = Spherical; sigma2; beta; nu = nan; nugget }
+
+let eval t h =
+  assert (h >= 0.);
+  match t.family with
+  | Sqexp -> t.sigma2 *. exp (-.(h *. h) /. t.beta)
+  | Powexp -> t.sigma2 *. exp (-.Float.pow (h /. t.beta) t.nu)
+  | Spherical ->
+    if h >= t.beta then 0.
+    else begin
+      let r = h /. t.beta in
+      t.sigma2 *. (1. -. (1.5 *. r) +. (0.5 *. r *. r *. r))
+    end
+  | Matern ->
+    if h = 0. then t.sigma2
+    else begin
+      let x = h /. t.beta in
+      if t.nu = 0.5 then
+        (* Exponential special case, and the paper's "rough field". *)
+        t.sigma2 *. exp (-.x)
+      else begin
+        let norm = Float.exp2 (1. -. t.nu) /. Gamma.gamma t.nu in
+        let v = t.sigma2 *. norm *. Float.pow x t.nu *. Bessel.bessel_k ~nu:t.nu x in
+        (* K_ν underflows for large x: the covariance is then 0. *)
+        if Float.is_nan v then 0. else v
+      end
+    end
+
+let element t locs i j =
+  if i = j then t.sigma2 +. t.nugget else eval t (Locations.distance locs i j)
+
+let build_dense t locs =
+  let n = Locations.count locs in
+  let m = Geomix_linalg.Mat.create ~rows:n ~cols:n in
+  for j = 0 to n - 1 do
+    Geomix_linalg.Mat.unsafe_set m j j (element t locs j j);
+    for i = j + 1 to n - 1 do
+      let v = element t locs i j in
+      Geomix_linalg.Mat.unsafe_set m i j v;
+      Geomix_linalg.Mat.unsafe_set m j i v
+    done
+  done;
+  m
+
+let build_tiled t locs ~nb =
+  Geomix_tile.Tiled.init ~n:(Locations.count locs) ~nb (fun i j -> element t locs i j)
+
+let theta t =
+  match t.family with
+  | Sqexp | Spherical -> [| t.sigma2; t.beta |]
+  | Matern | Powexp -> [| t.sigma2; t.beta; t.nu |]
+
+let with_theta t v =
+  match (t.family, v) with
+  | (Sqexp | Spherical), [| sigma2; beta |] -> { t with sigma2; beta }
+  | (Matern | Powexp), [| sigma2; beta; nu |] -> { t with sigma2; beta; nu }
+  | _ -> invalid_arg "Covariance.with_theta: wrong parameter count"

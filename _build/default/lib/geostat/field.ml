@@ -1,0 +1,28 @@
+module Rng = Geomix_util.Rng
+module Mat = Geomix_linalg.Mat
+module Blas = Geomix_linalg.Blas
+
+let factor cov locs =
+  let sigma = Covariance.build_dense cov locs in
+  Blas.potrf_lower sigma;
+  sigma
+
+let draw rng l =
+  let n = Mat.rows l in
+  let e = Rng.gaussian_vector rng n in
+  let z = Array.make n 0. in
+  (* z = L·e using only the lower triangle of the factored matrix. *)
+  for j = 0 to n - 1 do
+    let ej = e.(j) in
+    for i = j to n - 1 do
+      z.(i) <- z.(i) +. (Mat.unsafe_get l i j *. ej)
+    done
+  done;
+  z
+
+let synthesize ~rng ~cov locs = draw rng (factor cov locs)
+
+let synthesize_many ~rng ~cov ~replicas locs =
+  assert (replicas > 0);
+  let l = factor cov locs in
+  Array.init replicas (fun _ -> draw rng l)

@@ -1,0 +1,14 @@
+(** Synthetic Gaussian random field realisations: the Monte-Carlo datasets
+    of Section VII-B are measurement vectors [Z = L·e] with [Σ(θ_true) =
+    L·Lᵀ] and [e ~ N(0, I)], drawn at exact FP64 precision. *)
+
+val synthesize :
+  rng:Geomix_util.Rng.t -> cov:Covariance.t -> Locations.t -> float array
+(** One realisation of the zero-mean field at the given sites.
+    @raise Geomix_linalg.Blas.Not_positive_definite if Σ(θ) is numerically
+    indefinite (increase the nugget or reduce the correlation). *)
+
+val synthesize_many :
+  rng:Geomix_util.Rng.t -> cov:Covariance.t -> replicas:int -> Locations.t ->
+  float array array
+(** Independent replicas sharing one factorization of Σ. *)

@@ -1,0 +1,42 @@
+(** The Gaussian log-likelihood of Eq. (1):
+
+    {v ℓ(θ) = −(n/2)·log 2π − ½·log|Σ(θ)| − ½·Zᵀ·Σ(θ)⁻¹·Z v}
+
+    evaluated through a Cholesky factorization of Σ(θ) — exact FP64, or the
+    adaptive mixed-precision tile factorization under a given accuracy
+    [u_req] (which is precisely what the paper accelerates). *)
+
+type engine =
+  | Exact
+      (** dense FP64 — the "exact" reference of Figs 5–6 *)
+  | Mixed of {
+      u_req : float;                     (** accuracy of the norm rule *)
+      nb : int;                          (** tile size *)
+      options : Geomix_core.Mp_cholesky.options;
+    }
+  | Tlr of {
+      tol : float;                       (** TLR compression tolerance *)
+      nb : int;
+      u_req : float option;              (** also apply the precision map *)
+    }
+      (** tile low-rank factorization (the paper's future-work extension),
+          optionally composed with the adaptive precision map *)
+
+val mixed : ?options:Geomix_core.Mp_cholesky.options -> u_req:float -> nb:int -> unit -> engine
+(** [Mixed] with {!Geomix_core.Mp_cholesky.default_options}. *)
+
+type evaluation = {
+  loglik : float;
+  log_det : float;
+  quad_form : float;         (** Zᵀ·Σ⁻¹·Z *)
+  precision_fractions : (Geomix_precision.Fpformat.t * float) list;
+      (** tile precision mix used ([\[(Fp64, 1.)\]] for [Exact]) *)
+}
+
+val evaluate : engine -> cov:Covariance.t -> locs:Locations.t -> z:float array -> evaluation
+(** @raise Geomix_linalg.Blas.Not_positive_definite when Σ(θ) is
+    numerically indefinite at the working precision. *)
+
+val loglik : engine -> cov:Covariance.t -> locs:Locations.t -> z:float array -> float
+(** [(evaluate ...).loglik], with indefiniteness mapped to [neg_infinity]
+    so optimisers treat such θ as infeasible. *)

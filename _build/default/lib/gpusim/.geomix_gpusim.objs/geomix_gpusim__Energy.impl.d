@@ -1,0 +1,1 @@
+lib/gpusim/energy.ml: Array Float Geomix_precision Geomix_runtime Gpu_specs List Stdlib

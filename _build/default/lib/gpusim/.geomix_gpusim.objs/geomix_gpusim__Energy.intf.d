@@ -1,0 +1,1 @@
+lib/gpusim/energy.mli: Geomix_precision Geomix_runtime Gpu_specs

@@ -1,0 +1,1 @@
+lib/gpusim/exec_model.mli: Geomix_precision Geomix_runtime Gpu_specs Machine

@@ -1,0 +1,1 @@
+lib/gpusim/gpu_specs.mli: Geomix_precision Geomix_runtime

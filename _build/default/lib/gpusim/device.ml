@@ -1,0 +1,103 @@
+type entry = {
+  key : int;
+  bytes : float;
+  mutable dirty : bool;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type t = {
+  gpu : Gpu_specs.t;
+  capacity : float;
+  table : (int, entry) Hashtbl.t;
+  mutable head : entry option; (* most recently used *)
+  mutable tail : entry option; (* least recently used *)
+  mutable used : float;
+  mutable compute_free_at : float;
+  mutable link_free_at : float;
+}
+
+let create ~gpu ~capacity_bytes =
+  {
+    gpu;
+    capacity = capacity_bytes;
+    table = Hashtbl.create 1024;
+    head = None;
+    tail = None;
+    used = 0.;
+    compute_free_at = 0.;
+    link_free_at = 0.;
+  }
+
+let gpu t = t.gpu
+
+let compute_free t = t.compute_free_at
+
+let busy_compute t ~start ~dur =
+  let s = Float.max start t.compute_free_at in
+  t.compute_free_at <- s +. dur;
+  t.compute_free_at
+
+let link_free t = t.link_free_at
+
+let busy_link t ~start ~dur =
+  let s = Float.max start t.link_free_at in
+  t.link_free_at <- s +. dur;
+  t.link_free_at
+
+(* Doubly-linked LRU list maintenance. *)
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let resident t ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some e ->
+    unlink t e;
+    push_front t e;
+    true
+
+let mem t ~key = Hashtbl.mem t.table key
+
+let remove_entry t e =
+  unlink t e;
+  Hashtbl.remove t.table e.key;
+  t.used <- t.used -. e.bytes
+
+let evict t ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some e -> remove_entry t e
+
+let insert t ~key ~bytes ~dirty =
+  evict t ~key;
+  let e = { key; bytes; dirty; prev = None; next = None } in
+  Hashtbl.replace t.table key e;
+  push_front t e;
+  t.used <- t.used +. bytes;
+  let victims = ref [] in
+  let rec trim () =
+    if t.used > t.capacity then begin
+      match t.tail with
+      | Some v when v != e ->
+        victims := (v.key, v.bytes, v.dirty) :: !victims;
+        remove_entry t v;
+        trim ()
+      | _ -> () (* never evict the entry just inserted *)
+    end
+  in
+  trim ();
+  List.rev !victims
+
+let used_bytes t = t.used
+let capacity_bytes t = t.capacity

@@ -1,0 +1,46 @@
+(** Simulated GPU device state: a serialised compute stream, a serialised
+    copy engine (transfers overlap compute, as the paper's "data transfers
+    completely overlapped with computations" relies on), and an LRU
+    resident set over the device memory.
+
+    Tiles are identified by caller-chosen integer keys (a tile version).
+    Evictions report whether the victim was dirty so the simulator can
+    charge the write-back transfer. *)
+
+type t
+
+val create : gpu:Gpu_specs.t -> capacity_bytes:float -> t
+
+val gpu : t -> Gpu_specs.t
+
+(** {1 Timelines} *)
+
+val compute_free : t -> float
+val busy_compute : t -> start:float -> dur:float -> float
+(** Occupy the compute stream from [max start compute_free]; returns the
+    finish time. *)
+
+val link_free : t -> float
+val busy_link : t -> start:float -> dur:float -> float
+(** Same for the copy engine / host link. *)
+
+(** {1 Resident set} *)
+
+val resident : t -> key:int -> bool
+(** Presence test; refreshes LRU recency on hit. *)
+
+val mem : t -> key:int -> bool
+(** Presence test without touching recency (used when probing peer devices
+    as broadcast sources). *)
+
+val insert : t -> key:int -> bytes:float -> dirty:bool -> (int * float * bool) list
+(** Make [key] resident (replacing any previous entry under the same key);
+    returns the evicted [(key, bytes, dirty)] victims, least recent
+    first.  A single tile larger than capacity is admitted with an empty
+    cache (the simulator sizes capacities to avoid this). *)
+
+val evict : t -> key:int -> unit
+(** Drop an entry if present (invalidation of a stale version). *)
+
+val used_bytes : t -> float
+val capacity_bytes : t -> float

@@ -1,0 +1,66 @@
+module Trace = Geomix_runtime.Trace
+module Fpformat = Geomix_precision.Fpformat
+
+type report = {
+  energy_joules : float;
+  makespan : float;
+  avg_power : float;
+  gflops_per_watt : float;
+}
+
+let event_power gpu (e : Trace.event) =
+  match Fpformat.of_string e.tag with
+  | Some prec -> Gpu_specs.busy_power gpu prec
+  | None -> gpu.Gpu_specs.idle_power (* transfers etc.: idle-level draw *)
+
+let of_trace gpu trace ~ngpus ~flops =
+  let makespan = Trace.makespan trace in
+  let busy_energy =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        acc +. ((event_power gpu e -. gpu.Gpu_specs.idle_power) *. (e.stop -. e.start)))
+      0. (Trace.events trace)
+  in
+  let idle_energy = gpu.Gpu_specs.idle_power *. makespan *. float_of_int ngpus in
+  let energy_joules = busy_energy +. idle_energy in
+  let avg_power = if makespan > 0. then energy_joules /. makespan else 0. in
+  let gflops_per_watt = if energy_joules > 0. then flops /. 1e9 /. energy_joules else 0. in
+  { energy_joules; makespan; avg_power; gflops_per_watt }
+
+let of_busy gpu ~makespan ~ngpus ~flops ~busy =
+  let busy_energy =
+    List.fold_left
+      (fun acc (prec, seconds) ->
+        acc +. ((Gpu_specs.busy_power gpu prec -. gpu.Gpu_specs.idle_power) *. seconds))
+      0. busy
+  in
+  let idle_energy = gpu.Gpu_specs.idle_power *. makespan *. float_of_int ngpus in
+  let energy_joules = busy_energy +. idle_energy in
+  let avg_power = if makespan > 0. then energy_joules /. makespan else 0. in
+  let gflops_per_watt = if energy_joules > 0. then flops /. 1e9 /. energy_joules else 0. in
+  { energy_joules; makespan; avg_power; gflops_per_watt }
+
+let power_series gpu trace ~ngpus ~window =
+  assert (window > 0.);
+  let makespan = Trace.makespan trace in
+  if makespan = 0. then [||]
+  else begin
+    let nwin = int_of_float (Float.ceil (makespan /. window)) in
+    let extra = Array.make nwin 0. in
+    List.iter
+      (fun (e : Trace.event) ->
+        let p_extra = event_power gpu e -. gpu.Gpu_specs.idle_power in
+        let w0 = int_of_float (e.start /. window) in
+        let w1 = Stdlib.min (nwin - 1) (int_of_float (e.stop /. window)) in
+        for w = w0 to w1 do
+          let lo = Float.max e.start (float_of_int w *. window) in
+          let hi = Float.min e.stop (float_of_int (w + 1) *. window) in
+          if hi > lo then extra.(w) <- extra.(w) +. (p_extra *. (hi -. lo))
+        done)
+      (Trace.events trace);
+    Array.mapi
+      (fun w e ->
+        ( float_of_int w *. window,
+          (gpu.Gpu_specs.idle_power *. float_of_int ngpus) +. (e /. window) ))
+      extra
+  end

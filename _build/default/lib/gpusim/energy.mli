@@ -1,0 +1,34 @@
+(** Energy accounting over a simulated execution trace — the Fig 10
+    measurement: total joules, Gflops/Watt, and a power-vs-time series
+    comparable to the nvidia-smi sampling the paper plots.
+
+    Each trace event's [tag] must be a precision name (as produced by the
+    Cholesky simulator); busy power is {!Gpu_specs.busy_power} of that
+    precision, idle periods draw the idle power. *)
+
+module Trace = Geomix_runtime.Trace
+
+type report = {
+  energy_joules : float;
+  makespan : float;
+  avg_power : float;           (** W, over the whole run and all GPUs *)
+  gflops_per_watt : float;
+}
+
+val of_trace : Gpu_specs.t -> Trace.t -> ngpus:int -> flops:float -> report
+
+val of_busy :
+  Gpu_specs.t ->
+  makespan:float ->
+  ngpus:int ->
+  flops:float ->
+  busy:(Geomix_precision.Fpformat.t * float) list ->
+  report
+(** Trace-free accounting from aggregate busy seconds per precision — what
+    the large simulated runs use instead of materialising millions of trace
+    events. *)
+
+val power_series :
+  Gpu_specs.t -> Trace.t -> ngpus:int -> window:float -> (float * float) array
+(** [(t, watts)] samples of aggregate power draw (all GPUs), one per
+    window. *)

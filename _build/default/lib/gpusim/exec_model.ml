@@ -1,0 +1,38 @@
+module Fpformat = Geomix_precision.Fpformat
+module Flops = Geomix_precision.Flops
+module Task = Geomix_runtime.Task
+
+let conversion_time gpu ~nb ~from ~into =
+  if from = into then 0.
+  else begin
+    let bytes =
+      Flops.tile_bytes ~nb ~scalar:from +. Flops.tile_bytes ~nb ~scalar:into
+    in
+    bytes /. Gpu_specs.conversion_bw gpu
+  end
+
+let gemm_time gpu ~prec ?(include_conversion = false) ~n () =
+  let flops = Flops.gemm_full ~m:n ~n ~k:n in
+  let rate = Gpu_specs.peak_flops gpu prec *. Gpu_specs.sustained_gemm gpu prec in
+  let conv =
+    if include_conversion then begin
+      (* A and B arrive in FP64 and must be converted to the input format
+         of the mixed modes; FP64/FP32 kernels consume them directly. *)
+      let into = Fpformat.input_scalar prec in
+      if into = Fpformat.S_fp64 || into = Fpformat.S_fp32 then 0.
+      else 2. *. conversion_time gpu ~nb:n ~from:Fpformat.S_fp32 ~into
+    end
+    else 0.
+  in
+  (flops /. rate) +. conv
+
+let kernel_time gpu kind ~prec ~nb =
+  let flops = Task.flops ~nb kind in
+  let rate = Gpu_specs.peak_flops gpu prec *. Gpu_specs.kernel_efficiency gpu kind prec in
+  flops /. rate
+
+let transfer_time ~bw ~latency ~bytes = latency +. (bytes /. bw)
+
+let tile_move_time machine ~nb ~scalar =
+  let bytes = Flops.tile_bytes ~nb ~scalar in
+  transfer_time ~bw:machine.Machine.h2d_bw ~latency:machine.Machine.h2d_latency ~bytes

@@ -1,0 +1,27 @@
+(** Analytic kernel / transfer / conversion cost model.
+
+    Calibrated against the paper's own measurements: Table II's tile-move
+    and GEMM times on V100 follow directly from the Table I peaks and the
+    50 GB/s NVLink host link. *)
+
+module Fpformat = Geomix_precision.Fpformat
+module Task = Geomix_runtime.Task
+
+val gemm_time :
+  Gpu_specs.t -> prec:Fpformat.t -> ?include_conversion:bool -> n:int -> unit -> float
+(** Square [n]×[n]×[n] GEMM execution time (Fig 1 performance model).
+    [include_conversion] adds the FP64→input-format datatype conversion of
+    the A/B operands that the mixed modes pay (Fig 1 accounts for it). *)
+
+val kernel_time : Gpu_specs.t -> Task.kind -> prec:Fpformat.t -> nb:int -> float
+(** Execution time of one tile kernel at the given precision. *)
+
+val conversion_time : Gpu_specs.t -> nb:int -> from:Fpformat.scalar -> into:Fpformat.scalar -> float
+(** Datatype conversion of an [nb]×[nb] tile on the device — a
+    memory-bandwidth-bound elementwise kernel. *)
+
+val transfer_time : bw:float -> latency:float -> bytes:float -> float
+
+val tile_move_time : Machine.t -> nb:int -> scalar:Fpformat.scalar -> float
+(** Host↔device move of one tile (the "Move one tile/matrix" rows of
+    Table II). *)

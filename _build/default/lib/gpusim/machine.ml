@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  gpu : Gpu_specs.t;
+  gpus_per_node : int;
+  nodes : int;
+  h2d_bw : float;
+  h2d_latency : float;
+  d2d_bw : float;
+  d2d_latency : float;
+  nic_bw : float;
+  nic_latency : float;
+  host_mem_bytes : float;
+}
+
+let summit ?(nodes = 1) () =
+  {
+    name = (if nodes = 1 then "Summit node" else Printf.sprintf "Summit (%d nodes)" nodes);
+    gpu = Gpu_specs.v100;
+    gpus_per_node = 6;
+    nodes;
+    h2d_bw = 50e9;
+    h2d_latency = 10e-6;
+    d2d_bw = 50e9;
+    d2d_latency = 5e-6;
+    nic_bw = 25e9;
+    nic_latency = 1.5e-6;
+    host_mem_bytes = 256e9;
+  }
+
+let guyot () =
+  {
+    name = "Guyot";
+    gpu = Gpu_specs.a100;
+    gpus_per_node = 8;
+    nodes = 1;
+    h2d_bw = 25e9;
+    h2d_latency = 10e-6;
+    d2d_bw = 250e9;
+    d2d_latency = 3e-6;
+    nic_bw = 25e9;
+    nic_latency = 1.5e-6;
+    host_mem_bytes = 2063e9;
+  }
+
+let haxane () =
+  {
+    name = "Haxane";
+    gpu = Gpu_specs.h100;
+    gpus_per_node = 1;
+    nodes = 1;
+    h2d_bw = 50e9;
+    h2d_latency = 10e-6;
+    d2d_bw = 50e9;
+    d2d_latency = 5e-6;
+    nic_bw = 25e9;
+    nic_latency = 1.5e-6;
+    host_mem_bytes = 63e9;
+  }
+
+let single_gpu generation =
+  match generation with
+  | Gpu_specs.V100 -> { (summit ()) with name = "1xV100"; gpus_per_node = 1 }
+  | Gpu_specs.A100 -> { (guyot ()) with name = "1xA100"; gpus_per_node = 1 }
+  | Gpu_specs.H100 -> { (haxane ()) with name = "1xH100" }
+
+let total_gpus t = t.gpus_per_node * t.nodes
+let node_of_gpu t g = g / t.gpus_per_node
+
+let max_matrix_fp64 t ~nb =
+  (* Lower-triangle FP64 bytes of an n×n matrix ≈ 4·n² (n²/2 tiles × 8 B),
+     capped additionally by host memory holding the full generation. *)
+  let gpu_budget = 0.9 *. float_of_int (total_gpus t) *. t.gpu.Gpu_specs.mem_bytes in
+  let host_budget = 0.8 *. float_of_int t.nodes *. t.host_mem_bytes in
+  let budget = Float.min gpu_budget host_budget in
+  let n = int_of_float (sqrt (budget /. 4.)) in
+  Stdlib.max nb (n / nb * nb)

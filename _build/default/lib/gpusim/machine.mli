@@ -1,0 +1,40 @@
+(** System descriptions of the paper's three test platforms (Section VII-A)
+    — GPU type and count per node, link bandwidths, host memory — plus
+    constructors for scaled configurations (Summit with N nodes). *)
+
+type t = {
+  name : string;
+  gpu : Gpu_specs.t;
+  gpus_per_node : int;
+  nodes : int;
+  h2d_bw : float;        (** host↔device bandwidth per GPU, B/s *)
+  h2d_latency : float;   (** s *)
+  d2d_bw : float;        (** intra-node GPU↔GPU bandwidth, B/s *)
+  d2d_latency : float;
+  nic_bw : float;        (** inter-node bandwidth per node, B/s *)
+  nic_latency : float;
+  host_mem_bytes : float;
+}
+
+val summit : ?nodes:int -> unit -> t
+(** IBM AC922 nodes: 6 × V100, NVLink2 host links (50 GB/s — the measured
+    Table II rate), dual-EDR InfiniBand. Default 1 node. *)
+
+val guyot : unit -> t
+(** ICL's 8 × A100-SXM4-80GB node. *)
+
+val haxane : unit -> t
+(** ICL's 1 × H100-PCIe node with 63 GB of host memory — the memory limit
+    that caps the matrix sizes of Figs 8c/10. *)
+
+val single_gpu : Gpu_specs.generation -> t
+(** One GPU of the given generation on its native platform. *)
+
+val total_gpus : t -> int
+val node_of_gpu : t -> int -> int
+(** Node index hosting a (flattened) GPU index. *)
+
+val max_matrix_fp64 : t -> nb:int -> int
+(** Largest matrix order (a multiple of [nb]) whose full FP64 lower
+    triangle fits in the aggregate GPU memory — the sizing rule used for
+    Fig 10 ("the largest one that fits in GPU memory using FP64"). *)

@@ -1,0 +1,1 @@
+lib/linalg/blas_emul.ml: Blas Geomix_precision Geomix_util Mat

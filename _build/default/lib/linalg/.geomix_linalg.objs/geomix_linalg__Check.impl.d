@@ -1,0 +1,1 @@
+lib/linalg/check.ml: Array Blas Geomix_util Mat

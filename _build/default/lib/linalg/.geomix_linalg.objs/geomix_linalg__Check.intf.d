@@ -1,0 +1,1 @@
+lib/linalg/check.mli: Geomix_util Mat

@@ -1,0 +1,1 @@
+lib/linalg/factor.ml: Array Float Fun Mat Stdlib

@@ -1,0 +1,149 @@
+exception Not_positive_definite of int
+
+let gemm_nt ~alpha a b ~beta c =
+  let m = Mat.rows a and k = Mat.cols a and n = Mat.rows b in
+  assert (Mat.cols b = k);
+  assert (Mat.rows c = m && Mat.cols c = n);
+  if beta <> 1. then Mat.scale c beta;
+  for j = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let bjp = alpha *. Mat.unsafe_get b j p in
+      if bjp <> 0. then
+        for i = 0 to m - 1 do
+          Mat.unsafe_set c i j (Mat.unsafe_get c i j +. (Mat.unsafe_get a i p *. bjp))
+        done
+    done
+  done
+
+let gemm ?(transa = false) ?(transb = false) ~alpha a b ~beta c =
+  let opa i p = if transa then Mat.unsafe_get a p i else Mat.unsafe_get a i p in
+  let opb p j = if transb then Mat.unsafe_get b j p else Mat.unsafe_get b p j in
+  let m = if transa then Mat.cols a else Mat.rows a in
+  let k = if transa then Mat.rows a else Mat.cols a in
+  let n = if transb then Mat.rows b else Mat.cols b in
+  assert ((if transb then Mat.cols b else Mat.rows b) = k);
+  assert (Mat.rows c = m && Mat.cols c = n);
+  if beta <> 1. then Mat.scale c beta;
+  for j = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let bpj = alpha *. opb p j in
+      if bpj <> 0. then
+        for i = 0 to m - 1 do
+          Mat.unsafe_set c i j (Mat.unsafe_get c i j +. (opa i p *. bpj))
+        done
+    done
+  done
+
+let syrk_lower ~alpha a ~beta c =
+  let n = Mat.rows a and k = Mat.cols a in
+  assert (Mat.rows c = n && Mat.cols c = n);
+  if beta <> 1. then
+    for j = 0 to n - 1 do
+      for i = j to n - 1 do
+        Mat.unsafe_set c i j (beta *. Mat.unsafe_get c i j)
+      done
+    done;
+  for j = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let ajp = alpha *. Mat.unsafe_get a j p in
+      if ajp <> 0. then
+        for i = j to n - 1 do
+          Mat.unsafe_set c i j (Mat.unsafe_get c i j +. (Mat.unsafe_get a i p *. ajp))
+        done
+    done
+  done
+
+let trsm_right_lower_trans ~l b =
+  let n = Mat.cols b and m = Mat.rows b in
+  assert (Mat.rows l = n && Mat.cols l = n);
+  (* Solve X·Lᵀ = B column block by column block:
+     X(:,j) = (B(:,j) − Σ_{p<j} X(:,p)·L(j,p)) / L(j,j). *)
+  for j = 0 to n - 1 do
+    for p = 0 to j - 1 do
+      let ljp = Mat.unsafe_get l j p in
+      if ljp <> 0. then
+        for i = 0 to m - 1 do
+          Mat.unsafe_set b i j (Mat.unsafe_get b i j -. (Mat.unsafe_get b i p *. ljp))
+        done
+    done;
+    let d = Mat.unsafe_get l j j in
+    for i = 0 to m - 1 do
+      Mat.unsafe_set b i j (Mat.unsafe_get b i j /. d)
+    done
+  done
+
+let trsm_left_lower_notrans ~l b =
+  let m = Mat.rows b and n = Mat.cols b in
+  assert (Mat.rows l = m && Mat.cols l = m);
+  (* Forward substitution down each column of B. *)
+  for j = 0 to n - 1 do
+    for i = 0 to m - 1 do
+      let s = ref (Mat.unsafe_get b i j) in
+      for p = 0 to i - 1 do
+        s := !s -. (Mat.unsafe_get l i p *. Mat.unsafe_get b p j)
+      done;
+      Mat.unsafe_set b i j (!s /. Mat.unsafe_get l i i)
+    done
+  done
+
+let potrf_lower a =
+  let n = Mat.rows a in
+  assert (Mat.cols a = n);
+  for j = 0 to n - 1 do
+    (* Pivot: A(j,j) − Σ_{p<j} A(j,p)². *)
+    let s = ref (Mat.unsafe_get a j j) in
+    for p = 0 to j - 1 do
+      let x = Mat.unsafe_get a j p in
+      s := !s -. (x *. x)
+    done;
+    if not (!s > 0.) then raise (Not_positive_definite j);
+    let d = sqrt !s in
+    Mat.unsafe_set a j j d;
+    for i = j + 1 to n - 1 do
+      let s = ref (Mat.unsafe_get a i j) in
+      for p = 0 to j - 1 do
+        s := !s -. (Mat.unsafe_get a i p *. Mat.unsafe_get a j p)
+      done;
+      Mat.unsafe_set a i j (!s /. d)
+    done
+  done
+
+let trsv_lower ~l b =
+  let n = Mat.rows l in
+  assert (Array.length b = n);
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for p = 0 to i - 1 do
+      s := !s -. (Mat.unsafe_get l i p *. y.(p))
+    done;
+    y.(i) <- !s /. Mat.unsafe_get l i i
+  done;
+  y
+
+let trsv_lower_trans ~l b =
+  let n = Mat.rows l in
+  assert (Array.length b = n);
+  let x = Array.copy b in
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for p = i + 1 to n - 1 do
+      s := !s -. (Mat.unsafe_get l p i *. x.(p))
+    done;
+    x.(i) <- !s /. Mat.unsafe_get l i i
+  done;
+  x
+
+let cholesky a =
+  let l = Mat.copy a in
+  potrf_lower l;
+  Mat.zero_upper l;
+  l
+
+let log_det_from_chol l =
+  let n = Mat.rows l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.unsafe_get l i i)
+  done;
+  2. *. !acc

@@ -1,0 +1,52 @@
+(** Precision-emulated tile kernels.
+
+    Each kernel mirrors its {!Blas} counterpart but executes under a kernel
+    precision {!Geomix_precision.Fpformat.t}, reproducing numerically what a
+    GPU kernel of that precision would compute:
+
+    - operands are first rounded to the precision's {e input} scalar (FP16
+      for the tensor-core modes FP16_32/BF16_32, TF32 for TF32, ...);
+    - arithmetic accumulates in the precision's {e accumulate} scalar.
+
+    Two fidelities trade accuracy modelling for speed:
+
+    - [Per_op] rounds after {e every} accumulation — bit-accurate with
+      respect to the modelled hardware, O(n³) roundings, used by the GEMM
+      accuracy study (Fig 1) and by unit tests;
+    - [Boundary] rounds operands and results at tile boundaries only and
+      accumulates in binary64 — O(n²) roundings.  It preserves the dominant
+      error source (operand quantisation) and is used by the Monte-Carlo
+      MLE studies (Figs 5–6), as recorded in DESIGN.md. *)
+
+type fidelity = Per_op | Boundary
+
+val gemm_nt :
+  fidelity:fidelity ->
+  prec:Geomix_precision.Fpformat.t ->
+  alpha:float ->
+  Mat.t ->
+  Mat.t ->
+  beta:float ->
+  Mat.t ->
+  unit
+(** Emulated [C ← α·A·Bᵀ + β·C]. *)
+
+val syrk_lower :
+  fidelity:fidelity ->
+  prec:Geomix_precision.Fpformat.t ->
+  alpha:float ->
+  Mat.t ->
+  beta:float ->
+  Mat.t ->
+  unit
+
+val trsm_right_lower_trans :
+  fidelity:fidelity -> prec:Geomix_precision.Fpformat.t -> l:Mat.t -> Mat.t -> unit
+
+val potrf_lower : fidelity:fidelity -> prec:Geomix_precision.Fpformat.t -> Mat.t -> unit
+(** @raise Blas.Not_positive_definite like the reference kernel. *)
+
+val gemm_accuracy :
+  prec:Geomix_precision.Fpformat.t -> n:int -> rng:Geomix_util.Rng.t -> float
+(** The Fig 1 accuracy experiment: random uniform [n]×[n] operands, one
+    [Per_op] emulated GEMM, returns ‖C_prec − C_fp64‖_F / ‖C_fp64‖_F. *)

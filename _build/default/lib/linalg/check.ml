@@ -1,0 +1,26 @@
+module Rng = Geomix_util.Rng
+
+let cholesky_residual ~a ~l =
+  let n = Mat.rows a in
+  let ll = Mat.create ~rows:n ~cols:n in
+  let lc = Mat.copy l in
+  Mat.zero_upper lc;
+  Blas.gemm_nt ~alpha:1. lc lc ~beta:0. ll;
+  Mat.rel_diff ll ~reference:a
+
+let solve_residual ~a ~x ~b =
+  let ax = Mat.matvec a x in
+  let num = ref 0. and denom = ref 0. in
+  Array.iteri
+    (fun i bi ->
+      let d = ax.(i) -. bi in
+      num := !num +. (d *. d);
+      denom := !denom +. (bi *. bi))
+    b;
+  if !denom = 0. then sqrt !num else sqrt (!num /. !denom)
+
+let spd_random ~rng ~n =
+  let g = Mat.init ~rows:n ~cols:n (fun _ _ -> Rng.gaussian rng) in
+  let a = Mat.identity n in
+  Blas.gemm_nt ~alpha:(1. /. float_of_int n) g g ~beta:1. a;
+  a

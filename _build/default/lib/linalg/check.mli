@@ -1,0 +1,12 @@
+(** Numerical verification helpers shared by tests and benchmarks. *)
+
+val cholesky_residual : a:Mat.t -> l:Mat.t -> float
+(** ‖A − L·Lᵀ‖_F / ‖A‖_F for a lower factor [l] (upper triangle of [l]
+    ignored). *)
+
+val solve_residual : a:Mat.t -> x:float array -> b:float array -> float
+(** ‖A·x − b‖₂ / ‖b‖₂. *)
+
+val spd_random : rng:Geomix_util.Rng.t -> n:int -> Mat.t
+(** A well-conditioned random symmetric positive-definite matrix
+    (A = G·Gᵀ/n + I), used throughout the tests. *)

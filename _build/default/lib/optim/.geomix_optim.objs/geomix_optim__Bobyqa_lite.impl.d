@@ -1,0 +1,1 @@
+lib/optim/bobyqa_lite.ml: Array Float

@@ -1,0 +1,1 @@
+lib/optim/nelder_mead.ml: Array Float Fun

@@ -1,0 +1,1 @@
+lib/parallel/dag_exec.ml: Array Atomic List Pool Queue

@@ -1,0 +1,1 @@
+lib/parallel/dag_exec.mli: Pool

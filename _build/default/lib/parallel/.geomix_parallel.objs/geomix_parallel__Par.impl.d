@@ -1,0 +1,1 @@
+lib/parallel/par.ml: Array Pool Stdlib

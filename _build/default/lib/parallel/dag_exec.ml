@@ -1,0 +1,52 @@
+let run ~pool ~num_tasks ~in_degree ~successors ~execute =
+  if Array.length in_degree <> num_tasks then
+    invalid_arg "Dag_exec.run: in_degree length mismatch";
+  let counters = Array.map (fun d -> Atomic.make d) in_degree in
+  let completed = Atomic.make 0 in
+  let failed = Atomic.make false in
+  let rec launch id =
+    Pool.submit pool (fun () ->
+      if not (Atomic.get failed) then begin
+        (try execute id
+         with exn ->
+           Atomic.set failed true;
+           Atomic.incr completed;
+           raise exn);
+        Atomic.incr completed;
+        List.iter
+          (fun s ->
+            if Atomic.fetch_and_add counters.(s) (-1) = 1 then launch s)
+          (successors id)
+      end
+      else Atomic.incr completed)
+  in
+  (* Roots must be read from the immutable in-degrees, not the live
+     counters: a root submitted early may already be executing and
+     decrementing successors while this scan is still running. *)
+  let roots = ref [] in
+  Array.iteri (fun id d -> if d = 0 then roots := id :: !roots) in_degree;
+  if num_tasks > 0 && !roots = [] then
+    invalid_arg "Dag_exec.run: no source task (cyclic graph?)";
+  List.iter launch !roots;
+  Pool.wait_idle pool;
+  if (not (Atomic.get failed)) && Atomic.get completed <> num_tasks then
+    invalid_arg "Dag_exec.run: not all tasks became ready (cyclic graph?)"
+
+let check_acyclic ~num_tasks ~successors =
+  let indeg = Array.make num_tasks 0 in
+  for id = 0 to num_tasks - 1 do
+    List.iter (fun s -> indeg.(s) <- indeg.(s) + 1) (successors id)
+  done;
+  let queue = Queue.create () in
+  Array.iteri (fun id d -> if d = 0 then Queue.push id queue) indeg;
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr visited;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.push s queue)
+      (successors id)
+  done;
+  !visited = num_tasks

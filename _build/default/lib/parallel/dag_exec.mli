@@ -1,0 +1,26 @@
+(** Dependency-driven execution of a static task DAG.
+
+    This is the heart of the PaRSEC-style asynchronous model: a task becomes
+    runnable the instant its last predecessor completes, with no global
+    barriers between the "iterations" of Algorithm 1.  Tasks are identified
+    by dense integer ids; the graph is given by a successor function and the
+    in-degree of every task. *)
+
+val run :
+  pool:Pool.t ->
+  num_tasks:int ->
+  in_degree:int array ->
+  successors:(int -> int list) ->
+  execute:(int -> unit) ->
+  unit
+(** [run ~pool ~num_tasks ~in_degree ~successors ~execute] executes every
+    task exactly once, never running a task before all of its predecessors
+    have finished.  An exception raised by [execute] aborts scheduling of
+    further ready tasks and is re-raised.
+
+    @raise Invalid_argument if the graph is cyclic or in-degrees are
+    inconsistent (not every task became ready). *)
+
+val check_acyclic : num_tasks:int -> successors:(int -> int list) -> bool
+(** Kahn's algorithm on the successor function (recomputing in-degrees);
+    [true] when the graph is a DAG. *)

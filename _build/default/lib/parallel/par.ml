@@ -1,0 +1,33 @@
+let parallel_for ~pool ?chunk ~lo ~hi f =
+  if hi > lo then begin
+    let total = hi - lo in
+    let chunk =
+      match chunk with
+      | Some c -> Stdlib.max 1 c
+      | None ->
+        let ways = Stdlib.max 1 (4 * Stdlib.max 1 (Pool.num_workers pool)) in
+        Stdlib.max 1 ((total + ways - 1) / ways)
+    in
+    let start = ref lo in
+    while !start < hi do
+      let s = !start in
+      let e = Stdlib.min hi (s + chunk) in
+      Pool.submit pool (fun () ->
+        for i = s to e - 1 do
+          f i
+        done);
+      start := e
+    done;
+    Pool.wait_idle pool
+  end
+
+let parallel_init ~pool ?chunk n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ~pool ?chunk ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+let parallel_map ~pool ?chunk f xs =
+  parallel_init ~pool ?chunk (Array.length xs) (fun i -> f xs.(i))

@@ -1,0 +1,11 @@
+(** Data-parallel helpers over a {!Pool} — used to parallelise embarrassingly
+    parallel work such as Monte-Carlo replicas and tile-norm scans. *)
+
+val parallel_for : pool:Pool.t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~pool ~lo ~hi f] applies [f] to every index in [\[lo, hi)],
+    split into chunks (default: balanced over 4× the worker count). *)
+
+val parallel_init : pool:Pool.t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val parallel_map : pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array

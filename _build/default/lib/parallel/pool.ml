@@ -1,0 +1,120 @@
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable in_flight : int; (* queued + currently executing thunks *)
+  mutable stopping : bool;
+  mutable first_error : exn option;
+  mutable workers : unit Domain.t array;
+  serial : bool;
+}
+
+let record_error t exn =
+  Mutex.lock t.mutex;
+  if t.first_error = None then t.first_error <- Some exn;
+  Mutex.unlock t.mutex
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mutex
+    else begin
+      let thunk = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      (try thunk () with exn -> record_error t exn);
+      Mutex.lock t.mutex;
+      t.in_flight <- t.in_flight - 1;
+      if t.in_flight = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?num_workers () =
+  let n =
+    match num_workers with
+    | Some n -> Stdlib.max 0 n
+    | None -> Stdlib.max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      in_flight = 0;
+      stopping = false;
+      first_error = None;
+      workers = [||];
+      serial = n = 0;
+    }
+  in
+  if n > 0 then t.workers <- Array.init n (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let num_workers t = Array.length t.workers
+
+let submit t thunk =
+  Mutex.lock t.mutex;
+  assert (not t.stopping);
+  Queue.push thunk t.queue;
+  t.in_flight <- t.in_flight + 1;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let drain_serial t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let thunk = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+    Mutex.unlock t.mutex;
+    match thunk with
+    | None -> ()
+    | Some thunk ->
+      (try thunk () with exn -> record_error t exn);
+      Mutex.lock t.mutex;
+      t.in_flight <- t.in_flight - 1;
+      Mutex.unlock t.mutex;
+      next ()
+  in
+  next ()
+
+let reraise t =
+  Mutex.lock t.mutex;
+  let err = t.first_error in
+  t.first_error <- None;
+  Mutex.unlock t.mutex;
+  match err with None -> () | Some exn -> raise exn
+
+let wait_idle t =
+  if t.serial then drain_serial t
+  else begin
+    Mutex.lock t.mutex;
+    while t.in_flight > 0 do
+      Condition.wait t.idle t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end;
+  reraise t
+
+let shutdown t =
+  if t.serial then drain_serial t
+  else begin
+    Mutex.lock t.mutex;
+    if not t.stopping then begin
+      t.stopping <- true;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join t.workers
+    end
+    else Mutex.unlock t.mutex
+  end;
+  reraise t
+
+let with_pool ?num_workers f =
+  let t = create ?num_workers () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

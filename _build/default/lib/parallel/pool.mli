@@ -1,0 +1,31 @@
+(** A fixed pool of worker domains with a shared run queue.
+
+    This is the execution engine under the task runtime: PaRSEC's role of
+    "execute a task as soon as its dependencies are satisfied on some
+    computational resource" maps to submitting thunks here.  With
+    [num_workers = 0] (the default on a single-core machine) the pool
+    degrades to deferred serial execution on the calling domain, preserving
+    submission order semantics without spawning domains. *)
+
+type t
+
+val create : ?num_workers:int -> unit -> t
+(** [create ()] sizes the pool to [Domain.recommended_domain_count - 1]
+    workers (never negative). *)
+
+val num_workers : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a thunk.  Exceptions escaping a thunk are caught, stored, and
+    re-raised by the next {!wait_idle} or {!shutdown}. *)
+
+val wait_idle : t -> unit
+(** Block until every submitted thunk has finished (in the serial pool this
+    drains the queue on the caller).  Re-raises the first stored thunk
+    exception, if any. *)
+
+val shutdown : t -> unit
+(** Drain, stop and join the workers.  Idempotent. *)
+
+val with_pool : ?num_workers:int -> (t -> 'a) -> 'a
+(** Scoped creation: shuts the pool down on exit or exception. *)

@@ -1,0 +1,1 @@
+lib/precision/flops.ml: Fpformat

@@ -1,0 +1,1 @@
+lib/precision/flops.mli: Fpformat

@@ -1,0 +1,1 @@
+lib/precision/fpformat.ml: Float Format Int String

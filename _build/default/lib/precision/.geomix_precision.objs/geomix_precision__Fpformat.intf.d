@@ -1,0 +1,1 @@
+lib/precision/fpformat.mli: Format

@@ -1,0 +1,1 @@
+lib/precision/mca.ml: Float Geomix_util

@@ -1,0 +1,1 @@
+lib/precision/mca.mli: Geomix_util

@@ -1,0 +1,34 @@
+let cube n = float_of_int n *. float_of_int n *. float_of_int n
+let square n = float_of_int n *. float_of_int n
+
+let gemm nb = 2. *. cube nb
+let syrk nb = square nb *. float_of_int (nb + 1)
+let trsm nb = cube nb
+
+let potrf nb =
+  let n = float_of_int nb in
+  (n *. n *. n /. 3.) +. (n *. n /. 2.) +. (n /. 6.)
+
+let cholesky n =
+  let n = float_of_int n in
+  (n *. n *. n /. 3.) +. (n *. n /. 2.) +. (n /. 6.)
+
+let cholesky_tiled ~nt ~nb =
+  let total = ref 0. in
+  for k = 0 to nt - 1 do
+    total := !total +. potrf nb;
+    for _m = k + 1 to nt - 1 do
+      total := !total +. trsm nb +. syrk nb
+    done;
+    for m = k + 2 to nt - 1 do
+      for _n = k + 1 to m - 1 do
+        ignore m;
+        total := !total +. gemm nb
+      done
+    done
+  done;
+  !total
+
+let gemm_full ~m ~n ~k = 2. *. float_of_int m *. float_of_int n *. float_of_int k
+
+let tile_bytes ~nb ~scalar = square nb *. float_of_int (Fpformat.scalar_bytes scalar)

@@ -1,0 +1,29 @@
+(** Floating-point operation counts for the tile kernels of Algorithm 1 and
+    for whole factorizations.  These drive both the simulator's kernel-time
+    model and the Gflop/s reporting of the benchmark harness. *)
+
+val gemm : int -> float
+(** [gemm nb] — flops of [C ← C - A·Bᵀ] on [nb]×[nb] tiles: [2·nb³]. *)
+
+val syrk : int -> float
+(** [syrk nb] — flops of [C ← C - A·Aᵀ]: [nb²·(nb+1)]. *)
+
+val trsm : int -> float
+(** [trsm nb] — flops of a triangular solve with [nb] right-hand sides:
+    [nb³]. *)
+
+val potrf : int -> float
+(** [potrf nb] — flops of a tile Cholesky: [nb³/3 + O(nb²)]. *)
+
+val cholesky : int -> float
+(** [cholesky n] — flops of a full n×n Cholesky: [n³/3 + O(n²)]. *)
+
+val cholesky_tiled : nt:int -> nb:int -> float
+(** Exact flop total of the tiled Algorithm 1 with [nt]×[nt] tiles of order
+    [nb] (sums the four kernel counts over the task graph). *)
+
+val gemm_full : m:int -> n:int -> k:int -> float
+(** General rectangular GEMM: [2·m·n·k] (used by the Fig 1 benchmark). *)
+
+val tile_bytes : nb:int -> scalar:Fpformat.scalar -> float
+(** Memory/transfer footprint of one [nb]×[nb] tile in the given format. *)

@@ -1,0 +1,149 @@
+type scalar = S_fp64 | S_fp32 | S_tf32 | S_bf16 | S_fp16
+
+let all_scalars = [ S_fp64; S_fp32; S_tf32; S_bf16; S_fp16 ]
+
+type spec = { mant : int; emin : int; emax : int }
+(* [mant] is the number of explicitly stored significand bits; representable
+   normal values are ±(1.m)·2^e with emin ≤ e ≤ emax, subnormals below. *)
+
+let spec_of = function
+  | S_fp64 -> { mant = 52; emin = -1022; emax = 1023 }
+  | S_fp32 -> { mant = 23; emin = -126; emax = 127 }
+  | S_tf32 -> { mant = 10; emin = -126; emax = 127 }
+  | S_bf16 -> { mant = 7; emin = -126; emax = 127 }
+  | S_fp16 -> { mant = 10; emin = -14; emax = 15 }
+
+(* Round to nearest integer, ties to even.  [Float.round] rounds ties away
+   from zero, so ties are detected and nudged back to the even neighbour. *)
+let round_half_even x =
+  let f = Float.round x in
+  if Float.abs (x -. Float.trunc x) = 0.5 then
+    if Float.rem f 2. <> 0. then f -. Float.copy_sign 1. x else f
+  else f
+
+let scalar_max_value s =
+  let { mant; emax; _ } = spec_of s in
+  Float.ldexp (2. -. Float.ldexp 1. (-mant)) emax
+
+let round s x =
+  match s with
+  | S_fp64 -> x
+  | _ ->
+    if x = 0. || not (Float.is_finite x) then x
+    else begin
+      let { mant; emin; emax } = spec_of s in
+      let _, e = Float.frexp x in
+      (* x = m·2^e with |m| ∈ [0.5, 1); unbiased exponent is e-1 *)
+      let eu = e - 1 in
+      if eu > emax then Float.copy_sign infinity x
+      else begin
+        let p = mant + 1 in
+        let p = if eu < emin then p - (emin - eu) else p in
+        if p <= 0 then begin
+          (* Below the subnormal grid: round to 0 or the smallest subnormal. *)
+          let tiny = Float.ldexp 1. (emin - mant) in
+          if Float.abs x > tiny /. 2. then Float.copy_sign tiny x
+          else Float.copy_sign 0. x
+        end
+        else begin
+          let shift = p - e in
+          let scaled = Float.ldexp x shift in
+          let y = Float.ldexp (round_half_even scaled) (-shift) in
+          if Float.abs y > scalar_max_value s then Float.copy_sign infinity x else y
+        end
+      end
+    end
+
+let scalar_bytes = function
+  | S_fp64 -> 8
+  | S_fp32 | S_tf32 -> 4
+  | S_bf16 | S_fp16 -> 2
+
+let scalar_unit_roundoff s =
+  let { mant; _ } = spec_of s in
+  Float.ldexp 1. (-(mant + 1))
+
+let scalar_rank = function
+  | S_fp64 -> 5
+  | S_fp32 -> 4
+  | S_tf32 -> 3
+  | S_fp16 -> 2
+  | S_bf16 -> 1
+
+let higher_scalar a b = if scalar_rank a >= scalar_rank b then a else b
+
+let scalar_name = function
+  | S_fp64 -> "FP64"
+  | S_fp32 -> "FP32"
+  | S_tf32 -> "TF32"
+  | S_bf16 -> "BF16"
+  | S_fp16 -> "FP16"
+
+let scalar_of_string s =
+  match String.uppercase_ascii s with
+  | "FP64" -> Some S_fp64
+  | "FP32" -> Some S_fp32
+  | "TF32" -> Some S_tf32
+  | "BF16" -> Some S_bf16
+  | "FP16" -> Some S_fp16
+  | _ -> None
+
+let pp_scalar ppf s = Format.pp_print_string ppf (scalar_name s)
+
+type t = Fp64 | Fp32 | Tf32 | Fp16_32 | Bf16_32 | Fp16
+
+let all = [ Fp64; Fp32; Tf32; Fp16_32; Bf16_32; Fp16 ]
+let framework_chain = [ Fp64; Fp32; Fp16_32; Fp16 ]
+
+let input_scalar = function
+  | Fp64 -> S_fp64
+  | Fp32 -> S_fp32
+  | Tf32 -> S_tf32
+  | Fp16_32 -> S_fp16
+  | Bf16_32 -> S_bf16
+  | Fp16 -> S_fp16
+
+let accum_scalar = function
+  | Fp64 -> S_fp64
+  | Fp32 | Tf32 | Fp16_32 | Bf16_32 -> S_fp32
+  | Fp16 -> S_fp16
+
+let storage_scalar = function Fp64 -> S_fp64 | Fp32 | Tf32 | Fp16_32 | Bf16_32 | Fp16 -> S_fp32
+
+let rule_epsilon = function
+  | Fp64 -> Float.ldexp 1. (-53)
+  | Fp32 -> Float.ldexp 1. (-24)
+  | Tf32 -> Float.ldexp 1. (-11)
+  | Fp16_32 -> Float.ldexp 1. (-13)
+  | Bf16_32 -> Float.ldexp 1. (-10)
+  | Fp16 -> Float.ldexp 1. (-11)
+
+let rank = function
+  | Fp64 -> 6
+  | Fp32 -> 5
+  | Tf32 -> 4
+  | Fp16_32 -> 3
+  | Bf16_32 -> 2
+  | Fp16 -> 1
+
+let compare_precision a b = Int.compare (rank a) (rank b)
+
+let name = function
+  | Fp64 -> "FP64"
+  | Fp32 -> "FP32"
+  | Tf32 -> "TF32"
+  | Fp16_32 -> "FP16_32"
+  | Bf16_32 -> "BF16_32"
+  | Fp16 -> "FP16"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "FP64" -> Some Fp64
+  | "FP32" -> Some Fp32
+  | "TF32" -> Some Tf32
+  | "FP16_32" -> Some Fp16_32
+  | "BF16_32" -> Some Bf16_32
+  | "FP16" -> Some Fp16
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)

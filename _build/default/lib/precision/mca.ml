@@ -1,0 +1,48 @@
+module Rng = Geomix_util.Rng
+module Stats = Geomix_util.Stats
+
+type mode = Rr | Pb | Full
+
+type t = { mode : mode; rng : Rng.t; virtual_precision : int }
+
+let create ?(mode = Rr) ~rng ~virtual_precision () =
+  assert (virtual_precision >= 1 && virtual_precision <= 52);
+  { mode; rng; virtual_precision }
+
+let stochastic_round rng ~mant_bits x =
+  if x = 0. || not (Float.is_finite x) then x
+  else begin
+    let _, e = Float.frexp x in
+    let shift = mant_bits + 1 - e in
+    let scaled = Float.ldexp x shift in
+    let lo = Float.floor scaled in
+    let frac = scaled -. lo in
+    if frac = 0. then x
+    else begin
+      let up = Rng.float rng < frac in
+      Float.ldexp (if up then lo +. 1. else lo) (-shift)
+    end
+  end
+
+let inexact rng ~virtual_precision x =
+  if x = 0. || not (Float.is_finite x) then x
+  else begin
+    let xi = Rng.float rng -. 0.5 in
+    let _, e = Float.frexp x in
+    x +. Float.ldexp xi (e - virtual_precision)
+  end
+
+let perturb t x =
+  match t.mode with
+  | Rr -> stochastic_round t.rng ~mant_bits:(t.virtual_precision - 1) x
+  | Pb -> inexact t.rng ~virtual_precision:t.virtual_precision x
+  | Full ->
+    stochastic_round t.rng ~mant_bits:(t.virtual_precision - 1)
+      (inexact t.rng ~virtual_precision:t.virtual_precision x)
+
+let significant_digits samples =
+  let mu = Stats.mean samples in
+  let sigma = Stats.std samples in
+  if sigma = 0. then infinity
+  else if mu = 0. then 0.
+  else -.Float.log10 (sigma /. Float.abs mu)

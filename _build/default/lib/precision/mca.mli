@@ -1,0 +1,35 @@
+(** Monte-Carlo arithmetic (MCA).
+
+    Section V of the paper uses a Monte-Carlo arithmetic method to probe how
+    reduced precision perturbs the application before committing to an
+    accuracy threshold [u_req].  MCA models a virtual precision of [t]
+    significand bits by randomising the rounding of each value; running an
+    application several times under MCA and inspecting the spread of its
+    outputs reveals how many significant bits survive. *)
+
+type mode =
+  | Rr   (** random rounding: round up or down with probability proportional
+             to the distance to each neighbour (unbiased) *)
+  | Pb   (** precision bounding: additive uniform noise of magnitude
+             2{^1-t} relative to the value (models inexact operands) *)
+  | Full (** both [Rr] and [Pb] *)
+
+type t
+
+val create : ?mode:mode -> rng:Geomix_util.Rng.t -> virtual_precision:int -> unit -> t
+(** [create ~rng ~virtual_precision:t ()] builds an MCA context simulating
+    [t] significand bits (e.g. 24 for FP32-like, 11 for FP16-like). *)
+
+val perturb : t -> float -> float
+(** Apply the MCA perturbation to one value. *)
+
+val stochastic_round : Geomix_util.Rng.t -> mant_bits:int -> float -> float
+(** Stand-alone stochastic rounding to a grid with [mant_bits] explicit
+    significand bits: rounds to one of the two enclosing grid points with
+    probability proportional to proximity, so it is unbiased in
+    expectation. *)
+
+val significant_digits : float array -> float
+(** Stott–Parker estimate of the number of significant {e decimal} digits of
+    a set of MCA samples: [s = -log10 (σ / |μ|)]; [infinity] when all
+    samples agree exactly. *)

@@ -1,0 +1,1 @@
+lib/runtime/cholesky_dag.mli: Task

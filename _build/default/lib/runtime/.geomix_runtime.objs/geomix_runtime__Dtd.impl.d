@@ -1,0 +1,1 @@
+lib/runtime/dtd.ml: Array Geomix_parallel Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/runtime/dtd.mli: Geomix_parallel

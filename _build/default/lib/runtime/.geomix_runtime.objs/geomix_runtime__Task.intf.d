@@ -1,0 +1,1 @@
+lib/runtime/task.mli: Geomix_precision

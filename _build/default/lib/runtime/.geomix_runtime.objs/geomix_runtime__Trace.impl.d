@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Array Buffer Char Float Hashtbl List Printf Stdlib String

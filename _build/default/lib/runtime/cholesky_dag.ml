@@ -1,0 +1,126 @@
+type t = {
+  nt : int;
+  num_tasks : int;
+  n_trsm : int;
+  gemm_iter_base : int array; (* gemm_iter_base.(k) = #GEMMs of iterations < k *)
+}
+
+(* s nt x = Σ_{b<x} (nt-1-b): #(m,k) pairs with k < x, m > k. *)
+let s nt x = (x * (nt - 1)) - (x * (x - 1) / 2)
+
+let create ~nt =
+  assert (nt > 0);
+  let n_trsm = s nt nt in
+  let gemm_iter_base = Array.make (nt + 1) 0 in
+  for k = 0 to nt - 1 do
+    let w = nt - 1 - k in
+    gemm_iter_base.(k + 1) <- gemm_iter_base.(k) + (w * (w - 1) / 2)
+  done;
+  let num_tasks = nt + (2 * n_trsm) + gemm_iter_base.(nt) in
+  { nt; num_tasks; n_trsm; gemm_iter_base }
+
+let nt t = t.nt
+let num_tasks t = t.num_tasks
+
+let trsm_off t = t.nt
+let syrk_off t = t.nt + t.n_trsm
+let gemm_off t = t.nt + (2 * t.n_trsm)
+
+let pair_idx t m k = s t.nt k + (m - k - 1)
+
+(* Offset of the (m,n) pair inside the GEMM block of iteration k:
+   pairs enumerated n = k+1.., m = n+1..; Σ_{b=k+1}^{n-1}(nt-1-b). *)
+let gemm_inner t k n m = s t.nt n - s t.nt (k + 1) + (m - n - 1)
+
+let id_of t kind =
+  let check b = if not b then invalid_arg "Cholesky_dag.id_of: out of range" in
+  match (kind : Task.kind) with
+  | Potrf k ->
+    check (k >= 0 && k < t.nt);
+    k
+  | Trsm (m, k) ->
+    check (k >= 0 && k < m && m < t.nt);
+    trsm_off t + pair_idx t m k
+  | Syrk (m, k) ->
+    check (k >= 0 && k < m && m < t.nt);
+    syrk_off t + pair_idx t m k
+  | Gemm (m, n, k) ->
+    check (k >= 0 && k < n && n < m && m < t.nt);
+    gemm_off t + t.gemm_iter_base.(k) + gemm_inner t k n m
+
+(* Largest x in [lo, hi] with f x <= target, where f is nondecreasing. *)
+let bsearch_le ~lo ~hi ~f target =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if f mid <= target then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let decode_pair t idx =
+  let k = bsearch_le ~lo:0 ~hi:(t.nt - 1) ~f:(s t.nt) idx in
+  let m = k + 1 + (idx - s t.nt k) in
+  (m, k)
+
+let kind_of t id : Task.kind =
+  if id < 0 || id >= t.num_tasks then invalid_arg "Cholesky_dag.kind_of";
+  if id < trsm_off t then Potrf id
+  else if id < syrk_off t then begin
+    let m, k = decode_pair t (id - trsm_off t) in
+    Trsm (m, k)
+  end
+  else if id < gemm_off t then begin
+    let m, k = decode_pair t (id - syrk_off t) in
+    Syrk (m, k)
+  end
+  else begin
+    let idx = id - gemm_off t in
+    let k = bsearch_le ~lo:0 ~hi:(t.nt - 1) ~f:(fun k -> t.gemm_iter_base.(k)) idx in
+    let inner = idx - t.gemm_iter_base.(k) in
+    let n =
+      bsearch_le ~lo:(k + 1) ~hi:(t.nt - 1) ~f:(fun n -> gemm_inner t k n (n + 1)) inner
+    in
+    let m = n + 1 + (inner - gemm_inner t k n (n + 1)) in
+    Gemm (m, n, k)
+  end
+
+let successors t id =
+  match kind_of t id with
+  | Potrf k ->
+    let acc = ref [] in
+    for m = t.nt - 1 downto k + 1 do
+      acc := id_of t (Trsm (m, k)) :: !acc
+    done;
+    !acc
+  | Trsm (m, k) ->
+    let acc = ref [ id_of t (Syrk (m, k)) ] in
+    for n = m - 1 downto k + 1 do
+      acc := id_of t (Gemm (m, n, k)) :: !acc
+    done;
+    for m' = t.nt - 1 downto m + 1 do
+      acc := id_of t (Gemm (m', m, k)) :: !acc
+    done;
+    !acc
+  | Syrk (m, k) ->
+    if k + 1 <= m - 1 then [ id_of t (Syrk (m, k + 1)) ] else [ id_of t (Potrf m) ]
+  | Gemm (m, n, k) ->
+    if k + 1 < n then [ id_of t (Gemm (m, n, k + 1)) ] else [ id_of t (Trsm (m, n)) ]
+
+let in_degree t =
+  let deg = Array.make t.num_tasks 0 in
+  for id = 0 to t.num_tasks - 1 do
+    deg.(id) <-
+      (match kind_of t id with
+      | Potrf k -> if k = 0 then 0 else 1
+      | Trsm (_, k) -> if k = 0 then 1 else 2
+      | Syrk (_, k) -> if k = 0 then 1 else 2
+      | Gemm (_, _, k) -> if k = 0 then 2 else 3)
+  done;
+  deg
+
+let critical_path_tasks t = (3 * (t.nt - 1)) + 1
+
+let iter t f =
+  for id = 0 to t.num_tasks - 1 do
+    f id (kind_of t id)
+  done

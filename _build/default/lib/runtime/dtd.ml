@@ -1,0 +1,108 @@
+module Pool = Geomix_parallel.Pool
+module Dag_exec = Geomix_parallel.Dag_exec
+
+type task_id = int
+
+type task = {
+  name : string;
+  body : unit -> unit;
+  mutable preds : task_id list; (* reverse insertion order while building *)
+  mutable succs : task_id list;
+  mutable indeg : int;
+}
+
+type datum_state = {
+  mutable last_writer : task_id option;
+  mutable readers_since : task_id list;
+}
+
+type t = {
+  mutable tasks : task array;
+  mutable count : int;
+  data : (int, datum_state) Hashtbl.t;
+}
+
+let create () = { tasks = [||]; count = 0; data = Hashtbl.create 64 }
+
+let datum t key =
+  match Hashtbl.find_opt t.data key with
+  | Some d -> d
+  | None ->
+    let d = { last_writer = None; readers_since = [] } in
+    Hashtbl.add t.data key d;
+    d
+
+let grow t task =
+  if t.count = Array.length t.tasks then begin
+    let cap = Stdlib.max 16 (2 * Array.length t.tasks) in
+    let tasks = Array.make cap task in
+    Array.blit t.tasks 0 tasks 0 t.count;
+    t.tasks <- tasks
+  end
+
+let add_dep t ~on ~target =
+  let tgt = t.tasks.(target) and src = t.tasks.(on) in
+  if on <> target && not (List.mem on tgt.preds) then begin
+    tgt.preds <- on :: tgt.preds;
+    src.succs <- target :: src.succs;
+    tgt.indeg <- tgt.indeg + 1
+  end
+
+let insert t ~name ~reads ~writes body =
+  let id = t.count in
+  let task = { name; body; preds = []; succs = []; indeg = 0 } in
+  grow t task;
+  t.tasks.(t.count) <- task;
+  t.count <- t.count + 1;
+  List.iter
+    (fun key ->
+      let d = datum t key in
+      (match d.last_writer with Some w -> add_dep t ~on:w ~target:id | None -> ());
+      d.readers_since <- id :: d.readers_since)
+    reads;
+  List.iter
+    (fun key ->
+      let d = datum t key in
+      (match d.last_writer with Some w -> add_dep t ~on:w ~target:id | None -> ());
+      List.iter (fun r -> add_dep t ~on:r ~target:id) d.readers_since;
+      d.last_writer <- Some id;
+      d.readers_since <- [])
+    writes;
+  id
+
+let num_tasks t = t.count
+
+let check_id t id = if id < 0 || id >= t.count then invalid_arg "Dtd: bad task id"
+
+let name t id =
+  check_id t id;
+  t.tasks.(id).name
+
+let predecessors t id =
+  check_id t id;
+  List.rev t.tasks.(id).preds
+
+let successors t id =
+  check_id t id;
+  List.rev t.tasks.(id).succs
+
+let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
+
+let execute ?pool t =
+  let run pool =
+    Dag_exec.run ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
+      ~successors:(fun id -> t.tasks.(id).succs)
+      ~execute:(fun id -> t.tasks.(id).body ())
+  in
+  match pool with Some pool -> run pool | None -> Pool.with_pool ~num_workers:0 run
+
+let critical_path_length t =
+  (* Insertion order is a topological order: preds always have smaller ids. *)
+  let depth = Array.make (Stdlib.max t.count 1) 0 in
+  for id = 0 to t.count - 1 do
+    let d =
+      List.fold_left (fun acc p -> Stdlib.max acc (depth.(p) + 1)) 1 t.tasks.(id).preds
+    in
+    depth.(id) <- d
+  done;
+  if t.count = 0 then 0 else Array.fold_left Stdlib.max 0 (Array.sub depth 0 t.count)

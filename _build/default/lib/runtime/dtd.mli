@@ -1,0 +1,39 @@
+(** Dynamic Task Discovery — the second PaRSEC DSL the paper describes
+    (Section III-B): tasks are inserted sequentially with declared data
+    footprints, and the runtime derives the dataflow DAG from superscalar
+    semantics (RAW, WAR and WAW dependencies on each datum), then executes
+    it asynchronously.
+
+    Data are identified by caller-chosen integer keys (e.g. packed tile
+    indices).  Insertion order defines the sequential semantics the
+    parallel execution must preserve. *)
+
+type t
+type task_id = int
+
+val create : unit -> t
+
+val insert :
+  t -> name:string -> reads:int list -> writes:int list -> (unit -> unit) -> task_id
+(** Append a task that reads and writes the given data keys.  Dependencies
+    on earlier tasks are derived automatically:
+    - a read depends on the datum's last writer (RAW);
+    - a write depends on the last writer (WAW) and on every reader since
+      (WAR), and becomes the new last writer. *)
+
+val num_tasks : t -> int
+val name : t -> task_id -> string
+val predecessors : t -> task_id -> task_id list
+(** Deduplicated, in insertion order. *)
+
+val successors : t -> task_id -> task_id list
+val in_degree : t -> int array
+
+val execute : ?pool:Geomix_parallel.Pool.t -> t -> unit
+(** Run every inserted task under the derived dependencies (serial pool by
+    default).  The graph is reusable: executing twice runs the bodies
+    twice. *)
+
+val critical_path_length : t -> int
+(** Longest dependency chain, in tasks — the inherent sequential depth of
+    the inserted program. *)

@@ -1,0 +1,1 @@
+lib/specfun/bessel.mli:

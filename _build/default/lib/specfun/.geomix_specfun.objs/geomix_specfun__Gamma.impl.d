@@ -1,0 +1,1 @@
+lib/specfun/gamma.ml: Array Float

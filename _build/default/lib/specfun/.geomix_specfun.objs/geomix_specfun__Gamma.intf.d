@@ -1,0 +1,1 @@
+lib/specfun/gamma.mli:

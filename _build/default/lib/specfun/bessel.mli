@@ -1,0 +1,24 @@
+(** Modified Bessel functions of real (fractional) order.
+
+    The 2D Matérn covariance of the paper needs [K_ν(x)] for arbitrary real
+    smoothness ν ∈ (0, 2].  The implementation follows the classical
+    Steed/Temme scheme (Numerical Recipes' [bessik]): CF1 for the [I] ratio,
+    a Temme series ([x ≤ 2]) or Steed's CF2 ([x > 2]) for [K_μ, K_{μ+1}]
+    with |μ| ≤ ½, Wronskian normalisation, and upward recurrence in the
+    order.  Accuracy is ~1e-13 relative over the ranges the covariance
+    evaluates. *)
+
+val bessel_ik : nu:float -> float -> float * float
+(** [bessel_ik ~nu x] is [(I_ν(x), K_ν(x))] for [nu ≥ 0] and [x > 0].
+    @raise Invalid_argument on out-of-domain input. *)
+
+val bessel_k : nu:float -> float -> float
+(** [bessel_k ~nu x = snd (bessel_ik ~nu x)]. *)
+
+val bessel_i : nu:float -> float -> float
+(** [bessel_i ~nu x = fst (bessel_ik ~nu x)]. *)
+
+val bessel_k_half : float -> float
+(** Closed form [K_{1/2}(x) = √(π/(2x))·e^{-x}], used as a fast path (the
+    paper's "rough field" ν = 0.5 makes Matérn exponential) and as a test
+    oracle. *)

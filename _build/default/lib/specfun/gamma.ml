@@ -1,0 +1,31 @@
+let euler_gamma = 0.57721566490153286
+
+(* Lanczos coefficients for g = 7, n = 9 (Godfrey's tabulation). *)
+let lanczos_g = 7.
+let lanczos_coeffs =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec lgamma x =
+  if Float.is_nan x then nan
+  else if x < 0.5 then
+    (* Reflection: Γ(x)·Γ(1-x) = π / sin(πx). *)
+    log (Float.pi /. Float.abs (sin (Float.pi *. x))) -. lgamma (1. -. x)
+  else begin
+    let z = x -. 1. in
+    let acc = ref lanczos_coeffs.(0) in
+    for i = 1 to Array.length lanczos_coeffs - 1 do
+      acc := !acc +. (lanczos_coeffs.(i) /. (z +. float_of_int i))
+    done;
+    let t = z +. lanczos_g +. 0.5 in
+    (0.5 *. log (2. *. Float.pi)) +. (((z +. 0.5) *. log t) -. t) +. log !acc
+  end
+
+let gamma x =
+  if Float.is_nan x then nan
+  else if x <= 0. && Float.is_integer x then nan
+  else if x < 0.5 then
+    (* Sign comes from the reflection formula. *)
+    Float.pi /. (sin (Float.pi *. x) *. exp (lgamma (1. -. x)))
+  else exp (lgamma x)

@@ -1,0 +1,14 @@
+(** Gamma function via the Lanczos approximation (g = 7, 9 coefficients),
+    accurate to ~15 significant digits over the real line away from the
+    poles.  Required by the Matérn covariance normaliser [2^{1-ν}/Γ(ν)] and
+    by the Temme series of {!Bessel}. *)
+
+val lgamma : float -> float
+(** [lgamma x] is [ln |Γ(x)|] for [x] not a non-positive integer. *)
+
+val gamma : float -> float
+(** [gamma x] is [Γ(x)]; uses the reflection formula for [x < 0.5] and
+    returns [nan] at the poles. *)
+
+val euler_gamma : float
+(** The Euler–Mascheroni constant γ ≈ 0.5772156649. *)

@@ -1,0 +1,1 @@
+lib/tile/layout.ml: Array

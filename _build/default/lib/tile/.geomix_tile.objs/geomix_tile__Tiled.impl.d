@@ -1,0 +1,1 @@
+lib/tile/tiled.ml: Array Geomix_linalg Mat Stdlib

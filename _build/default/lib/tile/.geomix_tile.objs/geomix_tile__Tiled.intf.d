@@ -1,0 +1,1 @@
+lib/tile/tiled.mli: Geomix_linalg Mat

@@ -1,0 +1,114 @@
+open Geomix_linalg
+
+type t = { n : int; nb : int; nt : int; tiles : Mat.t array }
+
+let nt_of ~n ~nb = (n + nb - 1) / nb
+
+(* Lower-triangle packed index of tile (i, j), i ≥ j. *)
+let pidx i j = (i * (i + 1) / 2) + j
+
+let tile_rows_of ~n ~nb i = Stdlib.min nb (n - (i * nb))
+
+let create ~n ~nb =
+  assert (n > 0 && nb > 0);
+  let nt = nt_of ~n ~nb in
+  let tiles =
+    Array.init
+      (nt * (nt + 1) / 2)
+      (fun p ->
+        (* Recover (i, j) from the packed index to size ragged tiles. *)
+        let rec find i = if pidx (i + 1) 0 > p then i else find (i + 1) in
+        let i = find 0 in
+        let j = p - pidx i 0 in
+        Mat.create ~rows:(tile_rows_of ~n ~nb i) ~cols:(tile_rows_of ~n ~nb j))
+  in
+  { n; nb; nt; tiles }
+
+let n t = t.n
+let nb t = t.nb
+let nt t = t.nt
+let tile_rows t i = tile_rows_of ~n:t.n ~nb:t.nb i
+
+let tile t i j =
+  assert (i >= j && j >= 0 && i < t.nt);
+  t.tiles.(pidx i j)
+
+let set_tile t i j m =
+  assert (i >= j && j >= 0 && i < t.nt);
+  assert (Mat.rows m = tile_rows t i && Mat.cols m = tile_rows t j);
+  t.tiles.(pidx i j) <- m
+
+let init ~n ~nb f =
+  let t = create ~n ~nb in
+  for i = 0 to t.nt - 1 do
+    for j = 0 to i do
+      let m = tile t i j in
+      let ri = i * nb and cj = j * nb in
+      for jj = 0 to Mat.cols m - 1 do
+        for ii = 0 to Mat.rows m - 1 do
+          Mat.unsafe_set m ii jj (f (ri + ii) (cj + jj))
+        done
+      done
+    done
+  done;
+  t
+
+let copy t = { t with tiles = Array.map Mat.copy t.tiles }
+
+let to_dense t =
+  let d = Mat.create ~rows:t.n ~cols:t.n in
+  for i = 0 to t.nt - 1 do
+    for j = 0 to i do
+      let m = tile t i j in
+      let ri = i * t.nb and cj = j * t.nb in
+      for jj = 0 to Mat.cols m - 1 do
+        for ii = 0 to Mat.rows m - 1 do
+          let v = Mat.unsafe_get m ii jj in
+          Mat.unsafe_set d (ri + ii) (cj + jj) v;
+          (* Diagonal tiles carry their full block; only off-diagonal
+             tiles are mirrored onto the upper triangle. *)
+          if i <> j then Mat.unsafe_set d (cj + jj) (ri + ii) v
+        done
+      done
+    done
+  done;
+  d
+
+let of_dense ~nb d =
+  let n = Mat.rows d in
+  assert (Mat.cols d = n);
+  init ~n ~nb (fun i j -> Mat.get d i j)
+
+let tile_frobenius t i j = Mat.frobenius (tile t i j)
+
+let frobenius t =
+  let acc = ref 0. in
+  for i = 0 to t.nt - 1 do
+    for j = 0 to i do
+      let f = tile_frobenius t i j in
+      let w = if i = j then 1. else 2. in
+      acc := !acc +. (w *. f *. f)
+    done
+  done;
+  sqrt !acc
+
+let rel_diff a ~reference =
+  assert (a.n = reference.n && a.nb = reference.nb);
+  let num = ref 0. and denom = ref 0. in
+  for i = 0 to a.nt - 1 do
+    for j = 0 to i do
+      let w = if i = j then 1. else 2. in
+      let d = Mat.diff_frobenius (tile a i j) (tile reference i j) in
+      let r = Mat.frobenius (tile reference i j) in
+      num := !num +. (w *. d *. d);
+      denom := !denom +. (w *. r *. r)
+    done
+  done;
+  if !denom = 0. then if !num = 0. then 0. else infinity else sqrt (!num /. !denom)
+
+let iter_lower t f =
+  for i = 0 to t.nt - 1 do
+    for j = 0 to i do
+      f ~i ~j (tile t i j)
+    done
+  done

@@ -1,0 +1,55 @@
+(** Tile-partitioned symmetric matrices.
+
+    The covariance matrix Σ(θ) is symmetric positive definite, and the paper
+    operates on its lower triangle partitioned into [nb]×[nb] tiles (the
+    last tile row/column may be ragged when [nb] does not divide [n]).
+    Tile (i, j) with i ≥ j is stored as a dense {!Geomix_linalg.Mat.t};
+    diagonal tiles hold the full symmetric block. *)
+
+open Geomix_linalg
+
+type t
+
+val create : n:int -> nb:int -> t
+(** Zero-filled lower-triangular tile storage for an [n]×[n] symmetric
+    matrix with tile order [nb]. *)
+
+val init : n:int -> nb:int -> (int -> int -> float) -> t
+(** [init ~n ~nb f] fills entry (i, j) globally with [f i j]; only the lower
+    triangle of each stored tile's global footprint is evaluated and [f] is
+    assumed symmetric. *)
+
+val n : t -> int
+val nb : t -> int
+val nt : t -> int
+(** Number of tile rows/columns, ⌈n/nb⌉. *)
+
+val tile_rows : t -> int -> int
+(** Number of matrix rows covered by tile row [i]. *)
+
+val tile : t -> int -> int -> Mat.t
+(** [tile t i j] for i ≥ j — the stored tile itself (mutable, shared). *)
+
+val set_tile : t -> int -> int -> Mat.t -> unit
+
+val copy : t -> t
+
+val to_dense : t -> Mat.t
+(** Full symmetric dense matrix. *)
+
+val of_dense : nb:int -> Mat.t -> t
+(** Partition the lower triangle of a symmetric dense matrix. *)
+
+val tile_frobenius : t -> int -> int -> float
+(** Frobenius norm of one stored tile (diagonal tiles: norm of the full
+    symmetric block). *)
+
+val frobenius : t -> float
+(** Frobenius norm of the full symmetric matrix (off-diagonal tile mass
+    counted twice). *)
+
+val rel_diff : t -> reference:t -> float
+(** Relative Frobenius difference over the represented symmetric matrices. *)
+
+val iter_lower : t -> (i:int -> j:int -> Mat.t -> unit) -> unit
+(** Iterate over stored tiles, row-major, i ≥ j. *)

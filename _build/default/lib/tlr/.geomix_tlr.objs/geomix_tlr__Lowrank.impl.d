@@ -1,0 +1,1 @@
+lib/tlr/lowrank.ml: Array Blas Factor Float Geomix_linalg Geomix_precision List Mat Stdlib

@@ -1,0 +1,1 @@
+lib/tlr/lowrank.mli: Geomix_linalg Geomix_precision Mat

@@ -1,0 +1,1 @@
+lib/tlr/tlr.ml: Array Blas Geomix_core Geomix_linalg Geomix_precision Geomix_tile Lowrank Mat Option Stdlib Tiled

@@ -1,0 +1,1 @@
+lib/tlr/tlr.mli: Geomix_core Geomix_linalg Geomix_tile Lowrank Mat Tiled

@@ -1,0 +1,74 @@
+(** Tile low-rank (TLR) symmetric matrices and their Cholesky
+    factorization — the paper's named future-work extension (Section
+    VIII), optionally combined with the adaptive precision maps.
+
+    Diagonal tiles stay dense; each off-diagonal tile is kept dense or
+    compressed to [U·Vᵀ] by ACA at a per-tile tolerance.  The
+    factorization is the right-looking Algorithm 1 with the rank-aware
+    kernels of HiCMA/PaRSEC-TLR (refs [16], [17]):
+
+    - TRSM on a low-rank tile touches only its V factor;
+    - SYRK forms the small [VᵀV] core before the dense update;
+    - GEMM between low-rank tiles multiplies the k×k cores and accumulates
+      a low-rank update, recompressed against the tile tolerance.
+
+    With [precision] set, factors and dense tiles are additionally rounded
+    to the storage scalar of the paper's precision map — mixed-precision
+    TLR. *)
+
+open Geomix_linalg
+open Geomix_tile
+
+type tile = Dense of Mat.t | Low_rank of Lowrank.t
+
+type t
+
+val nt : t -> int
+val nb : t -> int
+val n : t -> int
+
+val tile : t -> int -> int -> tile
+(** Tile (i, j), i ≥ j. *)
+
+val compress :
+  ?precision:Geomix_core.Precision_map.t ->
+  tol:float ->
+  Tiled.t ->
+  t
+(** Compress a tiled symmetric matrix: off-diagonal tiles that admit rank
+    < nb/2 at the absolute per-tile tolerance [tol·‖A‖_F/NT] become
+    low-rank.  With [precision], every stored value is rounded to the
+    tile's storage scalar from the map — mixed-precision TLR. *)
+
+val to_dense : t -> Mat.t
+(** Reconstruct the full symmetric matrix (lower factor after
+    {!cholesky}: lower triangle only). *)
+
+val compression_ratio : t -> float
+(** Stored floats / dense floats of the lower triangle (< 1 when
+    compression wins). *)
+
+val compression_ratio_bytes : t -> float
+(** Stored bytes / dense-FP64 bytes — counts the storage-scalar widths of
+    the precision map, so mixed-precision TLR shows both savings at
+    once. *)
+
+val mean_rank : t -> float
+(** Average rank of the low-rank tiles (0 when none). *)
+
+val low_rank_fraction : t -> float
+(** Fraction of off-diagonal tiles kept in low-rank form. *)
+
+val cholesky : ?tol:float -> t -> unit
+(** In-place TLR Cholesky (lower).  [tol] is the absolute per-tile
+    recompression tolerance for accumulated GEMM updates (defaults to the
+    compression tolerance).
+    @raise Geomix_linalg.Blas.Not_positive_definite as the dense
+    algorithm would. *)
+
+val solve_lower : t -> float array -> float array
+(** Forward substitution with a TLR factor. *)
+
+val solve_lower_trans : t -> float array -> float array
+
+val log_det : t -> float

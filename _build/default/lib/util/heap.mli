@@ -1,0 +1,12 @@
+(** Binary min-heap (array-backed), used as the ready-task priority queue of
+    the cluster simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element under [cmp]. *)

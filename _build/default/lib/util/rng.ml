@@ -1,0 +1,87 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable cached_gaussian : float;
+  mutable has_cached : bool;
+}
+
+let splitmix64 state =
+  let ( *% ) = Int64.mul in
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = (Int64.logxor z (Int64.shift_right_logical z 30)) *% 0xBF58476D1CE4E5B9L in
+  let z = (Int64.logxor z (Int64.shift_right_logical z 27)) *% 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_gaussian = 0.; has_cached = false }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (int64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_gaussian = 0.; has_cached = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let float t =
+  (* 53 high bits scaled to [0, 1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let gaussian t =
+  if t.has_cached then begin
+    t.has_cached <- false;
+    t.cached_gaussian
+  end
+  else begin
+    let rec draw () =
+      let u = float t in
+      if u <= 1e-300 then draw () else u
+    in
+    let u1 = draw () and u2 = float t in
+    let r = sqrt (-2. *. log u1) and theta = 2. *. Float.pi *. u2 in
+    t.cached_gaussian <- r *. sin theta;
+    t.has_cached <- true;
+    r *. cos theta
+  end
+
+let gaussian_vector t n = Array.init n (fun _ -> gaussian t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

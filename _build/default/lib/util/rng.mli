@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256** seeded through splitmix64, which gives
+    reproducible streams across platforms independent of the OCaml stdlib
+    generator.  Every stochastic component of the library (synthetic
+    locations, measurement noise, Monte-Carlo rounding) draws from an
+    explicit [t] so that experiments are replayable from a single seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child stream and advances
+    [t].  Used to give each Monte-Carlo replica its own stream. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53-bit resolution. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller, cached pair). *)
+
+val gaussian_vector : t -> int -> float array
+(** [gaussian_vector t n] is [n] iid standard normal deviates. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

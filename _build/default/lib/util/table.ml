@@ -1,0 +1,82 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~headers rows =
+  let ncols = List.length headers in
+  let norm row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map norm rows in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.init ncols (fun _ -> Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> Stdlib.max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a w cell);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  line headers;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+let print ?align ~headers rows = print_string (render ?align ~headers rows)
+
+let fmt_float ?(digits = 4) x = Printf.sprintf "%.*g" digits x
+
+let scaled units base x =
+  let rec go x = function
+    | [ u ] -> (x, u)
+    | u :: rest -> if Float.abs x < base then (x, u) else go (x /. base) rest
+    | [] -> assert false
+  in
+  let v, u = go x units in
+  Printf.sprintf "%.4g %s" v u
+
+let fmt_bytes x = scaled [ "B"; "KB"; "MB"; "GB"; "TB"; "PB" ] 1024. x
+
+let fmt_time x =
+  if x = 0. then "0 s"
+  else if Float.abs x < 1e-6 then Printf.sprintf "%.4g ns" (x *. 1e9)
+  else if Float.abs x < 1e-3 then Printf.sprintf "%.4g us" (x *. 1e6)
+  else if Float.abs x < 1. then Printf.sprintf "%.4g ms" (x *. 1e3)
+  else Printf.sprintf "%.4g s" x
+
+let fmt_flops x = scaled [ "flop/s"; "Kflop/s"; "Mflop/s"; "Gflop/s"; "Tflop/s"; "Pflop/s" ] 1000. x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (100. *. x)

@@ -1,0 +1,34 @@
+(** Plain-text table rendering for benchmark reports.
+
+    Every reproduced paper table/figure prints through this module so that
+    the benchmark output is uniform and diffable. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  headers:string list ->
+  string list list ->
+  string
+(** [render ~headers rows] lays out a boxed ASCII table.  Rows shorter than
+    the header are padded with empty cells; [align] defaults to [Right] for
+    every column. *)
+
+val print :
+  ?align:align list -> headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Compact significant-digit formatting ([%.*g], default 4 digits). *)
+
+val fmt_bytes : float -> string
+(** Human bytes: ["1.50 GB"], ["320.0 MB"], ... *)
+
+val fmt_time : float -> string
+(** Human seconds: ["12.3 us"], ["4.56 ms"], ["7.89 s"]. *)
+
+val fmt_flops : float -> string
+(** Human flop/s: ["1.23 Tflop/s"], ... *)
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.123] is ["12.3%"]. *)

@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Geomix_linalg Geomix_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_blas_emul.ml: Alcotest Geomix_linalg Geomix_precision Geomix_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_comm_map.ml: Alcotest Format Geomix_core Geomix_precision QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Array Atomic Geomix_linalg Geomix_parallel Geomix_runtime Geomix_tile Geomix_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flops.ml: Alcotest Float Geomix_precision List Printf QCheck QCheck_alcotest

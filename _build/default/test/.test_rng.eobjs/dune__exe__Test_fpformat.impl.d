@@ -1,0 +1,1 @@
+test/test_fpformat.ml: Alcotest Float Geomix_precision Int32 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_geostat.ml: Alcotest Array Float Geomix_geostat Geomix_linalg Geomix_tile Geomix_util List Printf

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Float Geomix_gpusim Geomix_precision Geomix_runtime List Printf

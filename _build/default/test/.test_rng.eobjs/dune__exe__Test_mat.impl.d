@@ -1,0 +1,1 @@
+test/test_mat.ml: Alcotest Float Geomix_linalg Geomix_precision Geomix_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mca.ml: Alcotest Array Float Geomix_precision Geomix_util List Printf QCheck QCheck_alcotest

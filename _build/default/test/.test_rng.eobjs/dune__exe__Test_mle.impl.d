@@ -1,0 +1,1 @@
+test/test_mle.ml: Alcotest Array Float Geomix_core Geomix_geostat Geomix_linalg Geomix_util List Printf

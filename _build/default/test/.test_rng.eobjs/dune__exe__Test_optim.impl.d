@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Float Geomix_optim List Printf QCheck QCheck_alcotest

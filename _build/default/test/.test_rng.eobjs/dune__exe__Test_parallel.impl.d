@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Atomic Fun Geomix_parallel Geomix_util List Mutex QCheck QCheck_alcotest

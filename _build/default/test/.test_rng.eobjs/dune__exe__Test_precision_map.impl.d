@@ -1,0 +1,1 @@
+test/test_precision_map.ml: Alcotest Geomix_core Geomix_linalg Geomix_precision Geomix_tile Geomix_util List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fun Geomix_parallel Geomix_precision Geomix_runtime List Printf QCheck QCheck_alcotest String

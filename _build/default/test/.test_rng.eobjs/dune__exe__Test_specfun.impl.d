@@ -1,0 +1,1 @@
+test/test_specfun.ml: Alcotest Float Geomix_specfun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen Geomix_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tiled.ml: Alcotest Array Geomix_linalg Geomix_tile Geomix_util List Printf QCheck QCheck_alcotest

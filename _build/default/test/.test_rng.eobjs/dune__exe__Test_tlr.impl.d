@@ -1,0 +1,1 @@
+test/test_tlr.ml: Alcotest Array Float Geomix_core Geomix_geostat Geomix_linalg Geomix_precision Geomix_tile Geomix_tlr Geomix_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Geomix_util Int List QCheck QCheck_alcotest String

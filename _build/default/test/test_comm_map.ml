@@ -1,0 +1,148 @@
+module Pm = Geomix_core.Precision_map
+module Cm = Geomix_core.Comm_map
+module Fp = Geomix_precision.Fpformat
+
+let scalar = Alcotest.testable Fp.pp_scalar ( = )
+let strat = Alcotest.testable (fun ppf s ->
+  Format.pp_print_string ppf (match s with Cm.Stc -> "STC" | Cm.Ttc -> "TTC")) ( = )
+
+let decay rate i j = exp (-.rate *. float_of_int (abs (i - j)))
+
+let test_uniform_fp64_all_ttc () =
+  (* A pure FP64 run has no precision slack anywhere: everything TTC at
+     storage precision — no accuracy impact from communication. *)
+  let cm = Cm.compute (Pm.uniform ~nt:8 Fp.Fp64) in
+  for i = 0 to 7 do
+    for j = 0 to i do
+      Alcotest.(check strat) "ttc" Cm.Ttc (Cm.strategy cm i j);
+      Alcotest.(check scalar) "fp64" Fp.S_fp64 (Cm.comm_scalar cm i j)
+    done
+  done;
+  Alcotest.(check (float 0.)) "stc fraction" 0. (Cm.stc_fraction cm)
+
+let test_two_level_fp16_all_stc () =
+  (* The paper's FP64/FP16 extreme: "all communications can employ STC"
+     (Section VII-D). *)
+  let nt = 8 in
+  let cm = Cm.compute (Pm.two_level ~nt ~off_diag:Fp.Fp16) in
+  (* Diagonal tiles broadcast FP32 (< FP64 storage) to the FP32 TRSMs. *)
+  for k = 0 to nt - 2 do
+    Alcotest.(check strat) "diag stc" Cm.Stc (Cm.strategy cm k k);
+    Alcotest.(check scalar) "diag ships fp32" Fp.S_fp32 (Cm.comm_scalar cm k k)
+  done;
+  (* Off-diagonal tiles ship FP16 (< FP32 storage). *)
+  for k = 0 to nt - 2 do
+    for m = k + 1 to nt - 1 do
+      Alcotest.(check strat) "off stc" Cm.Stc (Cm.strategy cm m k);
+      Alcotest.(check scalar) "ships fp16" Fp.S_fp16 (Cm.comm_scalar cm m k)
+    done
+  done
+
+let test_two_level_fp16_32_same_transfers () =
+  (* FP16_32 consumes FP16 inputs, so its communication map matches FP16's. *)
+  let nt = 6 in
+  let a = Cm.compute (Pm.two_level ~nt ~off_diag:Fp.Fp16) in
+  let b = Cm.compute (Pm.two_level ~nt ~off_diag:Fp.Fp16_32) in
+  for i = 0 to nt - 1 do
+    for j = 0 to i do
+      Alcotest.(check scalar) "same comm" (Cm.comm_scalar a i j) (Cm.comm_scalar b i j);
+      Alcotest.(check strat) "same strat" (Cm.strategy a i j) (Cm.strategy b i j)
+    done
+  done
+
+let test_comm_never_above_storage () =
+  let pmap = Pm.of_element_fn ~u_req:1e-6 ~n:2048 ~nb:128 (decay 0.01) in
+  let cm = Cm.compute pmap in
+  for i = 0 to Pm.nt pmap - 1 do
+    for j = 0 to i do
+      Alcotest.(check bool) "comm ≤ storage" true
+        (Fp.scalar_rank (Cm.comm_scalar cm i j) <= Fp.scalar_rank (Pm.storage pmap i j))
+    done
+  done
+
+let test_stc_iff_strictly_below_storage () =
+  let pmap = Pm.of_element_fn ~u_req:1e-5 ~n:2048 ~nb:128 (decay 0.008) in
+  let cm = Cm.compute pmap in
+  for i = 0 to Pm.nt pmap - 1 do
+    for j = 0 to i do
+      let stc = Cm.strategy cm i j = Cm.Stc in
+      let below = Fp.scalar_rank (Cm.comm_scalar cm i j) < Fp.scalar_rank (Pm.storage pmap i j) in
+      Alcotest.(check bool) "STC ⇔ comm < storage" below stc
+    done
+  done
+
+let test_comm_floor_is_tile_significance () =
+  (* An FP64-class panel tile must never ship below FP64 unless its GEMM
+     successors all consume less — the accuracy-safety clamp. *)
+  let pmap = Pm.uniform ~nt:6 Fp.Fp64 in
+  let cm = Cm.compute pmap in
+  (* Last-column tile (5,4) has only SYRK successors: with an FP64 tile the
+     floor keeps comm at FP64 (contrast the FP16 two-level case above). *)
+  Alcotest.(check scalar) "floor holds" Fp.S_fp64 (Cm.comm_scalar cm 5 4)
+
+let test_diag_raised_by_fp64_trsm () =
+  (* If any TRSM in the column runs FP64 the diagonal broadcast must be
+     FP64 (Algorithm 2 lines 6–11). *)
+  let nt = 4 in
+  (* Column 0 contains an FP64 tile at (1,0) in a map where everything else
+     is FP16-class: build via of_tile_norms with crafted norms. *)
+  let norms i j = if i = 1 && j = 0 then 10. else 1e-8 in
+  let pmap = Pm.of_tile_norms ~u_req:1e-9 ~nt ~global_norm:10. norms in
+  Alcotest.(check bool) "tile (1,0) is FP64" true (Pm.get pmap 1 0 = Fp.Fp64);
+  let cm = Cm.compute pmap in
+  Alcotest.(check scalar) "diag (0,0) ships fp64" Fp.S_fp64 (Cm.comm_scalar cm 0 0);
+  Alcotest.(check strat) "ttc" Cm.Ttc (Cm.strategy cm 0 0)
+
+let test_last_diagonal_no_successors () =
+  let cm = Cm.compute (Pm.two_level ~nt:5 ~off_diag:Fp.Fp16) in
+  Alcotest.(check strat) "last diag ttc" Cm.Ttc (Cm.strategy cm 4 4)
+
+let test_idempotent_and_deterministic () =
+  let pmap = Pm.of_element_fn ~u_req:1e-7 ~n:1024 ~nb:128 (decay 0.01) in
+  let a = Cm.compute pmap and b = Cm.compute pmap in
+  for i = 0 to Pm.nt pmap - 1 do
+    for j = 0 to i do
+      Alcotest.(check scalar) "same" (Cm.comm_scalar a i j) (Cm.comm_scalar b i j)
+    done
+  done
+
+let test_render () =
+  let cm = Cm.compute (Pm.two_level ~nt:4 ~off_diag:Fp.Fp16) in
+  let s = Cm.render cm in
+  Alcotest.(check bool) "non-empty with STC marks" true
+    (String.length s > 0 && String.contains s '*')
+
+let prop_comm_bounded =
+  QCheck.Test.make ~name:"comm scalar always within [fp16, storage]" ~count:30
+    (QCheck.pair (QCheck.float_range 1e-10 1e-2) (QCheck.float_range 0.002 0.1))
+    (fun (u, rate) ->
+      let pmap = Pm.of_element_fn ~u_req:u ~n:512 ~nb:64 (decay rate) in
+      let cm = Cm.compute pmap in
+      let ok = ref true in
+      for i = 0 to Pm.nt pmap - 1 do
+        for j = 0 to i do
+          let c = Fp.scalar_rank (Cm.comm_scalar cm i j) in
+          if c < Fp.scalar_rank Fp.S_fp16 || c > Fp.scalar_rank (Pm.storage pmap i j) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "comm_map"
+    [
+      ( "algorithm 2",
+        [
+          Alcotest.test_case "uniform FP64 ⇒ all TTC" `Quick test_uniform_fp64_all_ttc;
+          Alcotest.test_case "FP64/FP16 ⇒ all STC" `Quick test_two_level_fp16_all_stc;
+          Alcotest.test_case "FP16_32 ships like FP16" `Quick test_two_level_fp16_32_same_transfers;
+          Alcotest.test_case "comm ≤ storage" `Quick test_comm_never_above_storage;
+          Alcotest.test_case "STC ⇔ strictly below storage" `Quick test_stc_iff_strictly_below_storage;
+          Alcotest.test_case "significance floor" `Quick test_comm_floor_is_tile_significance;
+          Alcotest.test_case "diag raised by FP64 TRSM" `Quick test_diag_raised_by_fp64_trsm;
+          Alcotest.test_case "last diagonal" `Quick test_last_diagonal_no_successors;
+          Alcotest.test_case "deterministic" `Quick test_idempotent_and_deterministic;
+          Alcotest.test_case "render" `Quick test_render;
+          QCheck_alcotest.to_alcotest prop_comm_bounded;
+        ] );
+    ]

@@ -1,0 +1,59 @@
+module Flops = Geomix_precision.Flops
+module Fp = Geomix_precision.Fpformat
+
+let feq a b = Float.abs (a -. b) <= 1e-9 *. (1. +. Float.abs b)
+
+let test_gemm () = Alcotest.(check bool) "2n³" true (feq (Flops.gemm 10) 2000.)
+let test_trsm () = Alcotest.(check bool) "n³" true (feq (Flops.trsm 10) 1000.)
+let test_syrk () = Alcotest.(check bool) "n²(n+1)" true (feq (Flops.syrk 10) 1100.)
+
+let test_potrf_leading_term () =
+  let n = 1000 in
+  let expected = float_of_int n ** 3. /. 3. in
+  Alcotest.(check bool) "≈ n³/3" true
+    (Float.abs (Flops.potrf n -. expected) /. expected < 2e-3)
+
+let test_cholesky_tiled_equals_scalar () =
+  (* Tiled kernel counts must sum to the full-matrix Cholesky count when
+     tile bookkeeping is exact. *)
+  List.iter
+    (fun (ntiles, nb) ->
+      let tiled = Flops.cholesky_tiled ~nt:ntiles ~nb in
+      let scalar = Flops.cholesky (ntiles * nb) in
+      Alcotest.(check bool)
+        (Printf.sprintf "nt=%d nb=%d: %g vs %g" ntiles nb tiled scalar)
+        true
+        (Float.abs (tiled -. scalar) /. scalar < 0.02))
+    [ (4, 32); (8, 16); (16, 64) ]
+
+let test_gemm_full () =
+  Alcotest.(check bool) "2mnk" true (feq (Flops.gemm_full ~m:2 ~n:3 ~k:4) 48.)
+
+let test_tile_bytes () =
+  Alcotest.(check bool) "fp64 tile" true
+    (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp64) (128. *. 128. *. 8.));
+  Alcotest.(check bool) "fp16 tile" true
+    (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp16) (128. *. 128. *. 2.))
+
+let prop_cholesky_monotone =
+  QCheck.Test.make ~name:"cholesky flops monotone in n" ~count:100
+    (QCheck.pair (QCheck.int_range 1 500) (QCheck.int_range 1 500))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Flops.cholesky lo <= Flops.cholesky hi)
+
+let () =
+  Alcotest.run "flops"
+    [
+      ( "flops",
+        [
+          Alcotest.test_case "gemm" `Quick test_gemm;
+          Alcotest.test_case "trsm" `Quick test_trsm;
+          Alcotest.test_case "syrk" `Quick test_syrk;
+          Alcotest.test_case "potrf leading term" `Quick test_potrf_leading_term;
+          Alcotest.test_case "tiled sums to scalar" `Quick test_cholesky_tiled_equals_scalar;
+          Alcotest.test_case "gemm_full" `Quick test_gemm_full;
+          Alcotest.test_case "tile bytes" `Quick test_tile_bytes;
+          QCheck_alcotest.to_alcotest prop_cholesky_monotone;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+module Fp = Geomix_precision.Fpformat
+
+let scalar = Alcotest.testable Fp.pp_scalar ( = )
+
+let test_fp64_identity () =
+  List.iter
+    (fun x -> Alcotest.(check (float 0.)) "identity" x (Fp.round Fp.S_fp64 x))
+    [ 0.; 1.; -1.; Float.pi; 1e-300; 1e300; 0.1 ]
+
+let test_special_values () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "nan" true (Float.is_nan (Fp.round s nan));
+      Alcotest.(check (float 0.)) "inf" infinity (Fp.round s infinity);
+      Alcotest.(check (float 0.)) "-inf" neg_infinity (Fp.round s neg_infinity);
+      Alcotest.(check (float 0.)) "zero" 0. (Fp.round s 0.))
+    Fp.all_scalars
+
+let test_exact_values_fixed () =
+  (* Powers of two and small integers are exact in every format. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun x -> Alcotest.(check (float 0.)) "exact" x (Fp.round s x))
+        [ 1.; 2.; 0.5; -4.; 1024.; 0.0625; 3.; -7. ])
+    Fp.all_scalars
+
+let test_fp16_known_roundings () =
+  (* FP16 has a 10-bit stored mantissa: ulp at 1.0 is 2^-10. *)
+  let ulp = Float.ldexp 1. (-10) in
+  Alcotest.(check (float 0.)) "round down" 1. (Fp.round Fp.S_fp16 (1. +. (ulp /. 4.)));
+  Alcotest.(check (float 0.)) "round up" (1. +. ulp)
+    (Fp.round Fp.S_fp16 (1. +. (0.75 *. ulp)));
+  (* Tie at half ulp goes to even (mantissa 0). *)
+  Alcotest.(check (float 0.)) "tie to even" 1. (Fp.round Fp.S_fp16 (1. +. (ulp /. 2.)))
+
+let test_fp16_overflow () =
+  Alcotest.(check (float 0.)) "max fp16" 65504. (Fp.round Fp.S_fp16 65504.);
+  Alcotest.(check (float 0.)) "overflow" infinity (Fp.round Fp.S_fp16 65520.);
+  Alcotest.(check (float 0.)) "neg overflow" neg_infinity (Fp.round Fp.S_fp16 (-70000.))
+
+let test_fp16_subnormals () =
+  let tiny = Float.ldexp 1. (-24) in
+  (* smallest fp16 subnormal *)
+  Alcotest.(check (float 0.)) "subnormal exact" tiny (Fp.round Fp.S_fp16 tiny);
+  Alcotest.(check (float 0.)) "below half-tiny flushes" 0.
+    (Fp.round Fp.S_fp16 (tiny /. 4.));
+  Alcotest.(check (float 0.)) "above half-tiny rounds up" tiny
+    (Fp.round Fp.S_fp16 (0.6 *. tiny))
+
+let test_bf16_range () =
+  (* BF16 shares FP32's exponent range: 1e38 survives, precision is coarse. *)
+  let r = Fp.round Fp.S_bf16 1e38 in
+  Alcotest.(check bool) "finite" true (Float.is_finite r);
+  Alcotest.(check bool) "coarse" true (Float.abs (r -. 1e38) /. 1e38 < 4e-3)
+
+let test_fp32_matches_int32_roundtrip () =
+  (* Values exactly representable in fp32 must round to themselves. *)
+  List.iter
+    (fun x -> Alcotest.(check (float 0.)) "fp32 exact" x (Fp.round Fp.S_fp32 x))
+    [ 1.5; 3.25; 123456.; Float.ldexp 1. (-126); -0.1015625 ]
+
+let test_unit_roundoff_ordering () =
+  let u = Fp.scalar_unit_roundoff in
+  Alcotest.(check bool) "fp64 < fp32" true (u Fp.S_fp64 < u Fp.S_fp32);
+  Alcotest.(check bool) "fp32 < tf32" true (u Fp.S_fp32 < u Fp.S_tf32);
+  Alcotest.(check bool) "tf32 = fp16" true (u Fp.S_tf32 = u Fp.S_fp16);
+  Alcotest.(check bool) "fp16 < bf16" true (u Fp.S_fp16 < u Fp.S_bf16)
+
+let test_bytes () =
+  Alcotest.(check int) "fp64" 8 (Fp.scalar_bytes Fp.S_fp64);
+  Alcotest.(check int) "fp32" 4 (Fp.scalar_bytes Fp.S_fp32);
+  Alcotest.(check int) "tf32 stored as 4B" 4 (Fp.scalar_bytes Fp.S_tf32);
+  Alcotest.(check int) "fp16" 2 (Fp.scalar_bytes Fp.S_fp16);
+  Alcotest.(check int) "bf16" 2 (Fp.scalar_bytes Fp.S_bf16)
+
+let test_higher_scalar () =
+  Alcotest.(check scalar) "64 vs 16" Fp.S_fp64 (Fp.higher_scalar Fp.S_fp64 Fp.S_fp16);
+  Alcotest.(check scalar) "16 vs 32" Fp.S_fp32 (Fp.higher_scalar Fp.S_fp16 Fp.S_fp32);
+  Alcotest.(check scalar) "bf16 lowest" Fp.S_fp16 (Fp.higher_scalar Fp.S_bf16 Fp.S_fp16)
+
+let test_precision_mappings () =
+  Alcotest.(check scalar) "fp16_32 input" Fp.S_fp16 (Fp.input_scalar Fp.Fp16_32);
+  Alcotest.(check scalar) "fp16_32 accum" Fp.S_fp32 (Fp.accum_scalar Fp.Fp16_32);
+  Alcotest.(check scalar) "fp16 accum" Fp.S_fp16 (Fp.accum_scalar Fp.Fp16);
+  Alcotest.(check scalar) "tf32 input" Fp.S_tf32 (Fp.input_scalar Fp.Tf32);
+  Alcotest.(check scalar) "fp64 storage" Fp.S_fp64 (Fp.storage_scalar Fp.Fp64);
+  (* TRSM cannot run below FP32 ⇒ FP16-class tiles are stored in FP32. *)
+  Alcotest.(check scalar) "fp16 storage" Fp.S_fp32 (Fp.storage_scalar Fp.Fp16);
+  Alcotest.(check scalar) "fp16_32 storage" Fp.S_fp32 (Fp.storage_scalar Fp.Fp16_32)
+
+let test_rule_epsilon_ordering () =
+  (* Lower precision ⇒ larger u_low ⇒ stricter norm threshold. *)
+  Alcotest.(check bool) "chain" true
+    (Fp.rule_epsilon Fp.Fp64 < Fp.rule_epsilon Fp.Fp32
+    && Fp.rule_epsilon Fp.Fp32 < Fp.rule_epsilon Fp.Fp16_32
+    && Fp.rule_epsilon Fp.Fp16_32 < Fp.rule_epsilon Fp.Fp16)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "of_string∘name" true (Fp.of_string (Fp.name p) = Some p))
+    Fp.all;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "scalar roundtrip" true
+        (Fp.scalar_of_string (Fp.scalar_name s) = Some s))
+    Fp.all_scalars;
+  Alcotest.(check bool) "unknown" true (Fp.of_string "FP8" = None)
+
+(* OCaml's Int32.bits_of_float performs IEEE double→single conversion with
+   round-to-nearest-even in hardware: a perfect oracle for S_fp32. *)
+let hw_fp32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let test_fp32_against_hardware_fixed () =
+  List.iter
+    (fun x ->
+      let ours = Fp.round Fp.S_fp32 x and hw = hw_fp32 x in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.17g: ours %.17g vs hw %.17g" x ours hw)
+        true
+        (ours = hw || (Float.is_nan ours && Float.is_nan hw)))
+    [
+      0.1; -0.1; Float.pi; exp 1.; 1e-40; -1e-40; 1e38; 3.4028235e38; 3.5e38;
+      1.1754944e-38; 1e-45; 7e-46; 0.333333333333333; 65504.1; 2.0 ** 127.;
+      1.9999999 *. (2.0 ** 127.); -123456.789;
+    ]
+
+let prop_fp32_matches_hardware =
+  QCheck.Test.make ~name:"S_fp32 rounding = hardware float32 conversion" ~count:20000
+    (QCheck.oneof
+       [
+         QCheck.float_range (-1e38) 1e38;
+         QCheck.float_range (-1.) 1.;
+         QCheck.float_range (-1e-37) 1e-37; (* subnormal territory *)
+         QCheck.float_range 1e37 4e38;      (* overflow boundary *)
+       ])
+    (fun x ->
+      let ours = Fp.round Fp.S_fp32 x and hw = hw_fp32 x in
+      ours = hw || (Float.is_nan ours && Float.is_nan hw))
+
+let float_gen = QCheck.float_range (-1e30) 1e30
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"rounding is idempotent" ~count:2000
+    (QCheck.pair (QCheck.oneofl Fp.all_scalars) float_gen)
+    (fun (s, x) ->
+      let y = Fp.round s x in
+      (Float.is_nan y && Float.is_nan x) || Fp.round s y = y)
+
+let prop_monotone =
+  QCheck.Test.make ~name:"rounding is monotone" ~count:2000
+    (QCheck.triple (QCheck.oneofl Fp.all_scalars) float_gen float_gen)
+    (fun (s, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Fp.round s lo <= Fp.round s hi)
+
+let prop_half_ulp =
+  QCheck.Test.make ~name:"error within half ulp (normal range)" ~count:2000
+    (QCheck.pair (QCheck.oneofl Fp.all_scalars) (QCheck.float_range (-1e4) 1e4))
+    (fun (s, x) ->
+      if x = 0. then true
+      else begin
+        let y = Fp.round s x in
+        if not (Float.is_finite y) then true
+        else begin
+          let u = Fp.scalar_unit_roundoff s in
+          (* |x−y| ≤ u·|x| for normal x (subnormals handled coarsely). *)
+          Float.abs (y -. x) <= (u *. Float.abs x) +. 1e-300
+        end
+      end)
+
+let prop_sign_preserved =
+  QCheck.Test.make ~name:"sign preserved" ~count:1000
+    (QCheck.pair (QCheck.oneofl Fp.all_scalars) float_gen)
+    (fun (s, x) ->
+      let y = Fp.round s x in
+      y = 0. || Float.sign_bit y = Float.sign_bit x)
+
+let () =
+  Alcotest.run "fpformat"
+    [
+      ( "rounding",
+        [
+          Alcotest.test_case "fp64 identity" `Quick test_fp64_identity;
+          Alcotest.test_case "special values" `Quick test_special_values;
+          Alcotest.test_case "exact values" `Quick test_exact_values_fixed;
+          Alcotest.test_case "fp16 known roundings" `Quick test_fp16_known_roundings;
+          Alcotest.test_case "fp16 overflow" `Quick test_fp16_overflow;
+          Alcotest.test_case "fp16 subnormals" `Quick test_fp16_subnormals;
+          Alcotest.test_case "bf16 range" `Quick test_bf16_range;
+          Alcotest.test_case "fp32 exact values" `Quick test_fp32_matches_int32_roundtrip;
+          Alcotest.test_case "fp32 = hardware (fixed cases)" `Quick
+            test_fp32_against_hardware_fixed;
+          QCheck_alcotest.to_alcotest prop_fp32_matches_hardware;
+        ] );
+      ( "format metadata",
+        [
+          Alcotest.test_case "unit roundoff ordering" `Quick test_unit_roundoff_ordering;
+          Alcotest.test_case "bytes" `Quick test_bytes;
+          Alcotest.test_case "higher_scalar" `Quick test_higher_scalar;
+          Alcotest.test_case "precision mappings" `Quick test_precision_mappings;
+          Alcotest.test_case "rule epsilon ordering" `Quick test_rule_epsilon_ordering;
+          Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_idempotent; prop_monotone; prop_half_ulp; prop_sign_preserved ] );
+    ]

@@ -1,0 +1,210 @@
+module Gpu = Geomix_gpusim.Gpu_specs
+module Machine = Geomix_gpusim.Machine
+module Exec_model = Geomix_gpusim.Exec_model
+module Device = Geomix_gpusim.Device
+module Energy = Geomix_gpusim.Energy
+module Trace = Geomix_runtime.Trace
+module Fp = Geomix_precision.Fpformat
+module Task = Geomix_runtime.Task
+
+let tf = 1e12
+
+let test_table1_values () =
+  (* Spot-check the paper's Table I. *)
+  Alcotest.(check (float 1.)) "V100 FP64" (7.8 *. tf) (Gpu.peak_flops Gpu.v100 Fp.Fp64);
+  Alcotest.(check (float 1.)) "V100 FP16" (125. *. tf) (Gpu.peak_flops Gpu.v100 Fp.Fp16);
+  Alcotest.(check (float 1.)) "A100 FP64 tensor" (19.5 *. tf) (Gpu.peak_flops Gpu.a100 Fp.Fp64);
+  Alcotest.(check (float 1.)) "A100 TF32" (156. *. tf) (Gpu.peak_flops Gpu.a100 Fp.Tf32);
+  Alcotest.(check (float 1.)) "H100 FP16" (756. *. tf) (Gpu.peak_flops Gpu.h100 Fp.Fp16);
+  Alcotest.(check (float 1.)) "H100 FP64" (51.2 *. tf) (Gpu.peak_flops Gpu.h100 Fp.Fp64)
+
+let test_supports () =
+  Alcotest.(check bool) "V100 no TF32" false (Gpu.supports Gpu.v100 Fp.Tf32);
+  Alcotest.(check bool) "V100 fp16 yes" true (Gpu.supports Gpu.v100 Fp.Fp16);
+  Alcotest.(check bool) "A100 all" true (Gpu.supports Gpu.a100 Fp.Bf16_32)
+
+let test_fp64_tensor_parity () =
+  (* On A100/H100, FP64 (tensor) shares the FP32 peak — the reason MP saves
+     less energy there (Section VII-E). *)
+  Alcotest.(check bool) "A100" true
+    (Gpu.peak_flops Gpu.a100 Fp.Fp64 = Gpu.peak_flops Gpu.a100 Fp.Fp32);
+  Alcotest.(check bool) "H100" true
+    (Gpu.peak_flops Gpu.h100 Fp.Fp64 = Gpu.peak_flops Gpu.h100 Fp.Fp32);
+  Alcotest.(check bool) "V100 differs" true
+    (Gpu.peak_flops Gpu.v100 Fp.Fp64 < Gpu.peak_flops Gpu.v100 Fp.Fp32);
+  Alcotest.(check bool) "flags" true
+    (Gpu.fp64_uses_tensor_cores Gpu.a100 && not (Gpu.fp64_uses_tensor_cores Gpu.v100))
+
+let test_efficiency_bounds () =
+  List.iter
+    (fun gpu ->
+      List.iter
+        (fun prec ->
+          List.iter
+            (fun kind ->
+              let e = Gpu.kernel_efficiency gpu kind prec in
+              Alcotest.(check bool) "in (0,1]" true (e > 0. && e <= 1.))
+            [ Task.Potrf 0; Task.Trsm (1, 0); Task.Syrk (1, 0); Task.Gemm (2, 1, 0) ])
+        Fp.all)
+    [ Gpu.v100; Gpu.a100; Gpu.h100 ]
+
+let test_busy_power_bounds () =
+  List.iter
+    (fun gpu ->
+      List.iter
+        (fun prec ->
+          let p = Gpu.busy_power gpu prec in
+          Alcotest.(check bool) "idle < p ≤ tdp" true
+            (p > gpu.Gpu.idle_power && p <= gpu.Gpu.tdp))
+        Fp.all)
+    [ Gpu.v100; Gpu.a100; Gpu.h100 ]
+
+let test_table2_tile_move () =
+  (* Table II: moving a 2048² FP64 tile over Summit's 50 GB/s NVLink takes
+     ≈0.67 ms, halving with each precision step. *)
+  let m = Machine.summit () in
+  let t64 = Exec_model.tile_move_time m ~nb:2048 ~scalar:Fp.S_fp64 in
+  let t32 = Exec_model.tile_move_time m ~nb:2048 ~scalar:Fp.S_fp32 in
+  let t16 = Exec_model.tile_move_time m ~nb:2048 ~scalar:Fp.S_fp16 in
+  Alcotest.(check bool) (Printf.sprintf "fp64 ≈ 0.67ms (%g)" t64) true
+    (t64 > 0.6e-3 && t64 < 0.75e-3);
+  Alcotest.(check bool) "halving 64→32" true (Float.abs ((t64 /. t32) -. 2.) < 0.1);
+  Alcotest.(check bool) "halving 32→16" true (Float.abs ((t32 /. t16) -. 2.) < 0.1)
+
+let test_table2_gemm_times () =
+  (* Table II: 2048³ GEMM on V100 ≈ 2.2 ms FP64, ≈1.1 ms FP32, ≈0.14 ms FP16. *)
+  let t prec = Exec_model.gemm_time Gpu.v100 ~prec ~n:2048 () in
+  let within x lo hi = x > lo && x < hi in
+  Alcotest.(check bool) "fp64" true (within (t Fp.Fp64) 2.0e-3 2.6e-3);
+  Alcotest.(check bool) "fp32" true (within (t Fp.Fp32) 1.0e-3 1.4e-3);
+  Alcotest.(check bool) "fp16" true (within (t Fp.Fp16) 0.12e-3 0.20e-3)
+
+let test_gemm_conversion_overhead () =
+  let base = Exec_model.gemm_time Gpu.v100 ~prec:Fp.Fp16 ~n:2048 () in
+  let with_conv =
+    Exec_model.gemm_time Gpu.v100 ~prec:Fp.Fp16 ~include_conversion:true ~n:2048 ()
+  in
+  Alcotest.(check bool) "conversion adds time" true (with_conv > base);
+  let f64 = Exec_model.gemm_time Gpu.v100 ~prec:Fp.Fp64 ~n:2048 () in
+  let f64c = Exec_model.gemm_time Gpu.v100 ~prec:Fp.Fp64 ~include_conversion:true ~n:2048 () in
+  Alcotest.(check (float 0.)) "fp64 needs none" f64 f64c
+
+let test_conversion_time () =
+  Alcotest.(check (float 0.)) "same format free" 0.
+    (Exec_model.conversion_time Gpu.v100 ~nb:2048 ~from:Fp.S_fp32 ~into:Fp.S_fp32);
+  let c = Exec_model.conversion_time Gpu.v100 ~nb:2048 ~from:Fp.S_fp32 ~into:Fp.S_fp16 in
+  Alcotest.(check bool) "positive and sub-ms" true (c > 0. && c < 1e-3)
+
+let test_machines () =
+  let s = Machine.summit ~nodes:4 () in
+  Alcotest.(check int) "summit gpus" 24 (Machine.total_gpus s);
+  Alcotest.(check int) "node of gpu 13" 2 (Machine.node_of_gpu s 13);
+  Alcotest.(check int) "guyot gpus" 8 (Machine.total_gpus (Machine.guyot ()));
+  Alcotest.(check int) "haxane gpus" 1 (Machine.total_gpus (Machine.haxane ()))
+
+let test_max_matrix () =
+  let n = Machine.max_matrix_fp64 (Machine.single_gpu Gpu.V100) ~nb:2048 in
+  (* The paper uses 61 440 as the largest FP64 matrix on one 16 GB V100. *)
+  Alcotest.(check bool) (Printf.sprintf "V100 ≈ 61440 (%d)" n) true
+    (n >= 51200 && n <= 65536);
+  Alcotest.(check int) "multiple of nb" 0 (n mod 2048)
+
+let test_device_timelines () =
+  let d = Device.create ~gpu:Gpu.v100 ~capacity_bytes:1e9 in
+  let f1 = Device.busy_compute d ~start:0. ~dur:1. in
+  Alcotest.(check (float 0.)) "first" 1. f1;
+  (* Requested start in the past is pushed to the stream's free time. *)
+  let f2 = Device.busy_compute d ~start:0.5 ~dur:1. in
+  Alcotest.(check (float 0.)) "serialised" 2. f2;
+  let l1 = Device.busy_link d ~start:0. ~dur:0.25 in
+  Alcotest.(check (float 0.)) "link independent" 0.25 l1
+
+let test_device_lru () =
+  let d = Device.create ~gpu:Gpu.v100 ~capacity_bytes:100. in
+  Alcotest.(check bool) "miss" false (Device.resident d ~key:1);
+  ignore (Device.insert d ~key:1 ~bytes:40. ~dirty:true);
+  ignore (Device.insert d ~key:2 ~bytes:40. ~dirty:false);
+  Alcotest.(check bool) "hit 1" true (Device.resident d ~key:1);
+  (* Key 2 is now LRU; inserting 40 more evicts it. *)
+  let victims = Device.insert d ~key:3 ~bytes:40. ~dirty:false in
+  Alcotest.(check (list (triple int (float 0.) bool))) "evicted 2" [ (2, 40., false) ] victims;
+  Alcotest.(check bool) "2 gone" false (Device.resident d ~key:2);
+  Alcotest.(check (float 0.)) "used" 80. (Device.used_bytes d)
+
+let test_device_eviction_reports_dirty () =
+  let d = Device.create ~gpu:Gpu.v100 ~capacity_bytes:50. in
+  ignore (Device.insert d ~key:1 ~bytes:40. ~dirty:true);
+  let victims = Device.insert d ~key:2 ~bytes:40. ~dirty:false in
+  Alcotest.(check (list (triple int (float 0.) bool))) "dirty victim" [ (1, 40., true) ] victims
+
+let test_device_replace_same_key () =
+  let d = Device.create ~gpu:Gpu.v100 ~capacity_bytes:100. in
+  ignore (Device.insert d ~key:1 ~bytes:30. ~dirty:false);
+  ignore (Device.insert d ~key:1 ~bytes:50. ~dirty:true);
+  Alcotest.(check (float 0.)) "replaced bytes" 50. (Device.used_bytes d)
+
+let test_energy_of_busy () =
+  let r =
+    Energy.of_busy Gpu.v100 ~makespan:10. ~ngpus:2 ~flops:1e12
+      ~busy:[ (Fp.Fp64, 5.) ]
+  in
+  Alcotest.(check bool) "energy positive" true (r.Energy.energy_joules > 0.);
+  (* idle: 40 W × 10 s × 2 + (busy_power − idle) × 5 s *)
+  let expected = (40. *. 10. *. 2.) +. ((Gpu.busy_power Gpu.v100 Fp.Fp64 -. 40.) *. 5.) in
+  Alcotest.(check (float 1e-6)) "value" expected r.Energy.energy_joules;
+  Alcotest.(check (float 1e-9)) "avg power" (expected /. 10.) r.Energy.avg_power
+
+let test_energy_of_trace_matches_of_busy () =
+  let tr = Trace.create () in
+  Trace.add tr { Trace.label = "x"; resource = 0; start = 0.; stop = 5.; tag = "FP64" };
+  let a = Energy.of_trace Gpu.v100 tr ~ngpus:2 ~flops:1e12 in
+  let b = Energy.of_busy Gpu.v100 ~makespan:5. ~ngpus:2 ~flops:1e12 ~busy:[ (Fp.Fp64, 5.) ] in
+  Alcotest.(check (float 1e-9)) "same energy" b.Energy.energy_joules a.Energy.energy_joules
+
+let test_power_series () =
+  let tr = Trace.create () in
+  Trace.add tr { Trace.label = "x"; resource = 0; start = 0.; stop = 1.; tag = "FP16" };
+  let series = Energy.power_series Gpu.v100 tr ~ngpus:1 ~window:0.5 in
+  Alcotest.(check int) "windows" 2 (Array.length series);
+  Array.iter
+    (fun (_, w) ->
+      Alcotest.(check bool) "within TDP-ish" true (w > 0. && w <= Gpu.v100.Gpu.tdp +. 1.))
+    series
+
+let () =
+  Alcotest.run "gpusim"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_values;
+          Alcotest.test_case "supports" `Quick test_supports;
+          Alcotest.test_case "fp64 tensor parity" `Quick test_fp64_tensor_parity;
+          Alcotest.test_case "efficiency bounds" `Quick test_efficiency_bounds;
+          Alcotest.test_case "busy power bounds" `Quick test_busy_power_bounds;
+        ] );
+      ( "exec model",
+        [
+          Alcotest.test_case "table2 tile moves" `Quick test_table2_tile_move;
+          Alcotest.test_case "table2 gemm times" `Quick test_table2_gemm_times;
+          Alcotest.test_case "conversion overhead" `Quick test_gemm_conversion_overhead;
+          Alcotest.test_case "conversion time" `Quick test_conversion_time;
+        ] );
+      ( "machines",
+        [
+          Alcotest.test_case "topologies" `Quick test_machines;
+          Alcotest.test_case "max matrix" `Quick test_max_matrix;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "timelines" `Quick test_device_timelines;
+          Alcotest.test_case "lru" `Quick test_device_lru;
+          Alcotest.test_case "dirty eviction" `Quick test_device_eviction_reports_dirty;
+          Alcotest.test_case "replace same key" `Quick test_device_replace_same_key;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "of_busy" `Quick test_energy_of_busy;
+          Alcotest.test_case "trace = busy" `Quick test_energy_of_trace_matches_of_busy;
+          Alcotest.test_case "power series" `Quick test_power_series;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* End-to-end paths across the whole stack: covariance → precision map →
+   comm map → mixed-precision factorization → likelihood, and the same
+   precision map driving the hardware simulator. *)
+
+module Locations = Geomix_geostat.Locations
+module Covariance = Geomix_geostat.Covariance
+module Field = Geomix_geostat.Field
+module Pm = Geomix_core.Precision_map
+module Cm = Geomix_core.Comm_map
+module Mp = Geomix_core.Mp_cholesky
+module Sim = Geomix_core.Sim_cholesky
+module Machine = Geomix_gpusim.Machine
+module Gpu = Geomix_gpusim.Gpu_specs
+module Tiled = Geomix_tile.Tiled
+module Mat = Geomix_linalg.Mat
+module Check = Geomix_linalg.Check
+module Fp = Geomix_precision.Fpformat
+module Rng = Geomix_util.Rng
+
+let setup ~n ~seed cov =
+  let rng = Rng.create ~seed in
+  let locs = Locations.morton_sort (Locations.jittered_grid_2d ~rng ~n) in
+  let z = Field.synthesize ~rng ~cov locs in
+  (locs, z)
+
+let test_covariance_maps_have_band_structure () =
+  (* Morton-ordered geospatial covariances give the paper's Fig 2a shape:
+     high precision hugging the diagonal, FP16 far away. *)
+  let cov = Covariance.sqexp ~sigma2:1. ~beta:0.01 () in
+  let rng = Rng.create ~seed:11 in
+  let locs = Locations.morton_sort (Locations.jittered_grid_2d ~rng ~n:512) in
+  let a = Covariance.build_tiled cov locs ~nb:32 in
+  let pmap = Pm.of_tiled ~u_req:1e-4 a in
+  let ntl = Pm.nt pmap in
+  (* Sub-diagonal tiles at least FP32-class; far tiles mostly FP16-class. *)
+  let far_low = ref 0 and far_total = ref 0 in
+  for i = 0 to ntl - 1 do
+    for j = 0 to i - 1 do
+      if i - j > ntl / 2 then begin
+        incr far_total;
+        match Pm.get pmap i j with
+        | Fp.Fp16 | Fp.Fp16_32 -> incr far_low
+        | _ -> ()
+      end
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "far tiles mostly low precision (%d/%d)" !far_low !far_total)
+    true
+    (!far_total > 0 && float_of_int !far_low /. float_of_int !far_total > 0.5)
+
+let test_mp_factorization_of_real_covariance () =
+  let cov = Covariance.matern ~sigma2:1. ~beta:0.1 ~nu:0.5 () in
+  let locs, _ = setup ~n:256 ~seed:12 cov in
+  let dense = Covariance.build_dense cov locs in
+  let a = Covariance.build_tiled cov locs ~nb:32 in
+  let pmap = Pm.of_tiled ~u_req:1e-6 a in
+  Mp.factorize ~pmap a;
+  let l = Tiled.to_dense a in
+  Mat.zero_upper l;
+  let r = Check.cholesky_residual ~a:dense ~l in
+  Alcotest.(check bool) (Printf.sprintf "residual %g ≲ u_req" r) true (r < 1e-4)
+
+let test_same_pmap_drives_numeric_and_simulated () =
+  let cov = Covariance.sqexp ~nugget:0.02 ~sigma2:1. ~beta:0.03 () in
+  let locs, _ = setup ~n:256 ~seed:13 cov in
+  let a = Covariance.build_tiled cov locs ~nb:32 in
+  let pmap = Pm.of_tiled ~u_req:1e-4 a in
+  (* Numeric side. *)
+  Mp.factorize ~pmap (Tiled.copy a);
+  (* Simulated side, same map. *)
+  let r = Sim.run ~machine:(Machine.single_gpu Gpu.V100) ~pmap ~nb:2048 () in
+  Alcotest.(check bool) "simulated run completes" true (r.Sim.makespan > 0.);
+  (* The adaptive run must beat a uniform FP64 simulation. *)
+  let r64 =
+    Sim.run ~machine:(Machine.single_gpu Gpu.V100)
+      ~pmap:(Pm.uniform ~nt:(Pm.nt pmap) Fp.Fp64)
+      ~nb:2048 ()
+  in
+  Alcotest.(check bool) "adaptive faster than FP64" true (r.Sim.makespan < r64.Sim.makespan)
+
+let test_accuracy_chain_end_to_end () =
+  (* Tighter u_req ⇒ factorization closer to FP64 ⇒ log-likelihood closer
+     to the exact value: the full Fig 5 mechanism in one assertion. *)
+  let cov = Covariance.matern ~sigma2:1. ~beta:0.1 ~nu:0.5 () in
+  let locs, z = setup ~n:196 ~seed:14 cov in
+  let exact = Geomix_geostat.Likelihood.loglik Geomix_geostat.Likelihood.Exact ~cov ~locs ~z in
+  let delta u =
+    let ll =
+      Geomix_geostat.Likelihood.loglik
+        (Geomix_geostat.Likelihood.mixed ~u_req:u ~nb:28 ())
+        ~cov ~locs ~z
+    in
+    Float.abs (ll -. exact)
+  in
+  let d9 = delta 1e-9 and d2 = delta 1e-2 in
+  Alcotest.(check bool) (Printf.sprintf "Δ(1e-9)=%g ≤ Δ(1e-2)=%g" d9 d2) true (d9 <= d2);
+  Alcotest.(check bool) "1e-9 is near-exact" true (d9 < 1e-4 *. (1. +. Float.abs exact))
+
+let test_stc_numeric_accuracy_cost_is_bounded () =
+  (* The ablation the paper does not run: STC's extra down-conversion must
+     not degrade the factorization beyond its accuracy class. *)
+  let cov = Covariance.sqexp ~nugget:0.02 ~sigma2:1. ~beta:0.03 () in
+  let locs, _ = setup ~n:256 ~seed:15 cov in
+  let dense = Covariance.build_dense cov locs in
+  let residual strategy =
+    let a = Covariance.build_tiled cov locs ~nb:32 in
+    let pmap = Pm.of_tiled ~u_req:1e-4 a in
+    Mp.factorize ~options:{ Mp.default_options with strategy } ~pmap a;
+    let l = Tiled.to_dense a in
+    Mat.zero_upper l;
+    Check.cholesky_residual ~a:dense ~l
+  in
+  let r_auto = residual Mp.Automatic and r_ttc = residual Mp.Always_ttc in
+  Alcotest.(check bool)
+    (Printf.sprintf "auto %g within 50x of ttc %g" r_auto r_ttc)
+    true
+    (r_auto < 50. *. r_ttc +. 1e-12)
+
+let test_comm_map_consistency_with_sim () =
+  (* The simulator's conversion counters must reflect the comm map: an
+     all-STC config does exactly one conversion per broadcasting tile. *)
+  let ntiles = 10 in
+  let pmap = Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16 in
+  let cm = Cm.compute pmap in
+  Alcotest.(check bool) "all broadcasting tiles STC" true (Cm.stc_fraction cm > 0.9);
+  let r =
+    Sim.run
+      ~options:{ Sim.default_options with strategy = Sim.Stc_auto }
+      ~machine:(Machine.single_gpu Gpu.A100) ~pmap ~nb:2048 ()
+  in
+  (* One producer conversion per POTRF/TRSM task that is STC (the last
+     diagonal tile broadcasts nothing). *)
+  let broadcasters = ntiles - 1 + (ntiles * (ntiles - 1) / 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "conversions %d ≈ broadcasters %d" r.Sim.conversions broadcasters)
+    true
+    (r.Sim.conversions >= broadcasters && r.Sim.conversions <= 2 * broadcasters)
+
+let test_scaled_summit_weak_scaling_shape () =
+  (* Weak scaling (Fig 12a): with memory-proportional sizing (nt ∝ √GPUs,
+     constant tiles per GPU) the aggregate rate must keep growing and the
+     per-GPU rate must retain most of the single-node value. *)
+  let per_gpu nodes ntiles =
+    let r =
+      Sim.run ~machine:(Machine.summit ~nodes ()) ~pmap:(Pm.uniform ~nt:ntiles Fp.Fp64)
+        ~nb:2048 ()
+    in
+    r.Sim.tflops /. float_of_int r.Sim.ngpus
+  in
+  let p1 = per_gpu 1 49 and p4 = per_gpu 4 98 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-GPU rate retained (%.2f → %.2f)" p1 p4)
+    true
+    (p4 > 0.8 *. p1)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end to end",
+        [
+          Alcotest.test_case "band-structured maps" `Quick test_covariance_maps_have_band_structure;
+          Alcotest.test_case "MP factorization of covariance" `Quick
+            test_mp_factorization_of_real_covariance;
+          Alcotest.test_case "one pmap, numeric + simulated" `Quick
+            test_same_pmap_drives_numeric_and_simulated;
+          Alcotest.test_case "accuracy chain" `Quick test_accuracy_chain_end_to_end;
+          Alcotest.test_case "STC accuracy cost bounded" `Quick
+            test_stc_numeric_accuracy_cost_is_bounded;
+          Alcotest.test_case "comm map ↔ simulator" `Quick test_comm_map_consistency_with_sim;
+          Alcotest.test_case "weak scaling shape" `Quick test_scaled_summit_weak_scaling_shape;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+module Mca = Geomix_precision.Mca
+module Rng = Geomix_util.Rng
+module Stats = Geomix_util.Stats
+
+let test_stochastic_round_exact_passthrough () =
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 0.)) "grid point unchanged" x
+        (Mca.stochastic_round rng ~mant_bits:10 x))
+    [ 0.; 1.; 2.; 0.5; -4.; 1.5 ]
+
+let test_stochastic_round_two_neighbours () =
+  let rng = Rng.create ~seed:2 in
+  let ulp = Float.ldexp 1. (-10) in
+  let x = 1. +. (0.3 *. ulp) in
+  for _ = 1 to 200 do
+    let y = Mca.stochastic_round rng ~mant_bits:10 x in
+    Alcotest.(check bool) "lands on a neighbour" true (y = 1. || y = 1. +. ulp)
+  done
+
+let test_stochastic_round_unbiased () =
+  let rng = Rng.create ~seed:3 in
+  let ulp = Float.ldexp 1. (-10) in
+  let x = 1. +. (0.25 *. ulp) in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Mca.stochastic_round rng ~mant_bits:10 x
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near x" true (Float.abs (mean -. x) < 0.02 *. ulp)
+
+let test_perturb_rr_changes_values () =
+  let rng = Rng.create ~seed:4 in
+  let t = Mca.create ~rng ~virtual_precision:11 () in
+  let distinct = ref false in
+  let x = Float.pi in
+  let first = Mca.perturb t x in
+  for _ = 1 to 50 do
+    if Mca.perturb t x <> first then distinct := true
+  done;
+  Alcotest.(check bool) "randomised rounding varies" true !distinct
+
+let test_perturb_magnitude () =
+  let rng = Rng.create ~seed:5 in
+  let t = Mca.create ~mode:Mca.Full ~rng ~virtual_precision:11 () in
+  let x = 123.456 in
+  for _ = 1 to 500 do
+    let y = Mca.perturb t x in
+    Alcotest.(check bool) "relative perturbation bounded" true
+      (Float.abs (y -. x) /. x < Float.ldexp 1. (-8))
+  done
+
+let test_significant_digits_exact () =
+  Alcotest.(check bool) "identical samples ⇒ ∞ digits" true
+    (Mca.significant_digits [| 1.; 1.; 1. |] = infinity)
+
+let test_significant_digits_estimate () =
+  (* Samples with σ/μ = 1e-5 carry ≈5 significant digits. *)
+  let s = Mca.significant_digits [| 1.00001; 0.99999; 1.0; 1.00001; 0.99999 |] in
+  Alcotest.(check bool) (Printf.sprintf "≈5 digits (got %g)" s) true (s > 4. && s < 6.)
+
+let test_mca_reveals_precision () =
+  (* Running the same dot product under MCA at t=24 vs t=11 virtual bits
+     must report correspondingly fewer surviving digits at t=11. *)
+  let digits vp =
+    let rng = Rng.create ~seed:99 in
+    let samples =
+      Array.init 30 (fun _ ->
+        let t = Mca.create ~rng ~virtual_precision:vp () in
+        let acc = ref 0. in
+        for i = 1 to 100 do
+          acc := Mca.perturb t (!acc +. Mca.perturb t (1. /. float_of_int i))
+        done;
+        !acc)
+    in
+    Mca.significant_digits samples
+  in
+  let d24 = digits 24 and d11 = digits 11 in
+  Alcotest.(check bool)
+    (Printf.sprintf "t=24 keeps more digits (%.2f vs %.2f)" d24 d11)
+    true
+    (d24 > d11 +. 2.)
+
+let prop_stochastic_round_bounded =
+  QCheck.Test.make ~name:"stochastic rounding stays within one ulp" ~count:1000
+    (QCheck.pair (QCheck.int_range 5 20) (QCheck.float_range 1e-3 1e3))
+    (fun (mant, x) ->
+      let rng = Rng.create ~seed:7 in
+      let y = Mca.stochastic_round rng ~mant_bits:mant x in
+      Float.abs (y -. x) <= Float.abs x *. Float.ldexp 1. (-mant))
+
+let () =
+  Alcotest.run "mca"
+    [
+      ( "mca",
+        [
+          Alcotest.test_case "grid passthrough" `Quick test_stochastic_round_exact_passthrough;
+          Alcotest.test_case "two neighbours" `Quick test_stochastic_round_two_neighbours;
+          Alcotest.test_case "unbiased" `Quick test_stochastic_round_unbiased;
+          Alcotest.test_case "rr varies" `Quick test_perturb_rr_changes_values;
+          Alcotest.test_case "perturbation magnitude" `Quick test_perturb_magnitude;
+          Alcotest.test_case "digits: exact" `Quick test_significant_digits_exact;
+          Alcotest.test_case "digits: estimate" `Quick test_significant_digits_estimate;
+          Alcotest.test_case "mca reveals precision" `Quick test_mca_reveals_precision;
+          QCheck_alcotest.to_alcotest prop_stochastic_round_bounded;
+        ] );
+    ]

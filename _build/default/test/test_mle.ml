@@ -1,0 +1,181 @@
+module Locations = Geomix_geostat.Locations
+module Covariance = Geomix_geostat.Covariance
+module Field = Geomix_geostat.Field
+module Likelihood = Geomix_geostat.Likelihood
+module Mle = Geomix_geostat.Mle
+module Mp = Geomix_core.Mp_cholesky
+module Rng = Geomix_util.Rng
+
+let locs_z ?(n = 144) ~seed cov =
+  let rng = Rng.create ~seed in
+  let locs = Locations.morton_sort (Locations.jittered_grid_2d ~rng ~n) in
+  let z = Field.synthesize ~rng ~cov locs in
+  (locs, z)
+
+let test_loglik_exact_matches_naive () =
+  (* ℓ(θ) against a direct dense computation of each term. *)
+  let cov = Covariance.sqexp ~sigma2:1. ~beta:0.1 () in
+  let locs, z = locs_z ~n:48 ~seed:1 cov in
+  let e = Likelihood.evaluate Likelihood.Exact ~cov ~locs ~z in
+  let sigma = Covariance.build_dense cov locs in
+  let l = Geomix_linalg.Blas.cholesky sigma in
+  let logdet = Geomix_linalg.Blas.log_det_from_chol l in
+  Alcotest.(check (float 1e-8)) "log det" logdet e.Likelihood.log_det;
+  Alcotest.(check bool) "quad form positive" true (e.Likelihood.quad_form > 0.);
+  let n = float_of_int 48 in
+  Alcotest.(check (float 1e-8)) "assembled"
+    ((-0.5 *. n *. log (2. *. Float.pi)) -. (0.5 *. logdet) -. (0.5 *. e.Likelihood.quad_form))
+    e.Likelihood.loglik
+
+let test_loglik_mixed_close_to_exact () =
+  let cov = Covariance.matern ~sigma2:1. ~beta:0.1 ~nu:0.5 () in
+  let locs, z = locs_z ~seed:2 cov in
+  let exact = Likelihood.loglik Likelihood.Exact ~cov ~locs ~z in
+  let tight = Likelihood.loglik (Likelihood.mixed ~u_req:1e-9 ~nb:48 ()) ~cov ~locs ~z in
+  let loose = Likelihood.loglik (Likelihood.mixed ~u_req:1e-2 ~nb:48 ()) ~cov ~locs ~z in
+  Alcotest.(check bool)
+    (Printf.sprintf "1e-9 close (Δ=%g)" (Float.abs (tight -. exact)))
+    true
+    (Float.abs (tight -. exact) < 1e-3 *. (1. +. Float.abs exact));
+  Alcotest.(check bool)
+    (Printf.sprintf "1e-2 within reason (Δ=%g)" (Float.abs (loose -. exact)))
+    true
+    (Float.abs (loose -. exact) < 0.1 *. (1. +. Float.abs exact))
+
+let test_loglik_peaks_near_truth () =
+  (* ℓ at the generating parameters beats ℓ at badly wrong parameters. *)
+  let truth = Covariance.sqexp ~sigma2:1. ~beta:0.1 () in
+  let locs, z = locs_z ~seed:3 truth in
+  let ll cov = Likelihood.loglik Likelihood.Exact ~cov ~locs ~z in
+  Alcotest.(check bool) "truth beats wrong beta" true
+    (ll truth > ll (Covariance.sqexp ~sigma2:1. ~beta:1.5 ()));
+  Alcotest.(check bool) "truth beats wrong sigma" true
+    (ll truth > ll (Covariance.sqexp ~sigma2:0.05 ~beta:0.1 ()))
+
+let test_loglik_infeasible_is_neg_inf () =
+  let cov = Covariance.sqexp ~nugget:0. ~sigma2:1. ~beta:2. () in
+  (* β=2 with zero nugget on a dense grid is numerically singular. *)
+  let locs, z = locs_z ~n:196 ~seed:4 (Covariance.sqexp ~sigma2:1. ~beta:0.1 ()) in
+  let v = Likelihood.loglik Likelihood.Exact ~cov ~locs ~z in
+  Alcotest.(check bool) "−∞ or finite, never raises" true
+    (v = neg_infinity || Float.is_finite v)
+
+let test_fit_recovers_sqexp () =
+  let truth = Covariance.sqexp ~sigma2:1. ~beta:0.1 () in
+  let locs, z = locs_z ~n:196 ~seed:5 truth in
+  let settings = { Mle.default_settings with max_evals = 150 } in
+  let f = Mle.fit ~settings ~engine:Likelihood.Exact ~family:Covariance.Sqexp ~locs ~z () in
+  Alcotest.(check bool)
+    (Printf.sprintf "σ²=%.3f near 1" f.Mle.theta.(0))
+    true
+    (f.Mle.theta.(0) > 0.4 && f.Mle.theta.(0) < 2.);
+  Alcotest.(check bool)
+    (Printf.sprintf "β=%.3f near 0.1" f.Mle.theta.(1))
+    true
+    (f.Mle.theta.(1) > 0.02 && f.Mle.theta.(1) < 0.4)
+
+let test_fit_mixed_tight_matches_exact () =
+  let truth = Covariance.matern ~sigma2:1. ~beta:0.1 ~nu:0.5 () in
+  let locs, z = locs_z ~seed:6 truth in
+  let settings = { Mle.default_settings with max_evals = 100 } in
+  let fe = Mle.fit ~settings ~engine:Likelihood.Exact ~family:Covariance.Matern ~locs ~z () in
+  let fm =
+    Mle.fit ~settings
+      ~engine:(Likelihood.mixed ~u_req:1e-9 ~nb:48 ())
+      ~family:Covariance.Matern ~locs ~z ()
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "param %d agrees (%.4f vs %.4f)" i v fm.Mle.theta.(i))
+        true
+        (Float.abs (v -. fm.Mle.theta.(i)) < 0.05))
+    fe.Mle.theta
+
+let test_fit_starts_at_lower_bounds () =
+  Alcotest.(check (array (float 0.))) "start point" [| 0.01; 0.01 |]
+    (Mle.start_point Mle.default_settings Covariance.Sqexp);
+  Alcotest.(check (array (float 0.))) "matern arity" [| 0.01; 0.01; 0.01 |]
+    (Mle.start_point Mle.default_settings Covariance.Matern)
+
+let test_loglik_tlr_engine () =
+  (* Smooth field: the TLR engine must match the exact likelihood closely. *)
+  let cov = Covariance.matern ~nugget:1e-4 ~sigma2:1. ~beta:0.15 ~nu:1.5 () in
+  let locs, z = locs_z ~n:256 ~seed:21 cov in
+  let exact = Likelihood.loglik Likelihood.Exact ~cov ~locs ~z in
+  let tlr u_req tol =
+    Likelihood.loglik (Likelihood.Tlr { tol; nb = 64; u_req }) ~cov ~locs ~z
+  in
+  let tight = tlr None 1e-9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight TLR close (Δ=%g)" (Float.abs (tight -. exact)))
+    true
+    (Float.abs (tight -. exact) < 1e-2 *. (1. +. Float.abs exact));
+  let mixed = tlr (Some 1e-6) 1e-6 in
+  Alcotest.(check bool) "mixed TLR finite and close" true
+    (Float.abs (mixed -. exact) < 0.05 *. (1. +. Float.abs exact))
+
+let test_fit_with_tlr_engine () =
+  let truth = Covariance.matern ~nugget:1e-4 ~sigma2:1. ~beta:0.15 ~nu:1.5 () in
+  let locs, z = locs_z ~n:196 ~seed:22 truth in
+  let settings = { Mle.default_settings with max_evals = 90 } in
+  let fe =
+    Mle.fit ~settings ~nugget:1e-4 ~engine:Likelihood.Exact ~family:Covariance.Matern
+      ~locs ~z ()
+  in
+  let ft =
+    Mle.fit ~settings ~nugget:1e-4
+      ~engine:(Likelihood.Tlr { tol = 1e-9; nb = 49; u_req = None })
+      ~family:Covariance.Matern ~locs ~z ()
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "param %d: %.4f vs %.4f" i v ft.Mle.theta.(i))
+        true
+        (Float.abs (v -. ft.Mle.theta.(i)) < 0.1))
+    fe.Mle.theta
+
+let test_fit_with_bobyqa () =
+  let truth = Covariance.sqexp ~sigma2:1. ~beta:0.1 () in
+  let locs, z = locs_z ~seed:7 truth in
+  let settings = { Mle.default_settings with optimizer = Mle.Bobyqa_lite; max_evals = 150 } in
+  let f = Mle.fit ~settings ~engine:Likelihood.Exact ~family:Covariance.Sqexp ~locs ~z () in
+  Alcotest.(check bool) "fit improves on start" true
+    (f.Mle.loglik
+    > Likelihood.loglik Likelihood.Exact
+        ~cov:(Covariance.sqexp ~sigma2:0.01 ~beta:0.01 ())
+        ~locs ~z)
+
+let test_precision_fractions_reported () =
+  (* The loose-accuracy engine needs the larger sqexp nugget (see DESIGN.md:
+     perturbations of order u_req·‖Σ‖ must stay below λmin). *)
+  let cov = Covariance.sqexp ~nugget:0.02 ~sigma2:1. ~beta:0.03 () in
+  let locs, z = locs_z ~n:196 ~seed:8 cov in
+  let e = Likelihood.evaluate (Likelihood.mixed ~u_req:1e-4 ~nb:32 ()) ~cov ~locs ~z in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. e.Likelihood.precision_fractions in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1. total;
+  Alcotest.(check bool) "mixed precisions actually used" true
+    (List.length e.Likelihood.precision_fractions > 1)
+
+let () =
+  Alcotest.run "mle"
+    [
+      ( "likelihood",
+        [
+          Alcotest.test_case "exact matches naive" `Quick test_loglik_exact_matches_naive;
+          Alcotest.test_case "mixed close to exact" `Quick test_loglik_mixed_close_to_exact;
+          Alcotest.test_case "peaks near truth" `Quick test_loglik_peaks_near_truth;
+          Alcotest.test_case "infeasible handled" `Quick test_loglik_infeasible_is_neg_inf;
+          Alcotest.test_case "precision fractions" `Quick test_precision_fractions_reported;
+        ] );
+      ( "mle",
+        [
+          Alcotest.test_case "recovers sqexp" `Quick test_fit_recovers_sqexp;
+          Alcotest.test_case "mixed 1e-9 = exact" `Quick test_fit_mixed_tight_matches_exact;
+          Alcotest.test_case "start point" `Quick test_fit_starts_at_lower_bounds;
+          Alcotest.test_case "bobyqa-lite engine" `Quick test_fit_with_bobyqa;
+          Alcotest.test_case "tlr likelihood" `Quick test_loglik_tlr_engine;
+          Alcotest.test_case "tlr fit = exact fit" `Quick test_fit_with_tlr_engine;
+        ] );
+    ]

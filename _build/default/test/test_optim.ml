@@ -1,0 +1,146 @@
+module Nm = Geomix_optim.Nelder_mead
+module Bl = Geomix_optim.Bobyqa_lite
+
+let sphere x = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. x
+
+let rosenbrock x =
+  let a = 1. -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+  (a *. a) +. (100. *. b *. b)
+
+let shifted_quadratic c x =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i v ->
+      let d = v -. c.(i) in
+      acc := !acc +. ((float_of_int (i + 1)) *. d *. d))
+    x;
+  !acc
+
+let near x y tol = Float.abs (x -. y) < tol
+
+let check_solution name xs expected tol =
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s x[%d]=%g ≈ %g" name i x expected.(i))
+        true (near x expected.(i) tol))
+    xs
+
+let test_nm_sphere () =
+  let r =
+    Nm.minimize ~lower:[| -5.; -5.; -5. |] ~upper:[| 5.; 5.; 5. |] ~x0:[| 3.; -2.; 1. |] sphere
+  in
+  check_solution "sphere" r.Nm.x [| 0.; 0.; 0. |] 1e-4;
+  Alcotest.(check bool) "fval small" true (r.Nm.fval < 1e-7)
+
+let test_nm_rosenbrock () =
+  let r =
+    Nm.minimize ~max_evals:5000 ~lower:[| -2.; -2. |] ~upper:[| 2.; 2. |] ~x0:[| -1.; 1. |]
+      rosenbrock
+  in
+  check_solution "rosenbrock" r.Nm.x [| 1.; 1. |] 1e-3
+
+let test_nm_respects_bounds () =
+  (* Unconstrained optimum at (−3, −3) lies outside the box: the solution
+     must sit on the boundary. *)
+  let r =
+    Nm.minimize ~lower:[| -1.; -1. |] ~upper:[| 1.; 1. |] ~x0:[| 0.5; 0.5 |]
+      (shifted_quadratic [| -3.; -3. |])
+  in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "inside box" true (v >= -1. && v <= 1.))
+    r.Nm.x;
+  check_solution "boundary" r.Nm.x [| -1.; -1. |] 1e-4
+
+let test_nm_x0_clipped () =
+  let r =
+    Nm.minimize ~lower:[| 0. |] ~upper:[| 1. |] ~x0:[| 50. |] (fun x -> (x.(0) -. 0.3) ** 2.)
+  in
+  check_solution "clipped start" r.Nm.x [| 0.3 |] 1e-5
+
+let test_nm_eval_budget () =
+  let count = ref 0 in
+  let f x =
+    incr count;
+    sphere x
+  in
+  let r = Nm.minimize ~max_evals:30 ~lower:[| -5.; -5. |] ~upper:[| 5.; 5. |] ~x0:[| 4.; 4. |] f in
+  Alcotest.(check bool) "budget respected" true (!count <= 33);
+  Alcotest.(check int) "reported evals" !count r.Nm.evals
+
+let test_nm_1d () =
+  let r = Nm.minimize ~lower:[| 0.01 |] ~upper:[| 2. |] ~x0:[| 0.01 |] (fun x -> -.log x.(0) +. x.(0)) in
+  check_solution "1d" r.Nm.x [| 1. |] 1e-5
+
+let test_bl_sphere () =
+  let r =
+    Bl.minimize ~lower:[| -5.; -5.; -5. |] ~upper:[| 5.; 5.; 5. |] ~x0:[| 3.; -2.; 1. |] sphere
+  in
+  check_solution "bl sphere" r.Bl.x [| 0.; 0.; 0. |] 1e-5
+
+let test_bl_shifted () =
+  let r =
+    Bl.minimize ~lower:[| -4.; -4. |] ~upper:[| 4.; 4. |] ~x0:[| 0.; 0. |]
+      (shifted_quadratic [| 1.5; -2.5 |])
+  in
+  check_solution "bl shifted" r.Bl.x [| 1.5; -2.5 |] 1e-4
+
+let test_bl_respects_bounds () =
+  let r =
+    Bl.minimize ~lower:[| 0.; 0. |] ~upper:[| 1.; 1. |] ~x0:[| 0.5; 0.5 |]
+      (shifted_quadratic [| 2.; 2. |])
+  in
+  Array.iter (fun v -> Alcotest.(check bool) "inside box" true (v >= 0. && v <= 1.)) r.Bl.x;
+  check_solution "bl boundary" r.Bl.x [| 1.; 1. |] 1e-3
+
+let test_bl_budget () =
+  let count = ref 0 in
+  let f x =
+    incr count;
+    sphere x
+  in
+  let r = Bl.minimize ~max_evals:25 ~lower:[| -5.; -5. |] ~upper:[| 5.; 5. |] ~x0:[| 4.; 4. |] f in
+  Alcotest.(check bool) "budget respected" true (r.Bl.evals <= 25)
+
+let prop_nm_never_leaves_box =
+  QCheck.Test.make ~name:"NM solution within the box" ~count:50
+    QCheck.(triple (float_range (-3.) 0.) (float_range 0.5 3.) (float_range (-5.) 5.))
+    (fun (lo, w, c) ->
+      let hi = lo +. w in
+      let r =
+        Nm.minimize ~max_evals:200 ~lower:[| lo |] ~upper:[| hi |] ~x0:[| lo |]
+          (fun x -> (x.(0) -. c) ** 2.)
+      in
+      r.Nm.x.(0) >= lo -. 1e-12 && r.Nm.x.(0) <= hi +. 1e-12)
+
+let prop_nm_improves_on_start =
+  QCheck.Test.make ~name:"NM never worse than start" ~count:50
+    QCheck.(pair (float_range (-4.) 4.) (float_range (-4.) 4.))
+    (fun (a, b) ->
+      let x0 = [| a; b |] in
+      let r = Nm.minimize ~max_evals:150 ~lower:[| -5.; -5. |] ~upper:[| 5.; 5. |] ~x0 rosenbrock in
+      r.Nm.fval <= rosenbrock x0 +. 1e-12)
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "nelder-mead",
+        [
+          Alcotest.test_case "sphere" `Quick test_nm_sphere;
+          Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
+          Alcotest.test_case "bounds" `Quick test_nm_respects_bounds;
+          Alcotest.test_case "x0 clipped" `Quick test_nm_x0_clipped;
+          Alcotest.test_case "eval budget" `Quick test_nm_eval_budget;
+          Alcotest.test_case "1d" `Quick test_nm_1d;
+        ] );
+      ( "bobyqa-lite",
+        [
+          Alcotest.test_case "sphere" `Quick test_bl_sphere;
+          Alcotest.test_case "shifted quadratic" `Quick test_bl_shifted;
+          Alcotest.test_case "bounds" `Quick test_bl_respects_bounds;
+          Alcotest.test_case "budget" `Quick test_bl_budget;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_nm_never_leaves_box; prop_nm_improves_on_start ] );
+    ]

@@ -1,0 +1,161 @@
+module Pool = Geomix_parallel.Pool
+module Dag_exec = Geomix_parallel.Dag_exec
+module Par = Geomix_parallel.Par
+module Rng = Geomix_util.Rng
+
+exception Boom
+
+let with_pools f =
+  (* Exercise both the serial degradation and a real multi-domain pool. *)
+  List.iter (fun w -> Pool.with_pool ~num_workers:w f) [ 0; 2 ]
+
+let test_submit_runs () =
+  with_pools (fun pool ->
+    let hits = Atomic.make 0 in
+    for _ = 1 to 50 do
+      Pool.submit pool (fun () -> Atomic.incr hits)
+    done;
+    Pool.wait_idle pool;
+    Alcotest.(check int) "all ran" 50 (Atomic.get hits))
+
+let test_nested_submit () =
+  with_pools (fun pool ->
+    let hits = Atomic.make 0 in
+    Pool.submit pool (fun () ->
+      Atomic.incr hits;
+      Pool.submit pool (fun () -> Atomic.incr hits));
+    Pool.wait_idle pool;
+    Alcotest.(check int) "nested ran" 2 (Atomic.get hits))
+
+let test_exception_propagates () =
+  List.iter
+    (fun w ->
+      let pool = Pool.create ~num_workers:w () in
+      Pool.submit pool (fun () -> raise Boom);
+      Alcotest.check_raises "re-raised" Boom (fun () -> Pool.wait_idle pool);
+      Pool.shutdown pool)
+    [ 0; 2 ]
+
+let test_wait_idle_idempotent () =
+  with_pools (fun pool ->
+    Pool.wait_idle pool;
+    Pool.wait_idle pool)
+
+let test_parallel_for () =
+  with_pools (fun pool ->
+    let out = Array.make 100 0 in
+    Par.parallel_for ~pool ~lo:0 ~hi:100 (fun i -> out.(i) <- i * i);
+    Array.iteri (fun i v -> Alcotest.(check int) "value" (i * i) v) out)
+
+let test_parallel_for_empty () =
+  with_pools (fun pool -> Par.parallel_for ~pool ~lo:5 ~hi:5 (fun _ -> assert false))
+
+let test_parallel_init_map () =
+  with_pools (fun pool ->
+    let a = Par.parallel_init ~pool 20 (fun i -> i + 1) in
+    Alcotest.(check int) "init" 20 a.(19);
+    let b = Par.parallel_map ~pool (fun x -> 2 * x) a in
+    Alcotest.(check int) "map" 40 b.(19))
+
+(* A random layered DAG: edges only go from layer k to k+1, so it is
+   acyclic by construction; execution must respect every edge. *)
+let random_layered_dag rng ~layers ~width =
+  let num = layers * width in
+  let succs = Array.make num [] in
+  let indeg = Array.make num 0 in
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      let src = (l * width) + i in
+      for j = 0 to width - 1 do
+        if Rng.float rng < 0.4 then begin
+          let dst = ((l + 1) * width) + j in
+          succs.(src) <- dst :: succs.(src);
+          indeg.(dst) <- indeg.(dst) + 1
+        end
+      done
+    done
+  done;
+  (num, succs, indeg)
+
+let test_dag_exec_respects_dependencies () =
+  List.iter
+    (fun w ->
+      Pool.with_pool ~num_workers:w (fun pool ->
+        let rng = Rng.create ~seed:42 in
+        let num, succs, indeg = random_layered_dag rng ~layers:6 ~width:8 in
+        let finished = Array.make num false in
+        let mutex = Mutex.create () in
+        let violations = ref 0 in
+        let preds = Array.make num [] in
+        Array.iteri (fun src l -> List.iter (fun d -> preds.(d) <- src :: preds.(d)) l) succs;
+        Dag_exec.run ~pool ~num_tasks:num ~in_degree:(Array.copy indeg)
+          ~successors:(fun id -> succs.(id))
+          ~execute:(fun id ->
+            Mutex.lock mutex;
+            List.iter (fun p -> if not finished.(p) then incr violations) preds.(id);
+            finished.(id) <- true;
+            Mutex.unlock mutex);
+        Alcotest.(check int) "no dependency violations" 0 !violations;
+        Alcotest.(check bool) "all finished" true (Array.for_all Fun.id finished)))
+    [ 0; 3 ]
+
+let test_dag_exec_linear_chain_order () =
+  Pool.with_pool ~num_workers:2 (fun pool ->
+    let n = 200 in
+    let order = ref [] in
+    let mutex = Mutex.create () in
+    Dag_exec.run ~pool ~num_tasks:n
+      ~in_degree:(Array.init n (fun i -> if i = 0 then 0 else 1))
+      ~successors:(fun id -> if id + 1 < n then [ id + 1 ] else [])
+      ~execute:(fun id ->
+        Mutex.lock mutex;
+        order := id :: !order;
+        Mutex.unlock mutex);
+    Alcotest.(check (list int)) "strict order" (List.init n (fun i -> n - 1 - i)) !order)
+
+let test_dag_exec_error () =
+  Pool.with_pool ~num_workers:0 (fun pool ->
+    Alcotest.check_raises "execute error propagates" Boom (fun () ->
+      Dag_exec.run ~pool ~num_tasks:3
+        ~in_degree:[| 0; 1; 1 |]
+        ~successors:(fun id -> if id < 2 then [ id + 1 ] else [])
+        ~execute:(fun id -> if id = 1 then raise Boom)))
+
+let test_check_acyclic () =
+  Alcotest.(check bool) "chain is acyclic" true
+    (Dag_exec.check_acyclic ~num_tasks:5 ~successors:(fun id ->
+       if id + 1 < 5 then [ id + 1 ] else []));
+  Alcotest.(check bool) "2-cycle detected" false
+    (Dag_exec.check_acyclic ~num_tasks:2 ~successors:(fun id -> [ 1 - id ]))
+
+let prop_parallel_init_equals_serial =
+  QCheck.Test.make ~name:"parallel_init = Array.init" ~count:50 (QCheck.int_range 0 200)
+    (fun n ->
+      Pool.with_pool ~num_workers:2 (fun pool ->
+        Par.parallel_init ~pool n (fun i -> (i * 13) mod 7) = Array.init n (fun i -> (i * 13) mod 7)))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submit runs" `Quick test_submit_runs;
+          Alcotest.test_case "nested submit" `Quick test_nested_submit;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "wait idempotent" `Quick test_wait_idle_idempotent;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "parallel_for" `Quick test_parallel_for;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty;
+          Alcotest.test_case "init/map" `Quick test_parallel_init_map;
+          QCheck_alcotest.to_alcotest prop_parallel_init_equals_serial;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "respects dependencies" `Quick test_dag_exec_respects_dependencies;
+          Alcotest.test_case "linear chain order" `Quick test_dag_exec_linear_chain_order;
+          Alcotest.test_case "error propagation" `Quick test_dag_exec_error;
+          Alcotest.test_case "acyclicity check" `Quick test_check_acyclic;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+module Pm = Geomix_core.Precision_map
+module Fp = Geomix_precision.Fpformat
+module Tiled = Geomix_tile.Tiled
+module Rng = Geomix_util.Rng
+
+let prec = Alcotest.testable Fp.pp ( = )
+
+let decay_element rate i j = exp (-.rate *. float_of_int (abs (i - j)))
+
+let test_diagonal_always_fp64 () =
+  let pmap = Pm.of_element_fn ~u_req:1e-2 ~n:512 ~nb:64 (decay_element 0.05) in
+  for k = 0 to Pm.nt pmap - 1 do
+    Alcotest.(check prec) "diag" Fp.Fp64 (Pm.get pmap k k)
+  done
+
+let test_rule_satisfied () =
+  (* Every off-diagonal tile's assigned precision must satisfy the norm
+     rule, and the next lower precision must violate it. *)
+  let rng = Rng.create ~seed:1 in
+  let n = 96 and nb = 16 in
+  let d =
+    Geomix_linalg.Mat.init ~rows:n ~cols:n (fun i j ->
+      decay_element 0.08 i j *. (1. +. (0.01 *. Rng.float rng)))
+  in
+  (* Symmetrise. *)
+  let d' = Geomix_linalg.Mat.copy d in
+  Geomix_linalg.Mat.add_scaled d' ~alpha:1. (Geomix_linalg.Mat.transpose d);
+  let a = Tiled.of_dense ~nb d' in
+  let u_req = 1e-6 in
+  let pmap = Pm.of_tiled ~u_req a in
+  let ntl = Tiled.nt a in
+  let global = Tiled.frobenius a in
+  let chain = [ Fp.Fp16; Fp.Fp16_32; Fp.Fp32 ] in
+  for i = 0 to ntl - 1 do
+    for j = 0 to i - 1 do
+      let ratio = Tiled.tile_frobenius a i j *. float_of_int ntl /. global in
+      let p = Pm.get pmap i j in
+      if p <> Fp.Fp64 then
+        Alcotest.(check bool) "rule holds" true (ratio <= u_req /. Fp.rule_epsilon p);
+      (* No strictly lower precision may also satisfy the rule. *)
+      List.iter
+        (fun q ->
+          if Fp.compare_precision q p < 0 then
+            Alcotest.(check bool) "assigned the lowest feasible" false
+              (ratio <= u_req /. Fp.rule_epsilon q))
+        chain
+    done
+  done
+
+let test_stricter_accuracy_raises_precision () =
+  let count_low u =
+    let pmap = Pm.of_element_fn ~u_req:u ~n:1024 ~nb:64 (decay_element 0.02) in
+    List.fold_left
+      (fun acc (p, f) -> if p = Fp.Fp16 || p = Fp.Fp16_32 then acc +. f else acc)
+      0. (Pm.fractions pmap)
+  in
+  let loose = count_low 1e-3 and strict = count_low 1e-10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "low-precision share shrinks (%.2f → %.2f)" loose strict)
+    true (strict < loose)
+
+let test_faster_decay_lowers_precision () =
+  let frac_low rate =
+    let pmap = Pm.of_element_fn ~u_req:1e-6 ~n:1024 ~nb:64 (decay_element rate) in
+    List.fold_left
+      (fun acc (p, f) -> if p = Fp.Fp16 || p = Fp.Fp16_32 then acc +. f else acc)
+      0. (Pm.fractions pmap)
+  in
+  Alcotest.(check bool) "faster decay ⇒ more FP16-class tiles" true
+    (frac_low 0.05 > frac_low 0.002)
+
+let test_uniform_and_two_level () =
+  let u = Pm.uniform ~nt:5 Fp.Fp32 in
+  Alcotest.(check prec) "uniform diag" Fp.Fp32 (Pm.get u 2 2);
+  Alcotest.(check prec) "uniform off" Fp.Fp32 (Pm.get u 4 1);
+  let t = Pm.two_level ~nt:5 ~off_diag:Fp.Fp16 in
+  Alcotest.(check prec) "two-level diag" Fp.Fp64 (Pm.get t 3 3);
+  Alcotest.(check prec) "two-level off" Fp.Fp16 (Pm.get t 3 1)
+
+let test_storage () =
+  let t = Pm.two_level ~nt:4 ~off_diag:Fp.Fp16 in
+  Alcotest.(check bool) "diag stored fp64" true (Pm.storage t 1 1 = Fp.S_fp64);
+  Alcotest.(check bool) "fp16 tile stored fp32" true (Pm.storage t 2 0 = Fp.S_fp32)
+
+let test_fractions_sum_to_one () =
+  let pmap = Pm.of_element_fn ~u_req:1e-5 ~n:512 ~nb:32 (decay_element 0.03) in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. (Pm.fractions pmap) in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1. total
+
+let test_sampled_estimator_close_to_exact () =
+  (* On a matrix small enough to materialise, the sampled map should agree
+     with the exact map on nearly all tiles. *)
+  let n = 256 and nb = 32 in
+  let f i j = decay_element 0.04 i j in
+  let a = Tiled.init ~n ~nb f in
+  let exact = Pm.of_tiled ~u_req:1e-6 a in
+  let sampled = Pm.of_element_fn ~samples_per_tile:256 ~u_req:1e-6 ~n ~nb f in
+  let agree = ref 0 and total = ref 0 in
+  for i = 0 to Pm.nt exact - 1 do
+    for j = 0 to i do
+      incr total;
+      if Pm.get exact i j = Pm.get sampled i j then incr agree
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement %d/%d" !agree !total)
+    true
+    (float_of_int !agree /. float_of_int !total > 0.9)
+
+let test_chain_restriction () =
+  (* Restricting the chain to {FP64, FP32} must never produce FP16 tiles. *)
+  let pmap =
+    Pm.of_element_fn ~chain:[ Fp.Fp64; Fp.Fp32 ] ~u_req:1e-2 ~n:512 ~nb:64
+      (decay_element 0.05)
+  in
+  List.iter
+    (fun (p, _) -> Alcotest.(check bool) "only 64/32" true (p = Fp.Fp64 || p = Fp.Fp32))
+    (Pm.fractions pmap)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_render_contains_legend () =
+  let pmap = Pm.two_level ~nt:4 ~off_diag:Fp.Fp16 in
+  let s = Pm.render pmap in
+  Alcotest.(check bool) "mentions FP64" true (contains s "FP64");
+  Alcotest.(check bool) "mentions FP16" true (contains s "FP16")
+
+let prop_map_monotone_in_u =
+  QCheck.Test.make ~name:"looser u_req never raises a tile's precision" ~count:20
+    (QCheck.pair (QCheck.float_range 1e-10 1e-2) (QCheck.float_range 1.5 10.))
+    (fun (u, factor) ->
+      let f = decay_element 0.03 in
+      let a = Pm.of_element_fn ~u_req:u ~n:256 ~nb:32 f in
+      let b = Pm.of_element_fn ~u_req:(u *. factor) ~n:256 ~nb:32 f in
+      let ok = ref true in
+      for i = 0 to Pm.nt a - 1 do
+        for j = 0 to i do
+          if Fp.compare_precision (Pm.get b i j) (Pm.get a i j) > 0 then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "precision_map"
+    [
+      ( "precision map",
+        [
+          Alcotest.test_case "diagonal FP64" `Quick test_diagonal_always_fp64;
+          Alcotest.test_case "norm rule satisfied & minimal" `Quick test_rule_satisfied;
+          Alcotest.test_case "stricter accuracy ⇒ higher precision" `Quick
+            test_stricter_accuracy_raises_precision;
+          Alcotest.test_case "decay structure honoured" `Quick test_faster_decay_lowers_precision;
+          Alcotest.test_case "uniform/two-level" `Quick test_uniform_and_two_level;
+          Alcotest.test_case "storage rule" `Quick test_storage;
+          Alcotest.test_case "fractions sum" `Quick test_fractions_sum_to_one;
+          Alcotest.test_case "sampled ≈ exact" `Quick test_sampled_estimator_close_to_exact;
+          Alcotest.test_case "chain restriction" `Quick test_chain_restriction;
+          Alcotest.test_case "render legend" `Quick test_render_contains_legend;
+          QCheck_alcotest.to_alcotest prop_map_monotone_in_u;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+module Rng = Geomix_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:9 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 10);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:11 in
+  let xs = Rng.gaussian_vector rng 100_000 in
+  let mean = Geomix_util.Stats.mean xs in
+  let var = Geomix_util.Stats.variance xs in
+  Alcotest.(check bool) "mean ~0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "var ~1" true (Float.abs (var -. 1.) < 0.03)
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:5 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true (Rng.int64 c1 <> Rng.int64 c2)
+
+let test_copy_snapshots () =
+  let a = Rng.create ~seed:21 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let test_uniform_range () =
+  let rng = Rng.create ~seed:17 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:(-3.) ~hi:5. in
+    Alcotest.(check bool) "in [lo,hi)" true (x >= -3. && x < 5.)
+  done
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "int bounds & uniformity" `Quick test_int_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy snapshot" `Quick test_copy_snapshots;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+module Pm = Geomix_core.Precision_map
+module Sim = Geomix_core.Sim_cholesky
+module Machine = Geomix_gpusim.Machine
+module Gpu = Geomix_gpusim.Gpu_specs
+module Exec_model = Geomix_gpusim.Exec_model
+module Task = Geomix_runtime.Task
+module Trace = Geomix_runtime.Trace
+module Flops = Geomix_precision.Flops
+module Fp = Geomix_precision.Fpformat
+
+let nb = 2048
+
+let run ?(strategy = Sim.Stc_auto) ?(machine = Machine.single_gpu Gpu.V100)
+    ?(collect_trace = false) pmap =
+  Sim.run
+    ~options:{ Sim.default_options with strategy; collect_trace }
+    ~machine ~pmap ~nb ()
+
+let test_flops_accounting () =
+  let r = run (Pm.uniform ~nt:8 Fp.Fp64) in
+  Alcotest.(check (float 1.)) "algorithmic flops" (Flops.cholesky_tiled ~nt:8 ~nb) r.Sim.total_flops;
+  Alcotest.(check bool) "positive time" true (r.Sim.makespan > 0.)
+
+let test_makespan_bounds () =
+  (* Makespan ≥ total work / aggregate peak, and ≥ the critical path of
+     POTRF tasks. *)
+  let machine = Machine.summit () in
+  let ntiles = 12 in
+  let r = Sim.run ~machine ~pmap:(Pm.uniform ~nt:ntiles Fp.Fp64) ~nb () in
+  let peak = Gpu.peak_flops Gpu.v100 Fp.Fp64 in
+  let work_bound = r.Sim.total_flops /. (peak *. float_of_int r.Sim.ngpus) in
+  Alcotest.(check bool) "≥ work bound" true (r.Sim.makespan >= work_bound);
+  let cp =
+    float_of_int ntiles *. Exec_model.kernel_time Gpu.v100 (Task.Potrf 0) ~prec:Fp.Fp64 ~nb
+  in
+  Alcotest.(check bool) "≥ potrf chain" true (r.Sim.makespan >= cp)
+
+let test_fp64_efficiency_band () =
+  (* Section VII-D: 84.2% of FP64 peak on one V100 (at memory-limit size). *)
+  let r = run (Pm.uniform ~nt:30 Fp.Fp64) in
+  let e = Sim.efficiency r ~peak_flops_per_gpu:(Gpu.peak_flops Gpu.v100 Fp.Fp64) in
+  Alcotest.(check bool) (Printf.sprintf "efficiency %.3f in [0.78, 0.92]" e) true
+    (e > 0.78 && e < 0.92)
+
+let test_precision_ordering () =
+  (* FP64 slower than FP32 slower than FP64/FP16 (Fig 8). *)
+  let t pmap = (run pmap).Sim.makespan in
+  let t64 = t (Pm.uniform ~nt:16 Fp.Fp64) in
+  let t32 = t (Pm.uniform ~nt:16 Fp.Fp32) in
+  let t16 = t (Pm.two_level ~nt:16 ~off_diag:Fp.Fp16) in
+  Alcotest.(check bool) "64 > 32" true (t64 > t32);
+  Alcotest.(check bool) "32 > mixed16" true (t32 > t16)
+
+let test_stc_beats_ttc () =
+  let pmap = Pm.two_level ~nt:20 ~off_diag:Fp.Fp16 in
+  let stc = run ~strategy:Sim.Stc_auto pmap in
+  let ttc = run ~strategy:Sim.Ttc_always pmap in
+  let speedup = ttc.Sim.makespan /. stc.Sim.makespan in
+  Alcotest.(check bool) (Printf.sprintf "speedup %.2f in [1.05, 1.6]" speedup) true
+    (speedup > 1.05 && speedup < 1.6)
+
+let test_stc_reduces_conversions () =
+  let pmap = Pm.two_level ~nt:16 ~off_diag:Fp.Fp16_32 in
+  let stc = run ~strategy:Sim.Stc_auto pmap in
+  let ttc = run ~strategy:Sim.Ttc_always pmap in
+  Alcotest.(check bool)
+    (Printf.sprintf "conversions %d < %d" stc.Sim.conversions ttc.Sim.conversions)
+    true
+    (stc.Sim.conversions < ttc.Sim.conversions)
+
+let test_memory_pressure_creates_traffic () =
+  (* nt=20 FP64 fits the V100 (6.7 GB); nt=40 (27 GB) must thrash. *)
+  let small = run (Pm.uniform ~nt:20 Fp.Fp64) in
+  let big = run (Pm.uniform ~nt:40 Fp.Fp64) in
+  Alcotest.(check (float 0.)) "no traffic when resident" 0. small.Sim.bytes_h2d;
+  Alcotest.(check bool) "thrashing traffic" true (big.Sim.bytes_h2d > 100e9)
+
+let test_stc_reduces_bytes_under_pressure () =
+  (* LRU dynamics differ slightly between the strategies (STC inserts
+     smaller received copies), so allow a small tolerance on the comparison
+     while still requiring STC not to move meaningfully more data. *)
+  let pmap = Pm.two_level ~nt:46 ~off_diag:Fp.Fp16 in
+  let stc = run ~strategy:Sim.Stc_auto pmap in
+  let ttc = run ~strategy:Sim.Ttc_always pmap in
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes %.1f ≤ 1.05·%.1f GB" (stc.Sim.bytes_h2d /. 1e9)
+       (ttc.Sim.bytes_h2d /. 1e9))
+    true
+    (stc.Sim.bytes_h2d <= 1.05 *. ttc.Sim.bytes_h2d)
+
+let test_multi_gpu_speedup () =
+  let pmap = Pm.uniform ~nt:24 Fp.Fp64 in
+  let one = Sim.run ~machine:(Machine.single_gpu Gpu.V100) ~pmap ~nb () in
+  let node = Sim.run ~machine:(Machine.summit ()) ~pmap ~nb () in
+  let speedup = one.Sim.makespan /. node.Sim.makespan in
+  Alcotest.(check int) "six gpus" 6 node.Sim.ngpus;
+  Alcotest.(check bool) (Printf.sprintf "speedup %.2f > 3.5" speedup) true (speedup > 3.5);
+  Alcotest.(check bool) "≤ linear" true (speedup <= 6.01)
+
+let test_multi_node_nic_traffic () =
+  let pmap = Pm.uniform ~nt:32 Fp.Fp64 in
+  let r = Sim.run ~machine:(Machine.summit ~nodes:4 ()) ~pmap ~nb () in
+  Alcotest.(check bool) "internode traffic exists" true (r.Sim.bytes_nic > 0.);
+  Alcotest.(check bool) "d2d traffic exists" true (r.Sim.bytes_d2d > 0.)
+
+let test_trace_collection () =
+  let ntiles = 6 in
+  let r = run ~collect_trace:true (Pm.uniform ~nt:ntiles Fp.Fp64) in
+  match r.Sim.trace with
+  | None -> Alcotest.fail "trace missing"
+  | Some tr ->
+    let events = Trace.events tr in
+    let expected = ntiles + (ntiles * (ntiles - 1)) + (ntiles * (ntiles - 1) * (ntiles - 2) / 6) in
+    Alcotest.(check int) "one event per task" expected (List.length events);
+    Alcotest.(check (float 1e-9)) "trace makespan agrees" r.Sim.makespan (Trace.makespan tr)
+
+let test_energy_sanity () =
+  let r64 = run (Pm.uniform ~nt:20 Fp.Fp64) in
+  let r16 = run (Pm.two_level ~nt:20 ~off_diag:Fp.Fp16) in
+  Alcotest.(check bool) "MP uses less energy" true
+    (r16.Sim.energy.energy_joules < r64.Sim.energy.energy_joules);
+  Alcotest.(check bool) "MP better gflops/W" true
+    (r16.Sim.energy.gflops_per_watt > r64.Sim.energy.gflops_per_watt);
+  Alcotest.(check bool) "avg power ≤ ngpus·TDP" true
+    (r64.Sim.energy.avg_power <= float_of_int r64.Sim.ngpus *. Gpu.v100.Gpu.tdp)
+
+let test_utilisation_bounds () =
+  let r = run (Pm.uniform ~nt:16 Fp.Fp64) in
+  Alcotest.(check bool) "util in (0,1]" true (r.Sim.utilisation > 0. && r.Sim.utilisation <= 1.0001)
+
+let test_single_tile () =
+  (* nt = 1 degenerate case: one POTRF, no communication. *)
+  let r = run (Pm.uniform ~nt:1 Fp.Fp64) in
+  Alcotest.(check bool) "positive makespan" true (r.Sim.makespan > 0.);
+  Alcotest.(check (float 0.)) "no traffic" 0.
+    (r.Sim.bytes_h2d +. r.Sim.bytes_d2d +. r.Sim.bytes_nic);
+  Alcotest.(check int) "no conversions" 0 r.Sim.conversions
+
+let test_guyot_machine () =
+  let r = Sim.run ~machine:(Machine.guyot ()) ~pmap:(Pm.uniform ~nt:16 Fp.Fp64) ~nb () in
+  Alcotest.(check int) "8 GPUs" 8 r.Sim.ngpus;
+  Alcotest.(check bool) "runs" true (r.Sim.makespan > 0. && r.Sim.tflops > 0.)
+
+let test_deterministic () =
+  let pmap = Pm.two_level ~nt:12 ~off_diag:Fp.Fp16 in
+  let a = run pmap and b = run pmap in
+  Alcotest.(check (float 0.)) "same makespan" a.Sim.makespan b.Sim.makespan;
+  Alcotest.(check (float 0.)) "same bytes" a.Sim.bytes_h2d b.Sim.bytes_h2d
+
+let prop_makespan_at_least_work_bound =
+  QCheck.Test.make ~name:"makespan ≥ work/aggregate-sustained-peak" ~count:15
+    QCheck.(pair (int_range 2 14) (oneofl [ Gpu.V100; Gpu.A100; Gpu.H100 ]))
+    (fun (ntiles, gen) ->
+      let machine = Machine.single_gpu gen in
+      let r = Sim.run ~machine ~pmap:(Pm.uniform ~nt:ntiles Fp.Fp64) ~nb () in
+      let gpu = Gpu.of_generation gen in
+      r.Sim.makespan >= r.Sim.total_flops /. Gpu.peak_flops gpu Fp.Fp64)
+
+let () =
+  Alcotest.run "sim_cholesky"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "flops accounting" `Quick test_flops_accounting;
+          Alcotest.test_case "makespan bounds" `Quick test_makespan_bounds;
+          Alcotest.test_case "fp64 efficiency band" `Quick test_fp64_efficiency_band;
+          Alcotest.test_case "precision ordering" `Quick test_precision_ordering;
+          Alcotest.test_case "STC beats TTC" `Quick test_stc_beats_ttc;
+          Alcotest.test_case "STC fewer conversions" `Quick test_stc_reduces_conversions;
+          Alcotest.test_case "memory pressure traffic" `Quick test_memory_pressure_creates_traffic;
+          Alcotest.test_case "STC bytes ≤ TTC bytes" `Quick test_stc_reduces_bytes_under_pressure;
+          Alcotest.test_case "multi-gpu speedup" `Quick test_multi_gpu_speedup;
+          Alcotest.test_case "multi-node traffic" `Quick test_multi_node_nic_traffic;
+          Alcotest.test_case "trace collection" `Quick test_trace_collection;
+          Alcotest.test_case "energy sanity" `Quick test_energy_sanity;
+          Alcotest.test_case "utilisation bounds" `Quick test_utilisation_bounds;
+          Alcotest.test_case "single tile" `Quick test_single_tile;
+          Alcotest.test_case "guyot machine" `Quick test_guyot_machine;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          QCheck_alcotest.to_alcotest prop_makespan_at_least_work_bound;
+        ] );
+    ]

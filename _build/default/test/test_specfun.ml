@@ -1,0 +1,131 @@
+module Gamma = Geomix_specfun.Gamma
+module Bessel = Geomix_specfun.Bessel
+
+let releq ?(tol = 1e-10) a b = Float.abs (a -. b) <= tol *. (1. +. Float.abs b)
+
+let check name tol expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.15g got %.15g" name expected actual)
+    true (releq ~tol expected actual)
+
+let test_gamma_integers () =
+  check "Γ(1)" 1e-12 1. (Gamma.gamma 1.);
+  check "Γ(2)" 1e-12 1. (Gamma.gamma 2.);
+  check "Γ(5)" 1e-12 24. (Gamma.gamma 5.);
+  check "Γ(10)" 1e-11 362880. (Gamma.gamma 10.)
+
+let test_gamma_half () =
+  check "Γ(1/2)" 1e-12 (sqrt Float.pi) (Gamma.gamma 0.5);
+  check "Γ(3/2)" 1e-12 (sqrt Float.pi /. 2.) (Gamma.gamma 1.5);
+  check "Γ(-1/2)" 1e-11 (-2. *. sqrt Float.pi) (Gamma.gamma (-0.5))
+
+let test_gamma_recurrence () =
+  List.iter
+    (fun x -> check "Γ(x+1)=xΓ(x)" 1e-11 (x *. Gamma.gamma x) (Gamma.gamma (x +. 1.)))
+    [ 0.3; 0.77; 1.9; 3.21; 7.5 ]
+
+let test_lgamma_large () =
+  (* Stirling check at x=100: lnΓ(100) = 359.1342053695754 *)
+  check "lnΓ(100)" 1e-12 359.1342053695754 (Gamma.lgamma 100.)
+
+(* Reference values from Abramowitz & Stegun / SciPy. *)
+let test_bessel_k_reference () =
+  check "K₀(1)" 1e-10 0.42102443824070834 (Bessel.bessel_k ~nu:0. 1.);
+  check "K₁(1)" 1e-10 0.6019072301972346 (Bessel.bessel_k ~nu:1. 1.);
+  check "K₀(5)" 1e-10 0.003691098334042594 (Bessel.bessel_k ~nu:0. 5.);
+  check "K₂(0.5)" 1e-10 7.550183551240869 (Bessel.bessel_k ~nu:2. 0.5);
+  check "K_{0.3}(0.1)" 1e-9 2.8050564750254116 (Bessel.bessel_k ~nu:0.3 0.1)
+
+let test_bessel_i_reference () =
+  check "I₀(1)" 1e-10 1.2660658777520082 (Bessel.bessel_i ~nu:0. 1.);
+  check "I₁(1)" 1e-10 0.5651591039924851 (Bessel.bessel_i ~nu:1. 1.);
+  check "I₀(5)" 1e-9 27.239871823604442 (Bessel.bessel_i ~nu:0. 5.)
+
+let test_bessel_half_closed_form () =
+  List.iter
+    (fun x ->
+      check "K_{1/2} closed form" 1e-12 (Bessel.bessel_k_half x)
+        (Bessel.bessel_k ~nu:0.5 x))
+    [ 0.05; 0.3; 1.; 2.; 5.; 20. ]
+
+let test_bessel_recurrence () =
+  (* K_{ν+1}(x) = K_{ν−1}(x) + (2ν/x)·K_ν(x). *)
+  List.iter
+    (fun (nu, x) ->
+      let k_m = Bessel.bessel_k ~nu:(nu -. 1.) x in
+      let k_0 = Bessel.bessel_k ~nu x in
+      let k_p = Bessel.bessel_k ~nu:(nu +. 1.) x in
+      check
+        (Printf.sprintf "recurrence ν=%g x=%g" nu x)
+        1e-9
+        (k_m +. (2. *. nu /. x *. k_0))
+        k_p)
+    [ (1., 0.7); (1.3, 2.5); (2., 4.); (1.5, 0.2) ]
+
+let test_bessel_wronskian () =
+  (* I_ν(x)·K_{ν+1}(x) + I_{ν+1}(x)·K_ν(x) = 1/x. *)
+  List.iter
+    (fun (nu, x) ->
+      let i0, k0 = Bessel.bessel_ik ~nu x in
+      let i1, k1 = Bessel.bessel_ik ~nu:(nu +. 1.) x in
+      check (Printf.sprintf "wronskian ν=%g x=%g" nu x) 1e-10 (1. /. x)
+        ((i0 *. k1) +. (i1 *. k0)))
+    [ (0., 0.5); (0.5, 1.); (0.25, 3.); (1.7, 0.3); (0.9, 8.) ]
+
+let test_bessel_domain () =
+  Alcotest.check_raises "x=0 rejected" (Invalid_argument "Bessel.bessel_ik: requires x > 0 and nu >= 0")
+    (fun () -> ignore (Bessel.bessel_k ~nu:0.5 0.));
+  Alcotest.check_raises "nu<0 rejected" (Invalid_argument "Bessel.bessel_ik: requires x > 0 and nu >= 0")
+    (fun () -> ignore (Bessel.bessel_k ~nu:(-1.) 1.))
+
+let test_bessel_k_positive_decreasing () =
+  List.iter
+    (fun nu ->
+      let prev = ref infinity in
+      List.iter
+        (fun x ->
+          let k = Bessel.bessel_k ~nu x in
+          Alcotest.(check bool) "positive" true (k > 0.);
+          Alcotest.(check bool) "decreasing in x" true (k < !prev);
+          prev := k)
+        [ 0.1; 0.5; 1.; 2.; 4.; 8. ])
+    [ 0.1; 0.5; 1.; 1.9 ]
+
+let prop_wronskian =
+  QCheck.Test.make ~name:"wronskian holds over random (ν,x)" ~count:300
+    QCheck.(pair (float_range 0. 3.) (float_range 0.05 30.))
+    (fun (nu, x) ->
+      let i0, k0 = Bessel.bessel_ik ~nu x in
+      let i1, k1 = Bessel.bessel_ik ~nu:(nu +. 1.) x in
+      releq ~tol:1e-8 (1. /. x) ((i0 *. k1) +. (i1 *. k0)))
+
+let prop_k_decreasing_in_x =
+  QCheck.Test.make ~name:"K_ν decreasing in x" ~count:300
+    QCheck.(triple (float_range 0. 2.5) (float_range 0.05 20.) (float_range 0.05 20.))
+    (fun (nu, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      lo = hi || Bessel.bessel_k ~nu lo >= Bessel.bessel_k ~nu hi)
+
+let () =
+  Alcotest.run "specfun"
+    [
+      ( "gamma",
+        [
+          Alcotest.test_case "integers" `Quick test_gamma_integers;
+          Alcotest.test_case "half integers" `Quick test_gamma_half;
+          Alcotest.test_case "recurrence" `Quick test_gamma_recurrence;
+          Alcotest.test_case "lgamma large" `Quick test_lgamma_large;
+        ] );
+      ( "bessel",
+        [
+          Alcotest.test_case "K reference values" `Quick test_bessel_k_reference;
+          Alcotest.test_case "I reference values" `Quick test_bessel_i_reference;
+          Alcotest.test_case "K half closed form" `Quick test_bessel_half_closed_form;
+          Alcotest.test_case "recurrence" `Quick test_bessel_recurrence;
+          Alcotest.test_case "wronskian" `Quick test_bessel_wronskian;
+          Alcotest.test_case "domain errors" `Quick test_bessel_domain;
+          Alcotest.test_case "positive decreasing" `Quick test_bessel_k_positive_decreasing;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_wronskian; prop_k_decreasing_in_x ] );
+    ]
