@@ -1,0 +1,21 @@
+# Convenience wrappers around dune; see TESTING.md for the test layers.
+
+.PHONY: all test check verify-slow clean
+
+all:
+	dune build @all
+
+# Tier-1: the full fast test suite.
+test:
+	dune build && dune runtest
+
+# Tier-1 plus the seeded schedule-explorer pass over a numeric DTD Cholesky.
+check: test
+	dune exec test/explorer_pass.exe
+
+# Exhaustive schedule enumeration — minutes-scale, out of tier-1.
+verify-slow:
+	dune build @verify-slow
+
+clean:
+	dune clean

@@ -94,6 +94,8 @@ let compute pmap =
   done;
   { nt = n; comm; strat }
 
+let equal a b = a.nt = b.nt && a.comm = b.comm && a.strat = b.strat
+
 let stc_fraction t =
   let stc = Array.fold_left (fun acc s -> if s = Stc then acc + 1 else acc) 0 t.strat in
   float_of_int stc /. float_of_int (Array.length t.strat)

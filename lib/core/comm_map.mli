@@ -40,6 +40,9 @@ val comm_scalar : t -> int -> int -> Fpformat.scalar
 
 val strategy : t -> int -> int -> strategy
 
+val equal : t -> t -> bool
+(** Tile-for-tile equality of transfer formats and strategies. *)
+
 val stc_fraction : t -> float
 (** Fraction of broadcasting tiles using STC (tiles with no successors
     count as TTC). *)

@@ -75,6 +75,18 @@ let of_element_fn ?chain ?(samples_per_tile = 64) ~u_req ~n ~nb element =
   done;
   of_tile_norms ?chain ~u_req ~nt ~global_norm:(sqrt !gsq) (fun i j -> norms.(pidx i j))
 
+(* Arbitrary per-tile assignment, bypassing the norm rule.  Property suites
+   use this to build adversarial/random kernel-precision maps. *)
+let of_fn ~nt f =
+  assert (nt > 0);
+  let prec = Array.make (nt * (nt + 1) / 2) Fpformat.Fp64 in
+  for i = 0 to nt - 1 do
+    for j = 0 to i do
+      prec.(pidx i j) <- f i j
+    done
+  done;
+  { nt; u_req = nan; prec }
+
 let uniform ~nt p = { nt; u_req = nan; prec = Array.make (nt * (nt + 1) / 2) p }
 
 let two_level ~nt ~off_diag =

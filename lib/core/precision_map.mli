@@ -55,6 +55,11 @@ val of_element_fn :
     paper-scale precision maps (Fig 7, matrix order 409 600) are produced
     here. *)
 
+val of_fn : nt:int -> (int -> int -> Fpformat.t) -> t
+(** Arbitrary per-tile assignment (i ≥ j), bypassing the norm rule —
+    [u_req] is nan.  Property suites use this to build adversarial/random
+    kernel-precision maps. *)
+
 val uniform : nt:int -> Fpformat.t -> t
 (** Every tile (including the diagonal) at one precision — the FP64 and
     FP32 baselines of Figs 8, 11, 12. *)

@@ -32,6 +32,15 @@ let run ~pool ~num_tasks ~in_degree ~successors ~execute =
   if (not (Atomic.get failed)) && Atomic.get completed <> num_tasks then
     invalid_arg "Dag_exec.run: not all tasks became ready (cyclic graph?)"
 
+(* Invert the successor function once; each list comes back in ascending
+   task order. *)
+let predecessors ~num_tasks ~successors =
+  let preds = Array.make num_tasks [] in
+  for id = num_tasks - 1 downto 0 do
+    List.iter (fun s -> preds.(s) <- id :: preds.(s)) (successors id)
+  done;
+  preds
+
 let check_acyclic ~num_tasks ~successors =
   let indeg = Array.make num_tasks 0 in
   for id = 0 to num_tasks - 1 do

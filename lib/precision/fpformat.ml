@@ -72,6 +72,14 @@ let scalar_rank = function
 
 let higher_scalar a b = if scalar_rank a >= scalar_rank b then a else b
 
+(* [refines t s]: every value representable in [s] is also representable in
+   [t] — at least as many significand bits and a wider exponent range on
+   both sides.  Note this is a partial order, not the [scalar_rank] chain:
+   FP16 and BF16 are incomparable (more mantissa vs more range). *)
+let refines t s =
+  let a = spec_of t and b = spec_of s in
+  a.mant >= b.mant && a.emin <= b.emin && a.emax >= b.emax
+
 let scalar_name = function
   | S_fp64 -> "FP64"
   | S_fp32 -> "FP32"

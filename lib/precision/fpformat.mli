@@ -43,6 +43,13 @@ val scalar_rank : scalar -> int
 val higher_scalar : scalar -> scalar -> scalar
 (** Maximum under {!scalar_rank}. *)
 
+val refines : scalar -> scalar -> bool
+(** [refines t s] iff every value representable in [s] is also
+    representable in [t] (at least as many significand bits, wider
+    exponent range).  A partial order, not the {!scalar_rank} chain: FP16
+    and BF16 are incomparable.  Rounding to [s] then to [t] is the
+    identity on the result exactly when this holds. *)
+
 val scalar_name : scalar -> string
 val scalar_of_string : string -> scalar option
 val pp_scalar : Format.formatter -> scalar -> unit

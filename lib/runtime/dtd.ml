@@ -6,6 +6,8 @@ type task_id = int
 type task = {
   name : string;
   body : unit -> unit;
+  reads : int list; (* declared footprint, sorted and deduplicated *)
+  writes : int list;
   mutable preds : task_id list; (* reverse insertion order while building *)
   mutable succs : task_id list;
   mutable indeg : int;
@@ -50,7 +52,17 @@ let add_dep t ~on ~target =
 
 let insert t ~name ~reads ~writes body =
   let id = t.count in
-  let task = { name; body; preds = []; succs = []; indeg = 0 } in
+  let task =
+    {
+      name;
+      body;
+      reads = List.sort_uniq compare reads;
+      writes = List.sort_uniq compare writes;
+      preds = [];
+      succs = [];
+      indeg = 0;
+    }
+  in
   grow t task;
   t.tasks.(t.count) <- task;
   t.count <- t.count + 1;
@@ -77,6 +89,20 @@ let check_id t id = if id < 0 || id >= t.count then invalid_arg "Dtd: bad task i
 let name t id =
   check_id t id;
   t.tasks.(id).name
+
+(* Declared (reads, writes) footprint, as normalized at insertion.  The
+   verify layer rederives the must-happen-before relation from this and
+   cross-checks it against the edges [insert] actually created. *)
+let footprint t id =
+  check_id t id;
+  (t.tasks.(id).reads, t.tasks.(id).writes)
+
+(* Run one task body directly.  Virtual executors (Geomix_verify.Explore)
+   use this to replay the graph under a chosen linearization without a
+   pool. *)
+let execute_task t id =
+  check_id t id;
+  t.tasks.(id).body ()
 
 let predecessors t id =
   check_id t id;

@@ -23,6 +23,17 @@ val insert :
 
 val num_tasks : t -> int
 val name : t -> task_id -> string
+
+val footprint : t -> task_id -> int list * int list
+(** The declared (reads, writes) keys of a task, sorted and deduplicated.
+    The verify layer (Geomix_verify.Races) rederives the must-happen-before
+    relation from footprints and cross-checks the derived DAG against it. *)
+
+val execute_task : t -> task_id -> unit
+(** Run one task body directly.  Virtual executors
+    (Geomix_verify.Explore) use this to replay the graph under a chosen
+    linearization without a pool. *)
+
 val predecessors : t -> task_id -> task_id list
 (** Deduplicated, in insertion order. *)
 

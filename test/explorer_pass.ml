@@ -1,0 +1,76 @@
+(* Schedule-explorer smoke pass, the second leg of [make check]: a numeric
+   tile Cholesky expressed through DTD insertion, replayed under 10 seeded
+   interleavings of the ready set.  Every schedule must produce a correct
+   factorization; any failure prints the offending seed (rebuild the exact
+   interleaving with [Explore.random_schedule ~seed]) and exits nonzero. *)
+
+module Explore = Geomix_verify.Explore
+module Dtd = Geomix_runtime.Dtd
+module Mat = Geomix_linalg.Mat
+module Blas = Geomix_linalg.Blas
+module Check = Geomix_linalg.Check
+module Tiled = Geomix_tile.Tiled
+
+let build_cholesky_dtd a =
+  let nt = Tiled.nt a in
+  let g = Dtd.create () in
+  let key i j = (i * nt) + j in
+  for k = 0 to nt - 1 do
+    ignore
+      (Dtd.insert g ~name:(Printf.sprintf "POTRF(%d)" k) ~reads:[] ~writes:[ key k k ]
+         (fun () -> Blas.potrf_lower (Tiled.tile a k k)));
+    for m = k + 1 to nt - 1 do
+      ignore
+        (Dtd.insert g
+           ~name:(Printf.sprintf "TRSM(%d,%d)" m k)
+           ~reads:[ key k k ] ~writes:[ key m k ]
+           (fun () -> Blas.trsm_right_lower_trans ~l:(Tiled.tile a k k) (Tiled.tile a m k)))
+    done;
+    for m = k + 1 to nt - 1 do
+      ignore
+        (Dtd.insert g
+           ~name:(Printf.sprintf "SYRK(%d,%d)" m k)
+           ~reads:[ key m k ] ~writes:[ key m m ]
+           (fun () ->
+             Blas.syrk_lower ~alpha:(-1.) (Tiled.tile a m k) ~beta:1. (Tiled.tile a m m)));
+      for n = k + 1 to m - 1 do
+        ignore
+          (Dtd.insert g
+             ~name:(Printf.sprintf "GEMM(%d,%d,%d)" m n k)
+             ~reads:[ key m k; key n k ]
+             ~writes:[ key m n ]
+             (fun () ->
+               Blas.gemm_nt ~alpha:(-1.) (Tiled.tile a m k) (Tiled.tile a n k) ~beta:1.
+                 (Tiled.tile a m n)))
+      done
+    done
+  done;
+  g
+
+let () =
+  let n = 64 and nb = 16 and seeds = 10 in
+  let dense =
+    Mat.init ~rows:n ~cols:n (fun i j ->
+      (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
+  in
+  let failures = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let a = Tiled.of_dense ~nb dense in
+    let g = build_cholesky_dtd a in
+    ignore (Explore.run_random (Explore.of_dtd g) ~seed ~execute:(Dtd.execute_task g));
+    Tiled.iter_lower a (fun ~i ~j tile -> if i = j then Mat.zero_upper tile);
+    let l = Tiled.to_dense a in
+    Mat.zero_upper l;
+    let res = Check.cholesky_residual ~a:dense ~l in
+    if res > 1e-13 then begin
+      incr failures;
+      Printf.printf "FAIL seed %2d: residual %.3e\n%!" seed res
+    end
+    else Printf.printf "ok   seed %2d: residual %.3e\n%!" seed res
+  done;
+  if !failures = 0 then
+    Printf.printf "explorer pass: %d/%d seeded schedules correct\n%!" seeds seeds
+  else begin
+    Printf.printf "explorer pass: %d/%d schedules FAILED\n%!" !failures seeds;
+    exit 1
+  end

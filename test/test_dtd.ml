@@ -8,6 +8,7 @@ module Blas = Geomix_linalg.Blas
 module Check = Geomix_linalg.Check
 module Tiled = Geomix_tile.Tiled
 module Rng = Geomix_util.Rng
+module Explore = Geomix_verify.Explore
 
 let test_raw_dependency () =
   let g = Dtd.create () in
@@ -57,25 +58,31 @@ let test_concurrent_readers_allowed () =
 
 let test_execution_sequential_semantics () =
   (* Parallel execution must produce the value the sequential program
-     produces, under any schedule. *)
+     produces, under any schedule.  The pool shows one OS-chosen schedule;
+     the explorer then replays the same graph under 10 seeded
+     interleavings, covering schedules the pool may never produce. *)
+  let g = Dtd.create () in
+  let cell = ref 0 in
+  for _ = 1 to 50 do
+    ignore (Dtd.insert g ~name:"incr" ~reads:[ 0 ] ~writes:[ 0 ] (fun () -> incr cell));
+    ignore
+      (Dtd.insert g ~name:"double" ~reads:[ 0 ] ~writes:[ 0 ] (fun () ->
+         cell := !cell * 2))
+  done;
+  (* x ← 2(x+1) fifty times from 0 = 2^51 − 2. *)
+  let expected = (1 lsl 51) - 2 in
   List.iter
     (fun workers ->
-      let g = Dtd.create () in
-      let cell = ref 0 in
-      for _ = 1 to 50 do
-        ignore
-          (Dtd.insert g ~name:"incr" ~reads:[ 0 ] ~writes:[ 0 ] (fun () -> incr cell));
-        ignore
-          (Dtd.insert g ~name:"double" ~reads:[ 0 ] ~writes:[ 0 ] (fun () ->
-             cell := !cell * 2))
-      done;
+      cell := 0;
       Pool.with_pool ~num_workers:workers (fun pool -> Dtd.execute ~pool g);
-      (* x ← 2(x+1) fifty times from 0 = 2^51 − 2. *)
       Alcotest.(check int)
         (Printf.sprintf "sequential semantics (%d workers)" workers)
-        ((1 lsl 51) - 2)
-        !cell)
-    [ 0; 3 ]
+        expected !cell)
+    [ 0; 3 ];
+  Explore.for_each_seed ~seeds:10 (Explore.of_dtd g) (fun ~seed order ->
+    cell := 0;
+    Array.iter (Dtd.execute_task g) order;
+    Alcotest.(check int) (Printf.sprintf "sequential semantics (seed %d)" seed) expected !cell)
 
 let test_graph_acyclic () =
   let rng = Rng.create ~seed:3 in
@@ -105,13 +112,7 @@ let test_in_degree_consistency () =
 (* The decisive test: express Algorithm 1 through DTD insertion (the
    paper's "sequential task insertion in nested loops") and check that the
    numeric result matches the PTG-style Cholesky_dag execution exactly. *)
-let test_cholesky_via_dtd () =
-  let n = 96 and nb = 24 in
-  let dense =
-    Mat.init ~rows:n ~cols:n (fun i j ->
-      (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
-  in
-  let a = Tiled.of_dense ~nb dense in
+let build_cholesky_dtd a =
   let ntiles = Tiled.nt a in
   let g = Dtd.create () in
   let key i j = (i * ntiles) + j in
@@ -146,15 +147,37 @@ let test_cholesky_via_dtd () =
       done
     done
   done;
+  g
+
+let test_cholesky_via_dtd () =
+  let n = 96 and nb = 24 in
+  let dense =
+    Mat.init ~rows:n ~cols:n (fun i j ->
+      (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
+  in
+  let check_factorization a =
+    Tiled.iter_lower a (fun ~i ~j tile -> if i = j then Mat.zero_upper tile);
+    let l = Tiled.to_dense a in
+    Mat.zero_upper l;
+    Check.cholesky_residual ~a:dense ~l < 1e-13
+  in
+  let a = Tiled.of_dense ~nb dense in
+  let g = build_cholesky_dtd a in
   (* Same task count as the PTG-style DAG. *)
-  let dag = Cholesky_dag.create ~nt:ntiles in
+  let dag = Cholesky_dag.create ~nt:(Tiled.nt a) in
   Alcotest.(check int) "task count" (Cholesky_dag.num_tasks dag) (Dtd.num_tasks g);
   Pool.with_pool ~num_workers:3 (fun pool -> Dtd.execute ~pool g);
-  Tiled.iter_lower a (fun ~i ~j tile -> if i = j then Mat.zero_upper tile);
-  let l = Tiled.to_dense a in
-  Mat.zero_upper l;
-  Alcotest.(check bool) "factorization correct" true
-    (Check.cholesky_residual ~a:dense ~l < 1e-13)
+  Alcotest.(check bool) "factorization correct (pool)" true (check_factorization a);
+  (* Replay the same program under seeded interleavings: the bodies mutate
+     the tiles, so each schedule factorizes a fresh copy of the matrix. *)
+  for seed = 0 to 2 do
+    let a = Tiled.of_dense ~nb dense in
+    let g = build_cholesky_dtd a in
+    ignore (Explore.run_random (Explore.of_dtd g) ~seed ~execute:(Dtd.execute_task g));
+    Alcotest.(check bool)
+      (Printf.sprintf "factorization correct (seed %d)" seed)
+      true (check_factorization a)
+  done
 
 let prop_execution_order_valid =
   QCheck.Test.make ~name:"every pred finished before a task runs" ~count:30
@@ -178,6 +201,11 @@ let prop_execution_order_valid =
              Atomic.set done_.(i) true))
       done;
       Pool.with_pool ~num_workers:2 (fun pool -> Dtd.execute ~pool g);
+      (* Replay the same graph under seeded interleavings — the explorer
+         must uphold the same invariant on schedules the pool never took. *)
+      Explore.for_each_seed ~seeds:5 (Explore.of_dtd g) (fun ~seed:_ order ->
+        Array.iteri (fun i _ -> Atomic.set done_.(i) false) done_;
+        Array.iter (Dtd.execute_task g) order);
       Atomic.get ok)
 
 let () =

@@ -2,6 +2,7 @@ module Pool = Geomix_parallel.Pool
 module Dag_exec = Geomix_parallel.Dag_exec
 module Par = Geomix_parallel.Par
 module Rng = Geomix_util.Rng
+module Explore = Geomix_verify.Explore
 
 exception Boom
 
@@ -33,6 +34,42 @@ let test_exception_propagates () =
       let pool = Pool.create ~num_workers:w () in
       Pool.submit pool (fun () -> raise Boom);
       Alcotest.check_raises "re-raised" Boom (fun () -> Pool.wait_idle pool);
+      Pool.shutdown pool)
+    [ 0; 2 ]
+
+(* Stress the failure path: repeated rounds of raising tasks mixed with
+   healthy ones.  Each round must re-raise, leak no worker domain, and
+   leave the pool fully usable for the next round. *)
+let test_raise_stress () =
+  List.iter
+    (fun w ->
+      let pool = Pool.create ~num_workers:w () in
+      let workers = Pool.num_workers pool in
+      for round = 1 to 5 do
+        let hits = Atomic.make 0 in
+        for i = 1 to 20 do
+          Pool.submit pool (fun () ->
+            if i mod 4 = 0 then raise Boom else Atomic.incr hits)
+        done;
+        Alcotest.check_raises
+          (Printf.sprintf "round %d re-raised" round)
+          Boom
+          (fun () -> Pool.wait_idle pool);
+        Alcotest.(check int)
+          (Printf.sprintf "round %d workers intact" round)
+          workers (Pool.num_workers pool);
+        (* The pool must still run a clean batch after the failure. *)
+        let after = Atomic.make 0 in
+        for _ = 1 to 10 do
+          Pool.submit pool (fun () -> Atomic.incr after)
+        done;
+        Pool.wait_idle pool;
+        Alcotest.(check int)
+          (Printf.sprintf "round %d pool usable after raise" round)
+          10 (Atomic.get after)
+      done;
+      Pool.shutdown pool;
+      (* Shutdown after a raising history must be clean and idempotent. *)
       Pool.shutdown pool)
     [ 0; 2 ]
 
@@ -99,6 +136,32 @@ let test_dag_exec_respects_dependencies () =
         Alcotest.(check bool) "all finished" true (Array.for_all Fun.id finished)))
     [ 0; 3 ]
 
+(* The same invariant under the virtual executor: replay the layered DAG
+   under 10 seeded interleavings of the ready set — schedules the pool's
+   OS-driven run may never produce. *)
+let test_explorer_respects_dependencies () =
+  let rng = Rng.create ~seed:42 in
+  let num, succs, indeg = random_layered_dag rng ~layers:6 ~width:8 in
+  let g =
+    Explore.graph ~num_tasks:num ~in_degree:(Array.copy indeg) ~successors:(fun id ->
+      succs.(id))
+  in
+  let preds = Explore.predecessors g in
+  let finished = Array.make num false in
+  Explore.for_each_seed ~seeds:10 g (fun ~seed order ->
+    Array.fill finished 0 num false;
+    Explore.run_schedule g ~order ~execute:(fun id ->
+      List.iter
+        (fun p ->
+          if not finished.(p) then
+            Alcotest.failf "seed %d: task %d ran before predecessor %d" seed id p)
+        preds.(id);
+      finished.(id) <- true);
+    Alcotest.(check bool)
+      (Printf.sprintf "all finished (seed %d)" seed)
+      true
+      (Array.for_all Fun.id finished))
+
 let test_dag_exec_linear_chain_order () =
   Pool.with_pool ~num_workers:2 (fun pool ->
     let n = 200 in
@@ -142,6 +205,7 @@ let () =
           Alcotest.test_case "submit runs" `Quick test_submit_runs;
           Alcotest.test_case "nested submit" `Quick test_nested_submit;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "raise stress" `Quick test_raise_stress;
           Alcotest.test_case "wait idempotent" `Quick test_wait_idle_idempotent;
         ] );
       ( "par",
@@ -154,6 +218,8 @@ let () =
       ( "dag",
         [
           Alcotest.test_case "respects dependencies" `Quick test_dag_exec_respects_dependencies;
+          Alcotest.test_case "explorer respects dependencies" `Quick
+            test_explorer_respects_dependencies;
           Alcotest.test_case "linear chain order" `Quick test_dag_exec_linear_chain_order;
           Alcotest.test_case "error propagation" `Quick test_dag_exec_error;
           Alcotest.test_case "acyclicity check" `Quick test_check_acyclic;
