@@ -1,0 +1,95 @@
+(* Data-motion accounting: the paper's central claim as one table.  For
+   each precision configuration, the exact bytes the factorization's
+   broadcasts put on the wire under the automated conversion strategy
+   (STC), the always-TTC baseline and the all-FP64 reference — computed
+   analytically from Algorithm 2's communication map (Comm_map.motion), no
+   simulation involved.  Also exports the deterministic metric set of the
+   CI bench gate (BENCH_smoke.json). *)
+
+open Common
+module Cm = Geomix_core.Comm_map
+module Bench_json = Geomix_obs.Bench_json
+
+let motion_row (cname, pmap) ~nb =
+  let cm = Cm.compute pmap in
+  let m = Cm.motion cm pmap ~nb in
+  [
+    cname;
+    string_of_int m.Cm.transfers;
+    Table.fmt_bytes m.Cm.bytes_stc;
+    Table.fmt_bytes m.Cm.bytes_ttc;
+    Table.fmt_bytes m.Cm.bytes_fp64;
+    Table.fmt_pct (1. -. (m.Cm.bytes_stc /. m.Cm.bytes_ttc));
+    Table.fmt_pct (1. -. (m.Cm.bytes_stc /. m.Cm.bytes_fp64));
+    string_of_int m.Cm.conv_stc;
+    string_of_int m.Cm.conv_ttc;
+    Table.fmt_pct (Cm.stc_fraction cm);
+  ]
+
+let print_motion_table ~nb configs =
+  let rows = List.map (fun config -> motion_row config ~nb) configs in
+  Table.print
+    ~align:[ Table.Left ]
+    ~headers:
+      [
+        "config";
+        "transfers";
+        "bytes STC";
+        "bytes TTC";
+        "bytes FP64";
+        "STC vs TTC";
+        "STC vs FP64";
+        "conv STC";
+        "conv TTC";
+        "STC tiles";
+      ]
+    rows
+
+let run (scale : scale) =
+  let ntiles = if scale.full then 100 else 24 in
+  section "motion" "Data motion: STC vs TTC vs all-FP64 bytes on the wire";
+  note "NT=%d, nb=%d; analytic per-broadcast accounting (Comm_map.motion)" ntiles nb;
+  print_motion_table ~nb (fig8_configs ntiles);
+  (* The adaptive maps of the three evaluation applications. *)
+  let n = ntiles * nb in
+  let app_configs =
+    List.map (fun app -> (app.app_name, app_precision_map app ~n)) applications
+  in
+  print_motion_table ~nb app_configs;
+  paper
+    "Fig 8/11/12 attribute the mixed-precision speedup primarily to moving \
+     fewer bytes; STC ships the Algorithm 2 format once instead of the \
+     storage format to every consumer."
+
+(* The deterministic metric set behind BENCH_smoke.json: an H100
+   discrete-event simulation of the FP64/FP16_32 configuration (the paper's
+   adaptive sweet spot) under both conversion strategies, plus the analytic
+   motion accounting.  Everything here is a pure function of the model —
+   wall-clock never enters, so the 20% CI gate cannot flap. *)
+let smoke_metrics () =
+  let ntiles = 24 in
+  (* Two Summit nodes: small enough to simulate in milliseconds, large
+     enough that the d2d/nic byte counters are exercised. *)
+  let machine = Machine.summit ~nodes:2 () in
+  let pmap = Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16_32 in
+  let stc = run_sim ~strategy:Sim.Stc_auto ~machine pmap in
+  let ttc = run_sim ~strategy:Sim.Ttc_always ~machine pmap in
+  let cm = Cm.compute pmap in
+  let m = Cm.motion cm pmap ~nb in
+  let open Bench_json in
+  [
+    metric ~units:"s" "makespan_stc" stc.Sim.makespan;
+    metric ~units:"s" "makespan_ttc" ttc.Sim.makespan;
+    metric ~units:"Tflop/s" ~direction:Higher_is_better "tflops_stc" stc.Sim.tflops;
+    metric ~units:"B" "sim_bytes_stc"
+      (stc.Sim.bytes_h2d +. stc.Sim.bytes_d2d +. stc.Sim.bytes_nic);
+    metric ~units:"B" "sim_bytes_ttc"
+      (ttc.Sim.bytes_h2d +. ttc.Sim.bytes_d2d +. ttc.Sim.bytes_nic);
+    metric ~units:"" "sim_conversions_stc" (float_of_int stc.Sim.conversions);
+    metric ~units:"B" "motion_bytes_stc" m.Cm.bytes_stc;
+    metric ~units:"B" "motion_bytes_ttc" m.Cm.bytes_ttc;
+    metric ~units:"B" "motion_bytes_fp64" m.Cm.bytes_fp64;
+    metric ~units:"" "motion_conv_stc" (float_of_int m.Cm.conv_stc);
+    metric ~units:"" "motion_conv_ttc" (float_of_int m.Cm.conv_ttc);
+    metric ~units:"J" "energy_stc" stc.Sim.energy.Geomix_gpusim.Energy.energy_joules;
+  ]

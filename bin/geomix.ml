@@ -44,6 +44,16 @@ let u_req_arg =
   Arg.(value & opt float 1e-6 & info [ "u-req" ] ~doc:"Application accuracy for the norm rule.")
 let nb_arg = Arg.(value & opt int 2048 & info [ "nb" ] ~doc:"Tile size.")
 
+let config_conv =
+  Arg.enum
+    [ ("fp64", `Fp64); ("fp32", `Fp32); ("fp64-fp16", `Mixed16); ("fp64-fp16-32", `Mixed16_32) ]
+
+let pmap_of_config ~ntiles = function
+  | `Fp64 -> Pm.uniform ~nt:ntiles Fp.Fp64
+  | `Fp32 -> Pm.uniform ~nt:ntiles Fp.Fp32
+  | `Mixed16 -> Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16
+  | `Mixed16_32 -> Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16_32
+
 let cov_of ~family ~sigma2 ~beta ~nu ~nugget =
   match family with
   | Covariance.Sqexp -> Covariance.sqexp ~nugget ~sigma2 ~beta ()
@@ -89,10 +99,6 @@ let simulate_cmd =
     Arg.enum
       [ ("v100", `V100); ("a100", `A100); ("h100", `H100); ("summit", `Summit); ("guyot", `Guyot) ]
   in
-  let config_conv =
-    Arg.enum
-      [ ("fp64", `Fp64); ("fp32", `Fp32); ("fp64-fp16", `Mixed16); ("fp64-fp16-32", `Mixed16_32) ]
-  in
   let strategy_conv = Arg.enum [ ("stc", Sim.Stc_auto); ("ttc", Sim.Ttc_always) ] in
   let run machine nodes ntiles config strategy nb trace_json gantt =
     let machine =
@@ -103,13 +109,7 @@ let simulate_cmd =
       | `Summit -> Machine.summit ~nodes ()
       | `Guyot -> Machine.guyot ()
     in
-    let pmap =
-      match config with
-      | `Fp64 -> Pm.uniform ~nt:ntiles Fp.Fp64
-      | `Fp32 -> Pm.uniform ~nt:ntiles Fp.Fp32
-      | `Mixed16 -> Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16
-      | `Mixed16_32 -> Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16_32
-    in
+    let pmap = pmap_of_config ~ntiles config in
     let collect_trace = gantt || trace_json <> None in
     let r =
       Sim.run ~options:{ Sim.default_options with strategy; collect_trace } ~machine
@@ -165,6 +165,109 @@ let simulate_cmd =
     Term.(
       const run $ machine_arg $ nodes_arg $ nt_arg $ config_arg $ strategy_arg $ nb_arg
       $ trace_arg $ gantt_arg)
+
+(* stats subcommand *)
+
+let stats_cmd =
+  let module Metrics = Geomix_obs.Metrics in
+  let module Tiled = Geomix_tile.Tiled in
+  let module Trace = Geomix_runtime.Trace in
+  let fb = Geomix_util.Table.fmt_bytes in
+  let run ntiles config nb run_real run_nb workers trace_json gantt format =
+    let pmap = pmap_of_config ~ntiles config in
+    let cm = Cm.compute pmap in
+    let m = Cm.motion cm pmap ~nb in
+    Printf.printf "Data motion of one NT=%d (nb=%d) tile Cholesky — %d broadcast transfers\n"
+      ntiles nb m.Cm.transfers;
+    Printf.printf "  bytes moved, STC (automated)  %10s   (%d conversion kernels)\n"
+      (fb m.Cm.bytes_stc) m.Cm.conv_stc;
+    Printf.printf "  bytes moved, TTC (prior art)  %10s   (%d conversion kernels)\n"
+      (fb m.Cm.bytes_ttc) m.Cm.conv_ttc;
+    Printf.printf "  bytes moved, all-FP64         %10s\n" (fb m.Cm.bytes_fp64);
+    Printf.printf "  STC saves %.1f%% vs TTC and %.1f%% vs FP64; %.1f%% of broadcasting tiles ship STC\n"
+      (100. *. (1. -. (m.Cm.bytes_stc /. m.Cm.bytes_ttc)))
+      (100. *. (1. -. (m.Cm.bytes_stc /. m.Cm.bytes_fp64)))
+      (100. *. Cm.stc_fraction cm);
+    if run_real then begin
+      let reg = Metrics.create () in
+      let trace = Trace.create () in
+      let n = ntiles * run_nb in
+      (* Covariance-like SPD test matrix: decaying off-diagonal mass. *)
+      let a =
+        Tiled.init ~n ~nb:run_nb (fun i j ->
+          (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
+      in
+      let resources = ref 1 in
+      let t0 = Unix.gettimeofday () in
+      Geomix_parallel.Pool.with_pool ~obs:reg ?num_workers:workers (fun pool ->
+        resources := Stdlib.max 1 (Geomix_parallel.Pool.num_workers pool);
+        Geomix_core.Mp_cholesky.factorize ~pool ~trace ~pmap a);
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "\nReal factorization: n=%d (nb=%d), %d worker(s), %.3f s wall clock\n"
+        n run_nb !resources dt;
+      let snap = Metrics.snapshot reg in
+      print_string
+        (match format with
+        | `Table -> Metrics.to_table snap
+        | `Csv -> Metrics.to_csv snap
+        | `Json -> Metrics.to_json_string snap ^ "\n");
+      (match trace_json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Trace.to_chrome_json trace);
+        close_out oc;
+        Printf.printf "trace written to %s (chrome://tracing)\n" path
+      | None -> ());
+      if gantt then print_string (Trace.gantt trace ~resources:!resources ~width:72)
+    end
+  in
+  let nt_arg = Arg.(value & opt int 24 & info [ "nt" ] ~doc:"Tiles per dimension.") in
+  let config_arg =
+    Arg.(
+      value
+      & opt config_conv `Mixed16_32
+      & info [ "config" ] ~doc:"fp64|fp32|fp64-fp16|fp64-fp16-32.")
+  in
+  let run_arg =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:
+            "Also execute a real (emulated-precision) factorization of a small SPD \
+             matrix on an instrumented pool and report the measured pool metrics.")
+  in
+  let run_nb_arg =
+    Arg.(value & opt int 32 & info [ "run-nb" ] ~doc:"Tile size of the real --run matrix.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~doc:"Pool worker domains for --run (default: cores - 1).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~doc:"Write a Chrome trace-event JSON of the real --run schedule.")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the real --run schedule.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+      & info [ "format" ] ~doc:"Metric output: table, csv or json.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Report exact bytes-on-the-wire (STC vs TTC vs all-FP64) for a tile Cholesky, \
+          optionally measuring a real instrumented run")
+    Term.(
+      const run $ nt_arg $ config_arg $ nb_arg $ run_arg $ run_nb_arg $ workers_arg
+      $ trace_arg $ gantt_arg $ format_arg)
 
 (* mle subcommand *)
 
@@ -235,4 +338,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
-          [ precision_map_cmd; simulate_cmd; mle_cmd; gemm_cmd ]))
+          [ precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd ]))

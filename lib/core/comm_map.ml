@@ -96,6 +96,77 @@ let compute pmap =
 
 let equal a b = a.nt = b.nt && a.comm = b.comm && a.strat = b.strat
 
+(* Broadcast fan-out of tile (i, j) in Algorithm 1.  A diagonal tile (k,k)
+   feeds the TRSMs of column k: nt−1−k consumers.  An off-diagonal tile
+   (m,k) feeds SYRK(m,k), the row GEMMs (k < n < m) and the column GEMMs
+   (m < m' < nt): 1 + (m−k−1) + (nt−1−m) = nt−1−k consumers.  Both reduce
+   to nt−1−column. *)
+let consumers t i j =
+  assert (i >= j && j >= 0 && i < t.nt);
+  t.nt - 1 - j
+
+(* The input format each consumer of broadcast tile (i, j) reads at — the
+   same reader set Algorithm 2 scans, plus the diagonal SYRK (which the
+   broadcast-format scan deliberately excludes, Fig 4a, but which still
+   pays a conversion when the shipped form differs from its input). *)
+let consumer_input_scalars pmap i j =
+  let n = Precision_map.nt pmap in
+  if i = j then List.init (n - 1 - i) (fun d -> trsm_input_scalar pmap (i + 1 + d) i)
+  else begin
+    let m = i and k = j in
+    let syrk = Fpformat.input_scalar (Precision_map.get pmap m m) in
+    let row = List.init (m - k - 1) (fun d -> gemm_input_scalar pmap m (k + 1 + d)) in
+    let col = List.init (n - 1 - m) (fun d -> gemm_input_scalar pmap (m + 1 + d) m) in
+    syrk :: (row @ col)
+  end
+
+type motion = {
+  bytes_stc : float;
+  bytes_ttc : float;
+  bytes_fp64 : float;
+  conv_stc : int;
+  conv_ttc : int;
+  transfers : int;
+}
+
+let motion t pmap ~nb =
+  if Precision_map.nt pmap <> t.nt then invalid_arg "Comm_map.motion: nt mismatch";
+  let elems = float_of_int (nb * nb) in
+  let b_stc = ref 0. and b_ttc = ref 0. and b_64 = ref 0. in
+  let c_stc = ref 0 and c_ttc = ref 0 and edges = ref 0 in
+  for i = 0 to t.nt - 1 do
+    for j = 0 to i do
+      let rs = consumer_input_scalars pmap i j in
+      let c = List.length rs in
+      if c > 0 then begin
+        edges := !edges + c;
+        let storage = Precision_map.storage pmap i j in
+        let fc = float_of_int c in
+        (* TTC baseline: ship the storage format; every consumer whose
+           input format differs runs its own conversion kernel. *)
+        b_ttc := !b_ttc +. (fc *. elems *. float_of_int (Fpformat.scalar_bytes storage));
+        List.iter (fun r -> if r <> storage then incr c_ttc) rs;
+        (* Automated conversion: Algorithm 2's transfer format where it
+           grants STC (one conversion at the producer), TTC elsewhere. *)
+        let shipped = if t.strat.(pidx i j) = Stc then t.comm.(pidx i j) else storage in
+        b_stc := !b_stc +. (fc *. elems *. float_of_int (Fpformat.scalar_bytes shipped));
+        if t.strat.(pidx i j) = Stc then incr c_stc;
+        List.iter (fun r -> if r <> shipped then incr c_stc) rs;
+        (* All-FP64 reference: what the run would move with no precision
+           adaptation at all. *)
+        b_64 := !b_64 +. (fc *. elems *. 8.)
+      end
+    done
+  done;
+  {
+    bytes_stc = !b_stc;
+    bytes_ttc = !b_ttc;
+    bytes_fp64 = !b_64;
+    conv_stc = !c_stc;
+    conv_ttc = !c_ttc;
+    transfers = !edges;
+  }
+
 let stc_fraction t =
   let stc = Array.fold_left (fun acc s -> if s = Stc then acc + 1 else acc) 0 t.strat in
   float_of_int stc /. float_of_int (Array.length t.strat)

@@ -43,6 +43,36 @@ val strategy : t -> int -> int -> strategy
 val equal : t -> t -> bool
 (** Tile-for-tile equality of transfer formats and strategies. *)
 
+val consumers : t -> int -> int -> int
+(** Broadcast fan-out of tile (i, j) under Algorithm 1: the TRSMs of the
+    column for a diagonal tile; SYRK plus row and column GEMMs for an
+    off-diagonal tile.  Both equal [nt − 1 − j]; 0 means the tile never
+    ships. *)
+
+(** {1 Data-motion accounting}
+
+    The paper's headline measurement (Figs 8–12): how many bytes the
+    broadcasts of one factorization put on the wire, per conversion
+    strategy, on uniform [nb²]-element tiles.  One broadcast of tile
+    (i, j) costs [consumers × nb² × scalar_bytes(shipped)]. *)
+
+type motion = {
+  bytes_stc : float;  (** automated conversion: Algorithm 2's format where
+                          it grants STC, storage format elsewhere *)
+  bytes_ttc : float;  (** always-TTC baseline: every broadcast ships the
+                          storage format *)
+  bytes_fp64 : float; (** all-FP64 reference: 8 bytes per element *)
+  conv_stc : int;     (** conversion kernels under automated conversion:
+                          one per STC producer plus one per consumer whose
+                          input format differs from the shipped form *)
+  conv_ttc : int;     (** conversion kernels under always-TTC *)
+  transfers : int;    (** broadcast consumer-edges (strategy-independent) *)
+}
+
+val motion : t -> Precision_map.t -> nb:int -> motion
+(** [motion cm pmap ~nb] — [pmap] must be the map [cm] was computed from.
+    @raise Invalid_argument on a tile-count mismatch. *)
+
 val stc_fraction : t -> float
 (** Fraction of broadcasting tiles using STC (tiles with no successors
     count as TTC). *)

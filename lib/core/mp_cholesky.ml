@@ -20,7 +20,7 @@ let default_options =
 
 let pidx i j = (i * (i + 1) / 2) + j
 
-let factorize ?(options = default_options) ?pool ~pmap a =
+let factorize ?(options = default_options) ?pool ?trace ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
@@ -81,12 +81,21 @@ let factorize ?(options = default_options) ?pool ~pmap a =
         ~prec:(exec_prec (Task.Gemm (m, n, k)))
         ~alpha:(-1.) (read m k) (read n k) ~beta:1. c
   in
+  let dag_obs =
+    Option.map
+      (fun tr ->
+        Geomix_runtime.Obs_bridge.recorder
+          ~name:(fun id -> Task.name (Cholesky_dag.kind_of dag id))
+          ~tag:(fun id -> Fpformat.name (exec_prec (Cholesky_dag.kind_of dag id)))
+          tr)
+      trace
+  in
   let run pool =
-    Dag_exec.run ~pool
+    Dag_exec.run ?obs:dag_obs ~pool
       ~num_tasks:(Cholesky_dag.num_tasks dag)
       ~in_degree:(Cholesky_dag.in_degree dag)
       ~successors:(Cholesky_dag.successors dag)
-      ~execute
+      ~execute ()
   in
   (match pool with
   | Some pool -> run pool

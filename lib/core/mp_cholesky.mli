@@ -32,12 +32,19 @@ val default_options : options
 val factorize :
   ?options:options ->
   ?pool:Geomix_parallel.Pool.t ->
+  ?trace:Geomix_runtime.Trace.t ->
   pmap:Precision_map.t ->
   Tiled.t ->
   unit
 (** In-place lower Cholesky of the tiled symmetric matrix (upper triangles
     of diagonal tiles are left untouched).  The precision map must have the
     matrix's tile count.
+
+    [?trace] records one {e real} wall-clock event per task (label =
+    ["GEMM(5,3,1)"]-style task name, tag = its kernel precision, resource =
+    the pool worker that ran it), viewable through the existing Chrome-JSON
+    and Gantt exporters — the measured counterpart of the simulator's
+    schedule traces.
     @raise Geomix_linalg.Blas.Not_positive_definite when a diagonal pivot
     fails, exactly as the FP64 algorithm would. *)
 

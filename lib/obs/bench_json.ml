@@ -1,0 +1,150 @@
+type direction = Lower_is_better | Higher_is_better
+
+type metric = { name : string; value : float; units : string; direction : direction }
+
+type t = { schema_version : int; suite : string; metrics : metric list }
+
+let schema_version = 1
+
+let make ~suite metrics = { schema_version; suite; metrics }
+
+let metric ?(units = "") ?(direction = Lower_is_better) name value =
+  { name; value; units; direction }
+
+let find t name = List.find_opt (fun m -> m.name = name) t.metrics
+
+let direction_to_string = function
+  | Lower_is_better -> "lower"
+  | Higher_is_better -> "higher"
+
+let direction_of_string = function
+  | "lower" -> Some Lower_is_better
+  | "higher" -> Some Higher_is_better
+  | _ -> None
+
+let to_json t =
+  Jsonlite.Obj
+    [
+      ("schema_version", Jsonlite.Num (float_of_int t.schema_version));
+      ("suite", Jsonlite.Str t.suite);
+      ( "metrics",
+        Jsonlite.Arr
+          (List.map
+             (fun m ->
+               Jsonlite.Obj
+                 [
+                   ("name", Jsonlite.Str m.name);
+                   ("value", Jsonlite.Num m.value);
+                   ("units", Jsonlite.Str m.units);
+                   ("better", Jsonlite.Str (direction_to_string m.direction));
+                 ])
+             t.metrics) );
+    ]
+
+let to_json_string t = Jsonlite.to_string (to_json t)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field_err name = Error (Printf.sprintf "BENCH json: missing or ill-typed %S" name)
+
+let req_float json name =
+  match Option.bind (Jsonlite.member name json) Jsonlite.to_float with
+  | Some v -> Ok v
+  | None -> field_err name
+
+let req_str json name =
+  match Option.bind (Jsonlite.member name json) Jsonlite.to_str with
+  | Some v -> Ok v
+  | None -> field_err name
+
+let metric_of_json json =
+  let* name = req_str json "name" in
+  let* value = req_float json "value" in
+  let* units = req_str json "units" in
+  let* better = req_str json "better" in
+  match direction_of_string better with
+  | Some direction -> Ok { name; value; units; direction }
+  | None -> Error (Printf.sprintf "BENCH json: bad direction %S on %S" better name)
+
+let of_json json =
+  let* v = req_float json "schema_version" in
+  let version = int_of_float v in
+  if version <> schema_version then
+    Error (Printf.sprintf "BENCH json: schema_version %d, expected %d" version schema_version)
+  else
+    let* suite = req_str json "suite" in
+    match Option.bind (Jsonlite.member "metrics" json) Jsonlite.to_list with
+    | None -> field_err "metrics"
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok { schema_version = version; suite; metrics = List.rev acc }
+        | item :: rest ->
+          let* m = metric_of_json item in
+          go (m :: acc) rest
+      in
+      go [] items
+
+let of_json_string s =
+  let* json = Jsonlite.of_string s in
+  of_json json
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string t))
+
+let read ~path =
+  match
+    In_channel.with_open_text path (fun ic -> In_channel.input_all ic)
+  with
+  | s -> of_json_string s
+  | exception Sys_error msg -> Error msg
+
+(* Regression comparison.  A metric regresses when it moves past the
+   tolerance in its bad direction; improvements and missing counterparts
+   never fail the gate (a baseline refresh is a deliberate, reviewed
+   commit). *)
+
+type verdict = {
+  metric_name : string;
+  baseline : float;
+  current : float;
+  ratio : float; (* current / baseline, nan when baseline = 0 *)
+  regressed : bool;
+}
+
+let compare_metric ~tolerance (base : metric) (cur : metric) =
+  let ratio = if base.value = 0. then Float.nan else cur.value /. base.value in
+  let regressed =
+    match base.direction with
+    | Lower_is_better ->
+      if base.value = 0. then cur.value > 0.
+      else cur.value > base.value *. (1. +. tolerance)
+    | Higher_is_better -> cur.value < base.value *. (1. -. tolerance)
+  in
+  { metric_name = base.name; baseline = base.value; current = cur.value; ratio; regressed }
+
+let compare ~tolerance ~baseline ~current =
+  if tolerance < 0. then invalid_arg "Bench_json.compare";
+  List.filter_map
+    (fun base ->
+      match find current base.name with
+      | Some cur -> Some (compare_metric ~tolerance base cur)
+      | None -> None)
+    baseline.metrics
+
+let any_regressed verdicts = List.exists (fun v -> v.regressed) verdicts
+
+let report_verdicts verdicts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-28s base %-12s cur %-12s %s%s\n" v.metric_name
+           (Geomix_util.Table.fmt_float ~digits:5 v.baseline)
+           (Geomix_util.Table.fmt_float ~digits:5 v.current)
+           (if Float.is_nan v.ratio then "" else Printf.sprintf "(%+.1f%%) " ((v.ratio -. 1.) *. 100.))
+           (if v.regressed then "REGRESSED" else "ok")))
+    verdicts;
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** The [BENCH_*.json] artifact: a flat named-metric schema emitted by the
+    bench harness ([bench/main.exe --smoke --json]) and consumed by the CI
+    regression gate.
+
+    The committed baseline ([bench/BENCH_baseline.json]) is compared
+    against the freshly produced artifact with {!compare}: each metric
+    declares which direction is better, and the gate fails only when a
+    metric moves past the tolerance in its bad direction.  Missing
+    counterparts are skipped (adding a metric must not break the gate;
+    removing one requires a baseline refresh, which is a reviewed
+    commit). *)
+
+type direction = Lower_is_better | Higher_is_better
+
+type metric = { name : string; value : float; units : string; direction : direction }
+
+type t = { schema_version : int; suite : string; metrics : metric list }
+
+val schema_version : int
+
+val make : suite:string -> metric list -> t
+
+val metric : ?units:string -> ?direction:direction -> string -> float -> metric
+(** Defaults: no units, [Lower_is_better]. *)
+
+val find : t -> string -> metric option
+
+val to_json : t -> Jsonlite.t
+val to_json_string : t -> string
+val of_json : Jsonlite.t -> (t, string) result
+val of_json_string : string -> (t, string) result
+
+val write : path:string -> t -> unit
+val read : path:string -> (t, string) result
+
+(** {1 Regression gate} *)
+
+type verdict = {
+  metric_name : string;
+  baseline : float;
+  current : float;
+  ratio : float;   (** current / baseline; [nan] when baseline is 0 *)
+  regressed : bool;
+}
+
+val compare : tolerance:float -> baseline:t -> current:t -> verdict list
+(** One verdict per baseline metric present in [current].  With
+    [tolerance = 0.2], a [Lower_is_better] metric regresses when
+    [current > 1.2 × baseline].  @raise Invalid_argument on a negative
+    tolerance. *)
+
+val any_regressed : verdict list -> bool
+
+val report_verdicts : verdict list -> string
+(** Human-readable verdict lines (one per metric, marked [ok] /
+    [REGRESSED]). *)

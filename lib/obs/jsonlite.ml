@@ -1,0 +1,245 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else
+    (* Shortest representation that round-trips a binary64. *)
+    let s = Printf.sprintf "%.17g" x in
+    let shorter = Printf.sprintf "%.15g" x in
+    if float_of_string shorter = x then shorter else s
+
+let rec emit buf indent level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x ->
+    if Float.is_nan x || Float.abs x = Float.infinity then Buffer.add_string buf "null"
+    else Buffer.add_string buf (number_to_string x)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+    Buffer.add_char buf '[';
+    nl ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          nl ()
+        end;
+        pad (level + 1);
+        emit buf indent (level + 1) item)
+      items;
+    nl ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    nl ();
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          nl ()
+        end;
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf (if indent then "\": " else "\":");
+        emit buf indent (level + 1) item)
+      fields;
+    nl ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(indent = true) v =
+  let buf = Buffer.create 256 in
+  emit buf indent 0 v;
+  if indent then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Recursive-descent parser, sufficient for the BENCH schema (and any JSON
+   without \u surrogate pairs — escapes decode to Latin-1 code points). *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c
+      | Some 't' -> Buffer.add_char buf '\t'; advance c
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c
+      | Some 'b' -> Buffer.add_char buf '\b'; advance c
+      | Some 'f' -> Buffer.add_char buf '\012'; advance c
+      | Some 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.text then fail c "bad \\u escape";
+        let hex = String.sub c.text c.pos 4 in
+        let code = try int_of_string ("0x" ^ hex) with _ -> fail c "bad \\u escape" in
+        c.pos <- c.pos + 4;
+        Buffer.add_char buf (Char.chr (code land 0xff))
+      | Some ch -> Buffer.add_char buf ch; advance c
+      | None -> fail c "unterminated escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  if c.pos = start then fail c "expected number";
+  match float_of_string_opt (String.sub c.text start (c.pos - start)) with
+  | Some x -> Num x
+  | None -> fail c "malformed number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '{' -> parse_obj c
+  | Some '[' -> parse_arr c
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+  | None -> fail c "unexpected end of input"
+
+and parse_obj c =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    advance c;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec go () =
+      skip_ws c;
+      let k = parse_string c in
+      skip_ws c;
+      expect c ':';
+      let v = parse_value c in
+      fields := (k, v) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' -> advance c; go ()
+      | Some '}' -> advance c
+      | _ -> fail c "expected ',' or '}'"
+    in
+    go ();
+    Obj (List.rev !fields)
+  end
+
+and parse_arr c =
+  expect c '[';
+  skip_ws c;
+  if peek c = Some ']' then begin
+    advance c;
+    Arr []
+  end
+  else begin
+    let items = ref [] in
+    let rec go () =
+      let v = parse_value c in
+      items := v :: !items;
+      skip_ws c;
+      match peek c with
+      | Some ',' -> advance c; go ()
+      | Some ']' -> advance c
+      | _ -> fail c "expected ',' or ']'"
+    in
+    go ();
+    Arr (List.rev !items)
+  end
+
+let of_string s =
+  let c = { text = s; pos = 0 } in
+  try
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage"
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num x -> Some x | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr xs -> Some xs | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON tree, emitter and parser.
+
+    The container carries no JSON library, and the observability layer only
+    needs the flat [BENCH_*.json] schema plus metric snapshots, so this is a
+    deliberately small self-contained implementation: full JSON value tree,
+    pretty or compact emission, and a recursive-descent parser (the one
+    simplification: [\u] escapes decode to their low byte — the schema is
+    ASCII). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialise; [indent] (default true) pretty-prints with 2-space nesting
+    and a trailing newline.  NaN and infinities emit as [null] (JSON has no
+    representation for them); integral floats emit without a decimal
+    point. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,6 +1,23 @@
-let run ~pool ~num_tasks ~in_degree ~successors ~execute =
+type obs = { on_task : id:int -> worker:int -> start:float -> stop:float -> unit }
+
+let run ?obs ~pool ~num_tasks ~in_degree ~successors ~execute () =
   if Array.length in_degree <> num_tasks then
     invalid_arg "Dag_exec.run: in_degree length mismatch";
+  let execute =
+    match obs with
+    | None -> execute
+    | Some { on_task } ->
+      (* Wall-clock spans relative to this run's origin, so the events line
+         up with the Trace exporters' expectation of a 0-based timeline. *)
+      let origin = Unix.gettimeofday () in
+      fun id ->
+        let worker = Pool.self_index pool in
+        let start = Unix.gettimeofday () -. origin in
+        Fun.protect
+          ~finally:(fun () ->
+            on_task ~id ~worker ~start ~stop:(Unix.gettimeofday () -. origin))
+          (fun () -> execute id)
+  in
   let counters = Array.map (fun d -> Atomic.make d) in_degree in
   let completed = Atomic.make 0 in
   let failed = Atomic.make false in

@@ -6,14 +6,24 @@
     by dense integer ids; the graph is given by a successor function and the
     in-degree of every task. *)
 
+type obs = { on_task : id:int -> worker:int -> start:float -> stop:float -> unit }
+(** Real-execution hook: called once per task with the worker index that ran
+    it ({!Pool.self_index}) and wall-clock start/stop in seconds relative to
+    the run's origin — exactly the shape of a {!Geomix_runtime.Trace.event},
+    so real runs reuse the simulator's Chrome-JSON and Gantt exporters.
+    Called from worker domains concurrently; also fires when the task body
+    raises (the span then covers up to the raise). *)
+
 val run :
+  ?obs:obs ->
   pool:Pool.t ->
   num_tasks:int ->
   in_degree:int array ->
   successors:(int -> int list) ->
   execute:(int -> unit) ->
+  unit ->
   unit
-(** [run ~pool ~num_tasks ~in_degree ~successors ~execute] executes every
+(** [run ~pool ~num_tasks ~in_degree ~successors ~execute ()] executes every
     task exactly once, never running a task before all of its predecessors
     have finished.  An exception raised by [execute] aborts scheduling of
     further ready tasks and is re-raised.

@@ -1,31 +1,74 @@
+module Metrics = Geomix_obs.Metrics
+
+type item = { thunk : unit -> unit; submitted : float }
+
+(* Metric cells resolved once at pool creation so the hot path never takes
+   the registry lock. *)
+type obs_state = {
+  tasks_total : Metrics.counter;
+  queue_wait : Metrics.histogram;
+  run_time : Metrics.histogram;
+  idle_waits : Metrics.counter;
+  queue_peak : Metrics.gauge;
+  worker_tasks : Metrics.counter array;
+}
+
 type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
   idle : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : item Queue.t;
   mutable in_flight : int; (* queued + currently executing thunks *)
   mutable stopping : bool;
   mutable first_error : exn option;
   mutable workers : unit Domain.t array;
   serial : bool;
+  obs : obs_state option;
 }
+
+let make_obs reg n =
+  Metrics.set (Metrics.gauge reg "pool.workers") (float_of_int n);
+  {
+    tasks_total = Metrics.counter reg "pool.tasks";
+    queue_wait = Metrics.histogram reg "pool.queue_wait_s";
+    run_time = Metrics.histogram reg "pool.run_s";
+    idle_waits = Metrics.counter reg "pool.idle_waits";
+    queue_peak = Metrics.gauge reg "pool.queue_peak";
+    worker_tasks =
+      Array.init (Stdlib.max 1 n) (fun i ->
+          Metrics.counter reg (Printf.sprintf "pool.worker%d.tasks" i));
+  }
 
 let record_error t exn =
   Mutex.lock t.mutex;
   if t.first_error = None then t.first_error <- Some exn;
   Mutex.unlock t.mutex
 
-let worker_loop t () =
+(* Run a dequeued item on behalf of [worker], recording queue-wait and
+   run-time when the pool is instrumented. *)
+let run_item t ~worker item =
+  match t.obs with
+  | None -> ( try item.thunk () with exn -> record_error t exn)
+  | Some o ->
+    let t0 = Unix.gettimeofday () in
+    Metrics.observe o.queue_wait (t0 -. item.submitted);
+    (try item.thunk () with exn -> record_error t exn);
+    Metrics.observe o.run_time (Unix.gettimeofday () -. t0);
+    Metrics.incr o.tasks_total;
+    Metrics.incr o.worker_tasks.(worker mod Array.length o.worker_tasks)
+
+let worker_loop t worker () =
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stopping do
+      (match t.obs with Some o -> Metrics.incr o.idle_waits | None -> ());
       Condition.wait t.nonempty t.mutex
     done;
     if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mutex
     else begin
-      let thunk = Queue.pop t.queue in
+      let item = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      (try thunk () with exn -> record_error t exn);
+      run_item t ~worker item;
       Mutex.lock t.mutex;
       t.in_flight <- t.in_flight - 1;
       if t.in_flight = 0 then Condition.broadcast t.idle;
@@ -35,7 +78,7 @@ let worker_loop t () =
   in
   loop ()
 
-let create ?num_workers () =
+let create ?obs ?num_workers () =
   let n =
     match num_workers with
     | Some n -> Stdlib.max 0 n
@@ -52,30 +95,47 @@ let create ?num_workers () =
       first_error = None;
       workers = [||];
       serial = n = 0;
+      obs = Option.map (fun reg -> make_obs reg n) obs;
     }
   in
-  if n > 0 then t.workers <- Array.init n (fun _ -> Domain.spawn (worker_loop t));
+  if n > 0 then t.workers <- Array.init n (fun i -> Domain.spawn (worker_loop t i));
   t
 
 let num_workers t = Array.length t.workers
 
+(* Dense index of the calling domain among the pool's workers; 0 for the
+   caller domain of a serial pool (and for any foreign domain). *)
+let self_index t =
+  let self = Domain.self () in
+  let n = Array.length t.workers in
+  let rec find i =
+    if i >= n then 0
+    else if Domain.get_id t.workers.(i) = self then i
+    else find (i + 1)
+  in
+  find 0
+
 let submit t thunk =
+  let submitted = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0. in
   Mutex.lock t.mutex;
   assert (not t.stopping);
-  Queue.push thunk t.queue;
+  Queue.push { thunk; submitted } t.queue;
   t.in_flight <- t.in_flight + 1;
+  (match t.obs with
+  | Some o -> Metrics.set_max o.queue_peak (float_of_int (Queue.length t.queue))
+  | None -> ());
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
 
 let drain_serial t =
   let rec next () =
     Mutex.lock t.mutex;
-    let thunk = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+    let item = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
     Mutex.unlock t.mutex;
-    match thunk with
+    match item with
     | None -> ()
-    | Some thunk ->
-      (try thunk () with exn -> record_error t exn);
+    | Some item ->
+      run_item t ~worker:0 item;
       Mutex.lock t.mutex;
       t.in_flight <- t.in_flight - 1;
       Mutex.unlock t.mutex;
@@ -115,6 +175,6 @@ let shutdown t =
   end;
   reraise t
 
-let with_pool ?num_workers f =
-  let t = create ?num_workers () in
+let with_pool ?obs ?num_workers f =
+  let t = create ?obs ?num_workers () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

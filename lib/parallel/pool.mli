@@ -5,15 +5,31 @@
     computational resource" maps to submitting thunks here.  With
     [num_workers = 0] (the default on a single-core machine) the pool
     degrades to deferred serial execution on the calling domain, preserving
-    submission order semantics without spawning domains. *)
+    submission order semantics without spawning domains.
+
+    Passing [?obs] instruments the pool with real measurements (the
+    simulator-side [Trace] has always had these; this is the live
+    counterpart): per-worker executed-task counters
+    ([pool.worker<i>.tasks]), queue-wait and run-time histograms in seconds
+    ([pool.queue_wait_s], [pool.run_s]), a total counter ([pool.tasks]), an
+    idle-wait counter ([pool.idle_waits] — one increment per
+    condition-variable sleep), a peak-queue-length gauge
+    ([pool.queue_peak]) and a worker-count gauge ([pool.workers]).  An
+    uninstrumented pool takes no clock readings at all. *)
 
 type t
 
-val create : ?num_workers:int -> unit -> t
+val create : ?obs:Geomix_obs.Metrics.t -> ?num_workers:int -> unit -> t
 (** [create ()] sizes the pool to [Domain.recommended_domain_count - 1]
     workers (never negative). *)
 
 val num_workers : t -> int
+
+val self_index : t -> int
+(** Dense index of the calling domain among this pool's workers — the
+    resource id under which observability hooks record the current task.
+    0 on the caller domain of a serial pool (and on any domain that is not
+    a pool worker). *)
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a thunk.  Exceptions escaping a thunk are caught, stored, and
@@ -27,5 +43,5 @@ val wait_idle : t -> unit
 val shutdown : t -> unit
 (** Drain, stop and join the workers.  Idempotent. *)
 
-val with_pool : ?num_workers:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Geomix_obs.Metrics.t -> ?num_workers:int -> (t -> 'a) -> 'a
 (** Scoped creation: shuts the pool down on exit or exception. *)

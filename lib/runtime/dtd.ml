@@ -1,5 +1,6 @@
 module Pool = Geomix_parallel.Pool
 module Dag_exec = Geomix_parallel.Dag_exec
+module Metrics = Geomix_obs.Metrics
 
 type task_id = int
 
@@ -8,6 +9,7 @@ type task = {
   body : unit -> unit;
   reads : int list; (* declared footprint, sorted and deduplicated *)
   writes : int list;
+  raw_srcs : (int * task_id) list; (* (datum, writer) RAW edges into this task *)
   mutable preds : task_id list; (* reverse insertion order while building *)
   mutable succs : task_id list;
   mutable indeg : int;
@@ -52,17 +54,18 @@ let add_dep t ~on ~target =
 
 let insert t ~name ~reads ~writes body =
   let id = t.count in
-  let task =
-    {
-      name;
-      body;
-      reads = List.sort_uniq compare reads;
-      writes = List.sort_uniq compare writes;
-      preds = [];
-      succs = [];
-      indeg = 0;
-    }
+  let reads = List.sort_uniq compare reads in
+  let writes = List.sort_uniq compare writes in
+  (* RAW edges are the data that actually travels: each read of a datum
+     with a live writer is one transfer of that datum (a write-only access
+     overwrites without fetching). *)
+  let raw_srcs =
+    List.filter_map
+      (fun key ->
+        match (datum t key).last_writer with Some w -> Some (key, w) | None -> None)
+      reads
   in
+  let task = { name; body; reads; writes; raw_srcs; preds = []; succs = []; indeg = 0 } in
   grow t task;
   t.tasks.(t.count) <- task;
   t.count <- t.count + 1;
@@ -104,6 +107,28 @@ let execute_task t id =
   check_id t id;
   t.tasks.(id).body ()
 
+(* Bytes-on-the-wire accounting.  A task fetches every datum it reads from
+   that datum's last writer (one RAW edge = one transfer), so the volume is
+   a pure function of the inserted program — independent of the schedule
+   the executor happens to produce, which the property suites assert. *)
+
+let default_datum_bytes _ = 1
+
+let raw_sources t id =
+  check_id t id;
+  t.tasks.(id).raw_srcs
+
+let task_in_bytes ?(datum_bytes = default_datum_bytes) t id =
+  check_id t id;
+  List.fold_left (fun acc (key, _) -> acc + datum_bytes key) 0 t.tasks.(id).raw_srcs
+
+let comm_volume ?(datum_bytes = default_datum_bytes) t =
+  let acc = ref 0 in
+  for id = 0 to t.count - 1 do
+    acc := !acc + task_in_bytes ~datum_bytes t id
+  done;
+  !acc
+
 let predecessors t id =
   check_id t id;
   List.rev t.tasks.(id).preds
@@ -114,11 +139,29 @@ let successors t id =
 
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
-let execute ?pool t =
+let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace t =
+  let record =
+    match obs with
+    | None -> fun _ -> ()
+    | Some reg ->
+      let tasks = Metrics.counter reg "dtd.tasks" in
+      let bytes = Metrics.counter reg "dtd.raw_bytes" in
+      let edges = Metrics.counter reg "dtd.raw_edges" in
+      fun id ->
+        Metrics.incr tasks;
+        Metrics.add bytes (task_in_bytes ~datum_bytes t id);
+        Metrics.add edges (List.length t.tasks.(id).raw_srcs)
+  in
+  let dag_obs =
+    Option.map (fun tr -> Obs_bridge.recorder ~name:(fun id -> t.tasks.(id).name) tr) trace
+  in
   let run pool =
-    Dag_exec.run ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
+    Dag_exec.run ?obs:dag_obs ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
       ~successors:(fun id -> t.tasks.(id).succs)
-      ~execute:(fun id -> t.tasks.(id).body ())
+      ~execute:(fun id ->
+        record id;
+        t.tasks.(id).body ())
+      ()
   in
   match pool with Some pool -> run pool | None -> Pool.with_pool ~num_workers:0 run
 

@@ -40,10 +40,42 @@ val predecessors : t -> task_id -> task_id list
 val successors : t -> task_id -> task_id list
 val in_degree : t -> int array
 
-val execute : ?pool:Geomix_parallel.Pool.t -> t -> unit
+(** {1 Bytes-on-the-wire accounting}
+
+    A task fetches each datum it reads from that datum's last writer: one
+    RAW edge is one transfer, sized by [datum_bytes] (default 1 per datum —
+    pass e.g. tile byte sizes from
+    {!Geomix_precision.Fpformat.scalar_bytes}).  The volume is a pure
+    function of the inserted program, so it is identical under every
+    schedule the derived DAG admits — the property suites replay seeded
+    interleavings to assert exactly that. *)
+
+val raw_sources : t -> task_id -> (int * task_id) list
+(** The [(datum, writer)] RAW edges into a task, in the task's read
+    order. *)
+
+val task_in_bytes : ?datum_bytes:(int -> int) -> t -> task_id -> int
+(** Bytes this task fetches over its RAW edges. *)
+
+val comm_volume : ?datum_bytes:(int -> int) -> t -> int
+(** Total bytes over all RAW edges of the program. *)
+
+val execute :
+  ?pool:Geomix_parallel.Pool.t ->
+  ?obs:Geomix_obs.Metrics.t ->
+  ?datum_bytes:(int -> int) ->
+  ?trace:Trace.t ->
+  t ->
+  unit
 (** Run every inserted task under the derived dependencies (serial pool by
     default).  The graph is reusable: executing twice runs the bodies
-    twice. *)
+    twice.
+
+    [?obs] records real execution metrics: [dtd.tasks] (tasks run),
+    [dtd.raw_edges] (RAW transfers) and [dtd.raw_bytes] (their volume
+    under [datum_bytes]).  [?trace] appends one wall-clock event per task
+    (label = task name, resource = pool worker index) — feed it to
+    {!Trace.to_chrome_json} or {!Trace.gantt} for a real-run timeline. *)
 
 val critical_path_length : t -> int
 (** Longest dependency chain, in tasks — the inherent sequential depth of

@@ -1,0 +1,14 @@
+module Dag_exec = Geomix_parallel.Dag_exec
+
+let recorder ?(name = fun id -> Printf.sprintf "task %d" id) ?(tag = fun _ -> "") trace =
+  (* Trace.add mutates a plain list; the hook fires from worker domains
+     concurrently, so serialise appends. *)
+  let mutex = Mutex.create () in
+  {
+    Dag_exec.on_task =
+      (fun ~id ~worker ~start ~stop ->
+        Mutex.lock mutex;
+        Trace.add trace
+          { Trace.label = name id; resource = worker; start; stop; tag = tag id };
+        Mutex.unlock mutex);
+  }

@@ -1,0 +1,16 @@
+(** Bridge from the real executor's observability hook to {!Trace}.
+
+    {!Trace} was built for the simulator; {!recorder} turns a trace into a
+    {!Geomix_parallel.Dag_exec.obs} hook so a {e real} pool run produces the
+    same event records — worker domains play the role of resources — and
+    every existing exporter ({!Trace.to_chrome_json}, {!Trace.gantt},
+    {!Trace.occupancy_series}) works on measured executions unchanged. *)
+
+val recorder :
+  ?name:(int -> string) ->
+  ?tag:(int -> string) ->
+  Trace.t ->
+  Geomix_parallel.Dag_exec.obs
+(** [recorder ~name ~tag trace] appends one event per completed task:
+    label [name id] (default ["task <id>"]), tag [tag id] (default [""]),
+    resource = the worker index that ran it.  Thread-safe. *)

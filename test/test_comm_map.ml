@@ -112,6 +112,48 @@ let test_render () =
   Alcotest.(check bool) "non-empty with STC marks" true
     (String.length s > 0 && String.contains s '*')
 
+let test_motion_nt4_hand_computed () =
+  (* NT=4 two-level FP64/FP16, every quantity derivable by hand.  Tile
+     (i,j) broadcasts to nt-1-j consumers: 20 transfers, of which 6 come
+     from diagonal tiles (FP64 storage, shipped FP32 under STC — the
+     Algorithm 2 FP32 floor on the panel broadcast) and 14 from
+     off-diagonal tiles (FP32 storage for an FP16-class tile, shipped
+     FP16):
+       STC  = 6·4 + 14·2 =  52 B per nb² elements
+       TTC  = 6·8 + 14·4 = 104
+       FP64 = 20·8       = 160
+     Conversions: STC converts once per broadcasting STC tile (9 of the 10
+     broadcasters; the last diagonal has no consumers) plus once at each of
+     the 6 diagonal consumers, whose TRSMs ingest FP16 below the FP32 wire
+     format; TTC converts at every one of the 20 consumers. *)
+  let nb = 1024 in
+  let pmap = Pm.two_level ~nt:4 ~off_diag:Fp.Fp16 in
+  let m = Cm.motion (Cm.compute pmap) pmap ~nb in
+  let per_elem bytes = bytes /. float_of_int (nb * nb) in
+  Alcotest.(check int) "transfers" 20 m.Cm.transfers;
+  Alcotest.(check (float 0.)) "STC bytes" 52. (per_elem m.Cm.bytes_stc);
+  Alcotest.(check (float 0.)) "TTC bytes" 104. (per_elem m.Cm.bytes_ttc);
+  Alcotest.(check (float 0.)) "FP64 bytes" 160. (per_elem m.Cm.bytes_fp64);
+  Alcotest.(check int) "STC conversions" 15 m.Cm.conv_stc;
+  Alcotest.(check int) "TTC conversions" 20 m.Cm.conv_ttc
+
+let test_motion_fp64_degenerate () =
+  (* Uniform FP64: the three accountings coincide and nothing converts. *)
+  let pmap = Pm.uniform ~nt:5 Fp.Fp64 in
+  let m = Cm.motion (Cm.compute pmap) pmap ~nb:64 in
+  Alcotest.(check (float 0.)) "stc = fp64" m.Cm.bytes_fp64 m.Cm.bytes_stc;
+  Alcotest.(check (float 0.)) "ttc = fp64" m.Cm.bytes_fp64 m.Cm.bytes_ttc;
+  Alcotest.(check int) "no stc conv" 0 m.Cm.conv_stc;
+  Alcotest.(check int) "no ttc conv" 0 m.Cm.conv_ttc
+
+let prop_motion_ordering =
+  QCheck.Test.make ~name:"bytes: STC ≤ TTC ≤ FP64 for any norm-rule map" ~count:30
+    (QCheck.pair (QCheck.float_range 1e-10 1e-2) (QCheck.float_range 0.002 0.1))
+    (fun (u, rate) ->
+      let pmap = Pm.of_element_fn ~u_req:u ~n:512 ~nb:64 (decay rate) in
+      let m = Cm.motion (Cm.compute pmap) pmap ~nb:64 in
+      m.Cm.bytes_stc <= m.Cm.bytes_ttc && m.Cm.bytes_ttc <= m.Cm.bytes_fp64)
+
 let prop_comm_bounded =
   QCheck.Test.make ~name:"comm scalar always within [fp16, storage]" ~count:30
     (QCheck.pair (QCheck.float_range 1e-10 1e-2) (QCheck.float_range 0.002 0.1))
@@ -144,5 +186,11 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_idempotent_and_deterministic;
           Alcotest.test_case "render" `Quick test_render;
           QCheck_alcotest.to_alcotest prop_comm_bounded;
+        ] );
+      ( "data motion",
+        [
+          Alcotest.test_case "NT=4 hand-computed" `Quick test_motion_nt4_hand_computed;
+          Alcotest.test_case "uniform FP64 degenerate" `Quick test_motion_fp64_degenerate;
+          QCheck_alcotest.to_alcotest prop_motion_ordering;
         ] );
     ]

@@ -1,0 +1,396 @@
+(* The observability layer: metrics registry semantics (histogram edge
+   cases, snapshot/diff algebra), the Jsonlite/Bench_json pipeline behind
+   the CI regression gate, the instrumented pool, and the property that
+   DTD bytes-on-the-wire accounting is a pure function of the inserted
+   program — identical under every schedule the derived DAG admits. *)
+
+module M = Geomix_obs.Metrics
+module J = Geomix_obs.Jsonlite
+module B = Geomix_obs.Bench_json
+module Pool = Geomix_parallel.Pool
+module Dtd = Geomix_runtime.Dtd
+module Gen = Geomix_verify.Gen
+module Explore = Geomix_verify.Explore
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let hist_of = function
+  | Some (M.Histogram h) -> h
+  | _ -> Alcotest.fail "expected a histogram"
+
+let counter_of = function
+  | Some (M.Counter c) -> c
+  | _ -> Alcotest.fail "expected a counter"
+
+let gauge_of = function
+  | Some (M.Gauge g) -> g
+  | _ -> Alcotest.fail "expected a gauge"
+
+(* Counters and gauges *)
+
+let test_counter_basics () =
+  let t = M.create () in
+  let c = M.counter t "c" in
+  M.incr c;
+  M.add c 41;
+  Alcotest.(check int) "value" 42 (M.counter_value c);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: counters are monotonic") (fun () -> M.add c (-1));
+  (* Re-requesting the name returns the same cell... *)
+  M.incr (M.counter t "c");
+  Alcotest.(check int) "shared cell" 43 (M.counter_value c);
+  (* ...and a kind clash is an error, not a shadow. *)
+  Alcotest.(check bool) "kind clash" true
+    (try
+       ignore (M.gauge t "c");
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge_set_max () =
+  let t = M.create () in
+  let g = M.gauge t "g" in
+  M.set g 3.;
+  M.set_max g 1.;
+  Alcotest.(check (float 0.)) "max keeps larger" 3. (M.gauge_value g);
+  M.set_max g 7.;
+  Alcotest.(check (float 0.)) "max raises" 7. (M.gauge_value g);
+  M.set g 2.;
+  Alcotest.(check (float 0.)) "set overwrites" 2. (M.gauge_value g)
+
+(* Histogram bucketing edge cases *)
+
+let test_histogram_edges () =
+  let t = M.create () in
+  let h = M.histogram t "h" in
+  (* default lo = 1e-6 over 12 decades: top edge 1e6 *)
+  M.observe h 0.;
+  M.observe h (-3.);
+  M.observe h 5e-7;
+  (* sub-lo *)
+  M.observe h 1e-6;
+  (* exactly lo: first bucket *)
+  M.observe h 0.5;
+  (* mid-range *)
+  M.observe h 1e6;
+  (* exactly the top edge: overflow *)
+  M.observe h 1e10 (* beyond *);
+  let s = hist_of (M.find (M.snapshot t) "h") in
+  Alcotest.(check int) "underflow" 3 s.M.underflow;
+  Alcotest.(check int) "overflow" 2 s.M.overflow;
+  Alcotest.(check int) "count" 7 s.M.count;
+  Alcotest.(check (float 0.)) "min" (-3.) s.M.min_v;
+  Alcotest.(check (float 0.)) "max" 1e10 s.M.max_v;
+  let in_bucket = Array.fold_left (fun acc (_, c) -> acc + c) 0 s.M.buckets in
+  Alcotest.(check int) "bucketed = count - under - over" 2 in_bucket
+
+let test_histogram_bucket_bounds () =
+  (* Every observed value must land in a bucket whose bounds contain it. *)
+  let t = M.create () in
+  let h = M.histogram ~lo:1e-3 ~decades:3 ~per_decade:5 t "h" in
+  let values = [ 1e-3; 2.3e-3; 0.04; 0.09; 0.5; 0.999 ] in
+  List.iter (M.observe h) values;
+  let s = hist_of (M.find (M.snapshot t) "h") in
+  Alcotest.(check int) "no under/over" 0 (s.M.underflow + s.M.overflow);
+  (* Reconstruct the per-bucket lower bounds and check containment. *)
+  Array.iteri
+    (fun i (upper, cnt) ->
+      if cnt > 0 then begin
+        let lower = if i = 0 then s.M.lo else fst s.M.buckets.(i - 1) in
+        let inside = List.filter (fun v -> v >= lower && v < upper) values in
+        Alcotest.(check int)
+          (Printf.sprintf "bucket [%g, %g)" lower upper)
+          (List.length inside) cnt
+      end)
+    s.M.buckets
+
+let test_histogram_stats () =
+  let t = M.create () in
+  let h = M.histogram t "h" in
+  List.iter (M.observe h) [ 0.1; 0.2; 0.3; 0.4 ];
+  let s = hist_of (M.find (M.snapshot t) "h") in
+  Alcotest.(check (float 1e-12)) "sum" 1.0 s.M.sum;
+  Alcotest.(check (float 1e-12)) "mean" 0.25 (M.mean s);
+  (* All mass in two adjacent decades: the median must sit between the
+     extremes, within bucket resolution (10^(1/4) ≈ 1.78x). *)
+  let p50 = M.quantile s 0.5 in
+  Alcotest.(check bool) "p50 in range" true (p50 >= 0.1 && p50 <= 0.4 *. 1.78)
+
+let test_quantile_edge_cases () =
+  let t = M.create () in
+  let h = M.histogram t "h" in
+  let s0 = hist_of (M.find (M.snapshot t) "h") in
+  Alcotest.(check bool) "empty quantile nan" true (Float.is_nan (M.quantile s0 0.5));
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (M.mean s0));
+  M.observe h 0.;
+  (* underflow only *)
+  let s1 = hist_of (M.find (M.snapshot t) "h") in
+  Alcotest.(check (float 0.)) "underflow quantile" 0. (M.quantile s1 0.5);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (M.quantile s1 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_span_timer () =
+  let t = M.create () in
+  let h = M.histogram t "h" in
+  let r = M.time h (fun () -> 42) in
+  Alcotest.(check int) "result" 42 r;
+  (try M.time h (fun () -> failwith "boom") with Failure _ -> ());
+  let s = hist_of (M.find (M.snapshot t) "h") in
+  Alcotest.(check int) "records also on exception" 2 s.M.count;
+  Alcotest.(check bool) "durations non-negative" true (s.M.min_v >= 0.)
+
+(* Snapshot / diff algebra *)
+
+let test_snapshot_diff () =
+  let t = M.create () in
+  let c = M.counter t "c" and g = M.gauge t "g" and h = M.histogram t "h" in
+  M.add c 5;
+  M.set g 1.;
+  M.observe h 0.5;
+  let s0 = M.snapshot t in
+  M.add c 3;
+  M.set g 9.;
+  M.observe h 0.25;
+  M.observe h 0.75;
+  let s1 = M.snapshot t in
+  let d = M.diff s1 s0 in
+  Alcotest.(check int) "counter delta" 3 (counter_of (M.find d "c"));
+  Alcotest.(check (float 0.)) "gauge keeps after" 9. (gauge_of (M.find d "g"));
+  let dh = hist_of (M.find d "h") in
+  Alcotest.(check int) "hist count delta" 2 dh.M.count;
+  Alcotest.(check (float 1e-12)) "hist sum delta" 1.0 dh.M.sum;
+  (* diff with itself zeroes every population *)
+  let z = M.diff s1 s1 in
+  Alcotest.(check int) "self counter" 0 (counter_of (M.find z "c"));
+  Alcotest.(check int) "self hist" 0 (hist_of (M.find z "h")).M.count
+
+let test_exporters_cover_all_metrics () =
+  let t = M.create () in
+  M.add (M.counter t "a.count") 2;
+  M.set (M.gauge t "b.gauge") 1.5;
+  M.observe (M.histogram t "c.hist") 0.1;
+  let s = M.snapshot t in
+  let table = M.to_table s and csv = M.to_csv s in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("table has " ^ name) true (contains ~affix:name table);
+      Alcotest.(check bool) ("csv has " ^ name) true (contains ~affix:name csv))
+    [ "a.count"; "b.gauge"; "c.hist" ];
+  (* JSON export round-trips through the parser. *)
+  match J.of_string (M.to_json_string s) with
+  | Error e -> Alcotest.fail e
+  | Ok (J.Obj entries) -> Alcotest.(check int) "three entries" 3 (List.length entries)
+  | Ok _ -> Alcotest.fail "snapshot JSON is not an object"
+
+(* Jsonlite *)
+
+let test_jsonlite_roundtrip () =
+  let tree =
+    J.Obj
+      [
+        ("s", J.Str "he\"llo\n\t");
+        ("n", J.Num 2.5);
+        ("neg", J.Num (-17.));
+        ("b", J.Bool true);
+        ("z", J.Null);
+        ("a", J.Arr [ J.Num 1.; J.Str "x"; J.Obj [] ]);
+      ]
+  in
+  (match J.of_string (J.to_string tree) with
+  | Error e -> Alcotest.fail e
+  | Ok back -> Alcotest.(check bool) "roundtrip" true (back = tree));
+  match J.of_string (J.to_string ~indent:true tree) with
+  | Error e -> Alcotest.fail e
+  | Ok back -> Alcotest.(check bool) "indented roundtrip" true (back = tree)
+
+let test_jsonlite_errors () =
+  List.iter
+    (fun src ->
+      match J.of_string src with
+      | Ok _ -> Alcotest.failf "parsed %S" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2" ]
+
+(* Bench_json and the regression gate *)
+
+let test_bench_json_roundtrip () =
+  let bench =
+    B.make ~suite:"s"
+      [
+        B.metric ~units:"s" "makespan" 1.25;
+        B.metric ~units:"Tflop/s" ~direction:B.Higher_is_better "tflops" 42.;
+      ]
+  in
+  match B.of_json_string (B.to_json_string bench) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    Alcotest.(check int) "schema" B.schema_version back.B.schema_version;
+    Alcotest.(check string) "suite" "s" back.B.suite;
+    Alcotest.(check bool) "metrics equal" true (back.B.metrics = bench.B.metrics)
+
+let test_regression_gate_directions () =
+  let base =
+    B.make ~suite:"s"
+      [
+        B.metric "lower" 100.;
+        B.metric ~direction:B.Higher_is_better "higher" 100.;
+        B.metric "gone" 1.;
+      ]
+  in
+  let gate low high =
+    let current =
+      B.make ~suite:"s"
+        [ B.metric "lower" low; B.metric ~direction:B.Higher_is_better "higher" high ]
+    in
+    B.compare ~tolerance:0.2 ~baseline:base ~current
+  in
+  (* Within tolerance in the bad direction: ok. *)
+  Alcotest.(check bool) "within" false (B.any_regressed (gate 115. 85.));
+  (* Improvements are never regressions, however large. *)
+  Alcotest.(check bool) "improve" false (B.any_regressed (gate 1. 1000.));
+  (* Past tolerance the right metric trips. *)
+  let v = gate 121. 100. in
+  Alcotest.(check bool) "lower trips" true B.(any_regressed v);
+  Alcotest.(check bool) "only lower" true
+    (List.for_all (fun x -> x.B.regressed = (x.B.metric_name = "lower")) v);
+  Alcotest.(check bool) "higher trips" true (B.any_regressed (gate 100. 79.));
+  (* Metrics missing from current are skipped, not failures. *)
+  Alcotest.(check int) "gone skipped" 2 (List.length v);
+  Alcotest.(check bool) "report mentions verdicts" true
+    (contains ~affix:"REGRESSED" (B.report_verdicts v))
+
+let test_bench_json_file_io () =
+  let path = Filename.temp_file "geomix_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let bench = B.make ~suite:"io" [ B.metric "m" 3.5 ] in
+      B.write ~path bench;
+      match B.read ~path with
+      | Error e -> Alcotest.fail e
+      | Ok back -> Alcotest.(check bool) "file roundtrip" true (back.B.metrics = bench.B.metrics))
+
+(* Instrumented pool *)
+
+let test_pool_obs () =
+  let reg = M.create () in
+  let total = 57 in
+  Pool.with_pool ~obs:reg ~num_workers:2 (fun pool ->
+    for _ = 1 to total do
+      Pool.submit pool (fun () -> ignore (Sys.opaque_identity (ref 0)))
+    done;
+    Pool.wait_idle pool);
+  let s = M.snapshot reg in
+  Alcotest.(check int) "tasks" total (counter_of (M.find s "pool.tasks"));
+  Alcotest.(check (float 0.)) "workers" 2. (gauge_of (M.find s "pool.workers"));
+  Alcotest.(check int) "wait observations" total
+    (hist_of (M.find s "pool.queue_wait_s")).M.count;
+  Alcotest.(check int) "run observations" total (hist_of (M.find s "pool.run_s")).M.count;
+  let per_worker =
+    (counter_of (M.find s "pool.worker0.tasks"))
+    + counter_of (M.find s "pool.worker1.tasks")
+  in
+  Alcotest.(check int) "worker counters sum" total per_worker;
+  Alcotest.(check bool) "queue peak positive" true
+    (gauge_of (M.find s "pool.queue_peak") >= 1.)
+
+let test_pool_obs_serial () =
+  let reg = M.create () in
+  Pool.with_pool ~obs:reg ~num_workers:0 (fun pool ->
+    for _ = 1 to 5 do
+      Pool.submit pool (fun () -> ())
+    done;
+    Pool.wait_idle pool);
+  let s = M.snapshot reg in
+  Alcotest.(check int) "serial tasks" 5 (counter_of (M.find s "pool.tasks"));
+  Alcotest.(check int) "serial worker0" 5 (counter_of (M.find s "pool.worker0.tasks"))
+
+(* DTD byte accounting: recorded = declared, under every schedule *)
+
+let datum_bytes k = (k mod 7) + 1
+
+let test_dtd_obs_matches_comm_volume () =
+  let t = Dtd.create () in
+  (* A small chain with a broadcast: 0 writes {0,1}; 1 and 2 read them. *)
+  ignore (Dtd.insert t ~name:"w" ~reads:[] ~writes:[ 0; 1 ] (fun () -> ()));
+  ignore (Dtd.insert t ~name:"r1" ~reads:[ 0; 1 ] ~writes:[ 2 ] (fun () -> ()));
+  ignore (Dtd.insert t ~name:"r2" ~reads:[ 0; 2 ] ~writes:[] (fun () -> ()));
+  let declared = Dtd.comm_volume ~datum_bytes t in
+  (* RAW edges: r1←w on 0 and 1; r2←w on 0, r2←r1 on 2. *)
+  Alcotest.(check int) "declared volume" (1 + 2 + 1 + 3) declared;
+  let reg = M.create () in
+  Dtd.execute ~obs:reg ~datum_bytes t;
+  let s = M.snapshot reg in
+  Alcotest.(check int) "recorded bytes" declared (counter_of (M.find s "dtd.raw_bytes"));
+  Alcotest.(check int) "recorded edges" 4 (counter_of (M.find s "dtd.raw_edges"));
+  Alcotest.(check int) "recorded tasks" 3 (counter_of (M.find s "dtd.tasks"))
+
+let prop_bytes_schedule_independent =
+  QCheck.Test.make ~name:"bytes-on-the-wire identical across interleavings" ~count:40
+    (Gen.program_spec ~max_ops:18 ~max_keys:6 ())
+    (fun spec ->
+      let program = Gen.program_of_spec spec in
+      let t = Gen.dtd_of_program program in
+      let declared = Dtd.comm_volume ~datum_bytes t in
+      let graph = Explore.of_dtd t in
+      let ok = ref true in
+      Explore.for_each_seed ~seeds:8 graph (fun ~seed:_ order ->
+        (* Sum the fetch volume in execution order: the accumulation order
+           changes with the schedule, the total must not. *)
+        let total = ref 0 in
+        Explore.run_schedule graph ~order ~execute:(fun id ->
+          total := !total + Dtd.task_in_bytes ~datum_bytes t id);
+        if !total <> declared then ok := false);
+      !ok)
+
+let prop_dtd_obs_schedule_independent =
+  QCheck.Test.make ~name:"executed dtd.raw_bytes equals declared comm_volume" ~count:25
+    (Gen.program_spec ~max_ops:12 ~max_keys:5 ())
+    (fun spec ->
+      let t = Gen.dtd_of_program (Gen.program_of_spec spec) in
+      let reg = M.create () in
+      Dtd.execute ~obs:reg ~datum_bytes t;
+      match M.find (M.snapshot reg) "dtd.raw_bytes" with
+      | Some (M.Counter b) -> b = Dtd.comm_volume ~datum_bytes t
+      | _ -> false)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "gauge set/set_max" `Quick test_gauge_set_max;
+          Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+          Alcotest.test_case "bucket bounds contain values" `Quick test_histogram_bucket_bounds;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edge_cases;
+          Alcotest.test_case "span timer" `Quick test_span_timer;
+          Alcotest.test_case "snapshot/diff algebra" `Quick test_snapshot_diff;
+          Alcotest.test_case "exporters" `Quick test_exporters_cover_all_metrics;
+        ] );
+      ( "jsonlite",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonlite_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_jsonlite_errors;
+        ] );
+      ( "bench gate",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_bench_json_roundtrip;
+          Alcotest.test_case "gate directions" `Quick test_regression_gate_directions;
+          Alcotest.test_case "file io" `Quick test_bench_json_file_io;
+        ] );
+      ( "instrumented executors",
+        [
+          Alcotest.test_case "pool metrics" `Quick test_pool_obs;
+          Alcotest.test_case "serial pool metrics" `Quick test_pool_obs_serial;
+          Alcotest.test_case "dtd bytes recorded" `Quick test_dtd_obs_matches_comm_volume;
+          QCheck_alcotest.to_alcotest prop_bytes_schedule_independent;
+          QCheck_alcotest.to_alcotest prop_dtd_obs_schedule_independent;
+        ] );
+    ]

@@ -131,7 +131,8 @@ let test_dag_exec_respects_dependencies () =
             Mutex.lock mutex;
             List.iter (fun p -> if not finished.(p) then incr violations) preds.(id);
             finished.(id) <- true;
-            Mutex.unlock mutex);
+            Mutex.unlock mutex)
+          ();
         Alcotest.(check int) "no dependency violations" 0 !violations;
         Alcotest.(check bool) "all finished" true (Array.for_all Fun.id finished)))
     [ 0; 3 ]
@@ -173,7 +174,8 @@ let test_dag_exec_linear_chain_order () =
       ~execute:(fun id ->
         Mutex.lock mutex;
         order := id :: !order;
-        Mutex.unlock mutex);
+        Mutex.unlock mutex)
+      ();
     Alcotest.(check (list int)) "strict order" (List.init n (fun i -> n - 1 - i)) !order)
 
 let test_dag_exec_error () =
@@ -182,7 +184,8 @@ let test_dag_exec_error () =
       Dag_exec.run ~pool ~num_tasks:3
         ~in_degree:[| 0; 1; 1 |]
         ~successors:(fun id -> if id < 2 then [ id + 1 ] else [])
-        ~execute:(fun id -> if id = 1 then raise Boom)))
+        ~execute:(fun id -> if id = 1 then raise Boom)
+        ()))
 
 let test_check_acyclic () =
   Alcotest.(check bool) "chain is acyclic" true

@@ -119,7 +119,8 @@ let test_dag_executes_in_valid_order () =
         | Task.Gemm (m, n, k) ->
           assert (done_.(Dag.id_of dag (Task.Trsm (m, k))));
           assert (done_.(Dag.id_of dag (Task.Trsm (n, k)))));
-        done_.(id) <- true);
+        done_.(id) <- true)
+      ();
     Alcotest.(check bool) "all executed" true (Array.for_all Fun.id done_))
 
 let test_trace_basics () =
