@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check verify-slow clean
+.PHONY: all test check chaos verify-slow clean
 
 all:
 	dune build @all
@@ -12,6 +12,14 @@ test:
 # Tier-1 plus the seeded schedule-explorer pass over a numeric DTD Cholesky.
 check: test
 	dune exec test/explorer_pass.exe
+
+# Seeded chaos runs: fault-injected factorizations that must recover to a
+# bitwise-identical result (same seed matrix as the CI chaos-smoke job).
+chaos:
+	for seed in 1 2 3; do \
+	  dune exec bin/geomix.exe -- chaos --seed $$seed --nt 6 --nb 16 --rate 0.2 || exit 1; \
+	  dune exec bin/geomix.exe -- chaos --seed $$seed --nt 6 --nb 16 --rate 0.1 --pivot-rate 1.0 || exit 1; \
+	done
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

@@ -66,7 +66,7 @@ let run (scale : scale) =
    adaptive sweet spot) under both conversion strategies, plus the analytic
    motion accounting.  Everything here is a pure function of the model —
    wall-clock never enters, so the 20% CI gate cannot flap. *)
-let smoke_metrics () =
+let rec smoke_metrics () =
   let ntiles = 24 in
   (* Two Summit nodes: small enough to simulate in milliseconds, large
      enough that the d2d/nic byte counters are exercised. *)
@@ -92,4 +92,54 @@ let smoke_metrics () =
     metric ~units:"" "motion_conv_stc" (float_of_int m.Cm.conv_stc);
     metric ~units:"" "motion_conv_ttc" (float_of_int m.Cm.conv_ttc);
     metric ~units:"J" "energy_stc" stc.Sim.energy.Geomix_gpusim.Energy.energy_joules;
+  ]
+  @ recovery_metrics ()
+
+(* Recovery counters of the fault-injection layer: one seeded chaos
+   factorization (transient + crash-after-write faults at 30%, supervised
+   retry with snapshot restore) and one forced pivot-failure run driving a
+   band escalation, both on the serial pool.  Fault decisions are pure
+   hashes of (seed, task name, attempt), so every count — and the
+   bitwise-equality check — is deterministic and the CI gate cannot flap. *)
+and recovery_metrics () =
+  let module Tiled = Geomix_tile.Tiled in
+  let module Fault = Geomix_fault.Fault in
+  let module Retry = Geomix_fault.Retry in
+  let module Metrics = Geomix_obs.Metrics in
+  let module Chol = Geomix_core.Mp_cholesky in
+  let ntiles = 6 and nb = 8 in
+  let spd () =
+    Tiled.init ~n:(ntiles * nb) ~nb (fun i j ->
+      (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
+  in
+  let pmap = Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16_32 in
+  let reference = spd () in
+  Chol.factorize ~pmap reference;
+  let reg = Metrics.create () in
+  let a = spd () in
+  let faults =
+    Fault.plan ~obs:reg ~rate:0.3
+      ~kinds:[ Fault.Transient; Fault.Crash_after_write ]
+      ~sleep:ignore ~seed:7 ()
+  in
+  Geomix_parallel.Pool.with_pool ~num_workers:0 (fun pool ->
+    Chol.factorize ~pool ~faults ~retry:(Retry.immediate ()) ~obs:reg ~pmap a);
+  let exact = if Geomix_tile.Tiled.rel_diff a ~reference = 0. then 1. else 0. in
+  let b = spd () in
+  let pfaults = Fault.plan ~pivot_rate:1. ~sleep:ignore ~seed:7 () in
+  let report = Chol.factorize_robust ~faults:pfaults ~obs:reg ~pmap b in
+  let counter name =
+    match Metrics.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Counter c) -> float_of_int c
+    | _ -> 0.
+  in
+  let open Bench_json in
+  [
+    metric ~units:"" "recovery_injected" (float_of_int (Fault.injected faults));
+    metric ~units:"" "recovery_retries" (counter "cholesky.retries");
+    metric ~units:"B" "recovery_restored_bytes" (counter "cholesky.restored_bytes");
+    metric ~units:"" "recovery_band_escalations" (counter "recovery.band_escalations");
+    metric ~units:"" ~direction:Higher_is_better "recovery_exact" exact;
+    metric ~units:"" ~direction:Higher_is_better "recovery_converged"
+      (match report.Chol.outcome with Chol.Factorized -> 1. | Chol.Indefinite _ -> 0.);
   ]

@@ -1,11 +1,15 @@
 open Geomix_tile
 module Fpformat = Geomix_precision.Fpformat
 module Mat = Geomix_linalg.Mat
+module Blas = Geomix_linalg.Blas
 module Blas_emul = Geomix_linalg.Blas_emul
 module Pool = Geomix_parallel.Pool
 module Dag_exec = Geomix_parallel.Dag_exec
 module Task = Geomix_runtime.Task
 module Cholesky_dag = Geomix_runtime.Cholesky_dag
+module Fault = Geomix_fault.Fault
+module Retry = Geomix_fault.Retry
+module Metrics = Geomix_obs.Metrics
 
 type strategy = Automatic | Always_ttc
 
@@ -20,10 +24,12 @@ let default_options =
 
 let pidx i j = (i * (i + 1) / 2) + j
 
-let factorize ?(options = default_options) ?pool ?trace ~pmap a =
+let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
+    ?(fault_round = 1) ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
+  let nb = Tiled.nb a in
   let dag = Cholesky_dag.create ~nt:ntiles in
   let cmap =
     if options.model_comm_rounding && options.strategy = Automatic then
@@ -57,12 +63,33 @@ let factorize ?(options = default_options) ?pool ?trace ~pmap a =
     | Some m -> m
     | None -> assert false (* DAG ordering guarantees the producer ran *)
   in
+  (* A pivot failure is plausibly precision-caused only when block k's row
+     band carries sub-FP64 work; forced injections respect the same gate,
+     so escalating the band to FP64 genuinely cures them. *)
+  let band_low_precision k =
+    let low = ref (Precision_map.get pmap k k <> Fpformat.Fp64) in
+    for j = 0 to k - 1 do
+      if Precision_map.get pmap k j <> Fpformat.Fp64 then low := true
+    done;
+    !low
+  in
   let fidelity = options.fidelity in
   let execute id =
     match Cholesky_dag.kind_of dag id with
     | Task.Potrf k ->
+      (match faults with
+      | Some f
+        when band_low_precision k
+             && Fault.pivot_failure f ~task:(Task.name (Task.Potrf k))
+                  ~attempt:fault_round ->
+        raise (Blas.Not_positive_definite (k * nb))
+      | _ -> ());
       let tile = Tiled.tile a k k in
-      Blas_emul.potrf_lower ~fidelity ~prec:(exec_prec (Task.Potrf k)) tile;
+      (* Re-raise pivot failures with the global row index, so recovery can
+         identify the offending diagonal block as [pivot / nb]. *)
+      (try Blas_emul.potrf_lower ~fidelity ~prec:(exec_prec (Task.Potrf k)) tile
+       with Blas.Not_positive_definite p ->
+         raise (Blas.Not_positive_definite ((k * nb) + p)));
       publish k k
     | Task.Trsm (m, k) ->
       let b = Tiled.tile a m k in
@@ -90,8 +117,48 @@ let factorize ?(options = default_options) ?pool ?trace ~pmap a =
           tr)
       trace
   in
+  (* Indefiniteness is deterministic under restore-and-re-run, so retrying
+     it burns the budget for nothing: it is a precision problem, handled by
+     escalation above this level, not an execution fault. *)
+  let retry =
+    Option.map
+      (fun p ->
+        {
+          p with
+          Retry.retryable =
+            (fun e ->
+              match e with
+              | Blas.Not_positive_definite _ -> false
+              | e -> p.Retry.retryable e);
+        })
+      retry
+  in
+  let note_retry, note_restore =
+    match obs with
+    | None -> (None, fun _ -> ())
+    | Some reg ->
+      let retries = Metrics.counter reg "cholesky.retries" in
+      let restores = Metrics.counter reg "cholesky.restores" in
+      let restored = Metrics.counter reg "cholesky.restored_bytes" in
+      ( Some (fun ~id:_ ~attempt:_ _ -> Metrics.incr retries),
+        fun (m : Mat.t) ->
+          Metrics.incr restores;
+          Metrics.add restored (8 * Mat.rows m * Mat.cols m) )
+  in
+  (* Snapshot of a task's written footprint: its single INOUT tile.  The
+     shipped form needs no capture — a re-run republishes it from the
+     restored tile. *)
+  let capture id =
+    let i, j = Task.write_tile (Cholesky_dag.kind_of dag id) in
+    let saved = Mat.copy (Tiled.tile a i j) in
+    fun () ->
+      Mat.blit ~src:saved ~dst:(Tiled.tile a i j);
+      note_restore saved
+  in
   let run pool =
-    Dag_exec.run ?obs:dag_obs ~pool
+    Dag_exec.run ?obs:dag_obs
+      ~task_name:(fun id -> Task.name (Cholesky_dag.kind_of dag id))
+      ?faults ?retry ~capture ?on_retry:note_retry ~pool
       ~num_tasks:(Cholesky_dag.num_tasks dag)
       ~in_degree:(Cholesky_dag.in_degree dag)
       ~successors:(Cholesky_dag.successors dag)
@@ -105,6 +172,78 @@ let factorize ?(options = default_options) ?pool ?trace ~pmap a =
   for k = 0 to ntiles - 1 do
     Mat.zero_upper (Tiled.tile a k k)
   done
+
+(* Precision-escalation recovery. *)
+
+type scope = Band | Full
+type escalation = { block : int; scope : scope }
+type outcome = Factorized | Indefinite of int
+
+type report = {
+  outcome : outcome;
+  escalations : escalation list;
+  rounds : int;
+  pmap : Precision_map.t;
+}
+
+let restore_tiles ~from a =
+  Tiled.iter_lower from (fun ~i ~j m -> Mat.blit ~src:m ~dst:(Tiled.tile a i j))
+
+let factorize_robust ?options ?pool ?trace ?faults ?retry ?obs
+    ?(max_band_escalations = 4) ~pmap a =
+  let note_band, note_full, note_indefinite =
+    match obs with
+    | None -> (ignore, ignore, ignore)
+    | Some reg ->
+      let band = Metrics.counter reg "recovery.band_escalations" in
+      let full = Metrics.counter reg "recovery.full_escalations" in
+      let indef = Metrics.counter reg "recovery.indefinite" in
+      ( (fun () -> Metrics.incr band),
+        (fun () -> Metrics.incr full),
+        fun () -> Metrics.incr indef )
+  in
+  let original = Tiled.copy a in
+  let rec go round pmap events bands =
+    match
+      factorize ?options ?pool ?trace ?faults ?retry ?obs ~fault_round:round ~pmap a
+    with
+    | () -> { outcome = Factorized; escalations = List.rev events; rounds = round; pmap }
+    | exception exn -> (
+      let bt = Printexc.get_raw_backtrace () in
+      (* Leave the input unchanged on every failure path: recovery re-runs
+         from the pristine matrix, and a caller that sees Indefinite (or a
+         propagated execution fault) gets its matrix back. *)
+      restore_tiles ~from:original a;
+      match exn with
+      | Blas.Not_positive_definite p ->
+        if Precision_map.all_fp64 pmap then begin
+          note_indefinite ();
+          {
+            outcome = Indefinite p;
+            escalations = List.rev events;
+            rounds = round;
+            pmap;
+          }
+        end
+        else
+          let k = p / Tiled.nb a in
+          if List.mem k bands || List.length events >= max_band_escalations then begin
+            note_full ();
+            go (round + 1)
+              (Precision_map.uniform ~nt:(Precision_map.nt pmap) Fpformat.Fp64)
+              ({ block = k; scope = Full } :: events)
+              bands
+          end
+          else begin
+            note_band ();
+            go (round + 1)
+              (Precision_map.escalate_band pmap k)
+              ({ block = k; scope = Band } :: events)
+              (k :: bands)
+          end
+      | exn -> Printexc.raise_with_backtrace exn bt)
+  in
+  go 1 pmap [] []
 
 let solve_lower l b =
   let ntiles = Tiled.nt l and nb = Tiled.nb l in

@@ -33,6 +33,10 @@ val factorize :
   ?options:options ->
   ?pool:Geomix_parallel.Pool.t ->
   ?trace:Geomix_runtime.Trace.t ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?retry:Geomix_fault.Retry.policy ->
+  ?obs:Geomix_obs.Metrics.t ->
+  ?fault_round:int ->
   pmap:Precision_map.t ->
   Tiled.t ->
   unit
@@ -45,8 +49,82 @@ val factorize :
     the pool worker that ran it), viewable through the existing Chrome-JSON
     and Gantt exporters — the measured counterpart of the simulator's
     schedule traces.
+
+    {b Supervised recovery.}  [?faults] subjects every kernel to the seeded
+    fault plan (site ["exec"], keyed by the ["POTRF(3)"]-style task name) and
+    [?retry] re-executes failed attempts with bounded backoff, after
+    restoring the task's written tile from a pre-attempt snapshot — so a
+    retried SYRK/GEMM never double-applies its accumulation.  Fault decisions
+    are pure functions of (seed, task name, attempt): a faulted run that
+    recovers produces bitwise-identical tiles to the fault-free run, under
+    any worker count.  [Blas.Not_positive_definite] is never retried — it is
+    deterministic under restore-and-re-run and belongs to precision recovery
+    ({!factorize_robust}), not execution recovery.  With [?obs], recovery
+    records [cholesky.retries], [cholesky.restores] and
+    [cholesky.restored_bytes].
+
+    [?faults] additionally arms forced pivot failures (site ["pivot"],
+    {!Geomix_fault.Fault.pivot_failure}): an armed POTRF(k) whose row band
+    carries sub-FP64 work raises [Not_positive_definite (k·nb)] before
+    touching its tile, emulating the precision-induced loss of positive
+    definiteness the escalation fallback exists for.  Blocks whose band is
+    already entirely FP64 never fire — an escalated re-run genuinely cures
+    the injection.  [?fault_round] (default 1) feeds the pivot decision's
+    attempt slot so each {!factorize_robust} round redraws independently.
+
     @raise Geomix_linalg.Blas.Not_positive_definite when a diagonal pivot
-    fails, exactly as the FP64 algorithm would. *)
+    fails; the payload is the {e global} row index (block [k], local pivot
+    [p] report [k·nb + p]), so recovery can locate the offending block as
+    [pivot / nb]. *)
+
+(** {1 Precision-escalation recovery}
+
+    The numeric fallback of the fault-tolerance layer: when the
+    mixed-precision factorization loses positive definiteness — a known
+    failure mode of aggressive precision maps on ill-conditioned
+    covariances — the offending diagonal block's row/column band is promoted
+    to FP64 ({!Precision_map.escalate_band}) and the factorization is re-run
+    from a pristine copy.  If band escalations stop making progress (same
+    block fails twice, or the escalation budget is exhausted) the whole map
+    is promoted to FP64; failure under an all-FP64 map is true
+    indefiniteness, reported rather than raised. *)
+
+type scope =
+  | Band  (** one diagonal block's row/column band promoted to FP64 *)
+  | Full  (** the whole map promoted to FP64 *)
+
+type escalation = { block : int; scope : scope }
+
+type outcome =
+  | Factorized
+  | Indefinite of int
+      (** global pivot index that failed under the all-FP64 map *)
+
+type report = {
+  outcome : outcome;
+  escalations : escalation list;  (** in the order they were applied *)
+  rounds : int;  (** factorization attempts, ≥ 1 *)
+  pmap : Precision_map.t;  (** the map the final round ran under *)
+}
+
+val factorize_robust :
+  ?options:options ->
+  ?pool:Geomix_parallel.Pool.t ->
+  ?trace:Geomix_runtime.Trace.t ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?retry:Geomix_fault.Retry.policy ->
+  ?obs:Geomix_obs.Metrics.t ->
+  ?max_band_escalations:int ->
+  pmap:Precision_map.t ->
+  Tiled.t ->
+  report
+(** {!factorize} with automatic precision escalation.  On [Factorized] the
+    matrix holds the factor computed under [report.pmap]; on [Indefinite]
+    (and on any propagated execution fault) the matrix is restored to its
+    input values.  [max_band_escalations] (default 4) bounds the number of
+    band-scoped retries before promoting the full map.  With [?obs], records
+    [recovery.band_escalations], [recovery.full_escalations] and
+    [recovery.indefinite].  Never raises [Not_positive_definite]. *)
 
 val solve_lower : Tiled.t -> float array -> float array
 (** Forward substitution [L·y = b] on a factorized tiled matrix (FP64). *)

@@ -96,6 +96,22 @@ let two_level ~nt ~off_diag =
   done;
   t
 
+(* Recovery escalation: promote the row/column band through diagonal block
+   [k] to FP64 (tiles (k, j) for j <= k and (i, k) for i >= k), leaving
+   the rest of the map — and the u_req it was built for — untouched. *)
+let escalate_band t k =
+  assert (k >= 0 && k < t.nt);
+  let prec = Array.copy t.prec in
+  for j = 0 to k do
+    prec.(pidx k j) <- Fpformat.Fp64
+  done;
+  for i = k to t.nt - 1 do
+    prec.(pidx i k) <- Fpformat.Fp64
+  done;
+  { t with prec }
+
+let all_fp64 t = Array.for_all (fun p -> p = Fpformat.Fp64) t.prec
+
 let fractions t =
   let total = float_of_int (Array.length t.prec) in
   Fpformat.all

@@ -68,6 +68,20 @@ val two_level : nt:int -> off_diag:Fpformat.t -> t
 (** Diagonal FP64, all off-diagonal tiles at [off_diag] — the extreme
     FP64/FP16_32 and FP64/FP16 configurations of Fig 8. *)
 
+val escalate_band : t -> int -> t
+(** [escalate_band t k] promotes the row/column band through diagonal block
+    [k] — tiles (k, j) for j ≤ k and (i, k) for i ≥ k — to FP64, leaving
+    every other assignment (and [u_req]) unchanged.  This is the recovery
+    move of the precision-escalation fallback: when the mixed-precision
+    factorization loses positive definiteness at block [k], the band that
+    feeds block [k]'s updates is re-run at full precision (cf. the banded
+    fallback of Abdulah et al., "Geostatistical Modeling and Prediction
+    Using Mixed-Precision Tile Cholesky Factorization"). *)
+
+val all_fp64 : t -> bool
+(** Every tile (diagonal included) assigned FP64 — no further escalation
+    is possible; a failure under such a map is true indefiniteness. *)
+
 val fractions : t -> (Fpformat.t * float) list
 (** Fraction of lower-triangle tiles per precision, the Fig 7 annotation
     (only precisions present in the map are listed). *)

@@ -1,0 +1,162 @@
+module Metrics = Geomix_obs.Metrics
+
+type kind = Transient | Crash_after_write | Stall
+
+exception Injected of { task : string; attempt : int; kind : kind }
+
+let kind_name = function
+  | Transient -> "transient"
+  | Crash_after_write -> "crash-after-write"
+  | Stall -> "stall"
+
+let () =
+  Printexc.register_printer (function
+    | Injected { task; attempt; kind } ->
+      Some
+        (Printf.sprintf "Geomix_fault.Fault.Injected(%s fault in %s, attempt %d)"
+           (kind_name kind) task attempt)
+    | _ -> None)
+
+type obs_state = {
+  m_injected : Metrics.counter;
+  m_transient : Metrics.counter;
+  m_crashes : Metrics.counter;
+  m_stalls : Metrics.counter;
+  m_pivots : Metrics.counter;
+}
+
+type t = {
+  seed : int;
+  rate : float;
+  kinds : kind array;
+  pivot_rate : float;
+  stall : float;
+  sleep : float -> unit;
+  fail_attempts : int;
+  only : string -> bool;
+  n_injected : int Atomic.t;
+  n_pivots : int Atomic.t;
+  n_by_kind : int Atomic.t array; (* indexed like [kinds] *)
+  obs : obs_state option;
+}
+
+(* splitmix64 finalizer — the same mixing the Rng seeder uses, applied here
+   as a stateless hash so decisions are a pure function of the plan seed
+   and the (site, task, attempt) triple, independent of call order. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := mix64 (Int64.add (Int64.mul !h 0x100000001b3L) (Int64.of_int (Char.code c))))
+    s;
+  !h
+
+let hash_triple ~seed ~site ~task ~attempt =
+  let h = mix64 (Int64.of_int seed) in
+  let h = hash_string h site in
+  let h = hash_string (mix64 h) task in
+  mix64 (Int64.add h (Int64.of_int attempt))
+
+(* Top 53 bits as a uniform draw in [0, 1). *)
+let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+let plan ?obs ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.) ?(stall = 1e-3)
+    ?(sleep = Unix.sleepf) ?(fail_attempts = 1) ?(only = fun _ -> true) ~seed () =
+  if not (rate >= 0. && rate <= 1.) then invalid_arg "Fault.plan: rate outside [0, 1]";
+  if not (pivot_rate >= 0. && pivot_rate <= 1.) then
+    invalid_arg "Fault.plan: pivot_rate outside [0, 1]";
+  if not (stall >= 0.) then invalid_arg "Fault.plan: negative stall";
+  if fail_attempts < 1 then invalid_arg "Fault.plan: fail_attempts < 1";
+  if kinds = [] then invalid_arg "Fault.plan: empty kinds";
+  {
+    seed;
+    rate;
+    kinds = Array.of_list kinds;
+    pivot_rate;
+    stall;
+    sleep;
+    fail_attempts;
+    only;
+    n_injected = Atomic.make 0;
+    n_pivots = Atomic.make 0;
+    n_by_kind = Array.init (List.length kinds) (fun _ -> Atomic.make 0);
+    obs =
+      Option.map
+        (fun reg ->
+          {
+            m_injected = Metrics.counter reg "fault.injected";
+            m_transient = Metrics.counter reg "fault.transient";
+            m_crashes = Metrics.counter reg "fault.crashes";
+            m_stalls = Metrics.counter reg "fault.stalls";
+            m_pivots = Metrics.counter reg "fault.pivots";
+          })
+        obs;
+  }
+
+let seed t = t.seed
+
+let decide t ~site ~task ~attempt =
+  if t.rate <= 0. || attempt > t.fail_attempts || not (t.only task) then None
+  else
+    let h = hash_triple ~seed:t.seed ~site ~task ~attempt in
+    if u01 h < t.rate then begin
+      let n = Array.length t.kinds in
+      let idx = if n = 1 then 0 else Int64.to_int (Int64.rem (Int64.shift_right_logical (mix64 h) 1) (Int64.of_int n)) in
+      Some t.kinds.(idx)
+    end
+    else None
+
+let kind_index t k =
+  let rec go i = if t.kinds.(i) = k then i else go (i + 1) in
+  go 0
+
+let record t k =
+  Atomic.incr t.n_injected;
+  Atomic.incr t.n_by_kind.(kind_index t k);
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    Metrics.incr o.m_injected;
+    Metrics.incr
+      (match k with
+      | Transient -> o.m_transient
+      | Crash_after_write -> o.m_crashes
+      | Stall -> o.m_stalls)
+
+let wrap t ~site ~task ~attempt body =
+  match decide t ~site ~task ~attempt with
+  | None -> body ()
+  | Some Transient ->
+    record t Transient;
+    raise (Injected { task; attempt; kind = Transient })
+  | Some Stall ->
+    record t Stall;
+    t.sleep t.stall;
+    body ()
+  | Some Crash_after_write ->
+    body ();
+    record t Crash_after_write;
+    raise (Injected { task; attempt; kind = Crash_after_write })
+
+let pivot_failure t ~task ~attempt =
+  if t.pivot_rate <= 0. || attempt > t.fail_attempts || not (t.only task) then false
+  else
+    let h = hash_triple ~seed:t.seed ~site:"pivot" ~task ~attempt in
+    let fire = u01 h < t.pivot_rate in
+    if fire then begin
+      Atomic.incr t.n_pivots;
+      match t.obs with None -> () | Some o -> Metrics.incr o.m_pivots
+    end;
+    fire
+
+let injected t = Atomic.get t.n_injected
+let pivots t = Atomic.get t.n_pivots
+
+let by_kind t =
+  Array.to_list (Array.mapi (fun i k -> (k, Atomic.get t.n_by_kind.(i))) t.kinds)

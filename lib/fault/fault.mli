@@ -1,0 +1,108 @@
+(** Deterministic, seeded fault injection for the execution stack.
+
+    A {!t} is a {e plan}: a pure function from [(site, task name, attempt)]
+    to a fault decision, derived by hashing the triple together with the
+    plan's seed.  No global state and no OS scheduler enters the decision,
+    so a chaos run is replayable bit-for-bit from its seed alone — the same
+    tasks fault, in the same way, under any schedule and any worker count.
+    The executors ({!Geomix_parallel.Pool}, {!Geomix_parallel.Dag_exec},
+    {!Geomix_runtime.Dtd}) and the numeric layer
+    ({!Geomix_core.Mp_cholesky}) accept a plan through an optional
+    [?faults] argument.
+
+    Three execution-level fault kinds, applied by {!wrap} around a task
+    body, plus a numeric one ({!pivot_failure}) consumed by the
+    mixed-precision Cholesky:
+
+    - {!Transient}: the attempt raises {!Injected} {e before} the body
+      runs — a task that died without side effects;
+    - {!Crash_after_write}: the body runs to completion and {e then}
+      {!Injected} is raised — a worker that crashed after applying its
+      writes but before reporting completion.  Re-executing such a task
+      without restoring its written footprint double-applies the work
+      (fatal for accumulation kernels such as SYRK/GEMM), which is exactly
+      what the snapshot/restore machinery of the supervised retry exists
+      to prevent;
+    - {!Stall}: the attempt is delayed by the plan's stall duration before
+      the body runs — a slow worker, not an error. *)
+
+type kind = Transient | Crash_after_write | Stall
+
+exception Injected of { task : string; attempt : int; kind : kind }
+(** The exception raised by injected [Transient] / [Crash_after_write]
+    faults.  Registered with a human-readable printer. *)
+
+type t
+
+val plan :
+  ?obs:Geomix_obs.Metrics.t ->
+  ?rate:float ->
+  ?kinds:kind list ->
+  ?pivot_rate:float ->
+  ?stall:float ->
+  ?sleep:(float -> unit) ->
+  ?fail_attempts:int ->
+  ?only:(string -> bool) ->
+  seed:int ->
+  unit ->
+  t
+(** [plan ~seed ()] builds a fault plan.
+
+    - [rate] (default [0.]): probability that a given [(site, task,
+      attempt)] triple faults under {!wrap}; [1.] faults every eligible
+      attempt.
+    - [kinds] (default [[Transient]]): the fault kinds injected by
+      {!wrap}; when several are given the kind is itself chosen by hash.
+    - [pivot_rate] (default [0.]): probability that {!pivot_failure}
+      answers [true] — forced low-precision pivot failures, consumed by
+      {!Geomix_core.Mp_cholesky}.
+    - [stall] (default [1e-3] s) and [sleep] (default [Unix.sleepf]): the
+      duration and clock of [Stall] faults; pass a virtual sleep in tests.
+    - [fail_attempts] (default [1]): attempts [<= fail_attempts] are
+      eligible for injection.  The default makes every fault transient in
+      the recovery sense — the first retry of a task is guaranteed clean —
+      so bounded-attempt supervision always converges.  Raise it (with
+      [rate = 1.]) to test give-up paths.
+    - [only] (default: everything): task-name filter selecting the
+      eligible tasks, e.g. [(fun n -> String.length n > 0 && n.[0] = 'G')]
+      to fault only GEMMs.
+
+    @raise Invalid_argument on rates outside [0, 1], a negative stall, a
+    non-positive [fail_attempts] or an empty [kinds] list. *)
+
+val seed : t -> int
+
+val decide : t -> site:string -> task:string -> attempt:int -> kind option
+(** The pure decision function: [Some kind] when this attempt of this task
+    faults at this site.  Purely a hash of [(seed, site, task, attempt)] —
+    no internal state advances, so executors at different sites draw
+    independent, individually replayable decisions. *)
+
+val wrap : t -> site:string -> task:string -> attempt:int -> (unit -> unit) -> unit
+(** Run a task body under the plan: applies {!decide} and injects the
+    chosen fault ([Transient] raises before the body, [Crash_after_write]
+    after it, [Stall] sleeps then runs it).  Counts every injection. *)
+
+val pivot_failure : t -> task:string -> attempt:int -> bool
+(** Whether a forced pivot failure fires for this task/attempt (decided at
+    the dedicated ["pivot"] site under [pivot_rate]).  Counts when
+    [true]. *)
+
+(** {1 Injection accounting}
+
+    Monotonic counters over the plan's lifetime (atomic — {!wrap} is
+    called from worker domains).  When the plan was built with [?obs],
+    the same counts are mirrored into the registry as [fault.injected],
+    [fault.transient], [fault.crashes], [fault.stalls] and
+    [fault.pivots]. *)
+
+val injected : t -> int
+(** Total faults injected by {!wrap} (all kinds). *)
+
+val pivots : t -> int
+(** Forced pivot failures granted by {!pivot_failure}. *)
+
+val by_kind : t -> (kind * int) list
+(** Injection count per execution-level kind, in declaration order. *)
+
+val kind_name : kind -> string

@@ -1,0 +1,42 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  factor : float;
+  max_delay : float;
+  sleep : float -> unit;
+  retryable : exn -> bool;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base_delay = 1e-3;
+    factor = 2.;
+    max_delay = 0.1;
+    sleep = Unix.sleepf;
+    retryable = (fun _ -> true);
+  }
+
+let immediate ?(max_attempts = 3) () =
+  { default with max_attempts; base_delay = 0.; max_delay = 0.; sleep = ignore }
+
+let virtual_clock () =
+  let elapsed = ref 0. in
+  ((fun d -> elapsed := !elapsed +. d), fun () -> !elapsed)
+
+let delay_for policy ~attempt =
+  Float.min policy.max_delay
+    (policy.base_delay *. (policy.factor ** float_of_int (attempt - 1)))
+
+let run ?on_retry ?restore policy f =
+  if policy.max_attempts < 1 then invalid_arg "Retry.run: max_attempts < 1";
+  let rec go attempt =
+    try f ~attempt
+    with exn when attempt < policy.max_attempts && policy.retryable exn ->
+      (match on_retry with Some h -> h ~attempt exn | None -> ());
+      let d = delay_for policy ~attempt in
+      if d > 0. then policy.sleep d;
+      (match restore with Some r -> r () | None -> ());
+      go (attempt + 1)
+  in
+  go 1

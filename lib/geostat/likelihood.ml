@@ -13,19 +13,34 @@ type engine =
 let mixed ?(options = Mp_cholesky.default_options) ~u_req ~nb () =
   Mixed { u_req; nb; options }
 
+type status =
+  | Clean
+  | Escalated of Mp_cholesky.escalation list
+  | Indefinite
+
 type evaluation = {
   loglik : float;
   log_det : float;
   quad_form : float;
   precision_fractions : (Fpformat.t * float) list;
+  status : status;
 }
 
-let assemble ~n ~log_det ~quad_form ~precision_fractions =
+let assemble ?(status = Clean) ~n ~log_det ~quad_form ~precision_fractions () =
   let loglik =
     (-0.5 *. float_of_int n *. log (2. *. Float.pi)) -. (0.5 *. log_det)
     -. (0.5 *. quad_form)
   in
-  { loglik; log_det; quad_form; precision_fractions }
+  { loglik; log_det; quad_form; precision_fractions; status }
+
+let indefinite_evaluation ~precision_fractions =
+  {
+    loglik = neg_infinity;
+    log_det = nan;
+    quad_form = nan;
+    precision_fractions;
+    status = Indefinite;
+  }
 
 let evaluate engine ~cov ~locs ~z =
   let n = Locations.count locs in
@@ -38,6 +53,7 @@ let evaluate engine ~cov ~locs ~z =
     let quad_form = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y in
     assemble ~n ~log_det:(Blas.log_det_from_chol l) ~quad_form
       ~precision_fractions:[ (Fpformat.Fp64, 1.) ]
+      ()
   | Mixed { u_req; nb; options } ->
     let a = Covariance.build_tiled cov locs ~nb in
     let pmap = Precision_map.of_tiled ~u_req a in
@@ -46,6 +62,7 @@ let evaluate engine ~cov ~locs ~z =
     let quad_form = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y in
     assemble ~n ~log_det:(Mp_cholesky.log_det a) ~quad_form
       ~precision_fractions:(Precision_map.fractions pmap)
+      ()
   | Tlr { tol; nb; u_req } ->
     let a = Covariance.build_tiled cov locs ~nb in
     let precision, fractions =
@@ -60,9 +77,42 @@ let evaluate engine ~cov ~locs ~z =
     let y = Geomix_tlr.Tlr.solve_lower t z in
     let quad_form = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y in
     assemble ~n ~log_det:(Geomix_tlr.Tlr.log_det t) ~quad_form
-      ~precision_fractions:fractions
+      ~precision_fractions:fractions ()
+
+let evaluate_robust ?faults ?retry ?obs ?max_band_escalations engine ~cov ~locs
+    ~z =
+  let n = Locations.count locs in
+  assert (Array.length z = n);
+  match engine with
+  | Mixed { u_req; nb; options } ->
+    let a = Covariance.build_tiled cov locs ~nb in
+    let pmap = Precision_map.of_tiled ~u_req a in
+    let report =
+      Mp_cholesky.factorize_robust ~options ?faults ?retry ?obs
+        ?max_band_escalations ~pmap a
+    in
+    (match report.Mp_cholesky.outcome with
+    | Mp_cholesky.Indefinite _ ->
+      indefinite_evaluation
+        ~precision_fractions:(Precision_map.fractions report.Mp_cholesky.pmap)
+    | Mp_cholesky.Factorized ->
+      let status =
+        match report.Mp_cholesky.escalations with
+        | [] -> Clean
+        | es -> Escalated es
+      in
+      let y = Mp_cholesky.solve_lower a z in
+      let quad_form = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y in
+      assemble ~status ~n ~log_det:(Mp_cholesky.log_det a) ~quad_form
+        ~precision_fractions:(Precision_map.fractions report.Mp_cholesky.pmap)
+        ())
+  | Exact | Tlr _ -> (
+    (* No precision to escalate: indefiniteness at FP64 (or under the TLR
+       compression) is reported, not raised, matching the Mixed path. *)
+    match evaluate engine ~cov ~locs ~z with
+    | e -> e
+    | exception Blas.Not_positive_definite _ ->
+      indefinite_evaluation ~precision_fractions:[ (Fpformat.Fp64, 1.) ])
 
 let loglik engine ~cov ~locs ~z =
-  match evaluate engine ~cov ~locs ~z with
-  | e -> e.loglik
-  | exception Blas.Not_positive_definite _ -> neg_infinity
+  (evaluate_robust engine ~cov ~locs ~z).loglik

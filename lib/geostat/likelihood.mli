@@ -25,18 +25,53 @@ type engine =
 val mixed : ?options:Geomix_core.Mp_cholesky.options -> u_req:float -> nb:int -> unit -> engine
 (** [Mixed] with {!Geomix_core.Mp_cholesky.default_options}. *)
 
+type status =
+  | Clean  (** factorized under the originally requested precision map *)
+  | Escalated of Geomix_core.Mp_cholesky.escalation list
+      (** factorized, but only after precision escalation — the reported
+          [precision_fractions] are those of the escalated map actually
+          used *)
+  | Indefinite
+      (** Σ(θ) is indefinite even at full FP64; [loglik] is
+          [neg_infinity] and [log_det]/[quad_form] are [nan] *)
+
 type evaluation = {
   loglik : float;
   log_det : float;
   quad_form : float;         (** Zᵀ·Σ⁻¹·Z *)
   precision_fractions : (Geomix_precision.Fpformat.t * float) list;
       (** tile precision mix used ([\[(Fp64, 1.)\]] for [Exact]) *)
+  status : status;
 }
 
 val evaluate : engine -> cov:Covariance.t -> locs:Locations.t -> z:float array -> evaluation
-(** @raise Geomix_linalg.Blas.Not_positive_definite when Σ(θ) is
+(** Evaluate with no recovery: the factorization runs once under the map the
+    norm rule produces, and [status] is always [Clean].
+    @raise Geomix_linalg.Blas.Not_positive_definite when Σ(θ) is
     numerically indefinite at the working precision. *)
 
+val evaluate_robust :
+  ?faults:Geomix_fault.Fault.t ->
+  ?retry:Geomix_fault.Retry.policy ->
+  ?obs:Geomix_obs.Metrics.t ->
+  ?max_band_escalations:int ->
+  engine ->
+  cov:Covariance.t ->
+  locs:Locations.t ->
+  z:float array ->
+  evaluation
+(** Evaluate through {!Geomix_core.Mp_cholesky.factorize_robust}: a
+    mixed-precision factorization that loses positive definiteness is
+    escalated (band, then full FP64) instead of failing, and the result's
+    [status] says what happened.  Only genuinely indefinite Σ(θ) yields
+    [Indefinite] — reported in the [evaluation], never raised.  [?faults]
+    and [?retry] additionally arm fault injection and supervised task retry
+    inside the factorization (chaos testing); [?obs] collects the recovery
+    counters.  For [Exact] and [Tlr] engines there is no precision to
+    escalate: indefiniteness is mapped to [Indefinite] directly. *)
+
 val loglik : engine -> cov:Covariance.t -> locs:Locations.t -> z:float array -> float
-(** [(evaluate ...).loglik], with indefiniteness mapped to [neg_infinity]
-    so optimisers treat such θ as infeasible. *)
+(** [(evaluate_robust ...).loglik]: indefiniteness yields [neg_infinity] so
+    optimisers treat such θ as infeasible, and recoverable precision
+    failures are escalated transparently rather than discarding the
+    candidate. *)

@@ -1,14 +1,49 @@
+module Fault = Geomix_fault.Fault
+module Retry = Geomix_fault.Retry
+
 type obs = { on_task : id:int -> worker:int -> start:float -> stop:float -> unit }
 
-let run ?obs ~pool ~num_tasks ~in_degree ~successors ~execute () =
+(* Wrap the task body in the supervision envelope: seeded fault injection
+   around every attempt, bounded retry between attempts, and — when the
+   caller can snapshot a task's written footprint — restoration of that
+   footprint before each re-execution, which is what makes re-running an
+   in-place task sound. *)
+let supervise ~faults ~retry ~capture ~task_name ~on_retry execute =
+  match (faults, retry) with
+  | None, None -> execute
+  | _ ->
+    let policy =
+      match retry with Some p -> p | None -> { Retry.default with max_attempts = 1 }
+    in
+    fun id ->
+      let name = task_name id in
+      let restore =
+        if policy.Retry.max_attempts > 1 then
+          Option.map (fun cap -> cap id) capture
+        else None
+      in
+      let on_retry =
+        Option.map (fun h -> fun ~attempt exn -> h ~id ~attempt exn) on_retry
+      in
+      Retry.run ?on_retry ?restore policy (fun ~attempt ->
+        match faults with
+        | Some f -> Fault.wrap f ~site:"exec" ~task:name ~attempt (fun () -> execute id)
+        | None -> execute id)
+
+let run ?obs ?task_name ?faults ?retry ?capture ?on_retry ~pool ~num_tasks ~in_degree
+    ~successors ~execute () =
   if Array.length in_degree <> num_tasks then
     invalid_arg "Dag_exec.run: in_degree length mismatch";
+  let task_name = Option.value task_name ~default:string_of_int in
+  let execute = supervise ~faults ~retry ~capture ~task_name ~on_retry execute in
   let execute =
     match obs with
     | None -> execute
     | Some { on_task } ->
       (* Wall-clock spans relative to this run's origin, so the events line
-         up with the Trace exporters' expectation of a 0-based timeline. *)
+         up with the Trace exporters' expectation of a 0-based timeline.
+         Under retry the span covers every attempt and backoff of the
+         task. *)
       let origin = Unix.gettimeofday () in
       fun id ->
         let worker = Pool.self_index pool in

@@ -4,7 +4,21 @@
     runnable the instant its last predecessor completes, with no global
     barriers between the "iterations" of Algorithm 1.  Tasks are identified
     by dense integer ids; the graph is given by a successor function and the
-    in-degree of every task. *)
+    in-degree of every task.
+
+    {b Supervision.}  [run] optionally wraps every task body in a recovery
+    envelope: a seeded fault plan ([?faults], site ["exec"]) injects
+    transient exceptions, crash-after-write failures and stalls per
+    attempt, and a retry policy ([?retry]) re-executes a failed attempt up
+    to its bound with backoff.  Re-execution of an in-place task is only
+    sound if its written data is rolled back first, so [?capture] lets the
+    caller snapshot a task's written footprint: [capture id] is called
+    once, before the task's first attempt, and must return a thunk that
+    restores the captured state; the envelope invokes that thunk before
+    every re-execution.  When the retry budget is exhausted (or the
+    exception is not [retryable]) the failure propagates as before: the
+    scheduler stops launching ready tasks, the pool cancels its queue, and
+    the exception re-raises from [run] with its original backtrace. *)
 
 type obs = { on_task : id:int -> worker:int -> start:float -> stop:float -> unit }
 (** Real-execution hook: called once per task with the worker index that ran
@@ -12,10 +26,16 @@ type obs = { on_task : id:int -> worker:int -> start:float -> stop:float -> unit
     the run's origin — exactly the shape of a {!Geomix_runtime.Trace.event},
     so real runs reuse the simulator's Chrome-JSON and Gantt exporters.
     Called from worker domains concurrently; also fires when the task body
-    raises (the span then covers up to the raise). *)
+    raises (the span then covers up to the raise — under retry it covers
+    every attempt and backoff). *)
 
 val run :
   ?obs:obs ->
+  ?task_name:(int -> string) ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?retry:Geomix_fault.Retry.policy ->
+  ?capture:(int -> unit -> unit) ->
+  ?on_retry:(id:int -> attempt:int -> exn -> unit) ->
   pool:Pool.t ->
   num_tasks:int ->
   in_degree:int array ->
@@ -24,9 +44,16 @@ val run :
   unit ->
   unit
 (** [run ~pool ~num_tasks ~in_degree ~successors ~execute ()] executes every
-    task exactly once, never running a task before all of its predecessors
-    have finished.  An exception raised by [execute] aborts scheduling of
-    further ready tasks and is re-raised.
+    task exactly once (exactly one {e successful} attempt under [?retry]),
+    never running a task before all of its predecessors have finished.  An
+    exception raised by [execute] — after supervision, when enabled —
+    aborts scheduling of further ready tasks and is re-raised.
+
+    [?task_name] labels tasks for the fault plan's name-based decisions
+    (default: the task id as a string).  [?capture] snapshots a task's
+    written footprint for sound re-execution (see above); it is only
+    invoked when a retry policy with [max_attempts > 1] is present.
+    [?on_retry] observes every re-execution decision (for metrics).
 
     @raise Invalid_argument if the graph is cyclic or in-degrees are
     inconsistent (not every task became ready). *)

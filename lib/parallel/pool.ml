@@ -1,6 +1,7 @@
 module Metrics = Geomix_obs.Metrics
+module Fault = Geomix_fault.Fault
 
-type item = { thunk : unit -> unit; submitted : float }
+type item = { thunk : unit -> unit; submitted : float; seq : int }
 
 (* Metric cells resolved once at pool creation so the hot path never takes
    the registry lock. *)
@@ -10,6 +11,7 @@ type obs_state = {
   run_time : Metrics.histogram;
   idle_waits : Metrics.counter;
   queue_peak : Metrics.gauge;
+  cancelled_total : Metrics.counter;
   worker_tasks : Metrics.counter array;
 }
 
@@ -20,9 +22,12 @@ type t = {
   queue : item Queue.t;
   mutable in_flight : int; (* queued + currently executing thunks *)
   mutable stopping : bool;
-  mutable first_error : exn option;
+  mutable first_error : (exn * Printexc.raw_backtrace) option;
+  mutable cancelled : int;
+  mutable next_seq : int;
   mutable workers : unit Domain.t array;
   serial : bool;
+  faults : Fault.t option;
   obs : obs_state option;
 }
 
@@ -34,25 +39,54 @@ let make_obs reg n =
     run_time = Metrics.histogram reg "pool.run_s";
     idle_waits = Metrics.counter reg "pool.idle_waits";
     queue_peak = Metrics.gauge reg "pool.queue_peak";
+    cancelled_total = Metrics.counter reg "pool.cancelled";
     worker_tasks =
       Array.init (Stdlib.max 1 n) (fun i ->
           Metrics.counter reg (Printf.sprintf "pool.worker%d.tasks" i));
   }
 
-let record_error t exn =
+(* Fail fast: the first recorded error cancels every queued-but-unstarted
+   item, so a failing DAG stops scheduling work instead of running the
+   rest of the graph to completion against a doomed result.  Thunks
+   already executing are not interrupted (OCaml has no safe asynchronous
+   cancellation); they run out and their errors, if any, are dropped in
+   favour of the first. *)
+let cancel_pending_locked t =
+  let n = Queue.length t.queue in
+  if n > 0 then begin
+    Queue.clear t.queue;
+    t.cancelled <- t.cancelled + n;
+    (match t.obs with Some o -> Metrics.add o.cancelled_total n | None -> ());
+    t.in_flight <- t.in_flight - n;
+    if t.in_flight = 0 then Condition.broadcast t.idle
+  end
+
+let record_error t exn bt =
   Mutex.lock t.mutex;
-  if t.first_error = None then t.first_error <- Some exn;
+  if t.first_error = None then begin
+    t.first_error <- Some (exn, bt);
+    cancel_pending_locked t
+  end;
   Mutex.unlock t.mutex
+
+let run_thunk t item =
+  match t.faults with
+  | None -> item.thunk ()
+  | Some f ->
+    Fault.wrap f ~site:"pool" ~task:(string_of_int item.seq) ~attempt:1 item.thunk
 
 (* Run a dequeued item on behalf of [worker], recording queue-wait and
    run-time when the pool is instrumented. *)
 let run_item t ~worker item =
   match t.obs with
-  | None -> ( try item.thunk () with exn -> record_error t exn)
+  | None -> (
+    try run_thunk t item
+    with exn -> record_error t exn (Printexc.get_raw_backtrace ()))
   | Some o ->
     let t0 = Unix.gettimeofday () in
     Metrics.observe o.queue_wait (t0 -. item.submitted);
-    (try item.thunk () with exn -> record_error t exn);
+    (try run_thunk t item
+     with exn -> record_error t exn (Printexc.get_raw_backtrace ()));
     Metrics.observe o.run_time (Unix.gettimeofday () -. t0);
     Metrics.incr o.tasks_total;
     Metrics.incr o.worker_tasks.(worker mod Array.length o.worker_tasks)
@@ -78,7 +112,7 @@ let worker_loop t worker () =
   in
   loop ()
 
-let create ?obs ?num_workers () =
+let create ?obs ?faults ?num_workers () =
   let n =
     match num_workers with
     | Some n -> Stdlib.max 0 n
@@ -93,8 +127,11 @@ let create ?obs ?num_workers () =
       in_flight = 0;
       stopping = false;
       first_error = None;
+      cancelled = 0;
+      next_seq = 0;
       workers = [||];
       serial = n = 0;
+      faults;
       obs = Option.map (fun reg -> make_obs reg n) obs;
     }
   in
@@ -102,6 +139,12 @@ let create ?obs ?num_workers () =
   t
 
 let num_workers t = Array.length t.workers
+
+let cancelled t =
+  Mutex.lock t.mutex;
+  let n = t.cancelled in
+  Mutex.unlock t.mutex;
+  n
 
 (* Dense index of the calling domain among the pool's workers; 0 for the
    caller domain of a serial pool (and for any foreign domain). *)
@@ -119,7 +162,8 @@ let submit t thunk =
   let submitted = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0. in
   Mutex.lock t.mutex;
   assert (not t.stopping);
-  Queue.push { thunk; submitted } t.queue;
+  Queue.push { thunk; submitted; seq = t.next_seq } t.queue;
+  t.next_seq <- t.next_seq + 1;
   t.in_flight <- t.in_flight + 1;
   (match t.obs with
   | Some o -> Metrics.set_max o.queue_peak (float_of_int (Queue.length t.queue))
@@ -148,7 +192,9 @@ let reraise t =
   let err = t.first_error in
   t.first_error <- None;
   Mutex.unlock t.mutex;
-  match err with None -> () | Some exn -> raise exn
+  match err with
+  | None -> ()
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
 
 let wait_idle t =
   if t.serial then drain_serial t
@@ -175,6 +221,6 @@ let shutdown t =
   end;
   reraise t
 
-let with_pool ?obs ?num_workers f =
-  let t = create ?obs ?num_workers () in
+let with_pool ?obs ?faults ?num_workers f =
+  let t = create ?obs ?faults ?num_workers () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

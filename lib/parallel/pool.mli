@@ -13,17 +13,37 @@
     ([pool.worker<i>.tasks]), queue-wait and run-time histograms in seconds
     ([pool.queue_wait_s], [pool.run_s]), a total counter ([pool.tasks]), an
     idle-wait counter ([pool.idle_waits] — one increment per
-    condition-variable sleep), a peak-queue-length gauge
-    ([pool.queue_peak]) and a worker-count gauge ([pool.workers]).  An
-    uninstrumented pool takes no clock readings at all. *)
+    condition-variable sleep), a fail-fast cancellation counter
+    ([pool.cancelled]), a peak-queue-length gauge ([pool.queue_peak]) and a
+    worker-count gauge ([pool.workers]).  An uninstrumented pool takes no
+    clock readings at all.
+
+    {b Failure semantics (fail fast).}  The first exception escaping a
+    thunk is stored (with its backtrace) and {e cancels every
+    queued-but-unstarted thunk}: a failing computation stops scheduling
+    work instead of running the rest of the batch against a doomed result.
+    Thunks already executing on other workers are not interrupted; their
+    errors, if any, are dropped in favour of the first.  {!wait_idle} /
+    {!shutdown} re-raise the stored exception {e with its original
+    backtrace}, after which the pool is clean and fully reusable.
+
+    Passing [?faults] subjects every executed thunk to the seeded fault
+    plan (site ["pool"], task = the thunk's submission index) — the chaos
+    entry point for the raw pool layer; the DAG executors have their own,
+    task-name-aware hook. *)
 
 type t
 
-val create : ?obs:Geomix_obs.Metrics.t -> ?num_workers:int -> unit -> t
+val create :
+  ?obs:Geomix_obs.Metrics.t -> ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
+  unit -> t
 (** [create ()] sizes the pool to [Domain.recommended_domain_count - 1]
     workers (never negative). *)
 
 val num_workers : t -> int
+
+val cancelled : t -> int
+(** Thunks discarded by fail-fast cancellation over the pool's lifetime. *)
 
 val self_index : t -> int
 (** Dense index of the calling domain among this pool's workers — the
@@ -32,16 +52,19 @@ val self_index : t -> int
     a pool worker). *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue a thunk.  Exceptions escaping a thunk are caught, stored, and
-    re-raised by the next {!wait_idle} or {!shutdown}. *)
+(** Enqueue a thunk.  Exceptions escaping a thunk are caught, stored
+    together with their backtrace, and re-raised by the next {!wait_idle}
+    or {!shutdown}; the first one also cancels all queued thunks. *)
 
 val wait_idle : t -> unit
-(** Block until every submitted thunk has finished (in the serial pool this
-    drains the queue on the caller).  Re-raises the first stored thunk
-    exception, if any. *)
+(** Block until every submitted thunk has finished or been cancelled (in
+    the serial pool this drains the queue on the caller).  Re-raises the
+    first stored thunk exception, if any, with its original backtrace. *)
 
 val shutdown : t -> unit
 (** Drain, stop and join the workers.  Idempotent. *)
 
-val with_pool : ?obs:Geomix_obs.Metrics.t -> ?num_workers:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?obs:Geomix_obs.Metrics.t -> ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
+  (t -> 'a) -> 'a
 (** Scoped creation: shuts the pool down on exit or exception. *)

@@ -139,7 +139,8 @@ let successors t id =
 
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
-let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace t =
+let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?faults ?retry
+    ?snapshot t =
   let record =
     match obs with
     | None -> fun _ -> ()
@@ -155,8 +156,36 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace t =
   let dag_obs =
     Option.map (fun tr -> Obs_bridge.recorder ~name:(fun id -> t.tasks.(id).name) tr) trace
   in
+  (* Recovery metrics: re-executions and the footprint data rolled back to
+     make them sound. *)
+  let note_retry, note_restore =
+    match obs with
+    | None -> (None, fun _ -> ())
+    | Some reg ->
+      let retries = Metrics.counter reg "dtd.retries" in
+      let restores = Metrics.counter reg "dtd.restores" in
+      let restored = Metrics.counter reg "dtd.restored_bytes" in
+      ( Some (fun ~id:_ ~attempt:_ _ -> Metrics.incr retries),
+        fun id ->
+          Metrics.incr restores;
+          Metrics.add restored
+            (List.fold_left (fun acc k -> acc + datum_bytes k) 0 t.tasks.(id).writes) )
+  in
+  (* A task's restorable state is exactly its declared written footprint:
+     capture each written datum through the caller's [snapshot] before the
+     first attempt, restore them all before a re-execution. *)
+  let capture =
+    Option.map
+      (fun snap id ->
+        let restorers = List.map snap t.tasks.(id).writes in
+        fun () ->
+          List.iter (fun r -> r ()) restorers;
+          note_restore id)
+      snapshot
+  in
   let run pool =
-    Dag_exec.run ?obs:dag_obs ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
+    Dag_exec.run ?obs:dag_obs ~task_name:(fun id -> t.tasks.(id).name) ?faults ?retry
+      ?capture ?on_retry:note_retry ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
       ~successors:(fun id -> t.tasks.(id).succs)
       ~execute:(fun id ->
         record id;

@@ -65,17 +65,35 @@ val execute :
   ?obs:Geomix_obs.Metrics.t ->
   ?datum_bytes:(int -> int) ->
   ?trace:Trace.t ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?retry:Geomix_fault.Retry.policy ->
+  ?snapshot:(int -> unit -> unit) ->
   t ->
   unit
 (** Run every inserted task under the derived dependencies (serial pool by
     default).  The graph is reusable: executing twice runs the bodies
     twice.
 
-    [?obs] records real execution metrics: [dtd.tasks] (tasks run),
-    [dtd.raw_edges] (RAW transfers) and [dtd.raw_bytes] (their volume
-    under [datum_bytes]).  [?trace] appends one wall-clock event per task
-    (label = task name, resource = pool worker index) — feed it to
-    {!Trace.to_chrome_json} or {!Trace.gantt} for a real-run timeline. *)
+    [?obs] records real execution metrics: [dtd.tasks] (task bodies run —
+    under retry, re-executions count again), [dtd.raw_edges] (RAW
+    transfers) and [dtd.raw_bytes] (their volume under [datum_bytes]).
+    [?trace] appends one wall-clock event per task (label = task name,
+    resource = pool worker index) — feed it to {!Trace.to_chrome_json} or
+    {!Trace.gantt} for a real-run timeline.
+
+    {b Supervised recovery.}  [?faults] subjects every task body to the
+    seeded fault plan (site ["exec"], keyed by the task's {e name}), and
+    [?retry] re-executes failed attempts with bounded backoff.  Sound
+    re-execution needs the task's written footprint rolled back first:
+    [snapshot key] must capture the current value of datum [key] and
+    return a thunk restoring it — e.g. for tile data,
+    [fun key -> let saved = Mat.copy (tile key) in
+     fun () -> Mat.blit ~src:saved ~dst:(tile key)].  Before a task's
+    first attempt each of its written data is captured; before every
+    re-execution they are all restored, so a retried task re-runs against
+    exactly the state its first attempt saw.  With [?obs], recovery adds
+    [dtd.retries], [dtd.restores] and [dtd.restored_bytes] (volume under
+    [datum_bytes] of the written footprints rolled back). *)
 
 val critical_path_length : t -> int
 (** Longest dependency chain, in tasks — the inherent sequential depth of
