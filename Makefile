@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check chaos verify-slow clean
+.PHONY: all test check chaos report verify-slow clean
 
 all:
 	dune build @all
@@ -20,6 +20,13 @@ chaos:
 	  dune exec bin/geomix.exe -- chaos --seed $$seed --nt 6 --nb 16 --rate 0.2 || exit 1; \
 	  dune exec bin/geomix.exe -- chaos --seed $$seed --nt 6 --nb 16 --rate 0.1 --pivot-rate 1.0 || exit 1; \
 	done
+
+# Instrumented smoke run rendered as a Markdown run report (the CI
+# report-smoke artifact): telemetry bus + critical-path profile + motion
+# table for an NT=8 factorization.
+report:
+	dune exec bin/geomix.exe -- report --smoke --out geomix-report.md
+	@echo "wrote geomix-report.md"
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

@@ -94,6 +94,7 @@ let rec smoke_metrics () =
     metric ~units:"J" "energy_stc" stc.Sim.energy.Geomix_gpusim.Energy.energy_joules;
   ]
   @ recovery_metrics ()
+  @ profile_metrics ()
 
 (* Recovery counters of the fault-injection layer: one seeded chaos
    factorization (transient + crash-after-write faults at 30%, supervised
@@ -142,4 +143,46 @@ and recovery_metrics () =
     metric ~units:"" ~direction:Higher_is_better "recovery_exact" exact;
     metric ~units:"" ~direction:Higher_is_better "recovery_converged"
       (match report.Chol.outcome with Chol.Factorized -> 1. | Chol.Indefinite _ -> 0.);
+  ]
+
+(* Critical-path fraction of the NT=24 Cholesky DAG under flop-weighted
+   task durations: a pure function of the graph shape and Task.flops, so a
+   change in either the DAG's dependence relations or the profiler's
+   longest-path analysis moves it and trips the gate.  (Measured runs
+   carry wall-clock noise; this uses the analytic weights instead.) *)
+and profile_metrics () =
+  let module Cdag = Geomix_runtime.Cholesky_dag in
+  let module Task = Geomix_runtime.Task in
+  let module Profile = Geomix_obs.Profile in
+  let g = Cdag.create ~nt:24 in
+  let n = Cdag.num_tasks g in
+  let preds =
+    Geomix_parallel.Dag_exec.predecessors ~num_tasks:n
+      ~successors:(Cdag.successors g)
+  in
+  (* Serial layout: makespan = Σ durations, so cp_frac is the inherent
+     sequential fraction of the flop-weighted DAG. *)
+  let clock = ref 0. in
+  let measures =
+    List.init n (fun id ->
+      let kind = Cdag.kind_of g id in
+      let label = Task.name kind in
+      let start = !clock in
+      clock := !clock +. (Task.flops ~nb kind /. 1e12);
+      {
+        Profile.id;
+        label;
+        cls = Profile.class_of_label label;
+        prec = "";
+        worker = 0;
+        start;
+        stop = !clock;
+      })
+  in
+  let p = Profile.analyze ~preds measures in
+  let open Bench_json in
+  [
+    metric ~units:"" "profile.critical_path_frac" p.Profile.cp_frac;
+    metric ~units:"" ~direction:Higher_is_better "profile.predicted_speedup_8w"
+      (Profile.predicted_speedup p ~workers:8);
   ]

@@ -48,6 +48,31 @@ let config_conv =
   Arg.enum
     [ ("fp64", `Fp64); ("fp32", `Fp32); ("fp64-fp16", `Mixed16); ("fp64-fp16-32", `Mixed16_32) ]
 
+let config_name = function
+  | `Fp64 -> "fp64"
+  | `Fp32 -> "fp32"
+  | `Mixed16 -> "fp64-fp16"
+  | `Mixed16_32 -> "fp64-fp16-32"
+
+(* Telemetry verbosity: --verbose streams Debug-level events to stderr;
+   otherwise GEOMIX_LOG=debug|info|warn|error selects the level; otherwise
+   the subcommand runs without a bus and pays nothing. *)
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ]
+        ~doc:
+          "Stream telemetry events to stderr at debug level.  Without this \
+           flag, the $(b,GEOMIX_LOG) environment variable \
+           (debug|info|warn|error) selects the stderr level; unset means no \
+           event streaming.")
+
+let stderr_bus_of ~verbose =
+  let module Events = Geomix_obs.Events in
+  if verbose then Some (Events.stderr_bus Events.Debug)
+  else Option.map Events.stderr_bus (Events.env_level ())
+
 let pmap_of_config ~ntiles = function
   | `Fp64 -> Pm.uniform ~nt:ntiles Fp.Fp64
   | `Fp32 -> Pm.uniform ~nt:ntiles Fp.Fp32
@@ -173,7 +198,8 @@ let stats_cmd =
   let module Tiled = Geomix_tile.Tiled in
   let module Trace = Geomix_runtime.Trace in
   let fb = Geomix_util.Table.fmt_bytes in
-  let run ntiles config nb run_real run_nb workers trace_json gantt format =
+  let run ntiles config nb run_real run_nb workers trace_json gantt format verbose =
+    let bus = stderr_bus_of ~verbose in
     let pmap = pmap_of_config ~ntiles config in
     let cm = Cm.compute pmap in
     let m = Cm.motion cm pmap ~nb in
@@ -199,9 +225,9 @@ let stats_cmd =
       in
       let resources = ref 1 in
       let t0 = Unix.gettimeofday () in
-      Geomix_parallel.Pool.with_pool ~obs:reg ?num_workers:workers (fun pool ->
+      Geomix_parallel.Pool.with_pool ~obs:reg ?bus ?num_workers:workers (fun pool ->
         resources := Stdlib.max 1 (Geomix_parallel.Pool.num_workers pool);
-        Geomix_core.Mp_cholesky.factorize ~pool ~trace ~pmap a);
+        Geomix_core.Mp_cholesky.factorize ~pool ~trace ?bus ~pmap a);
       let dt = Unix.gettimeofday () -. t0 in
       Printf.printf "\nReal factorization: n=%d (nb=%d), %d worker(s), %.3f s wall clock\n"
         n run_nb !resources dt;
@@ -267,7 +293,7 @@ let stats_cmd =
           optionally measuring a real instrumented run")
     Term.(
       const run $ nt_arg $ config_arg $ nb_arg $ run_arg $ run_nb_arg $ workers_arg
-      $ trace_arg $ gantt_arg $ format_arg)
+      $ trace_arg $ gantt_arg $ format_arg $ verbose_arg)
 
 (* mle subcommand *)
 
@@ -349,7 +375,8 @@ let chaos_cmd =
         ("stall", Fault.Stall);
       ]
   in
-  let run seed ntiles config nb rate pivot_rate kinds attempts workers format =
+  let run seed ntiles config nb rate pivot_rate kinds attempts workers format verbose =
+    let bus = stderr_bus_of ~verbose in
     let reg = Metrics.create () in
     let n = ntiles * nb in
     (* Covariance-like SPD test matrix, as in `stats --run`. *)
@@ -359,15 +386,15 @@ let chaos_cmd =
     let a = Tiled.init ~n ~nb init in
     let pmap = pmap_of_config ~ntiles config in
     let faults =
-      Fault.plan ~obs:reg ~rate ~kinds ~pivot_rate ~sleep:ignore ~seed ()
+      Fault.plan ~obs:reg ?bus ~rate ~kinds ~pivot_rate ~sleep:ignore ~seed ()
     in
     let retry = Retry.immediate ~max_attempts:attempts () in
     Printf.printf
       "chaos: NT=%d nb=%d, seed %d, fault rate %.0f%%, pivot rate %.0f%%, retry budget %d\n"
       ntiles nb seed (100. *. rate) (100. *. pivot_rate) attempts;
     let report =
-      Geomix_parallel.Pool.with_pool ~obs:reg ?num_workers:workers (fun pool ->
-        Chol.factorize_robust ~pool ~faults ~retry ~obs:reg ~pmap a)
+      Geomix_parallel.Pool.with_pool ~obs:reg ?bus ?num_workers:workers (fun pool ->
+        Chol.factorize_robust ~pool ?bus ~faults ~retry ~obs:reg ~pmap a)
     in
     List.iter
       (fun e ->
@@ -447,13 +474,282 @@ let chaos_cmd =
           is bitwise identical to a fault-free run")
     Term.(
       const run $ seed_arg $ nt_arg $ config_arg $ nb_small_arg $ rate_arg
-      $ pivot_rate_arg $ kinds_arg $ attempts_arg $ workers_arg $ format_arg)
+      $ pivot_rate_arg $ kinds_arg $ attempts_arg $ workers_arg $ format_arg
+      $ verbose_arg)
+
+(* report subcommand *)
+
+let report_cmd =
+  let module Metrics = Geomix_obs.Metrics in
+  let module Events = Geomix_obs.Events in
+  let module Profile = Geomix_obs.Profile in
+  let module Report = Geomix_obs.Report in
+  let module Jsonlite = Geomix_obs.Jsonlite in
+  let module Tiled = Geomix_tile.Tiled in
+  let module Trace = Geomix_runtime.Trace in
+  let module Cdag = Geomix_runtime.Cholesky_dag in
+  let module Chol = Geomix_core.Mp_cholesky in
+  let fb = Geomix_util.Table.fmt_bytes in
+  let pct x = Printf.sprintf "%.1f%%" (100. *. x) in
+  let sec x = Printf.sprintf "%.6f s" x in
+  let level_rank = function
+    | Events.Debug -> 0
+    | Events.Info -> 1
+    | Events.Warn -> 2
+    | Events.Error -> 3
+  in
+  let run smoke run_real ntiles config nb run_nb workers format out events verbose =
+    (* --smoke: a fixed small instrumented run, the CI artifact preset. *)
+    let ntiles, run_nb, workers, run_real =
+      if smoke then (8, 16, Some 0, true) else (ntiles, run_nb, workers, run_real)
+    in
+    let pmap = pmap_of_config ~ntiles config in
+    let cm = Cm.compute pmap in
+    let m = Cm.motion cm pmap ~nb in
+    let doc =
+      Report.create
+        ~title:
+          (Printf.sprintf "geomix run report — NT=%d, %s" ntiles (config_name config))
+    in
+    Report.para doc
+      (Printf.sprintf
+         "Tile Cholesky of an NT=%d (%dx%d tiles) matrix under the %s precision \
+          configuration; data-motion accounting at nb=%d%s."
+         ntiles ntiles ntiles (config_name config) nb
+         (if run_real then Printf.sprintf ", instrumented run at nb=%d" run_nb else ""));
+    (* Precision-map composition — the paper's Fig 5 content. *)
+    Report.section doc "Precision map";
+    Report.table doc ~headers:[ "precision"; "tiles" ]
+      (List.map (fun (p, f) -> [ Fp.name p; pct f ]) (Pm.fractions pmap));
+    Report.para doc
+      (Printf.sprintf "%s of broadcasting tiles ship STC under automated conversion."
+         (pct (Cm.stc_fraction cm)));
+    Report.attach doc ~key:"fractions"
+      (Jsonlite.Obj
+         (List.map (fun (p, f) -> (Fp.name p, Jsonlite.Num f)) (Pm.fractions pmap)));
+    (* STC / TTC data-motion table — the Fig 8 measurement. *)
+    Report.section doc "Data motion";
+    Report.table doc
+      ~headers:[ "strategy"; "bytes moved"; "conversions"; "vs FP64" ]
+      [
+        [ "STC (automated)"; fb m.Cm.bytes_stc; string_of_int m.Cm.conv_stc;
+          pct (1. -. (m.Cm.bytes_stc /. m.Cm.bytes_fp64)) ^ " saved" ];
+        [ "TTC (prior art)"; fb m.Cm.bytes_ttc; string_of_int m.Cm.conv_ttc;
+          pct (1. -. (m.Cm.bytes_ttc /. m.Cm.bytes_fp64)) ^ " saved" ];
+        [ "all-FP64"; fb m.Cm.bytes_fp64; "0"; "—" ];
+      ];
+    Report.para doc
+      (Printf.sprintf "%d broadcast transfers; STC saves %s vs TTC."
+         m.Cm.transfers
+         (pct (1. -. (m.Cm.bytes_stc /. m.Cm.bytes_ttc))));
+    Report.attach doc ~key:"motion"
+      (Jsonlite.Obj
+         [
+           ("bytes_stc", Jsonlite.Num m.Cm.bytes_stc);
+           ("bytes_ttc", Jsonlite.Num m.Cm.bytes_ttc);
+           ("bytes_fp64", Jsonlite.Num m.Cm.bytes_fp64);
+           ("transfers", Jsonlite.Num (float_of_int m.Cm.transfers));
+         ]);
+    if run_real then begin
+      let reg = Metrics.create () in
+      let trace = Trace.create () in
+      let profile = Profile.collector () in
+      let bus = Events.create () in
+      (* Sinks: a JSONL file with --events, machine-readable JSONL on stderr
+         under GEOMIX_LOG (the report's stdout is the document), a pretty
+         stderr narration with --verbose, and a ring the report itself uses
+         to cross-check the streamed log against the trace. *)
+      let events_oc = Option.map open_out events in
+      Option.iter (Events.attach_jsonl bus) events_oc;
+      (match Events.env_level () with
+      | None -> ()
+      | Some lvl ->
+        Events.on_event bus (fun e ->
+            if level_rank e.Events.level >= level_rank lvl then begin
+              output_string stderr (Events.to_jsonl e);
+              output_char stderr '\n';
+              flush stderr
+            end));
+      if verbose then Events.attach_stderr ~min_level:Events.Debug bus;
+      let ring = Events.ring ~capacity:65536 bus in
+      let n = ntiles * run_nb in
+      (* Covariance-like SPD test matrix, as in `stats --run`. *)
+      let a =
+        Tiled.init ~n ~nb:run_nb (fun i j ->
+            (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
+      in
+      let resources = ref 1 in
+      let t0 = Unix.gettimeofday () in
+      Geomix_parallel.Pool.with_pool ~obs:reg ~bus ?num_workers:workers (fun pool ->
+          resources := Stdlib.max 1 (Geomix_parallel.Pool.num_workers pool);
+          Chol.factorize ~pool ~trace ~bus ~profile ~pmap a);
+      let wall = Unix.gettimeofday () -. t0 in
+      Option.iter close_out events_oc;
+      let dag = Cdag.create ~nt:ntiles in
+      let preds =
+        Geomix_parallel.Dag_exec.predecessors ~num_tasks:(Cdag.num_tasks dag)
+          ~successors:(Cdag.successors dag)
+      in
+      let prof = Profile.analyze ~preds (Profile.measures profile) in
+      (* Cross-check: the makespan reconstructed from the streamed task_end
+         events must equal the trace's bit-for-bit (same hook, same floats). *)
+      let streamed_makespan =
+        List.fold_left
+          (fun acc (e : Events.event) ->
+            if e.Events.name = "task_end" then
+              match Option.bind (List.assoc_opt "at" e.Events.fields) Jsonlite.to_float with
+              | Some t -> Float.max acc t
+              | None -> acc
+            else acc)
+          0. (Events.ring_events ring)
+      in
+      Report.section doc "Execution";
+      Report.table doc ~headers:[ "quantity"; "value" ]
+        [
+          [ "matrix"; Printf.sprintf "n=%d (nb=%d)" n run_nb ];
+          [ "workers"; string_of_int !resources ];
+          [ "makespan"; sec (Trace.makespan trace) ];
+          [ "wall clock"; Printf.sprintf "%.3f s" wall ];
+          [ "utilisation"; pct (Trace.utilisation trace ~resources:!resources) ];
+          [ "tasks"; string_of_int prof.Profile.tasks ];
+          [ "event log reconstructs makespan";
+            (if streamed_makespan = Trace.makespan trace then "yes (bit-identical)"
+             else Printf.sprintf "NO (%.9f vs %.9f)" streamed_makespan
+                    (Trace.makespan trace)) ];
+        ];
+      Report.para doc "Occupancy (rows = workers, glyph = precision tag):";
+      Report.code doc (Trace.gantt trace ~resources:!resources ~width:72);
+      Report.section doc "Critical path";
+      Report.para doc
+        (Printf.sprintf
+           "Critical path %s = %s of the %s makespan (busy %s over %d workers); \
+            %d of %d tasks have zero slack.  Lower bound at this worker count: \
+            %s (predicted speedup %.2fx against measured)."
+           (sec prof.Profile.cp_length) (pct prof.Profile.cp_frac)
+           (sec prof.Profile.makespan) (sec prof.Profile.busy) prof.Profile.workers
+           (Array.fold_left (fun acc s -> if s = 0. then acc + 1 else acc) 0
+              prof.Profile.slack)
+           prof.Profile.tasks
+           (sec (Profile.lower_bound prof ~workers:!resources))
+           (Profile.predicted_speedup prof ~workers:!resources));
+      Report.para doc
+        ("Chain: " ^ String.concat " → " prof.Profile.cp_chain_labels);
+      let bucket_rows buckets =
+        List.map
+          (fun (b : Profile.bucket) ->
+            [ b.Profile.key; sec b.Profile.busy; string_of_int b.Profile.tasks;
+              pct (if prof.Profile.busy > 0. then b.Profile.busy /. prof.Profile.busy else 0.) ])
+          buckets
+      in
+      Report.para doc "Time attribution by kernel class:";
+      Report.table doc ~headers:[ "class"; "busy"; "tasks"; "share" ]
+        (bucket_rows prof.Profile.by_class);
+      Report.para doc "Time attribution by execution precision:";
+      Report.table doc ~headers:[ "precision"; "busy"; "tasks"; "share" ]
+        (bucket_rows prof.Profile.by_precision);
+      Report.para doc "What-if (critical-path / work lower bounds):";
+      Report.table doc ~headers:[ "workers"; "lower bound"; "predicted speedup" ]
+        (List.map
+           (fun w ->
+             [ string_of_int w; sec (Profile.lower_bound prof ~workers:w);
+               Printf.sprintf "%.2fx" (Profile.predicted_speedup prof ~workers:w) ])
+           [ 1; 2; 4; 8 ]);
+      Report.attach doc ~key:"profile" (Profile.to_json prof);
+      Report.section doc "Metrics";
+      Report.code doc (Metrics.to_table (Metrics.snapshot reg));
+      let recovery =
+        let snap = Metrics.snapshot reg in
+        List.filter_map
+          (fun name ->
+            match Metrics.find snap name with
+            | Some (Metrics.Counter n) -> Some [ name; string_of_int n ]
+            | _ -> None)
+          [ "cholesky.retries"; "cholesky.restores"; "recovery.band_escalations" ]
+      in
+      if recovery <> [] then begin
+        Report.para doc "Recovery counters:";
+        Report.table doc ~headers:[ "counter"; "value" ] recovery
+      end
+    end;
+    let text =
+      match format with
+      | `Md -> Report.to_markdown doc
+      | `Json -> Jsonlite.to_string ~indent:true (Report.to_json doc) ^ "\n"
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "report written to %s\n" path
+  in
+  let nt_arg = Arg.(value & opt int 8 & info [ "nt" ] ~doc:"Tiles per dimension.") in
+  let config_arg =
+    Arg.(
+      value
+      & opt config_conv `Mixed16_32
+      & info [ "config" ] ~doc:"fp64|fp32|fp64-fp16|fp64-fp16-32.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI preset: a fixed small instrumented run (NT=8, nb=16, serial \
+             pool) — implies $(b,--run).")
+  in
+  let run_arg =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:
+            "Execute a real instrumented factorization and include execution, \
+             critical-path and metrics sections (without it, the report holds \
+             the static precision-map and data-motion analysis only).")
+  in
+  let run_nb_arg =
+    Arg.(value & opt int 32 & info [ "run-nb" ] ~doc:"Tile size of the real --run matrix.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~doc:"Pool worker domains for --run (default: cores - 1).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("md", `Md); ("json", `Json) ]) `Md
+      & info [ "format" ] ~doc:"Report output: md (GitHub-flavoured Markdown) or json.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the report to this file instead of stdout.")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~doc:"Write the run's full telemetry stream to this JSONL file.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a run report: precision-map composition, STC/TTC data motion, \
+          and (with --run) occupancy, critical-path attribution and metrics of \
+          a real instrumented factorization")
+    Term.(
+      const run $ smoke_arg $ run_arg $ nt_arg $ config_arg $ nb_arg $ run_nb_arg
+      $ workers_arg $ format_arg $ out_arg $ events_arg $ verbose_arg)
 
 let () =
   let doc = "mixed-precision geospatial modeling toolkit (CLUSTER 2023 reproduction)" in
   let group =
     Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
-      [ precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd ]
+      [ precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd; report_cmd ]
   in
   (* CLI error boundary: domain failures exit 2 with a one-line diagnostic
      instead of an uncaught-exception backtrace. *)

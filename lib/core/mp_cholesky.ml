@@ -10,6 +10,7 @@ module Cholesky_dag = Geomix_runtime.Cholesky_dag
 module Fault = Geomix_fault.Fault
 module Retry = Geomix_fault.Retry
 module Metrics = Geomix_obs.Metrics
+module Events = Geomix_obs.Events
 
 type strategy = Automatic | Always_ttc
 
@@ -24,8 +25,8 @@ let default_options =
 
 let pidx i j = (i * (i + 1) / 2) + j
 
-let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
-    ?(fault_round = 1) ~pmap a =
+let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
+    ?retry ?obs ?(fault_round = 1) ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
@@ -74,6 +75,11 @@ let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
     !low
   in
   let fidelity = options.fidelity in
+  let emit ?level name fields =
+    match bus with
+    | None -> ()
+    | Some b -> Events.emit ?level b ~component:"cholesky" ~name fields
+  in
   let execute id =
     match Cholesky_dag.kind_of dag id with
     | Task.Potrf k ->
@@ -90,7 +96,14 @@ let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
       (try Blas_emul.potrf_lower ~fidelity ~prec:(exec_prec (Task.Potrf k)) tile
        with Blas.Not_positive_definite p ->
          raise (Blas.Not_positive_definite ((k * nb) + p)));
-      publish k k
+      publish k k;
+      (* The panel factorization completing is the milestone that releases
+         the whole trailing update of step [k]. *)
+      emit "panel"
+        [
+          ("k", Events.fint k);
+          ("prec", Events.fstr (Fpformat.name (exec_prec (Task.Potrf k))));
+        ]
     | Task.Trsm (m, k) ->
       let b = Tiled.tile a m k in
       Blas_emul.trsm_right_lower_trans ~fidelity
@@ -108,14 +121,23 @@ let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
         ~prec:(exec_prec (Task.Gemm (m, n, k)))
         ~alpha:(-1.) (read m k) (read n k) ~beta:1. c
   in
+  let task_label id = Task.name (Cholesky_dag.kind_of dag id) in
+  let task_prec id = Fpformat.name (exec_prec (Cholesky_dag.kind_of dag id)) in
   let dag_obs =
-    Option.map
-      (fun tr ->
-        Geomix_runtime.Obs_bridge.recorder
-          ~name:(fun id -> Task.name (Cholesky_dag.kind_of dag id))
-          ~tag:(fun id -> Fpformat.name (exec_prec (Cholesky_dag.kind_of dag id)))
-          tr)
-      trace
+    let module Bridge = Geomix_runtime.Obs_bridge in
+    let hooks =
+      List.filter_map Fun.id
+        [
+          Option.map (fun tr -> Bridge.recorder ~name:task_label ~tag:task_prec tr) trace;
+          Option.map
+            (fun b -> Bridge.bus_recorder ~name:task_label ~component:"cholesky" b)
+            bus;
+          Option.map
+            (fun c -> Bridge.profile_recorder ~name:task_label ~tag:task_prec c)
+            profile;
+        ]
+    in
+    match hooks with [] -> None | [ h ] -> Some h | hs -> Some (Bridge.fanout hs)
   in
   (* Indefiniteness is deterministic under restore-and-re-run, so retrying
      it burns the budget for nothing: it is a precision problem, handled by
@@ -133,7 +155,7 @@ let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
         })
       retry
   in
-  let note_retry, note_restore =
+  let metric_retry, note_restore =
     match obs with
     | None -> (None, fun _ -> ())
     | Some reg ->
@@ -144,6 +166,24 @@ let factorize ?(options = default_options) ?pool ?trace ?faults ?retry ?obs
         fun (m : Mat.t) ->
           Metrics.incr restores;
           Metrics.add restored (8 * Mat.rows m * Mat.cols m) )
+  in
+  let note_retry =
+    match (metric_retry, bus) with
+    | None, None -> None
+    | _ ->
+      Some
+        (fun ~id ~attempt exn ->
+          (match metric_retry with Some f -> f ~id ~attempt exn | None -> ());
+          emit ~level:Events.Warn "retry"
+            ([
+               ("task", Events.fstr (task_label id));
+               ("attempt", Events.fint attempt);
+               ("error", Events.fstr (Printexc.to_string exn));
+             ]
+            @
+            match retry with
+            | None -> []
+            | Some p -> [ ("backoff_s", Events.fnum (Retry.delay_for p ~attempt)) ]))
   in
   (* Snapshot of a task's written footprint: its single INOUT tile.  The
      shipped form needs no capture — a re-run republishes it from the
@@ -189,7 +229,7 @@ type report = {
 let restore_tiles ~from a =
   Tiled.iter_lower from (fun ~i ~j m -> Mat.blit ~src:m ~dst:(Tiled.tile a i j))
 
-let factorize_robust ?options ?pool ?trace ?faults ?retry ?obs
+let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
     ?(max_band_escalations = 4) ~pmap a =
   let note_band, note_full, note_indefinite =
     match obs with
@@ -202,10 +242,16 @@ let factorize_robust ?options ?pool ?trace ?faults ?retry ?obs
         (fun () -> Metrics.incr full),
         fun () -> Metrics.incr indef )
   in
+  let emit ?level name fields =
+    match bus with
+    | None -> ()
+    | Some b -> Events.emit ?level b ~component:"recovery" ~name fields
+  in
   let original = Tiled.copy a in
   let rec go round pmap events bands =
     match
-      factorize ?options ?pool ?trace ?faults ?retry ?obs ~fault_round:round ~pmap a
+      factorize ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
+        ~fault_round:round ~pmap a
     with
     | () -> { outcome = Factorized; escalations = List.rev events; rounds = round; pmap }
     | exception exn -> (
@@ -218,6 +264,7 @@ let factorize_robust ?options ?pool ?trace ?faults ?retry ?obs
       | Blas.Not_positive_definite p ->
         if Precision_map.all_fp64 pmap then begin
           note_indefinite ();
+          emit ~level:Events.Error "indefinite" [ ("pivot", Events.fint p) ];
           {
             outcome = Indefinite p;
             escalations = List.rev events;
@@ -229,6 +276,12 @@ let factorize_robust ?options ?pool ?trace ?faults ?retry ?obs
           let k = p / Tiled.nb a in
           if List.mem k bands || List.length events >= max_band_escalations then begin
             note_full ();
+            emit ~level:Events.Warn "escalate"
+              [
+                ("block", Events.fint k);
+                ("scope", Events.fstr "full");
+                ("round", Events.fint round);
+              ];
             go (round + 1)
               (Precision_map.uniform ~nt:(Precision_map.nt pmap) Fpformat.Fp64)
               ({ block = k; scope = Full } :: events)
@@ -236,6 +289,12 @@ let factorize_robust ?options ?pool ?trace ?faults ?retry ?obs
           end
           else begin
             note_band ();
+            emit ~level:Events.Warn "escalate"
+              [
+                ("block", Events.fint k);
+                ("scope", Events.fstr "band");
+                ("round", Events.fint round);
+              ];
             go (round + 1)
               (Precision_map.escalate_band pmap k)
               ({ block = k; scope = Band } :: events)

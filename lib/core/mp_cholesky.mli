@@ -33,6 +33,8 @@ val factorize :
   ?options:options ->
   ?pool:Geomix_parallel.Pool.t ->
   ?trace:Geomix_runtime.Trace.t ->
+  ?bus:Geomix_obs.Events.t ->
+  ?profile:Geomix_obs.Profile.collector ->
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
@@ -49,6 +51,17 @@ val factorize :
     the pool worker that ran it), viewable through the existing Chrome-JSON
     and Gantt exporters — the measured counterpart of the simulator's
     schedule traces.
+
+    [?bus] streams the same execution onto the telemetry bus (component
+    ["cholesky"]): Debug [task_begin]/[task_end] pairs carrying the measured
+    run-relative span in field ["at"] (the same floats [?trace] records, so
+    the streamed log reconstructs the trace's makespan exactly), an Info
+    [panel] event per completed POTRF(k) with its precision, and Warn
+    [retry] events per supervised re-execution (task, attempt, error and —
+    when [?retry] is given — the backoff applied).  [?profile] collects one
+    {!Geomix_obs.Profile} measure per task (label = task name, class =
+    kernel, precision = its execution precision) for critical-path
+    analysis against {!Geomix_runtime.Cholesky_dag} predecessors.
 
     {b Supervised recovery.}  [?faults] subjects every kernel to the seeded
     fault plan (site ["exec"], keyed by the ["POTRF(3)"]-style task name) and
@@ -111,6 +124,8 @@ val factorize_robust :
   ?options:options ->
   ?pool:Geomix_parallel.Pool.t ->
   ?trace:Geomix_runtime.Trace.t ->
+  ?bus:Geomix_obs.Events.t ->
+  ?profile:Geomix_obs.Profile.collector ->
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
@@ -124,7 +139,14 @@ val factorize_robust :
     input values.  [max_band_escalations] (default 4) bounds the number of
     band-scoped retries before promoting the full map.  With [?obs], records
     [recovery.band_escalations], [recovery.full_escalations] and
-    [recovery.indefinite].  Never raises [Not_positive_definite]. *)
+    [recovery.indefinite].  With [?bus], escalation decisions are narrated
+    on component ["recovery"]: a Warn [escalate] event per promotion (with
+    the offending block, scope and round) and an Error [indefinite] event
+    when the all-FP64 map still fails.  [?bus] and [?profile] are also
+    passed through to every {!factorize} round, so a multi-round recovery
+    produces one continuous event stream and a profile whose per-task
+    durations accumulate across rounds.  Never raises
+    [Not_positive_definite]. *)
 
 val solve_lower : Tiled.t -> float array -> float array
 (** Forward substitution [L·y = b] on a factorized tiled matrix (FP64). *)

@@ -1,4 +1,5 @@
 module Metrics = Geomix_obs.Metrics
+module Events = Geomix_obs.Events
 
 type kind = Transient | Crash_after_write | Stall
 
@@ -38,6 +39,7 @@ type t = {
   n_pivots : int Atomic.t;
   n_by_kind : int Atomic.t array; (* indexed like [kinds] *)
   obs : obs_state option;
+  bus : Events.t option;
 }
 
 (* splitmix64 finalizer — the same mixing the Rng seeder uses, applied here
@@ -66,8 +68,9 @@ let hash_triple ~seed ~site ~task ~attempt =
 (* Top 53 bits as a uniform draw in [0, 1). *)
 let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
 
-let plan ?obs ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.) ?(stall = 1e-3)
-    ?(sleep = Unix.sleepf) ?(fail_attempts = 1) ?(only = fun _ -> true) ~seed () =
+let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
+    ?(stall = 1e-3) ?(sleep = Unix.sleepf) ?(fail_attempts = 1)
+    ?(only = fun _ -> true) ~seed () =
   if not (rate >= 0. && rate <= 1.) then invalid_arg "Fault.plan: rate outside [0, 1]";
   if not (pivot_rate >= 0. && pivot_rate <= 1.) then
     invalid_arg "Fault.plan: pivot_rate outside [0, 1]";
@@ -97,6 +100,7 @@ let plan ?obs ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.) ?(stall =
             m_pivots = Metrics.counter reg "fault.pivots";
           })
         obs;
+    bus;
   }
 
 let seed t = t.seed
@@ -129,19 +133,34 @@ let record t k =
       | Crash_after_write -> o.m_crashes
       | Stall -> o.m_stalls)
 
+let emit_inject t ~site ~task ~attempt kind =
+  match t.bus with
+  | None -> ()
+  | Some bus ->
+    Events.emit ~level:Events.Warn bus ~component:"fault" ~name:"inject"
+      [
+        ("site", Events.fstr site);
+        ("task", Events.fstr task);
+        ("attempt", Events.fint attempt);
+        ("kind", Events.fstr (kind_name kind));
+      ]
+
 let wrap t ~site ~task ~attempt body =
   match decide t ~site ~task ~attempt with
   | None -> body ()
   | Some Transient ->
     record t Transient;
+    emit_inject t ~site ~task ~attempt Transient;
     raise (Injected { task; attempt; kind = Transient })
   | Some Stall ->
     record t Stall;
+    emit_inject t ~site ~task ~attempt Stall;
     t.sleep t.stall;
     body ()
   | Some Crash_after_write ->
     body ();
     record t Crash_after_write;
+    emit_inject t ~site ~task ~attempt Crash_after_write;
     raise (Injected { task; attempt; kind = Crash_after_write })
 
 let pivot_failure t ~task ~attempt =
@@ -151,7 +170,12 @@ let pivot_failure t ~task ~attempt =
     let fire = u01 h < t.pivot_rate in
     if fire then begin
       Atomic.incr t.n_pivots;
-      match t.obs with None -> () | Some o -> Metrics.incr o.m_pivots
+      (match t.obs with None -> () | Some o -> Metrics.incr o.m_pivots);
+      match t.bus with
+      | None -> ()
+      | Some bus ->
+        Events.emit ~level:Events.Warn bus ~component:"fault" ~name:"pivot"
+          [ ("task", Events.fstr task); ("attempt", Events.fint attempt) ]
     end;
     fire
 

@@ -36,6 +36,7 @@ type t
 
 val plan :
   ?obs:Geomix_obs.Metrics.t ->
+  ?bus:Geomix_obs.Events.t ->
   ?rate:float ->
   ?kinds:kind list ->
   ?pivot_rate:float ->
@@ -66,6 +67,11 @@ val plan :
     - [only] (default: everything): task-name filter selecting the
       eligible tasks, e.g. [(fun n -> String.length n > 0 && n.[0] = 'G')]
       to fault only GEMMs.
+
+    When built with [?bus], every granted injection is narrated on the
+    telemetry bus at Warn (component ["fault"]): [inject] with
+    [site]/[task]/[attempt]/[kind] fields, and [pivot] with
+    [task]/[attempt].
 
     @raise Invalid_argument on rates outside [0, 1], a negative stall, a
     non-positive [fail_attempts] or an empty [kinds] list. *)

@@ -1,0 +1,107 @@
+(** Unified telemetry bus for the execution stack.
+
+    {!Geomix_obs.Metrics} answers "how much" (counters, histograms);
+    this answers "what happened, when": a structured, leveled event log
+    with per-bus monotonic timestamps and typed {!Jsonlite} payloads —
+    the repo's analogue of PaRSEC's PINS instrumentation stream, which
+    the paper's evaluation (Figs 8–10) is narrated from.
+
+    Producers ([Pool], [Dtd], [Dag_exec] via the runtime bridge, [Fault],
+    [Mp_cholesky]) take an optional [?bus] argument and emit events; the
+    bus fans each event out to its subscribed sinks:
+
+    - a {!ring} buffer (bounded in-memory history, for tests and reports);
+    - a JSONL sink ({!attach_jsonl}) — one compact JSON object per line,
+      machine-parseable back through {!of_jsonl};
+    - a pretty stderr sink ({!attach_stderr}), the one the [GEOMIX_LOG]
+      environment variable and the CLI's [--verbose] flag control.
+
+    Cost model: a call site that passes no bus pays nothing; an emit below
+    the bus level, or on a bus with no sinks, is a branch and returns.  All
+    operations are thread-safe ({!emit} is called from worker domains). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level option
+(** Case-insensitive inverse of {!level_name}. *)
+
+type event = {
+  seq : int;  (** per-bus sequence number, from 0 *)
+  time : float;
+      (** seconds since bus creation; non-decreasing across the bus even if
+          the wall clock steps backwards *)
+  level : level;
+  component : string;  (** producer, e.g. ["pool"], ["dtd"], ["cholesky"] *)
+  name : string;  (** event kind within the component, e.g. ["task_end"] *)
+  fields : (string * Jsonlite.t) list;  (** typed payload *)
+}
+
+type t
+
+val create : ?level:level -> unit -> t
+(** A bus recording events at [level] (default [Debug]) and above. *)
+
+val level : t -> level
+
+val enabled : t -> level -> bool
+(** Whether an emit at this level would be recorded — guard for call sites
+    that build expensive payloads. *)
+
+val emit :
+  ?level:level -> t -> component:string -> name:string ->
+  (string * Jsonlite.t) list -> unit
+(** Emit one event (default level [Info]) to every sink.  Discarded — with
+    no payload evaluation beyond the argument list — when below the bus
+    level. *)
+
+(** {1 Sinks} *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Subscribe a raw sink; called in emission order under the bus lock, so
+    sinks must not emit back into the same bus. *)
+
+type ring
+
+val ring : ?capacity:int -> t -> ring
+(** Subscribe a bounded in-memory buffer keeping the most recent
+    [capacity] (default 4096) events. *)
+
+val ring_events : ring -> event list
+(** Buffered events, oldest first. *)
+
+val attach_jsonl : t -> out_channel -> unit
+(** Stream every event as one compact JSON line (flushed per event, so the
+    log survives a crash and tails cleanly). *)
+
+val attach_stderr : ?min_level:level -> t -> unit
+(** Human-readable one-line-per-event sink on stderr, filtered to
+    [min_level] (default [Info]) and above. *)
+
+(** {1 Environment wiring}
+
+    [GEOMIX_LOG=debug|info|warn|error] selects the stderr sink's level for
+    the CLI; unset (or unparseable) means no logging. *)
+
+val env_level : unit -> level option
+(** Parse [GEOMIX_LOG]. *)
+
+val stderr_bus : level -> t
+(** A bus at [level] with a stderr sink attached at the same level. *)
+
+(** {1 Serialisation} *)
+
+val to_json : event -> Jsonlite.t
+val to_jsonl : event -> string
+(** One compact JSON line, no trailing newline. *)
+
+val of_json : Jsonlite.t -> (event, string) result
+val of_jsonl : string -> (event, string) result
+
+(** {1 Payload helpers} *)
+
+val fint : int -> Jsonlite.t
+val fnum : float -> Jsonlite.t
+val fstr : string -> Jsonlite.t

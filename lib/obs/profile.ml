@@ -1,0 +1,237 @@
+type measure = {
+  id : int;
+  label : string;
+  cls : string;
+  prec : string;
+  worker : int;
+  start : float;
+  stop : float;
+}
+
+let class_of_label label =
+  match String.index_opt label '(' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
+(* Collection: an append-only vector behind a mutex — the recording hooks
+   fire from worker domains concurrently. *)
+
+type collector = { mutable items : measure list; mutex : Mutex.t }
+
+let collector () = { items = []; mutex = Mutex.create () }
+
+let record c m =
+  Mutex.lock c.mutex;
+  c.items <- m :: c.items;
+  Mutex.unlock c.mutex
+
+let measures c =
+  Mutex.lock c.mutex;
+  let items = List.rev c.items in
+  Mutex.unlock c.mutex;
+  items
+
+(* Analysis *)
+
+type bucket = { key : string; busy : float; tasks : int }
+
+type worker_stat = { worker : int; wbusy : float; wtasks : int }
+
+type t = {
+  tasks : int;
+  spans : int;
+  makespan : float;
+  busy : float;
+  cp_length : float;
+  cp_chain : int list;
+  cp_chain_labels : string list;
+  cp_frac : float;
+  slack : float array;
+  by_class : bucket list;
+  by_precision : bucket list;
+  by_worker : worker_stat list;
+  workers : int;
+}
+
+let buckets_of key_of ms : bucket list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let key = key_of m in
+      let busy, tasks =
+        match Hashtbl.find_opt tbl key with Some x -> x | None -> (0., 0)
+      in
+      Hashtbl.replace tbl key (busy +. (m.stop -. m.start), tasks + 1))
+    ms;
+  Hashtbl.fold (fun key (busy, tasks) acc -> { key; busy; tasks } :: acc) tbl []
+  |> List.sort (fun (a : bucket) (b : bucket) ->
+         match compare b.busy a.busy with 0 -> compare a.key b.key | c -> c)
+
+let analyze ~preds ms =
+  let n = Array.length preds in
+  let dur = Array.make n 0. in
+  let labels = Array.make n "" in
+  let measured = Array.make n false in
+  List.iter
+    (fun m ->
+      if m.id < 0 || m.id >= n then
+        invalid_arg "Profile.analyze: measure id outside the graph";
+      if m.stop < m.start then invalid_arg "Profile.analyze: negative span";
+      dur.(m.id) <- dur.(m.id) +. (m.stop -. m.start);
+      labels.(m.id) <- m.label;
+      measured.(m.id) <- true)
+    ms;
+  (* Topological order by Kahn over the predecessor lists. *)
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  Array.iteri
+    (fun id ps ->
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n then
+            invalid_arg "Profile.analyze: predecessor outside the graph";
+          succs.(p) <- id :: succs.(p);
+          indeg.(id) <- indeg.(id) + 1)
+        ps)
+    preds;
+  let order = Array.make n 0 in
+  let queue = Queue.create () in
+  Array.iteri (fun id d -> if d = 0 then Queue.push id queue) indeg;
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order.(!filled) <- id;
+    incr filled;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.push s queue)
+      succs.(id)
+  done;
+  if !filled <> n then invalid_arg "Profile.analyze: cyclic predecessor relation";
+  (* Forward pass: earliest finish under the duration weights; track the
+     predecessor that realises each maximum for chain extraction. *)
+  let ef = Array.make n 0. in
+  let via = Array.make n (-1) in
+  Array.iter
+    (fun id ->
+      let best = ref 0. and best_p = ref (-1) in
+      List.iter
+        (fun p ->
+          if ef.(p) > !best then begin
+            best := ef.(p);
+            best_p := p
+          end)
+        preds.(id);
+      ef.(id) <- !best +. dur.(id);
+      via.(id) <- !best_p)
+    order;
+  let cp_length = Array.fold_left Float.max 0. ef in
+  let cp_end =
+    let best = ref (-1) in
+    Array.iteri (fun id v -> if !best < 0 || v > ef.(!best) then best := id) ef;
+    !best
+  in
+  let cp_chain =
+    if n = 0 then []
+    else begin
+      let rec back id acc = if id < 0 then acc else back via.(id) (id :: acc) in
+      back cp_end []
+    end
+  in
+  (* Backward pass: latest finish with the chain length as horizon; slack
+     is the float of each task against the critical path. *)
+  let lf = Array.make n cp_length in
+  for i = n - 1 downto 0 do
+    let id = order.(i) in
+    List.iter
+      (fun s -> if lf.(s) -. dur.(s) < lf.(id) then lf.(id) <- lf.(s) -. dur.(s))
+      succs.(id)
+  done;
+  let slack = Array.init n (fun id -> Float.max 0. (lf.(id) -. ef.(id))) in
+  let makespan = List.fold_left (fun acc m -> Float.max acc m.stop) 0. ms in
+  let busy = Array.fold_left ( +. ) 0. dur in
+  let worker_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (m : measure) ->
+      let b, c =
+        match Hashtbl.find_opt worker_tbl m.worker with
+        | Some x -> x
+        | None -> (0., 0)
+      in
+      Hashtbl.replace worker_tbl m.worker (b +. (m.stop -. m.start), c + 1))
+    ms;
+  let by_worker =
+    Hashtbl.fold
+      (fun worker (wbusy, wtasks) acc -> { worker; wbusy; wtasks } :: acc)
+      worker_tbl []
+    |> List.sort (fun a b -> compare a.worker b.worker)
+  in
+  {
+    tasks = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 measured;
+    spans = List.length ms;
+    makespan;
+    busy;
+    cp_length;
+    cp_chain;
+    cp_chain_labels =
+      List.map
+        (fun id ->
+          if labels.(id) = "" then Printf.sprintf "task %d" id else labels.(id))
+        cp_chain;
+    cp_frac = (if makespan > 0. then cp_length /. makespan else 0.);
+    slack;
+    by_class = buckets_of (fun m -> m.cls) ms;
+    by_precision = buckets_of (fun m -> m.prec) ms;
+    by_worker;
+    workers = List.length by_worker;
+  }
+
+let lower_bound t ~workers =
+  if workers < 1 then invalid_arg "Profile.lower_bound";
+  Float.max t.cp_length (t.busy /. float_of_int workers)
+
+let predicted_speedup t ~workers =
+  let lb = lower_bound t ~workers in
+  if lb > 0. then t.makespan /. lb else 1.
+
+let to_json t =
+  let bucket_json b =
+    Jsonlite.Obj
+      [
+        ("key", Jsonlite.Str b.key);
+        ("busy_s", Jsonlite.Num b.busy);
+        ("tasks", Jsonlite.Num (float_of_int b.tasks));
+      ]
+  in
+  Jsonlite.Obj
+    [
+      ("tasks", Jsonlite.Num (float_of_int t.tasks));
+      ("spans", Jsonlite.Num (float_of_int t.spans));
+      ("makespan_s", Jsonlite.Num t.makespan);
+      ("busy_s", Jsonlite.Num t.busy);
+      ("critical_path_s", Jsonlite.Num t.cp_length);
+      ("critical_path_frac", Jsonlite.Num t.cp_frac);
+      ( "critical_path",
+        Jsonlite.Arr (List.map (fun l -> Jsonlite.Str l) t.cp_chain_labels) );
+      ("by_class", Jsonlite.Arr (List.map bucket_json t.by_class));
+      ("by_precision", Jsonlite.Arr (List.map bucket_json t.by_precision));
+      ( "by_worker",
+        Jsonlite.Arr
+          (List.map
+             (fun w ->
+               Jsonlite.Obj
+                 [
+                   ("worker", Jsonlite.Num (float_of_int w.worker));
+                   ("busy_s", Jsonlite.Num w.wbusy);
+                   ("tasks", Jsonlite.Num (float_of_int w.wtasks));
+                   ("idle_s", Jsonlite.Num (Float.max 0. (t.makespan -. w.wbusy)));
+                 ])
+             t.by_worker) );
+      ( "lower_bounds",
+        Jsonlite.Obj
+          (List.map
+             (fun w ->
+               (string_of_int w, Jsonlite.Num (lower_bound t ~workers:w)))
+             [ 1; 2; 4; 8 ]) );
+    ]

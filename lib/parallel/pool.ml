@@ -1,4 +1,5 @@
 module Metrics = Geomix_obs.Metrics
+module Events = Geomix_obs.Events
 module Fault = Geomix_fault.Fault
 
 type item = { thunk : unit -> unit; submitted : float; seq : int }
@@ -29,7 +30,13 @@ type t = {
   serial : bool;
   faults : Fault.t option;
   obs : obs_state option;
+  bus : Events.t option;
 }
+
+let emit t ?level name fields =
+  match t.bus with
+  | None -> ()
+  | Some bus -> Events.emit ?level bus ~component:"pool" ~name fields
 
 let make_obs reg n =
   Metrics.set (Metrics.gauge reg "pool.workers") (float_of_int n);
@@ -57,6 +64,7 @@ let cancel_pending_locked t =
     Queue.clear t.queue;
     t.cancelled <- t.cancelled + n;
     (match t.obs with Some o -> Metrics.add o.cancelled_total n | None -> ());
+    emit t ~level:Events.Warn "cancelled" [ ("count", Events.fint n) ];
     t.in_flight <- t.in_flight - n;
     if t.in_flight = 0 then Condition.broadcast t.idle
   end
@@ -65,6 +73,8 @@ let record_error t exn bt =
   Mutex.lock t.mutex;
   if t.first_error = None then begin
     t.first_error <- Some (exn, bt);
+    emit t ~level:Events.Error "error"
+      [ ("error", Events.fstr (Printexc.to_string exn)) ];
     cancel_pending_locked t
   end;
   Mutex.unlock t.mutex
@@ -92,13 +102,17 @@ let run_item t ~worker item =
     Metrics.incr o.worker_tasks.(worker mod Array.length o.worker_tasks)
 
 let worker_loop t worker () =
+  emit t ~level:Events.Debug "worker_start" [ ("worker", Events.fint worker) ];
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stopping do
       (match t.obs with Some o -> Metrics.incr o.idle_waits | None -> ());
       Condition.wait t.nonempty t.mutex
     done;
-    if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mutex
+    if Queue.is_empty t.queue && t.stopping then begin
+      Mutex.unlock t.mutex;
+      emit t ~level:Events.Debug "worker_stop" [ ("worker", Events.fint worker) ]
+    end
     else begin
       let item = Queue.pop t.queue in
       Mutex.unlock t.mutex;
@@ -112,7 +126,7 @@ let worker_loop t worker () =
   in
   loop ()
 
-let create ?obs ?faults ?num_workers () =
+let create ?obs ?bus ?faults ?num_workers () =
   let n =
     match num_workers with
     | Some n -> Stdlib.max 0 n
@@ -133,8 +147,10 @@ let create ?obs ?faults ?num_workers () =
       serial = n = 0;
       faults;
       obs = Option.map (fun reg -> make_obs reg n) obs;
+      bus;
     }
   in
+  emit t "create" [ ("workers", Events.fint n) ];
   if n > 0 then t.workers <- Array.init n (fun i -> Domain.spawn (worker_loop t i));
   t
 
@@ -215,12 +231,13 @@ let shutdown t =
       t.stopping <- true;
       Condition.broadcast t.nonempty;
       Mutex.unlock t.mutex;
-      Array.iter Domain.join t.workers
+      Array.iter Domain.join t.workers;
+      emit t "shutdown" [ ("cancelled", Events.fint (cancelled t)) ]
     end
     else Mutex.unlock t.mutex
   end;
   reraise t
 
-let with_pool ?obs ?faults ?num_workers f =
-  let t = create ?obs ?faults ?num_workers () in
+let with_pool ?obs ?bus ?faults ?num_workers f =
+  let t = create ?obs ?bus ?faults ?num_workers () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -30,12 +30,18 @@
     Passing [?faults] subjects every executed thunk to the seeded fault
     plan (site ["pool"], task = the thunk's submission index) — the chaos
     entry point for the raw pool layer; the DAG executors have their own,
-    task-name-aware hook. *)
+    task-name-aware hook.
+
+    Passing [?bus] narrates the pool's lifecycle on the telemetry bus
+    (component ["pool"]): [create]/[shutdown] at Info, per-worker
+    [worker_start]/[worker_stop] at Debug, fail-fast [cancelled] batches at
+    Warn and the first recorded [error] at Error. *)
 
 type t
 
 val create :
-  ?obs:Geomix_obs.Metrics.t -> ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
+  ?obs:Geomix_obs.Metrics.t -> ?bus:Geomix_obs.Events.t ->
+  ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
   unit -> t
 (** [create ()] sizes the pool to [Domain.recommended_domain_count - 1]
     workers (never negative). *)
@@ -65,6 +71,7 @@ val shutdown : t -> unit
 (** Drain, stop and join the workers.  Idempotent. *)
 
 val with_pool :
-  ?obs:Geomix_obs.Metrics.t -> ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
+  ?obs:Geomix_obs.Metrics.t -> ?bus:Geomix_obs.Events.t ->
+  ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
   (t -> 'a) -> 'a
 (** Scoped creation: shuts the pool down on exit or exception. *)

@@ -1,6 +1,7 @@
 module Pool = Geomix_parallel.Pool
 module Dag_exec = Geomix_parallel.Dag_exec
 module Metrics = Geomix_obs.Metrics
+module Events = Geomix_obs.Events
 
 type task_id = int
 
@@ -24,9 +25,10 @@ type t = {
   mutable tasks : task array;
   mutable count : int;
   data : (int, datum_state) Hashtbl.t;
+  bus : Events.t option;
 }
 
-let create () = { tasks = [||]; count = 0; data = Hashtbl.create 64 }
+let create ?bus () = { tasks = [||]; count = 0; data = Hashtbl.create 64; bus }
 
 let datum t key =
   match Hashtbl.find_opt t.data key with
@@ -83,6 +85,17 @@ let insert t ~name ~reads ~writes body =
       d.last_writer <- Some id;
       d.readers_since <- [])
     writes;
+  (match t.bus with
+  | None -> ()
+  | Some bus ->
+    Events.emit ~level:Events.Debug bus ~component:"dtd" ~name:"submit"
+      [
+        ("task", Events.fint id);
+        ("label", Events.fstr name);
+        ("reads", Events.fint (List.length reads));
+        ("writes", Events.fint (List.length writes));
+        ("raw_edges", Events.fint (List.length raw_srcs));
+      ]);
   id
 
 let num_tasks t = t.count
@@ -139,8 +152,12 @@ let successors t id =
 
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
-let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?faults ?retry
-    ?snapshot t =
+let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
+    ?faults ?retry ?snapshot t =
+  (* The executing bus defaults to the one the graph was built with, so a
+     Dtd created with [?bus] narrates submission and execution on the same
+     stream without repeating the argument. *)
+  let bus = match bus with Some _ -> bus | None -> t.bus in
   let record =
     match obs with
     | None -> fun _ -> ()
@@ -153,12 +170,34 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?faults ?retr
         Metrics.add bytes (task_in_bytes ~datum_bytes t id);
         Metrics.add edges (List.length t.tasks.(id).raw_srcs)
   in
+  let note_complete =
+    match bus with
+    | None -> fun _ -> ()
+    | Some bus ->
+      fun id ->
+        Events.emit ~level:Events.Debug bus ~component:"dtd" ~name:"complete"
+          [
+            ("task", Events.fint id);
+            ("label", Events.fstr t.tasks.(id).name);
+            ("raw_bytes", Events.fint (task_in_bytes ~datum_bytes t id));
+            ("raw_edges", Events.fint (List.length t.tasks.(id).raw_srcs));
+          ]
+  in
+  let task_label id = t.tasks.(id).name in
   let dag_obs =
-    Option.map (fun tr -> Obs_bridge.recorder ~name:(fun id -> t.tasks.(id).name) tr) trace
+    let hooks =
+      List.filter_map Fun.id
+        [
+          Option.map (fun tr -> Obs_bridge.recorder ~name:task_label tr) trace;
+          Option.map (fun b -> Obs_bridge.bus_recorder ~name:task_label ~component:"dtd" b) bus;
+          Option.map (fun c -> Obs_bridge.profile_recorder ~name:task_label c) profile;
+        ]
+    in
+    match hooks with [] -> None | [ h ] -> Some h | hs -> Some (Obs_bridge.fanout hs)
   in
   (* Recovery metrics: re-executions and the footprint data rolled back to
      make them sound. *)
-  let note_retry, note_restore =
+  let metric_retry, note_restore =
     match obs with
     | None -> (None, fun _ -> ())
     | Some reg ->
@@ -170,6 +209,34 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?faults ?retr
           Metrics.incr restores;
           Metrics.add restored
             (List.fold_left (fun acc k -> acc + datum_bytes k) 0 t.tasks.(id).writes) )
+  in
+  let bus_retry =
+    match bus with
+    | None -> None
+    | Some bus ->
+      Some
+        (fun ~id ~attempt exn ->
+          Events.emit ~level:Events.Warn bus ~component:"dtd" ~name:"retry"
+            ([
+               ("task", Events.fint id);
+               ("label", Events.fstr t.tasks.(id).name);
+               ("attempt", Events.fint attempt);
+               ("error", Events.fstr (Printexc.to_string exn));
+             ]
+            @
+            match retry with
+            | None -> []
+            | Some p ->
+              [ ("backoff_s", Events.fnum (Geomix_fault.Retry.delay_for p ~attempt)) ]))
+  in
+  let note_retry =
+    match (metric_retry, bus_retry) with
+    | None, None -> None
+    | _ ->
+      Some
+        (fun ~id ~attempt exn ->
+          (match metric_retry with Some f -> f ~id ~attempt exn | None -> ());
+          match bus_retry with Some f -> f ~id ~attempt exn | None -> ())
   in
   (* A task's restorable state is exactly its declared written footprint:
      capture each written datum through the caller's [snapshot] before the
@@ -189,7 +256,8 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?faults ?retr
       ~successors:(fun id -> t.tasks.(id).succs)
       ~execute:(fun id ->
         record id;
-        t.tasks.(id).body ())
+        t.tasks.(id).body ();
+        note_complete id)
       ()
   in
   match pool with Some pool -> run pool | None -> Pool.with_pool ~num_workers:0 run

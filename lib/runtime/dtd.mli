@@ -11,7 +11,11 @@
 type t
 type task_id = int
 
-val create : unit -> t
+val create : ?bus:Geomix_obs.Events.t -> unit -> t
+(** [create ()] builds an empty graph.  With [?bus], graph construction
+    and execution are narrated on the telemetry bus (component ["dtd"]):
+    {!insert} emits a Debug [submit] event per task, and {!execute}
+    defaults its own [?bus] to this one. *)
 
 val insert :
   t -> name:string -> reads:int list -> writes:int list -> (unit -> unit) -> task_id
@@ -65,6 +69,8 @@ val execute :
   ?obs:Geomix_obs.Metrics.t ->
   ?datum_bytes:(int -> int) ->
   ?trace:Trace.t ->
+  ?bus:Geomix_obs.Events.t ->
+  ?profile:Geomix_obs.Profile.collector ->
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?snapshot:(int -> unit -> unit) ->
@@ -80,6 +86,18 @@ val execute :
     [?trace] appends one wall-clock event per task (label = task name,
     resource = pool worker index) — feed it to {!Trace.to_chrome_json} or
     {!Trace.gantt} for a real-run timeline.
+
+    [?bus] (default: the bus the graph was created with, if any) streams
+    the same execution onto the telemetry bus (component ["dtd"]): Debug
+    [task_begin]/[task_end] pairs carrying the measured run-relative span
+    in field ["at"] (identical to what [?trace] records — see
+    {!Obs_bridge.bus_recorder}), a Debug [complete] per task with its
+    RAW-edge count and byte volume under [datum_bytes], and a Warn [retry]
+    per supervised re-execution with the attempt number, the failed
+    exception and (when [?retry] is given) the backoff applied.
+    [?profile] collects one {!Geomix_obs.Profile} measure per completed
+    task for critical-path analysis — pass the result to
+    {!Geomix_obs.Profile.analyze} with [~preds] from {!predecessors}.
 
     {b Supervised recovery.}  [?faults] subjects every task body to the
     seeded fault plan (site ["exec"], keyed by the task's {e name}), and

@@ -1,4 +1,6 @@
 module Dag_exec = Geomix_parallel.Dag_exec
+module Events = Geomix_obs.Events
+module Profile = Geomix_obs.Profile
 
 let recorder ?(name = fun id -> Printf.sprintf "task %d" id) ?(tag = fun _ -> "") trace =
   (* Trace.add mutates a plain list; the hook fires from worker domains
@@ -11,4 +13,49 @@ let recorder ?(name = fun id -> Printf.sprintf "task %d" id) ?(tag = fun _ -> ""
         Trace.add trace
           { Trace.label = name id; resource = worker; start; stop; tag = tag id };
         Mutex.unlock mutex);
+  }
+
+let bus_recorder ?(name = fun id -> Printf.sprintf "task %d" id)
+    ?(component = "dag") bus =
+  {
+    Dag_exec.on_task =
+      (fun ~id ~worker ~start ~stop ->
+        (* Both events are emitted at completion time (the hook only fires
+           once a task finishes) but carry the {e measured} run-relative
+           span in ["at"] (["t"] is the bus's own timestamp header), so
+           replaying the log reconstructs exactly the same timeline a Trace
+           recorded from the same hook. *)
+        let base =
+          [ ("task", Events.fint id);
+            ("label", Events.fstr (name id));
+            ("worker", Events.fint worker) ]
+        in
+        Events.emit ~level:Events.Debug bus ~component ~name:"task_begin"
+          (base @ [ ("at", Events.fnum start) ]);
+        Events.emit ~level:Events.Debug bus ~component ~name:"task_end"
+          (base @ [ ("at", Events.fnum stop); ("dur", Events.fnum (stop -. start)) ]));
+  }
+
+let profile_recorder ~name ?cls ?(tag = fun _ -> "") collector =
+  let cls = match cls with Some f -> f | None -> fun id -> Profile.class_of_label (name id) in
+  {
+    Dag_exec.on_task =
+      (fun ~id ~worker ~start ~stop ->
+        Profile.record collector
+          {
+            Profile.id;
+            label = name id;
+            cls = cls id;
+            prec = tag id;
+            worker;
+            start;
+            stop;
+          });
+  }
+
+let fanout hooks =
+  {
+    Dag_exec.on_task =
+      (fun ~id ~worker ~start ~stop ->
+        List.iter (fun h -> h.Dag_exec.on_task ~id ~worker ~start ~stop) hooks);
   }

@@ -1,10 +1,16 @@
-(** Bridge from the real executor's observability hook to {!Trace}.
+(** Bridge from the real executor's observability hook to the passive
+    observability backends: {!Trace}, the telemetry bus
+    ({!Geomix_obs.Events}) and the critical-path profiler's collector
+    ({!Geomix_obs.Profile}).
 
     {!Trace} was built for the simulator; {!recorder} turns a trace into a
     {!Geomix_parallel.Dag_exec.obs} hook so a {e real} pool run produces the
     same event records — worker domains play the role of resources — and
     every existing exporter ({!Trace.to_chrome_json}, {!Trace.gantt},
-    {!Trace.occupancy_series}) works on measured executions unchanged. *)
+    {!Trace.occupancy_series}) works on measured executions unchanged.
+    {!bus_recorder} and {!profile_recorder} do the same for the other two
+    backends, and {!fanout} combines any number of hooks so one run can
+    feed all of them from a single [?obs] argument. *)
 
 val recorder :
   ?name:(int -> string) ->
@@ -14,3 +20,35 @@ val recorder :
 (** [recorder ~name ~tag trace] appends one event per completed task:
     label [name id] (default ["task <id>"]), tag [tag id] (default [""]),
     resource = the worker index that ran it.  Thread-safe. *)
+
+val bus_recorder :
+  ?name:(int -> string) ->
+  ?component:string ->
+  Geomix_obs.Events.t ->
+  Geomix_parallel.Dag_exec.obs
+(** [bus_recorder bus] emits a Debug [task_begin]/[task_end] event pair per
+    completed task on [component] (default ["dag"]).  Both events carry the
+    {e measured} run-relative timestamp in field ["at"] (start and stop
+    respectively — the exact floats the hook received, which are also what
+    a {!recorder} on the same run stores in its {!Trace}; the bus's own
+    ["t"] header is the emission time), plus [task], [label], [worker], and
+    [dur] on [task_end]; reconstructing the makespan from the streamed log
+    therefore reproduces {!Trace.makespan} exactly.  Thread-safe (the bus
+    serialises emission). *)
+
+val profile_recorder :
+  name:(int -> string) ->
+  ?cls:(int -> string) ->
+  ?tag:(int -> string) ->
+  Geomix_obs.Profile.collector ->
+  Geomix_parallel.Dag_exec.obs
+(** [profile_recorder ~name collector] records one {!Geomix_obs.Profile}
+    measure per completed task: label [name id], kernel class [cls id]
+    (default: {!Geomix_obs.Profile.class_of_label} of the label, i.e. the
+    prefix before ['(']), precision [tag id] (default [""]).  Thread-safe
+    (the collector serialises appends). *)
+
+val fanout :
+  Geomix_parallel.Dag_exec.obs list -> Geomix_parallel.Dag_exec.obs
+(** [fanout hooks] calls every hook in list order for each completed task.
+    [fanout []] is a no-op hook. *)

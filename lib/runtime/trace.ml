@@ -19,7 +19,10 @@ let busy_time t ~resource =
     0. t.events
 
 let occupancy_series t ~resources ~window =
-  assert (window > 0. && resources > 0);
+  if not (window > 0.) then
+    invalid_arg "Trace.occupancy_series: window must be positive";
+  if resources <= 0 then
+    invalid_arg "Trace.occupancy_series: resources must be positive";
   let horizon = makespan t in
   if horizon = 0. then [||]
   else begin
@@ -94,7 +97,8 @@ let to_chrome_json ?(resource_name = fun r -> Printf.sprintf "GPU %d" r) t =
   Buffer.contents buf
 
 let gantt t ~resources ~width =
-  assert (resources > 0 && width > 0);
+  if resources <= 0 then invalid_arg "Trace.gantt: resources must be positive";
+  if width <= 0 then invalid_arg "Trace.gantt: width must be positive";
   let horizon = makespan t in
   if horizon = 0. then ""
   else begin

@@ -25,7 +25,9 @@ val busy_time : t -> resource:int -> float
 
 val occupancy_series : t -> resources:int -> window:float -> (float * float) array
 (** [(t, occ)] samples: fraction of [resources] busy during each window of
-    the makespan — the Fig 9 measurement. *)
+    the makespan — the Fig 9 measurement.  Returns [[||]] on an empty trace
+    (zero makespan).  @raise Invalid_argument when [window <= 0.] (including
+    NaN) or [resources <= 0]. *)
 
 val utilisation : t -> resources:int -> float
 (** Busy time over (makespan × resources). *)
@@ -37,4 +39,7 @@ val to_chrome_json : ?resource_name:(int -> string) -> t -> string
 
 val gantt : t -> resources:int -> width:int -> string
 (** ASCII Gantt chart: one row per resource, [width] time columns; a cell
-    shows the first letter of the dominating event's tag, '.' when idle. *)
+    shows the first letter of the dominating event's tag, '.' when idle.
+    Returns [""] on an empty trace (zero makespan); [width = 1] degrades to
+    a single busy/idle column per resource.
+    @raise Invalid_argument when [resources <= 0] or [width <= 0]. *)

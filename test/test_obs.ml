@@ -359,6 +359,251 @@ let prop_dtd_obs_schedule_independent =
       | Some (M.Counter b) -> b = Dtd.comm_volume ~datum_bytes t
       | _ -> false)
 
+(* Telemetry bus *)
+
+module E = Geomix_obs.Events
+module Trace = Geomix_runtime.Trace
+
+let test_bus_level_filtering () =
+  let bus = E.create ~level:E.Warn () in
+  let ring = E.ring bus in
+  Alcotest.(check bool) "debug disabled" false (E.enabled bus E.Debug);
+  Alcotest.(check bool) "warn enabled" true (E.enabled bus E.Warn);
+  E.emit ~level:E.Debug bus ~component:"t" ~name:"dropped" [];
+  E.emit bus ~component:"t" ~name:"dropped too" [] (* default Info *);
+  E.emit ~level:E.Warn bus ~component:"t" ~name:"kept" [];
+  E.emit ~level:E.Error bus ~component:"t" ~name:"kept" [];
+  let evs = E.ring_events ring in
+  Alcotest.(check int) "only warn+ recorded" 2 (List.length evs);
+  Alcotest.(check bool) "all named kept" true
+    (List.for_all (fun e -> e.E.name = "kept") evs)
+
+let test_bus_ring_capacity_and_order () =
+  let bus = E.create () in
+  let ring = E.ring ~capacity:4 bus in
+  for i = 0 to 9 do
+    E.emit bus ~component:"t" ~name:"e" [ ("i", E.fint i) ]
+  done;
+  let evs = E.ring_events ring in
+  Alcotest.(check int) "capacity bounds history" 4 (List.length evs);
+  Alcotest.(check (list int)) "most recent, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.E.seq) evs);
+  (* Sequence numbers are dense and timestamps never step backwards. *)
+  let rec mono = function
+    | a :: (b : E.event) :: tl ->
+      a.E.seq + 1 = b.E.seq && a.E.time <= b.E.time && mono (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotonic seq/time" true (mono evs);
+  Alcotest.(check bool) "nonnegative time" true
+    (List.for_all (fun e -> e.E.time >= 0.) evs)
+
+let test_bus_jsonl_roundtrip () =
+  let bus = E.create () in
+  let ring = E.ring bus in
+  E.emit ~level:E.Warn bus ~component:"chol\"esky" ~name:"task_end"
+    [
+      ("task", E.fint 17);
+      ("label", E.fstr "GEMM(5,3,1)\n");
+      ("at", E.fnum 0.125);
+    ];
+  let e = List.hd (E.ring_events ring) in
+  (match E.of_jsonl (E.to_jsonl e) with
+  | Error msg -> Alcotest.fail msg
+  | Ok back ->
+    Alcotest.(check bool) "event roundtrips" true (back = e);
+    Alcotest.(check bool) "payload survives header filtering" true
+      (back.E.fields = e.E.fields));
+  (* Malformed lines are errors, not crashes. *)
+  List.iter
+    (fun line ->
+      match E.of_jsonl line with
+      | Ok _ -> Alcotest.failf "parsed %S" line
+      | Error _ -> ())
+    [ "{"; "[1,2]"; "{\"seq\": 0}"; "" ]
+
+let test_bus_jsonl_file_sink () =
+  let path = Filename.temp_file "geomix_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let bus = E.create () in
+      E.attach_jsonl bus oc;
+      for i = 0 to 2 do
+        E.emit bus ~component:"t" ~name:"e" [ ("i", E.fint i) ]
+      done;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let parsed =
+        List.rev_map
+          (fun l ->
+            match E.of_jsonl l with Ok e -> e | Error m -> Alcotest.fail m)
+          !lines
+      in
+      Alcotest.(check int) "one line per event" 3 (List.length parsed);
+      Alcotest.(check (list int)) "in emission order" [ 0; 1; 2 ]
+        (List.map (fun e -> e.E.seq) parsed))
+
+let test_bus_env_level () =
+  let restore = Sys.getenv_opt "GEOMIX_LOG" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "GEOMIX_LOG" (Option.value restore ~default:""))
+    (fun () ->
+      Unix.putenv "GEOMIX_LOG" "warn";
+      Alcotest.(check bool) "warn" true (E.env_level () = Some E.Warn);
+      Unix.putenv "GEOMIX_LOG" "DEBUG";
+      Alcotest.(check bool) "case-insensitive" true (E.env_level () = Some E.Debug);
+      Unix.putenv "GEOMIX_LOG" "bogus";
+      Alcotest.(check bool) "unparseable is off" true (E.env_level () = None);
+      Unix.putenv "GEOMIX_LOG" "";
+      Alcotest.(check bool) "empty is off" true (E.env_level () = None))
+
+let count_named evs component name =
+  List.length
+    (List.filter (fun e -> e.E.component = component && e.E.name = name) evs)
+
+let test_pool_bus_events () =
+  let bus = E.create () in
+  let ring = E.ring bus in
+  (* The failing thunk is narrated on the bus and re-raised at wait_idle. *)
+  (try
+     Pool.with_pool ~bus ~num_workers:2 (fun pool ->
+       Pool.submit pool (fun () -> ());
+       Pool.submit pool (fun () -> failwith "boom");
+       Pool.wait_idle pool)
+   with Failure _ -> ());
+  let evs = E.ring_events ring in
+  Alcotest.(check int) "one create" 1 (count_named evs "pool" "create");
+  Alcotest.(check int) "worker starts" 2 (count_named evs "pool" "worker_start");
+  Alcotest.(check int) "worker stops" 2 (count_named evs "pool" "worker_stop");
+  Alcotest.(check int) "one shutdown" 1 (count_named evs "pool" "shutdown");
+  let errors =
+    List.filter (fun e -> e.E.component = "pool" && e.E.name = "error") evs
+  in
+  Alcotest.(check int) "failing thunk narrated" 1 (List.length errors);
+  Alcotest.(check bool) "at error level" true
+    (List.for_all (fun e -> e.E.level = E.Error) errors);
+  (* Lifecycle order: create first, shutdown last. *)
+  match (evs, List.rev evs) with
+  | first :: _, last :: _ ->
+    Alcotest.(check string) "create first" "create" first.E.name;
+    Alcotest.(check string) "shutdown last" "shutdown" last.E.name
+  | _ -> Alcotest.fail "no events"
+
+let test_dtd_bus_events () =
+  let bus = E.create () in
+  let ring = E.ring bus in
+  let t = Dtd.create ~bus () in
+  ignore (Dtd.insert t ~name:"w" ~reads:[] ~writes:[ 0; 1 ] (fun () -> ()));
+  ignore (Dtd.insert t ~name:"r1" ~reads:[ 0; 1 ] ~writes:[ 2 ] (fun () -> ()));
+  ignore (Dtd.insert t ~name:"r2" ~reads:[ 0; 2 ] ~writes:[] (fun () -> ()));
+  Dtd.execute ~datum_bytes t;
+  let evs = E.ring_events ring in
+  Alcotest.(check int) "submits" 3 (count_named evs "dtd" "submit");
+  Alcotest.(check int) "task begins" 3 (count_named evs "dtd" "task_begin");
+  Alcotest.(check int) "task ends" 3 (count_named evs "dtd" "task_end");
+  Alcotest.(check int) "completes" 3 (count_named evs "dtd" "complete");
+  (* The narrated per-task fetch volumes sum to the declared total. *)
+  let streamed_bytes =
+    List.fold_left
+      (fun acc e ->
+        if e.E.name = "complete" then
+          match List.assoc_opt "raw_bytes" e.E.fields with
+          | Some (J.Num b) -> acc + int_of_float b
+          | _ -> Alcotest.fail "complete without raw_bytes"
+        else acc)
+      0 evs
+  in
+  Alcotest.(check int) "streamed bytes = declared" (Dtd.comm_volume ~datum_bytes t)
+    streamed_bytes
+
+let test_bus_reconstructs_makespan () =
+  (* The acceptance check behind `geomix report`: task_end events carry the
+     same floats the Trace records, so the streamed log rebuilds the
+     measured makespan bit-identically. *)
+  let bus = E.create () in
+  let ring = E.ring bus in
+  let trace = Trace.create () in
+  let t = Dtd.create () in
+  let spin = ref 0. in
+  for i = 0 to 7 do
+    ignore
+      (Dtd.insert t
+         ~name:(Printf.sprintf "t%d" i)
+         ~reads:(if i = 0 then [] else [ i - 1 ])
+         ~writes:[ i ]
+         (fun () ->
+           for k = 1 to 1000 do
+             spin := !spin +. float_of_int k
+           done))
+  done;
+  Dtd.execute ~trace ~bus t;
+  let streamed =
+    List.fold_left
+      (fun acc e ->
+        if e.E.name = "task_end" then
+          match List.assoc_opt "at" e.E.fields with
+          | Some (J.Num stop) -> Float.max acc stop
+          | _ -> Alcotest.fail "task_end without at"
+        else acc)
+      0. (E.ring_events ring)
+  in
+  Alcotest.(check bool) "events observed work" true (streamed > 0.);
+  Alcotest.(check bool) "bit-identical makespan" true
+    (streamed = Trace.makespan trace)
+
+(* Jsonlite: control characters, unicode passthrough, non-finite numbers *)
+
+let test_jsonlite_control_and_unicode () =
+  (* Control characters are escaped on the way out and decoded back. *)
+  let s = J.Str "a\x01b\x1fc\x00" in
+  Alcotest.(check bool) "controls escaped" true
+    (contains ~affix:"\\u0001" (J.to_string ~indent:false s));
+  (match J.of_string (J.to_string s) with
+  | Ok back -> Alcotest.(check bool) "controls roundtrip" true (back = s)
+  | Error e -> Alcotest.fail e);
+  (* UTF-8 byte sequences pass through untouched. *)
+  let u = J.Str "h\xc3\xa9llo \xe2\x86\x92" in
+  (match J.of_string (J.to_string u) with
+  | Ok back -> Alcotest.(check bool) "utf-8 preserved" true (back = u)
+  | Error e -> Alcotest.fail e);
+  (* \u escapes decode (low bytes). *)
+  match J.of_string "\"\\u0041\\u000a\"" with
+  | Ok (J.Str v) -> Alcotest.(check string) "unicode escapes" "A\n" v
+  | _ -> Alcotest.fail "escape decode"
+
+let test_jsonlite_non_finite () =
+  List.iter
+    (fun v ->
+      let out = J.to_string ~indent:false (J.Num v) in
+      Alcotest.(check string) "non-finite serialises as null" "null" out;
+      match J.of_string out with
+      | Ok J.Null -> ()
+      | _ -> Alcotest.fail "null parse")
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* Inside a payload, too: the JSONL stream stays parseable. *)
+  let obj = J.Obj [ ("x", J.Num Float.nan) ] in
+  match J.of_string (J.to_string obj) with
+  | Ok (J.Obj [ ("x", J.Null) ]) -> ()
+  | _ -> Alcotest.fail "nan field becomes null"
+
+let test_metrics_csv_quoting () =
+  let t = M.create () in
+  M.add (M.counter t "weird \"name\", x") 1;
+  M.set (M.gauge t "plain") 2.;
+  let csv = M.to_csv (M.snapshot t) in
+  Alcotest.(check bool) "quotes doubled, field quoted" true
+    (contains ~affix:"\"weird \"\"name\"\", x\"" csv);
+  Alcotest.(check bool) "plain name unquoted" true (contains ~affix:"\nplain," csv)
+
 let () =
   Alcotest.run "obs"
     [
@@ -373,11 +618,28 @@ let () =
           Alcotest.test_case "span timer" `Quick test_span_timer;
           Alcotest.test_case "snapshot/diff algebra" `Quick test_snapshot_diff;
           Alcotest.test_case "exporters" `Quick test_exporters_cover_all_metrics;
+          Alcotest.test_case "csv quoting" `Quick test_metrics_csv_quoting;
         ] );
       ( "jsonlite",
         [
           Alcotest.test_case "roundtrip" `Quick test_jsonlite_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_jsonlite_errors;
+          Alcotest.test_case "control chars and unicode" `Quick
+            test_jsonlite_control_and_unicode;
+          Alcotest.test_case "non-finite numbers" `Quick test_jsonlite_non_finite;
+        ] );
+      ( "telemetry bus",
+        [
+          Alcotest.test_case "level filtering" `Quick test_bus_level_filtering;
+          Alcotest.test_case "ring capacity and order" `Quick
+            test_bus_ring_capacity_and_order;
+          Alcotest.test_case "jsonl roundtrip" `Quick test_bus_jsonl_roundtrip;
+          Alcotest.test_case "jsonl file sink" `Quick test_bus_jsonl_file_sink;
+          Alcotest.test_case "GEOMIX_LOG parsing" `Quick test_bus_env_level;
+          Alcotest.test_case "pool lifecycle events" `Quick test_pool_bus_events;
+          Alcotest.test_case "dtd submit/complete events" `Quick test_dtd_bus_events;
+          Alcotest.test_case "log replay reconstructs makespan" `Quick
+            test_bus_reconstructs_makespan;
         ] );
       ( "bench gate",
         [

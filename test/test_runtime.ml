@@ -165,6 +165,50 @@ let test_trace_gantt () =
   Alcotest.(check bool) "busy glyph" true (contains g "FFFFFFFFFF");
   Alcotest.(check bool) "idle then busy" true (contains g ".....XXXXX")
 
+(* Degenerate renderer inputs: empty traces and zero makespans degrade to
+   empty output, width 1 still renders, and nonsensical dimensions are
+   Invalid_argument instead of assertion failures. *)
+
+let test_trace_degenerate_empty () =
+  let t = Trace.create () in
+  Alcotest.(check int) "occupancy of empty trace" 0
+    (Array.length (Trace.occupancy_series t ~resources:2 ~window:0.5));
+  Alcotest.(check string) "gantt of empty trace" "" (Trace.gantt t ~resources:2 ~width:10);
+  (* All-zero-duration events at t=0: makespan 0, same degenerate path. *)
+  Trace.add t { Trace.label = "z"; resource = 0; start = 0.; stop = 0.; tag = "Z" };
+  Alcotest.(check int) "occupancy at zero makespan" 0
+    (Array.length (Trace.occupancy_series t ~resources:1 ~window:1.));
+  Alcotest.(check string) "gantt at zero makespan" "" (Trace.gantt t ~resources:1 ~width:10)
+
+let test_trace_degenerate_width_one () =
+  let t = Trace.create () in
+  Trace.add t { Trace.label = "a"; resource = 0; start = 0.; stop = 1.; tag = "A" };
+  Trace.add t { Trace.label = "b"; resource = 1; start = 0.5; stop = 1.; tag = "B" };
+  let g = Trace.gantt t ~resources:2 ~width:1 in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' g) in
+  Alcotest.(check int) "two rows + axis" 3 (List.length lines);
+  Alcotest.(check bool) "row 0 busy" true (contains g "|A|");
+  Alcotest.(check bool) "row 1 busy" true (contains g "|B|")
+
+let test_trace_invalid_args () =
+  let t = Trace.create () in
+  Trace.add t { Trace.label = "a"; resource = 0; start = 0.; stop = 1.; tag = "" };
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "gantt width 0" true
+    (raises (fun () -> Trace.gantt t ~resources:1 ~width:0));
+  Alcotest.(check bool) "gantt resources 0" true
+    (raises (fun () -> Trace.gantt t ~resources:0 ~width:10));
+  Alcotest.(check bool) "occupancy window 0" true
+    (raises (fun () -> Trace.occupancy_series t ~resources:1 ~window:0.));
+  Alcotest.(check bool) "occupancy window nan" true
+    (raises (fun () -> Trace.occupancy_series t ~resources:1 ~window:Float.nan));
+  Alcotest.(check bool) "occupancy resources 0" true
+    (raises (fun () -> Trace.occupancy_series t ~resources:0 ~window:0.5))
+
 let prop_id_bijection =
   QCheck.Test.make ~name:"random ids decode/encode" ~count:200
     QCheck.(pair (int_range 1 64) (int_range 0 10_000_000))
@@ -213,6 +257,10 @@ let () =
           Alcotest.test_case "occupancy" `Quick test_trace_occupancy;
           Alcotest.test_case "chrome json export" `Quick test_trace_chrome_json;
           Alcotest.test_case "ascii gantt" `Quick test_trace_gantt;
+          Alcotest.test_case "degenerate empty/zero makespan" `Quick
+            test_trace_degenerate_empty;
+          Alcotest.test_case "gantt width 1" `Quick test_trace_degenerate_width_one;
+          Alcotest.test_case "invalid renderer args" `Quick test_trace_invalid_args;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
