@@ -94,6 +94,7 @@ let rec smoke_metrics () =
     metric ~units:"J" "energy_stc" stc.Sim.energy.Geomix_gpusim.Energy.energy_joules;
   ]
   @ recovery_metrics ()
+  @ integrity_metrics ()
   @ profile_metrics ()
 
 (* Recovery counters of the fault-injection layer: one seeded chaos
@@ -143,6 +144,74 @@ and recovery_metrics () =
     metric ~units:"" ~direction:Higher_is_better "recovery_exact" exact;
     metric ~units:"" ~direction:Higher_is_better "recovery_converged"
       (match report.Chol.outcome with Chol.Factorized -> 1. | Chol.Indefinite _ -> 0.);
+  ]
+
+(* ABFT integrity-guard accounting: a guarded fault-free factorization
+   (bitwise identical to the unguarded one, by construction) and a seeded
+   SDC chaos run.  The overhead fraction relates the bytes the guard hashes
+   to the bytes the kernels touch (8·flops at FP64) — an analytic proxy
+   for the checksum cost relative to compute, free of wall-clock noise.
+   Stamp/verification counts, hash volume and the SDC detect/recover
+   counters are all pure functions of (seed, DAG, precision map), so the
+   CI gate cannot flap. *)
+and integrity_metrics () =
+  let module Tiled = Geomix_tile.Tiled in
+  let module Fault = Geomix_fault.Fault in
+  let module Retry = Geomix_fault.Retry in
+  let module Metrics = Geomix_obs.Metrics in
+  let module Guard = Geomix_integrity.Guard in
+  let module Chol = Geomix_core.Mp_cholesky in
+  let module Cdag = Geomix_runtime.Cholesky_dag in
+  let module Task = Geomix_runtime.Task in
+  let ntiles = 6 and nb = 8 in
+  let spd () =
+    Tiled.init ~n:(ntiles * nb) ~nb (fun i j ->
+      (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
+  in
+  let pmap = Pm.two_level ~nt:ntiles ~off_diag:Fp.Fp16_32 in
+  let reference = spd () in
+  Chol.factorize ~pmap reference;
+  (* Guarded, fault-free: must match the unguarded factor bit for bit. *)
+  let reg = Metrics.create () in
+  let guard = Guard.create ~obs:reg ~snapshots:true () in
+  let a = spd () in
+  Chol.factorize ~integrity:guard ~pmap a;
+  let exact = if Tiled.rel_diff a ~reference = 0. then 1. else 0. in
+  let counter name =
+    match Metrics.find (Metrics.snapshot reg) name with
+    | Some (Metrics.Counter c) -> float_of_int c
+    | _ -> 0.
+  in
+  let hashed = counter "integrity.hashed_bytes" in
+  let g = Cdag.create ~nt:ntiles in
+  let flops = ref 0. in
+  for id = 0 to Cdag.num_tasks g - 1 do
+    flops := !flops +. Task.flops ~nb (Cdag.kind_of g id)
+  done;
+  let overhead = hashed /. (hashed +. (8. *. !flops)) in
+  (* Seeded SDC chaos: every injected corruption must be detected and
+     recovered, and the recovered factor must again be bitwise exact. *)
+  let b = spd () in
+  let faults =
+    Fault.plan ~obs:reg ~rate:0.5
+      ~kinds:[ Fault.Transient; Fault.Crash_after_write; Fault.Sdc ]
+      ~sleep:ignore ~seed:11 ()
+  in
+  Geomix_parallel.Pool.with_pool ~num_workers:0 (fun pool ->
+    Chol.factorize ~pool ~faults ~retry:(Retry.immediate ()) ~integrity:guard
+      ~obs:reg ~pmap b);
+  let sdc_exact = if Tiled.rel_diff b ~reference = 0. then 1. else 0. in
+  let open Bench_json in
+  [
+    metric ~units:"" "integrity.stamps" (counter "integrity.stamped");
+    metric ~units:"" "integrity.verifications" (counter "integrity.verified");
+    metric ~units:"B" "integrity.hashed_bytes" hashed;
+    metric ~units:"" "integrity.verify_overhead_frac" overhead;
+    metric ~units:"" ~direction:Higher_is_better "integrity_exact" exact;
+    metric ~units:"" "integrity.sdc_detected" (counter "integrity.sdc_detected");
+    metric ~units:"" "integrity.sdc_recovered"
+      (counter "integrity.sdc_recovered");
+    metric ~units:"" ~direction:Higher_is_better "integrity_sdc_exact" sdc_exact;
   ]
 
 (* Critical-path fraction of the NT=24 Cholesky DAG under flop-weighted

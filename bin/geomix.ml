@@ -367,15 +367,18 @@ let chaos_cmd =
   let module Fault = Geomix_fault.Fault in
   let module Retry = Geomix_fault.Retry in
   let module Chol = Geomix_core.Mp_cholesky in
+  let module Guard = Geomix_integrity.Guard in
   let kind_conv =
     Arg.enum
       [
         ("transient", Fault.Transient);
         ("crash", Fault.Crash_after_write);
         ("stall", Fault.Stall);
+        ("sdc", Fault.Sdc);
       ]
   in
-  let run seed ntiles config nb rate pivot_rate kinds attempts workers format verbose =
+  let run seed ntiles config nb rate pivot_rate kinds sdc attempts workers format
+      metrics_out verbose =
     let bus = stderr_bus_of ~verbose in
     let reg = Metrics.create () in
     let n = ntiles * nb in
@@ -385,16 +388,36 @@ let chaos_cmd =
     in
     let a = Tiled.init ~n ~nb init in
     let pmap = pmap_of_config ~ntiles config in
+    let kinds =
+      if sdc && not (List.mem Fault.Sdc kinds) then kinds @ [ Fault.Sdc ] else kinds
+    in
     let faults =
       Fault.plan ~obs:reg ?bus ~rate ~kinds ~pivot_rate ~sleep:ignore ~seed ()
     in
+    (* The guard (with snapshots, so detected corruptions are repairable in
+       place) rides along whenever SDC is armed. *)
+    let integrity =
+      if List.mem Fault.Sdc kinds then
+        Some (Guard.create ~obs:reg ?bus ~snapshots:true ())
+      else None
+    in
     let retry = Retry.immediate ~max_attempts:attempts () in
     Printf.printf
-      "chaos: NT=%d nb=%d, seed %d, fault rate %.0f%%, pivot rate %.0f%%, retry budget %d\n"
-      ntiles nb seed (100. *. rate) (100. *. pivot_rate) attempts;
+      "chaos: NT=%d nb=%d, seed %d, fault rate %.0f%%, pivot rate %.0f%%, retry budget %d%s\n"
+      ntiles nb seed (100. *. rate) (100. *. pivot_rate) attempts
+      (if integrity <> None then ", SDC armed (ABFT guard on)" else "");
+    let write_metrics_out () =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Metrics.to_json_string (Metrics.snapshot reg));
+        output_char oc '\n';
+        close_out oc
+    in
     let report =
       Geomix_parallel.Pool.with_pool ~obs:reg ?bus ?num_workers:workers (fun pool ->
-        Chol.factorize_robust ~pool ?bus ~faults ~retry ~obs:reg ~pmap a)
+        Chol.factorize_robust ~pool ?bus ~faults ~retry ~obs:reg ?integrity ~pmap a)
     in
     List.iter
       (fun e ->
@@ -403,6 +426,14 @@ let chaos_cmd =
       report.Chol.escalations;
     Printf.printf "injected %d execution faults and %d pivot failures over %d round(s)\n"
       (Fault.injected faults) (Fault.pivots faults) report.Chol.rounds;
+    (match integrity with
+    | None -> ()
+    | Some g ->
+      Printf.printf
+        "integrity: %d stamps, %d verifications (%s hashed), %d SDC detected, %d recovered\n"
+        (Guard.stamped g) (Guard.verified g)
+        (Geomix_util.Table.fmt_bytes (float_of_int (Guard.hashed_bytes g)))
+        (Guard.detected g) (Guard.recovered g));
     let print_metrics () =
       let snap = Metrics.snapshot reg in
       print_string
@@ -414,6 +445,7 @@ let chaos_cmd =
     match report.Chol.outcome with
     | Chol.Indefinite p ->
       print_metrics ();
+      write_metrics_out ();
       Printf.eprintf "geomix chaos: matrix indefinite at global pivot %d even at FP64\n" p;
       exit 2
     | Chol.Factorized ->
@@ -425,7 +457,31 @@ let chaos_cmd =
       Printf.printf "recovered factor vs fault-free run: rel diff %.3e (%s)\n" diff
         (if diff = 0. then "bitwise identical" else "MISMATCH");
       print_metrics ();
-      if diff <> 0. then exit 1
+      write_metrics_out ();
+      if diff <> 0. then exit 1;
+      (* SDC contract: with the guard on, a run that reaches this point has
+         a bitwise-clean factor; additionally every detection must have
+         been recovered, and injected corruptions must not have gone
+         entirely unnoticed.  (An unrecoverable corruption never reaches
+         here — Guard.Corrupt exits 2 through the CLI boundary.) *)
+      (match integrity with
+      | None -> ()
+      | Some g ->
+        let det = Guard.detected g and recov = Guard.recovered g in
+        let injected_sdc =
+          match List.assoc_opt Fault.Sdc (Fault.by_kind faults) with
+          | Some n -> n
+          | None -> 0
+        in
+        if det <> recov then begin
+          Printf.eprintf "geomix chaos: %d detections but only %d recoveries\n" det recov;
+          exit 1
+        end;
+        if injected_sdc > 0 && det = 0 then begin
+          Printf.eprintf
+            "geomix chaos: %d corruptions injected, none detected\n" injected_sdc;
+          exit 1
+        end)
   in
   let nt_arg = Arg.(value & opt int 6 & info [ "nt" ] ~doc:"Tiles per dimension.") in
   let config_arg =
@@ -450,7 +506,18 @@ let chaos_cmd =
     Arg.(
       value
       & opt (list kind_conv) [ Geomix_fault.Fault.Transient; Geomix_fault.Fault.Crash_after_write ]
-      & info [ "kinds" ] ~doc:"Fault kinds to inject: transient, crash, stall.")
+      & info [ "kinds" ] ~doc:"Fault kinds to inject: transient, crash, stall, sdc.")
+  in
+  let sdc_arg =
+    Arg.(
+      value & flag
+      & info [ "sdc" ]
+          ~doc:
+            "Arm silent-data-corruption injection (adds the sdc fault kind) \
+             and attach the ABFT integrity guard with snapshots, then assert \
+             that every injected corruption was detected and recovered: the \
+             run fails unless the factor is bitwise identical to the \
+             fault-free reference and no detection went unrecovered.")
   in
   let attempts_arg =
     Arg.(value & opt int 3 & info [ "attempts" ] ~doc:"Retry budget per task.")
@@ -467,15 +534,42 @@ let chaos_cmd =
       & opt (Arg.enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
       & info [ "format" ] ~doc:"Metric output: table, csv or json.")
   in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "Also write the final metrics snapshot (fault, recovery and \
+             integrity counters) as JSON to this file — written on both \
+             success and failure, so CI can upload it as an artifact.")
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "the recovered factor is bitwise identical to the fault-free \
+         reference run (and, under $(b,--sdc), every injected corruption \
+         was detected and recovered)."
+    :: Cmd.Exit.info 1
+         ~doc:
+           "the recovered factor diverged from the reference, or an \
+            injected corruption escaped the integrity guard."
+    :: Cmd.Exit.info 2
+         ~doc:
+           "a domain failure: the matrix is indefinite even at FP64, an \
+            integrity violation could not be recovered, or a system error \
+            (e.g. an unwritable $(b,--metrics-out) path) occurred."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "chaos"
+    (Cmd.info "chaos" ~exits
        ~doc:
          "Factorize under seeded fault injection and verify the recovered result \
           is bitwise identical to a fault-free run")
     Term.(
       const run $ seed_arg $ nt_arg $ config_arg $ nb_small_arg $ rate_arg
-      $ pivot_rate_arg $ kinds_arg $ attempts_arg $ workers_arg $ format_arg
-      $ verbose_arg)
+      $ pivot_rate_arg $ kinds_arg $ sdc_arg $ attempts_arg $ workers_arg
+      $ format_arg $ metrics_out_arg $ verbose_arg)
 
 (* report subcommand *)
 
@@ -579,10 +673,11 @@ let report_cmd =
             (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j))))
       in
       let resources = ref 1 in
+      let guard = Geomix_integrity.Guard.create ~obs:reg ~bus () in
       let t0 = Unix.gettimeofday () in
       Geomix_parallel.Pool.with_pool ~obs:reg ~bus ?num_workers:workers (fun pool ->
           resources := Stdlib.max 1 (Geomix_parallel.Pool.num_workers pool);
-          Chol.factorize ~pool ~trace ~bus ~profile ~pmap a);
+          Chol.factorize ~pool ~trace ~bus ~profile ~integrity:guard ~pmap a);
       let wall = Unix.gettimeofday () -. t0 in
       Option.iter close_out events_oc;
       let dag = Cdag.create ~nt:ntiles in
@@ -669,7 +764,29 @@ let report_cmd =
       if recovery <> [] then begin
         Report.para doc "Recovery counters:";
         Report.table doc ~headers:[ "counter"; "value" ] recovery
-      end
+      end;
+      (* ABFT coverage of the instrumented run: how much was guarded and
+         whether anything tripped (a clean run shows zero detections). *)
+      let module Guard = Geomix_integrity.Guard in
+      Report.section doc "Tile integrity";
+      Report.table doc ~headers:[ "quantity"; "value" ]
+        [
+          [ "tile stamps"; string_of_int (Guard.stamped guard) ];
+          [ "verifications"; string_of_int (Guard.verified guard) ];
+          [ "bytes hashed"; fb (float_of_int (Guard.hashed_bytes guard)) ];
+          [ "SDC detected"; string_of_int (Guard.detected guard) ];
+          [ "SDC recovered"; string_of_int (Guard.recovered guard) ];
+          [ "unrecovered violations"; string_of_int (Guard.violations guard) ];
+        ];
+      Report.attach doc ~key:"integrity"
+        (Jsonlite.Obj
+           [
+             ("stamped", Jsonlite.Num (float_of_int (Guard.stamped guard)));
+             ("verified", Jsonlite.Num (float_of_int (Guard.verified guard)));
+             ("hashed_bytes", Jsonlite.Num (float_of_int (Guard.hashed_bytes guard)));
+             ("detected", Jsonlite.Num (float_of_int (Guard.detected guard)));
+             ("recovered", Jsonlite.Num (float_of_int (Guard.recovered guard)));
+           ])
     end;
     let text =
       match format with
@@ -757,6 +874,11 @@ let () =
     try Cmd.eval ~catch:false group with
     | Geomix_linalg.Blas.Not_positive_definite p ->
       Printf.eprintf "geomix: matrix is not positive definite (pivot %d); try a larger nugget or u-req\n" p;
+      2
+    | Geomix_integrity.Guard.Corrupt { key; task; reason } ->
+      Printf.eprintf
+        "geomix: unrecoverable data corruption detected (tile key %d in %s: %s)\n"
+        key task reason;
       2
     | Sys_error msg ->
       Printf.eprintf "geomix: %s\n" msg;

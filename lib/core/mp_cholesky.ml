@@ -11,6 +11,7 @@ module Fault = Geomix_fault.Fault
 module Retry = Geomix_fault.Retry
 module Metrics = Geomix_obs.Metrics
 module Events = Geomix_obs.Events
+module Guard = Geomix_integrity.Guard
 
 type strategy = Automatic | Always_ttc
 
@@ -26,7 +27,7 @@ let default_options =
 let pidx i j = (i * (i + 1) / 2) + j
 
 let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
-    ?retry ?obs ?(fault_round = 1) ~pmap a =
+    ?retry ?obs ?integrity ?(fault_round = 1) ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
@@ -42,27 +43,165 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
   (* Shipped form of each broadcast tile: what consumers read.  Written once
      by the producing POTRF/TRSM and read concurrently afterwards — the DAG
      ordering makes this race-free. *)
-  let shipped : Mat.t option array = Array.make (ntiles * (ntiles + 1) / 2) None in
+  let npairs = ntiles * (ntiles + 1) / 2 in
+  let shipped : Mat.t option array = Array.make npairs None in
+  (* Tile identities for the integrity guard: stored tiles in [0, npairs),
+     broadcast (shipped) forms offset by npairs.  Stamps from a previous
+     factorization of different data are meaningless, hence the reset. *)
+  let stored_key i j = pidx i j in
+  let ship_key i j = npairs + pidx i j in
+  (match integrity with Some g -> Guard.reset g | None -> ());
+  (* The conversion a publish applies to produce the broadcast form:
+     [None] means consumers read the stored tile itself (TTC, or
+     communication modelling off). *)
+  let comm_conversion i j =
+    if not options.model_comm_rounding then None
+    else
+      match (options.strategy, cmap) with
+      | Always_ttc, _ | Automatic, None -> None
+      | Automatic, Some cm ->
+        if Comm_map.strategy cm i j = Comm_map.Stc then
+          Some (Comm_map.comm_scalar cm i j)
+        else None
+  in
+  let shipped_form i j =
+    let tile = Tiled.tile a i j in
+    match comm_conversion i j with None -> tile | Some s -> Mat.rounded s tile
+  in
   let publish i j =
     let tile = Tiled.tile a i j in
     let storage = Precision_map.storage pmap i j in
+    let task = Printf.sprintf "publish(%d,%d)" i j in
+    (* Stamp the FP64 working values, then carry the stamp across each
+       lawful conversion with the conversion-tolerant fingerprint and
+       re-stamp the exact bytes on the far side — the storage
+       down-convert, and (under STC) Algorithm 2's transfer format. *)
+    (match integrity with
+    | None -> ()
+    | Some g -> Guard.stamp g ~key:(stored_key i j) tile);
     Mat.round_inplace storage tile;
-    let form =
-      if not options.model_comm_rounding then tile
-      else
-        match (options.strategy, cmap) with
-        | Always_ttc, _ | Automatic, None -> tile
-        | Automatic, Some cm ->
-          if Comm_map.strategy cm i j = Comm_map.Stc then
-            Mat.rounded (Comm_map.comm_scalar cm i j) tile
-          else tile
-    in
+    (match integrity with
+    | None -> ()
+    | Some g ->
+      Guard.derive g ~from_key:(stored_key i j) ~key:(stored_key i j)
+        ~scalar:storage ~task tile);
+    let form = shipped_form i j in
+    (match integrity with
+    | None -> ()
+    | Some g ->
+      let scalar =
+        match comm_conversion i j with None -> Fpformat.S_fp64 | Some s -> s
+      in
+      Guard.derive g ~from_key:(stored_key i j) ~key:(ship_key i j) ~scalar ~task
+        form);
     shipped.(pidx i j) <- Some form
+  in
+  (* Detected corruption of a stored tile: repair from the guard snapshot
+     and re-verify, else escalate — Corrupt is non-retryable by design. *)
+  let recover_stored g ~task i j =
+    let key = stored_key i j in
+    let tile = Tiled.tile a i j in
+    if not (Guard.check g ~key tile) then begin
+      Guard.note_detected g ~key ~task;
+      if Guard.restore g ~key tile && Guard.check g ~key tile then
+        Guard.note_recovered g ~key ~task
+      else Guard.corrupt g ~key ~task "stored tile corrupted"
+    end
+  in
+  (* Detected corruption of a broadcast payload: recompute it from the
+     (separately guarded) stored tile — the republish a distributed
+     runtime would request from the producer — and re-verify. *)
+  let recover_shipped g ~task i j m =
+    let key = ship_key i j in
+    if Guard.check g ~key m then m
+    else begin
+      Guard.note_detected g ~key ~task;
+      let fresh = shipped_form i j in
+      if Guard.check g ~key fresh then begin
+        shipped.(pidx i j) <- Some fresh;
+        Guard.note_recovered g ~key ~task;
+        fresh
+      end
+      else Guard.corrupt g ~key ~task "broadcast payload unrecoverable"
+    end
+  in
+  let verify_inout kind i j =
+    match integrity with
+    | None -> ()
+    | Some g -> recover_stored g ~task:(Task.name kind) i j
+  in
+  let stamp_stored i j =
+    match integrity with
+    | None -> ()
+    | Some g -> Guard.stamp g ~key:(stored_key i j) (Tiled.tile a i j)
   in
   let read i j =
     match shipped.(pidx i j) with
-    | Some m -> m
+    | Some m -> (
+      match integrity with
+      | None -> m
+      | Some g -> recover_shipped g ~task:(Printf.sprintf "read(%d,%d)" i j) i j m)
     | None -> assert false (* DAG ordering guarantees the producer ran *)
+  in
+  (* Silent-data-corruption injection (chaos --sdc).  A drawn corruption is
+     always applied to a fresh copy whose pointer replaces the slot: under
+     TTC the slot aliases the stored tile, and in-place damage would
+     corrupt the factor itself rather than the payload in transit. *)
+  let flip_bit m ~bit ~lane =
+    let rows = Mat.rows m in
+    let k = lane mod (rows * Mat.cols m) in
+    let i = k mod rows and j = k / rows in
+    let bits = Int64.bits_of_float (Mat.get m i j) in
+    Mat.set m i j (Int64.float_of_bits (Int64.logxor bits (Int64.shift_left 1L bit)))
+  in
+  let corrupt_shipped kind i j =
+    match faults with
+    | None -> ()
+    | Some f -> (
+      match Fault.sdc_decide f ~task:(Task.name kind) ~attempt:fault_round with
+      | None -> ()
+      | Some sdc ->
+        let p = pidx i j in
+        let current = match shipped.(p) with Some m -> m | None -> assert false in
+        let bitflipped bit lane =
+          let c = Mat.copy current in
+          flip_bit c ~bit ~lane;
+          c
+        in
+        let bad =
+          match sdc with
+          | Fault.Bitflip { bit; lane } -> bitflipped bit lane
+          | Fault.Tile_swap { lane } -> (
+            (* A deterministic impostor: a broadcast form this task's DAG
+               predecessors are guaranteed to have published — TRSM(m,k)
+               misroutes its panel (k,k), POTRF(k>0) its band tile
+               (k,k−1).  Shape mismatch (ragged last tile) or POTRF(0)
+               degrade to a bit flip. *)
+            let cand =
+              if i <> j then shipped.(pidx j j)
+              else if i > 0 then shipped.(pidx i (i - 1))
+              else None
+            in
+            match cand with
+            | Some m'
+              when Mat.rows m' = Mat.rows current && Mat.cols m' = Mat.cols current
+              ->
+              Mat.copy m'
+            | _ -> bitflipped 52 lane)
+        in
+        shipped.(p) <- Some bad)
+  in
+  (* SYRK/GEMM publish nothing; their SDC strikes the accumulator tile in
+     memory instead (in place — that is the corruption).  [Tile_swap] has
+     no payload to misroute here and degrades to an exponent-bit flip. *)
+  let corrupt_stored kind i j =
+    match faults with
+    | None -> ()
+    | Some f -> (
+      match Fault.sdc_decide f ~task:(Task.name kind) ~attempt:fault_round with
+      | None -> ()
+      | Some (Fault.Bitflip { bit; lane }) -> flip_bit (Tiled.tile a i j) ~bit ~lane
+      | Some (Fault.Tile_swap { lane }) -> flip_bit (Tiled.tile a i j) ~bit:52 ~lane)
   in
   (* A pivot failure is plausibly precision-caused only when block k's row
      band carries sub-FP64 work; forced injections respect the same gate,
@@ -91,12 +230,14 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
         raise (Blas.Not_positive_definite (k * nb))
       | _ -> ());
       let tile = Tiled.tile a k k in
+      verify_inout (Task.Potrf k) k k;
       (* Re-raise pivot failures with the global row index, so recovery can
          identify the offending diagonal block as [pivot / nb]. *)
       (try Blas_emul.potrf_lower ~fidelity ~prec:(exec_prec (Task.Potrf k)) tile
        with Blas.Not_positive_definite p ->
          raise (Blas.Not_positive_definite ((k * nb) + p)));
       publish k k;
+      corrupt_shipped (Task.Potrf k) k k;
       (* The panel factorization completing is the milestone that releases
          the whole trailing update of step [k]. *)
       emit "panel"
@@ -106,20 +247,28 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
         ]
     | Task.Trsm (m, k) ->
       let b = Tiled.tile a m k in
+      verify_inout (Task.Trsm (m, k)) m k;
       Blas_emul.trsm_right_lower_trans ~fidelity
         ~prec:(exec_prec (Task.Trsm (m, k)))
         ~l:(read k k) b;
-      publish m k
+      publish m k;
+      corrupt_shipped (Task.Trsm (m, k)) m k
     | Task.Syrk (m, k) ->
       let c = Tiled.tile a m m in
+      verify_inout (Task.Syrk (m, k)) m m;
       Blas_emul.syrk_lower ~fidelity
         ~prec:(exec_prec (Task.Syrk (m, k)))
-        ~alpha:(-1.) (read m k) ~beta:1. c
+        ~alpha:(-1.) (read m k) ~beta:1. c;
+      stamp_stored m m;
+      corrupt_stored (Task.Syrk (m, k)) m m
     | Task.Gemm (m, n, k) ->
       let c = Tiled.tile a m n in
+      verify_inout (Task.Gemm (m, n, k)) m n;
       Blas_emul.gemm_nt ~fidelity
         ~prec:(exec_prec (Task.Gemm (m, n, k)))
-        ~alpha:(-1.) (read m k) (read n k) ~beta:1. c
+        ~alpha:(-1.) (read m k) (read n k) ~beta:1. c;
+      stamp_stored m n;
+      corrupt_stored (Task.Gemm (m, n, k)) m n
   in
   let task_label id = Task.name (Cholesky_dag.kind_of dag id) in
   let task_prec id = Fpformat.name (exec_prec (Cholesky_dag.kind_of dag id)) in
@@ -151,6 +300,9 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
             (fun e ->
               match e with
               | Blas.Not_positive_definite _ -> false
+              (* Re-running a consumer on corrupted inputs reproduces the
+                 wrong answer — integrity violations escalate instead. *)
+              | Guard.Corrupt _ -> false
               | e -> p.Retry.retryable e);
         })
       retry
@@ -190,9 +342,22 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
      restored tile. *)
   let capture id =
     let i, j = Task.write_tile (Cholesky_dag.kind_of dag id) in
+    (* Verify — and if corrupted, repair — the tile before snapshotting it:
+       the snapshot is blitted back and re-stamped on retry, so capturing a
+       corrupted tile here would launder the corruption past the guard. *)
+    (match integrity with
+    | None -> ()
+    | Some g ->
+      recover_stored g ~task:(Task.name (Cholesky_dag.kind_of dag id)) i j);
     let saved = Mat.copy (Tiled.tile a i j) in
     fun () ->
       Mat.blit ~src:saved ~dst:(Tiled.tile a i j);
+      (* The rollback invalidates whatever stamp the failed attempt left on
+         this tile; re-stamp the restored bytes so the re-execution's
+         inbound verification doesn't read the crash as a corruption. *)
+      (match integrity with
+      | None -> ()
+      | Some g -> Guard.stamp g ~key:(stored_key i j) (Tiled.tile a i j));
       note_restore saved
   in
   let run pool =
@@ -207,6 +372,22 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
   (match pool with
   | Some pool -> run pool
   | None -> Pool.with_pool ~num_workers:0 run);
+  (* Terminal ABFT sweep: every stored tile of the factor, and every
+     broadcast payload still in flight, re-verified before the result is
+     handed back — a corruption whose consumer never ran (a payload with no
+     remaining readers) cannot escape silently. *)
+  (match integrity with
+  | None -> ()
+  | Some g ->
+    for i = 0 to ntiles - 1 do
+      for j = 0 to i do
+        let task = Printf.sprintf "final(%d,%d)" i j in
+        recover_stored g ~task i j;
+        match shipped.(pidx i j) with
+        | None -> ()
+        | Some m -> ignore (recover_shipped g ~task i j m)
+      done
+    done);
   (* Clear the stale upper triangles of the diagonal tiles so the tiled
      matrix now represents the factor L alone. *)
   for k = 0 to ntiles - 1 do
@@ -230,7 +411,7 @@ let restore_tiles ~from a =
   Tiled.iter_lower from (fun ~i ~j m -> Mat.blit ~src:m ~dst:(Tiled.tile a i j))
 
 let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-    ?(max_band_escalations = 4) ~pmap a =
+    ?integrity ?(max_band_escalations = 4) ~pmap a =
   let note_band, note_full, note_indefinite =
     match obs with
     | None -> (ignore, ignore, ignore)
@@ -251,7 +432,7 @@ let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
   let rec go round pmap events bands =
     match
       factorize ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-        ~fault_round:round ~pmap a
+        ?integrity ~fault_round:round ~pmap a
     with
     | () -> { outcome = Factorized; escalations = List.rev events; rounds = round; pmap }
     | exception exn -> (

@@ -38,6 +38,7 @@ val factorize :
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
+  ?integrity:Geomix_integrity.Guard.t ->
   ?fault_round:int ->
   pmap:Precision_map.t ->
   Tiled.t ->
@@ -85,6 +86,43 @@ val factorize :
     the injection.  [?fault_round] (default 1) feeds the pivot decision's
     attempt slot so each {!factorize_robust} round redraws independently.
 
+    {b ABFT tile integrity.}  [?integrity] guards every producer/consumer
+    boundary of the factorization with per-tile checksums
+    ({!Geomix_integrity.Guard}; any previous stamps are reset on entry):
+
+    - a kernel verifies its INOUT tile before touching it, and SYRK/GEMM
+      re-stamp the accumulator after their update;
+    - [publish] stamps the FP64 working tile, then carries the stamp
+      across the storage down-convert and (under STC, per
+      {!Comm_map.strategy}) across Algorithm 2's transfer conversion with
+      the conversion-tolerant Frobenius fingerprint, re-stamping the exact
+      bytes on the far side of each hop — so a lawful rounding passes
+      while a flipped high-order bit fails;
+    - every [read] of a broadcast payload is verified exactly (TTC
+      consumers included) before the kernel consumes it;
+    - a terminal sweep re-verifies all stored tiles and in-flight payloads
+      before the factor is handed back.
+
+    Detected corruptions are repaired in place — stored tiles from the
+    guard's snapshots (enable them via [Guard.create ~snapshots:true]),
+    broadcast payloads by recomputation from the guarded stored tile — and
+    re-verified; an unrecoverable one raises
+    {!Geomix_integrity.Guard.Corrupt}, which is deliberately never
+    retried (re-running a consumer on corrupted inputs reproduces the
+    wrong answer) and propagates through {!factorize_robust} with the
+    matrix restored.  With faults disabled, a guarded factorization is
+    bitwise identical to an unguarded one.
+
+    When [?faults] lists {!Geomix_fault.Fault.Sdc}, each task additionally
+    draws a seeded silent corruption ({!Geomix_fault.Fault.sdc_decide},
+    keyed like pivot injection by [?fault_round]): POTRF/TRSM corrupt the
+    broadcast payload they just published (a fresh corrupted copy replaces
+    the slot — a transit corruption, never damage to the stored factor),
+    SYRK/GEMM flip a bit of their accumulator tile in memory.  Injection
+    happens whether or not a guard is attached; without one the corruption
+    propagates silently into the result — which is the point of the
+    [geomix chaos --sdc] experiment.
+
     @raise Geomix_linalg.Blas.Not_positive_definite when a diagonal pivot
     fails; the payload is the {e global} row index (block [k], local pivot
     [p] report [k·nb + p]), so recovery can locate the offending block as
@@ -129,6 +167,7 @@ val factorize_robust :
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
+  ?integrity:Geomix_integrity.Guard.t ->
   ?max_band_escalations:int ->
   pmap:Precision_map.t ->
   Tiled.t ->

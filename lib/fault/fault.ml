@@ -1,7 +1,9 @@
 module Metrics = Geomix_obs.Metrics
 module Events = Geomix_obs.Events
 
-type kind = Transient | Crash_after_write | Stall
+type kind = Transient | Crash_after_write | Stall | Sdc
+
+type sdc = Bitflip of { bit : int; lane : int } | Tile_swap of { lane : int }
 
 exception Injected of { task : string; attempt : int; kind : kind }
 
@@ -9,6 +11,11 @@ let kind_name = function
   | Transient -> "transient"
   | Crash_after_write -> "crash-after-write"
   | Stall -> "stall"
+  | Sdc -> "sdc"
+
+let sdc_name = function
+  | Bitflip { bit; lane } -> Printf.sprintf "bitflip(bit %d, lane %d)" bit lane
+  | Tile_swap { lane } -> Printf.sprintf "tile-swap(lane %d)" lane
 
 let () =
   Printexc.register_printer (function
@@ -23,6 +30,7 @@ type obs_state = {
   m_transient : Metrics.counter;
   m_crashes : Metrics.counter;
   m_stalls : Metrics.counter;
+  m_sdc : Metrics.counter;
   m_pivots : Metrics.counter;
 }
 
@@ -30,6 +38,7 @@ type t = {
   seed : int;
   rate : float;
   kinds : kind array;
+  exec_kinds : kind array; (* [kinds] minus [Sdc] — what {!wrap} may inject *)
   pivot_rate : float;
   stall : float;
   sleep : float -> unit;
@@ -81,6 +90,7 @@ let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
     seed;
     rate;
     kinds = Array.of_list kinds;
+    exec_kinds = Array.of_list (List.filter (fun k -> k <> Sdc) kinds);
     pivot_rate;
     stall;
     sleep;
@@ -97,6 +107,7 @@ let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
             m_transient = Metrics.counter reg "fault.transient";
             m_crashes = Metrics.counter reg "fault.crashes";
             m_stalls = Metrics.counter reg "fault.stalls";
+            m_sdc = Metrics.counter reg "fault.sdc";
             m_pivots = Metrics.counter reg "fault.pivots";
           })
         obs;
@@ -106,13 +117,14 @@ let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
 let seed t = t.seed
 
 let decide t ~site ~task ~attempt =
-  if t.rate <= 0. || attempt > t.fail_attempts || not (t.only task) then None
+  let n = Array.length t.exec_kinds in
+  if n = 0 || t.rate <= 0. || attempt > t.fail_attempts || not (t.only task) then
+    None
   else
     let h = hash_triple ~seed:t.seed ~site ~task ~attempt in
     if u01 h < t.rate then begin
-      let n = Array.length t.kinds in
       let idx = if n = 1 then 0 else Int64.to_int (Int64.rem (Int64.shift_right_logical (mix64 h) 1) (Int64.of_int n)) in
-      Some t.kinds.(idx)
+      Some t.exec_kinds.(idx)
     end
     else None
 
@@ -131,7 +143,8 @@ let record t k =
       (match k with
       | Transient -> o.m_transient
       | Crash_after_write -> o.m_crashes
-      | Stall -> o.m_stalls)
+      | Stall -> o.m_stalls
+      | Sdc -> o.m_sdc)
 
 let emit_inject t ~site ~task ~attempt kind =
   match t.bus with
@@ -162,6 +175,7 @@ let wrap t ~site ~task ~attempt body =
     record t Crash_after_write;
     emit_inject t ~site ~task ~attempt Crash_after_write;
     raise (Injected { task; attempt; kind = Crash_after_write })
+  | Some Sdc -> assert false (* never drawn: [decide] picks from exec_kinds *)
 
 let pivot_failure t ~task ~attempt =
   if t.pivot_rate <= 0. || attempt > t.fail_attempts || not (t.only task) then false
@@ -178,6 +192,44 @@ let pivot_failure t ~task ~attempt =
           [ ("task", Events.fstr task); ("attempt", Events.fint attempt) ]
     end;
     fire
+
+let has_sdc t = Array.exists (fun k -> k = Sdc) t.kinds
+
+let sdc_decide t ~task ~attempt =
+  if (not (has_sdc t)) || t.rate <= 0. || attempt > t.fail_attempts
+     || not (t.only task)
+  then None
+  else
+    let h = hash_triple ~seed:t.seed ~site:"sdc" ~task ~attempt in
+    if u01 h >= t.rate then None
+    else begin
+      let h2 = mix64 h in
+      (* lane: a nonnegative index the injection site reduces modulo its own
+         element count; bit: high-order mantissa (44..51) or exponent
+         (52..62) positions, the ones a norm fingerprint must catch. *)
+      let lane = Int64.to_int (Int64.shift_right_logical h2 40) in
+      let sdc =
+        if Int64.to_int (Int64.logand h2 3L) = 0 then Tile_swap { lane }
+        else
+          let bit =
+            44 + Int64.to_int (Int64.rem (Int64.shift_right_logical h2 2) 19L)
+          in
+          Bitflip { bit; lane }
+      in
+      record t Sdc;
+      (match t.bus with
+      | None -> ()
+      | Some bus ->
+        Events.emit ~level:Events.Warn bus ~component:"fault" ~name:"inject"
+          [
+            ("site", Events.fstr "sdc");
+            ("task", Events.fstr task);
+            ("attempt", Events.fint attempt);
+            ("kind", Events.fstr (kind_name Sdc));
+            ("detail", Events.fstr (sdc_name sdc));
+          ]);
+      Some sdc
+    end
 
 let injected t = Atomic.get t.n_injected
 let pivots t = Atomic.get t.n_pivots

@@ -24,9 +24,24 @@
       what the snapshot/restore machinery of the supervised retry exists
       to prevent;
     - {!Stall}: the attempt is delayed by the plan's stall duration before
-      the body runs — a slow worker, not an error. *)
+      the body runs — a slow worker, not an error;
+    - {!Sdc}: silent data corruption — {e not} injected by {!wrap}, because
+      an SDC by definition raises nothing.  A plan listing [Sdc] answers
+      {!sdc_decide} instead, and the data-plane layer that owns the tiles
+      ({!Geomix_core.Mp_cholesky}'s publish path, driven by
+      [geomix chaos --sdc]) applies the returned corruption to the payload
+      it just produced.  Detection is then entirely the integrity layer's
+      job ({!Geomix_integrity.Guard}). *)
 
-type kind = Transient | Crash_after_write | Stall
+type kind = Transient | Crash_after_write | Stall | Sdc
+
+type sdc =
+  | Bitflip of { bit : int; lane : int }
+      (** flip bit [bit] (44–62: high-order mantissa or exponent of the
+          binary64 image) of element [lane mod n] of the payload *)
+  | Tile_swap of { lane : int }
+      (** replace the payload with another tile of the same shape — a
+          misrouted message; [lane] selects the impostor *)
 
 exception Injected of { task : string; attempt : int; kind : kind }
 (** The exception raised by injected [Transient] / [Crash_after_write]
@@ -54,6 +69,9 @@ val plan :
       attempt.
     - [kinds] (default [[Transient]]): the fault kinds injected by
       {!wrap}; when several are given the kind is itself chosen by hash.
+      [Sdc] is special: it never fires from {!wrap} (listing it does not
+      dilute the hash choice among the execution kinds) and instead arms
+      {!sdc_decide}.
     - [pivot_rate] (default [0.]): probability that {!pivot_failure}
       answers [true] — forced low-precision pivot failures, consumed by
       {!Geomix_core.Mp_cholesky}.
@@ -94,16 +112,26 @@ val pivot_failure : t -> task:string -> attempt:int -> bool
     the dedicated ["pivot"] site under [pivot_rate]).  Counts when
     [true]. *)
 
+val sdc_decide : t -> task:string -> attempt:int -> sdc option
+(** Whether this task's published payload is silently corrupted, and how
+    (decided at the dedicated ["sdc"] site under [rate]; [None] unless the
+    plan lists [Sdc]).  Like every decision, a pure hash of the plan seed
+    and [(site, task, attempt)] — the same corruptions strike the same
+    payloads on every replay.  Counts (as kind [Sdc]) and narrates on the
+    bus when [Some]. *)
+
+val sdc_name : sdc -> string
+
 (** {1 Injection accounting}
 
     Monotonic counters over the plan's lifetime (atomic — {!wrap} is
     called from worker domains).  When the plan was built with [?obs],
     the same counts are mirrored into the registry as [fault.injected],
-    [fault.transient], [fault.crashes], [fault.stalls] and
+    [fault.transient], [fault.crashes], [fault.stalls], [fault.sdc] and
     [fault.pivots]. *)
 
 val injected : t -> int
-(** Total faults injected by {!wrap} (all kinds). *)
+(** Total faults injected by {!wrap} and {!sdc_decide} (all kinds). *)
 
 val pivots : t -> int
 (** Forced pivot failures granted by {!pivot_failure}. *)

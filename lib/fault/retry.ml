@@ -3,6 +3,7 @@ type policy = {
   base_delay : float;
   factor : float;
   max_delay : float;
+  jitter : float;
   sleep : float -> unit;
   retryable : exn -> bool;
 }
@@ -13,28 +14,57 @@ let default =
     base_delay = 1e-3;
     factor = 2.;
     max_delay = 0.1;
+    jitter = 0.5;
     sleep = Unix.sleepf;
     retryable = (fun _ -> true);
   }
 
 let immediate ?(max_attempts = 3) () =
-  { default with max_attempts; base_delay = 0.; max_delay = 0.; sleep = ignore }
+  {
+    default with
+    max_attempts;
+    base_delay = 0.;
+    max_delay = 0.;
+    jitter = 0.;
+    sleep = ignore;
+  }
 
 let virtual_clock () =
   let elapsed = ref 0. in
   ((fun d -> elapsed := !elapsed +. d), fun () -> !elapsed)
 
-let delay_for policy ~attempt =
-  Float.min policy.max_delay
-    (policy.base_delay *. (policy.factor ** float_of_int (attempt - 1)))
+(* splitmix64 finalizer, as in {!Fault} — the jitter draw is a pure
+   function of (salt, attempt), so replays back off identically. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
 
-let run ?on_retry ?restore policy f =
+let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+let jitter_draw ~salt ~attempt =
+  u01 (mix64 (Int64.add (mix64 (Int64.of_int salt)) (Int64.of_int attempt)))
+
+let delay_for ?salt policy ~attempt =
+  let d = policy.base_delay *. (policy.factor ** float_of_int (attempt - 1)) in
+  let d =
+    match salt with
+    | Some salt when policy.jitter > 0. ->
+      d *. (1. -. (policy.jitter *. jitter_draw ~salt ~attempt))
+    | _ -> d
+  in
+  Float.min policy.max_delay d
+
+let run ?salt ?on_retry ?restore policy f =
   if policy.max_attempts < 1 then invalid_arg "Retry.run: max_attempts < 1";
+  if not (policy.jitter >= 0. && policy.jitter <= 1.) then
+    invalid_arg "Retry.run: jitter outside [0, 1]";
   let rec go attempt =
     try f ~attempt
     with exn when attempt < policy.max_attempts && policy.retryable exn ->
       (match on_retry with Some h -> h ~attempt exn | None -> ());
-      let d = delay_for policy ~attempt in
+      let d = delay_for ?salt policy ~attempt in
       if d > 0. then policy.sleep d;
       (match restore with Some r -> r () | None -> ());
       go (attempt + 1)

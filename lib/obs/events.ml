@@ -139,6 +139,19 @@ let of_jsonl line =
   | Result.Error e -> Result.Error e
   | Ok j -> of_json j
 
+let read_jsonl ic =
+  let events = ref [] and skipped = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match of_jsonl line with
+         | Ok e -> events := e :: !events
+         | Result.Error _ -> incr skipped
+     done
+   with End_of_file -> ());
+  (List.rev !events, !skipped)
+
 (* File / stderr sinks *)
 
 let attach_jsonl t oc =

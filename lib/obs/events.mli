@@ -100,6 +100,13 @@ val to_jsonl : event -> string
 val of_json : Jsonlite.t -> (event, string) result
 val of_jsonl : string -> (event, string) result
 
+val read_jsonl : in_channel -> event list * int
+(** Read a whole JSONL stream back, in order, skipping rather than failing
+    on lines that do not parse as events — a log truncated mid-line by a
+    crash, or interleaved foreign output, still yields every intact event.
+    Blank lines are ignored silently; the second component counts the
+    malformed lines that were skipped. *)
+
 (** {1 Payload helpers} *)
 
 val fint : int -> Jsonlite.t

@@ -25,7 +25,9 @@ let supervise ~faults ~retry ~capture ~task_name ~on_retry execute =
       let on_retry =
         Option.map (fun h -> fun ~attempt exn -> h ~id ~attempt exn) on_retry
       in
-      Retry.run ?on_retry ?restore policy (fun ~attempt ->
+      (* The task id is the jitter salt: casualties of one burst back off
+         on decorrelated schedules instead of re-colliding in lockstep. *)
+      Retry.run ~salt:id ?on_retry ?restore policy (fun ~attempt ->
         match faults with
         | Some f -> Fault.wrap f ~site:"exec" ~task:name ~attempt (fun () -> execute id)
         | None -> execute id)

@@ -63,6 +63,10 @@ let scalar_unit_roundoff s =
   let { mant; _ } = spec_of s in
   Float.ldexp 1. (-(mant + 1))
 
+let scalar_min_subnormal s =
+  let { mant; emin; _ } = spec_of s in
+  Float.ldexp 1. (emin - mant)
+
 let scalar_rank = function
   | S_fp64 -> 5
   | S_fp32 -> 4

@@ -33,6 +33,13 @@ val scalar_bytes : scalar -> int
 val scalar_unit_roundoff : scalar -> float
 (** Unit roundoff [u = 2^-p] where [p] is the significand length. *)
 
+val scalar_min_subnormal : scalar -> float
+(** Smallest positive representable value, [2^(emin - mant)] — the spacing
+    of the subnormal grid.  Rounding a binary64 value into format [s] moves
+    it by at most [u·|x|] in the normal range and by at most half this
+    spacing under gradual underflow; the integrity layer's
+    conversion-tolerant fingerprints use both bounds. *)
+
 val scalar_max_value : scalar -> float
 (** Largest finite representable magnitude. *)
 

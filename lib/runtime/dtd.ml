@@ -2,6 +2,7 @@ module Pool = Geomix_parallel.Pool
 module Dag_exec = Geomix_parallel.Dag_exec
 module Metrics = Geomix_obs.Metrics
 module Events = Geomix_obs.Events
+module Guard = Geomix_integrity.Guard
 
 type task_id = int
 
@@ -153,7 +154,7 @@ let successors t id =
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
 let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
-    ?faults ?retry ?snapshot t =
+    ?faults ?retry ?snapshot ?integrity ?datum_mat t =
   (* The executing bus defaults to the one the graph was built with, so a
      Dtd created with [?bus] narrates submission and execution on the same
      stream without repeating the argument. *)
@@ -250,13 +251,45 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
           note_restore id)
       snapshot
   in
+  (* ABFT boundaries.  A consumer verifies every RAW-edge payload it is
+     about to read against the producer's stamp (detect), repairing from
+     the guard's snapshot when possible (recover) and escalating with
+     [Guard.Corrupt] — deliberately non-retryable: re-running a task on
+     corrupted inputs reproduces the wrong answer — otherwise.  A producer
+     stamps every datum it wrote, so the next consumer hop is covered. *)
+  let verify_in, stamp_out =
+    match (integrity, datum_mat) with
+    | Some g, Some dm ->
+      ( (fun id ->
+          List.iter
+            (fun (key, _writer) ->
+              match dm key with
+              | None -> ()
+              | Some m ->
+                if not (Guard.check g ~key m) then begin
+                  let task = t.tasks.(id).name in
+                  Guard.note_detected g ~key ~task;
+                  if Guard.restore g ~key m && Guard.check g ~key m then
+                    Guard.note_recovered g ~key ~task
+                  else Guard.corrupt g ~key ~task "raw-edge payload corrupted"
+                end)
+            t.tasks.(id).raw_srcs),
+        fun id ->
+          List.iter
+            (fun key ->
+              match dm key with None -> () | Some m -> Guard.stamp g ~key m)
+            t.tasks.(id).writes )
+    | _ -> ((fun _ -> ()), fun _ -> ())
+  in
   let run pool =
     Dag_exec.run ?obs:dag_obs ~task_name:(fun id -> t.tasks.(id).name) ?faults ?retry
       ?capture ?on_retry:note_retry ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
       ~successors:(fun id -> t.tasks.(id).succs)
       ~execute:(fun id ->
         record id;
+        verify_in id;
         t.tasks.(id).body ();
+        stamp_out id;
         note_complete id)
       ()
   in

@@ -74,6 +74,8 @@ val execute :
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?snapshot:(int -> unit -> unit) ->
+  ?integrity:Geomix_integrity.Guard.t ->
+  ?datum_mat:(int -> Geomix_linalg.Mat.t option) ->
   t ->
   unit
 (** Run every inserted task under the derived dependencies (serial pool by
@@ -111,7 +113,19 @@ val execute :
     re-execution they are all restored, so a retried task re-runs against
     exactly the state its first attempt saw.  With [?obs], recovery adds
     [dtd.retries], [dtd.restores] and [dtd.restored_bytes] (volume under
-    [datum_bytes] of the written footprints rolled back). *)
+    [datum_bytes] of the written footprints rolled back).
+
+    {b ABFT tile integrity.}  [?integrity] (with [?datum_mat] mapping a
+    datum key to its tile payload, [None] for non-tile data) guards both
+    ends of every RAW edge: before a task body runs, each payload it reads
+    is verified against its producer's checksum — a mismatch is a detected
+    silent corruption, repaired in place from the guard's snapshot when
+    one exists and re-verified, otherwise escalated as
+    {!Geomix_integrity.Guard.Corrupt} (non-retryable by design; re-running
+    a consumer on corrupted inputs reproduces the wrong answer).  After
+    the body, each written payload is (re-)stamped, covering the next hop.
+    Counters and [sdc_detected]/[sdc_recovered] events land on the guard's
+    own registry/bus. *)
 
 val critical_path_length : t -> int
 (** Longest dependency chain, in tasks — the inherent sequential depth of

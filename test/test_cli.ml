@@ -1,0 +1,98 @@
+(* CLI contract: shell the built binary and pin the exit codes and help
+   surface the chaos suite's callers (CI, Makefile) rely on.  Everything
+   here runs tiny seeded configurations — a few hundred milliseconds. *)
+
+(* `dune runtest` runs with cwd = test/ inside _build (where the declared
+   ../bin/geomix.exe dep lives); `dune exec test/test_cli.exe` runs from
+   the project root. *)
+let geomix =
+  List.find Sys.file_exists
+    [ "../bin/geomix.exe"; "_build/default/bin/geomix.exe" ]
+
+(* Run the binary, capturing stdout+stderr; returns (exit code, output). *)
+let run args =
+  let cmd =
+    Printf.sprintf "%s %s 2>&1" (Filename.quote geomix)
+      (String.concat " " (List.map Filename.quote args))
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  (code, Buffer.contents buf)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  n = 0 || at 0
+
+let check_contains out affix =
+  Alcotest.(check bool) (Printf.sprintf "output mentions %S" affix) true
+    (contains ~affix out)
+
+let test_chaos_help_documents_exit_codes () =
+  let code, out = run [ "chaos"; "--help=plain" ] in
+  Alcotest.(check int) "--help exits 0" 0 code;
+  check_contains out "EXIT STATUS";
+  (* The three contract outcomes must all be documented. *)
+  check_contains out "bitwise identical";
+  check_contains out "escaped the integrity guard";
+  check_contains out "--sdc"
+
+let test_unknown_subcommand_fails () =
+  let code, out = run [ "frobnicate" ] in
+  Alcotest.(check bool) "unknown subcommand exits nonzero" true (code <> 0);
+  check_contains (String.lowercase_ascii out) "usage"
+
+let test_chaos_clean_run_exits_zero () =
+  let code, out = run [ "chaos"; "--seed"; "1"; "--nt"; "4"; "--nb"; "8" ] in
+  Alcotest.(check int) "clean chaos exits 0" 0 code;
+  check_contains out "bitwise identical"
+
+let test_chaos_sdc_contract () =
+  let metrics = Filename.temp_file "geomix_sdc" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove metrics)
+    (fun () ->
+      let code, out =
+        run
+          [
+            "chaos"; "--sdc"; "--seed"; "1"; "--nt"; "4"; "--nb"; "8";
+            "--rate"; "0.5"; "--metrics-out"; metrics;
+          ]
+      in
+      Alcotest.(check int) "recovered SDC run exits 0" 0 code;
+      check_contains out "SDC detected";
+      check_contains out "bitwise identical";
+      let ic = open_in metrics in
+      let json =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check_contains json "integrity.sdc_detected";
+      check_contains json "integrity.sdc_recovered")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "chaos contract",
+        [
+          Alcotest.test_case "help documents exit codes" `Quick
+            test_chaos_help_documents_exit_codes;
+          Alcotest.test_case "unknown subcommand" `Quick
+            test_unknown_subcommand_fails;
+          Alcotest.test_case "clean run exits 0" `Quick
+            test_chaos_clean_run_exits_zero;
+          Alcotest.test_case "sdc detect-and-recover" `Quick
+            test_chaos_sdc_contract;
+        ] );
+    ]

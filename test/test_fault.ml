@@ -154,6 +154,7 @@ let test_retry_backoff_on_virtual_clock () =
       base_delay = 0.01;
       factor = 2.;
       max_delay = 0.025;
+      jitter = 0.;
       sleep;
       retryable = (fun _ -> true);
     }
@@ -171,6 +172,62 @@ let test_retry_delay_for () =
   Alcotest.(check (float 1e-15)) "attempt 1" 1e-3 (Retry.delay_for policy ~attempt:1);
   Alcotest.(check (float 1e-15)) "attempt 2" 2e-3 (Retry.delay_for policy ~attempt:2);
   Alcotest.(check (float 1e-15)) "attempt 8 capped" 0.1 (Retry.delay_for policy ~attempt:8)
+
+let test_retry_jitter () =
+  let policy =
+    { Retry.default with base_delay = 1e-2; factor = 2.; max_delay = 1.; jitter = 0.5 }
+  in
+  (* Jittered delays stay in [(1 − jitter)·d0, d0], are a pure function of
+     (salt, attempt), and decorrelate across salts. *)
+  let spread = ref false in
+  for attempt = 1 to 6 do
+    let d0 = 1e-2 *. (2. ** float_of_int (attempt - 1)) in
+    let seen = Hashtbl.create 16 in
+    for salt = 0 to 19 do
+      let d = Retry.delay_for ~salt policy ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "salt %d attempt %d within window" salt attempt)
+        true
+        (d <= d0 +. 1e-15 && d >= (0.5 *. d0) -. 1e-15);
+      Alcotest.(check (float 0.)) "replay is exact" d
+        (Retry.delay_for ~salt policy ~attempt);
+      Hashtbl.replace seen d ()
+    done;
+    if Hashtbl.length seen > 10 then spread := true
+  done;
+  Alcotest.(check bool) "salts decorrelate" true !spread;
+  (* Without a salt the schedule is the deterministic one regardless of
+     the jitter setting. *)
+  Alcotest.(check (float 1e-15)) "no salt, no jitter" 2e-2
+    (Retry.delay_for policy ~attempt:2)
+
+let test_retry_jitter_respects_cap () =
+  (* The cap applies after jitter: even the luckiest draw never exceeds
+     max_delay, observable on a virtual clock. *)
+  let sleep, elapsed = Retry.virtual_clock () in
+  let policy =
+    {
+      Retry.max_attempts = 6;
+      base_delay = 0.01;
+      factor = 4.;
+      max_delay = 0.05;
+      jitter = 0.9;
+      sleep;
+      retryable = (fun _ -> true);
+    }
+  in
+  let calls = ref 0 in
+  Retry.run ~salt:42 policy (fun ~attempt ->
+    incr calls;
+    if attempt < 6 then raise Boom);
+  Alcotest.(check int) "six attempts" 6 !calls;
+  (* Five backoffs, each in (0, max_delay]. *)
+  Alcotest.(check bool) "total bounded by attempts × cap" true
+    (elapsed () <= 5. *. 0.05 +. 1e-12 && elapsed () > 0.);
+  Alcotest.check_raises "jitter outside [0, 1] rejected"
+    (Invalid_argument "Retry.run: jitter outside [0, 1]")
+    (fun () ->
+      Retry.run { policy with jitter = 1.5 } (fun ~attempt:_ -> ()))
 
 let test_retry_restore_order () =
   (* restore runs before every re-execution, never before the first. *)
@@ -588,6 +645,9 @@ let () =
           Alcotest.test_case "backoff on virtual clock" `Quick
             test_retry_backoff_on_virtual_clock;
           Alcotest.test_case "delay arithmetic" `Quick test_retry_delay_for;
+          Alcotest.test_case "decorrelating jitter" `Quick test_retry_jitter;
+          Alcotest.test_case "jitter respects cap" `Quick
+            test_retry_jitter_respects_cap;
           Alcotest.test_case "restore order" `Quick test_retry_restore_order;
           Alcotest.test_case "non-retryable" `Quick test_retry_not_retryable;
           Alcotest.test_case "budget exhausted" `Quick test_retry_budget_exhausted;

@@ -451,6 +451,51 @@ let test_bus_jsonl_file_sink () =
       Alcotest.(check (list int)) "in emission order" [ 0; 1; 2 ]
         (List.map (fun e -> e.E.seq) parsed))
 
+let test_bus_read_jsonl_resilient () =
+  let path = Filename.temp_file "geomix_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let bus = E.create () in
+      E.attach_jsonl bus oc;
+      for i = 0 to 3 do
+        E.emit bus ~component:"t" ~name:"e" [ ("i", E.fint i) ]
+      done;
+      (* A log damaged in the middle and truncated mid-line by a crash:
+         foreign output, garbage, and a partial final record. *)
+      output_string oc "worker 3: restarting\n";
+      output_string oc "{\"seq\": 99}\n";
+      output_string oc "\n";
+      output_string oc "{\"seq\":4,\"t\":0.5,\"level\":\"info\",\"compo";
+      close_out oc;
+      let ic = open_in path in
+      let events, skipped =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> E.read_jsonl ic)
+      in
+      Alcotest.(check int) "every intact event survives" 4 (List.length events);
+      Alcotest.(check (list int)) "in emission order" [ 0; 1; 2; 3 ]
+        (List.map (fun e -> e.E.seq) events);
+      (* Blank line is ignored silently; the three broken lines count. *)
+      Alcotest.(check int) "malformed lines counted" 3 skipped)
+
+let test_bus_non_finite_payload () =
+  let bus = E.create () in
+  let ring = E.ring bus in
+  E.emit bus ~component:"bench" ~name:"stat"
+    [ ("mean", E.fnum Float.nan); ("max", E.fnum Float.infinity) ];
+  let e = List.hd (E.ring_events ring) in
+  let line = E.to_jsonl e in
+  Alcotest.(check bool) "non-finite floats serialise as null" true
+    (contains ~affix:"\"mean\":null" line
+    && contains ~affix:"\"max\":null" line
+    && not (contains ~affix:"nan" (String.lowercase_ascii line)));
+  match E.of_jsonl line with
+  | Error msg -> Alcotest.fail msg
+  | Ok back ->
+    Alcotest.(check bool) "round-trips as Null, still one event" true
+      (back.E.fields = [ ("mean", J.Null); ("max", J.Null) ])
+
 let test_bus_env_level () =
   let restore = Sys.getenv_opt "GEOMIX_LOG" in
   Fun.protect
@@ -635,6 +680,10 @@ let () =
             test_bus_ring_capacity_and_order;
           Alcotest.test_case "jsonl roundtrip" `Quick test_bus_jsonl_roundtrip;
           Alcotest.test_case "jsonl file sink" `Quick test_bus_jsonl_file_sink;
+          Alcotest.test_case "read_jsonl skips damage" `Quick
+            test_bus_read_jsonl_resilient;
+          Alcotest.test_case "non-finite payload" `Quick
+            test_bus_non_finite_payload;
           Alcotest.test_case "GEOMIX_LOG parsing" `Quick test_bus_env_level;
           Alcotest.test_case "pool lifecycle events" `Quick test_pool_bus_events;
           Alcotest.test_case "dtd submit/complete events" `Quick test_dtd_bus_events;
