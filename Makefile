@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check chaos report verify-slow clean
+.PHONY: all test check chaos report autotune verify-slow clean
 
 all:
 	dune build @all
@@ -28,6 +28,16 @@ chaos:
 report:
 	dune exec bin/geomix.exe -- report --smoke --out geomix-report.md
 	@echo "wrote geomix-report.md"
+
+# Range-driven precision autotuning smoke (the CI autotune-smoke job):
+# pilot-instrument an NT=8 factorization, advise FP8 transfer formats from
+# the measured ranges, and sweep the accuracy-vs-motion Pareto frontier.
+# Exits nonzero unless every advised map meets its accuracy bound and some
+# point ships FP8 with strictly fewer STC bytes than the norm rule.
+autotune:
+	dune exec bin/geomix.exe -- autotune --smoke --out geomix-frontier.md \
+	  --json geomix-frontier.json
+	@echo "wrote geomix-frontier.md and geomix-frontier.json"
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

@@ -96,6 +96,7 @@ let rec smoke_metrics () =
   @ recovery_metrics ()
   @ integrity_metrics ()
   @ profile_metrics ()
+  @ autotune_metrics ()
 
 (* Recovery counters of the fault-injection layer: one seeded chaos
    factorization (transient + crash-after-write faults at 30%, supervised
@@ -254,4 +255,34 @@ and profile_metrics () =
     metric ~units:"" "profile.critical_path_frac" p.Profile.cp_frac;
     metric ~units:"" ~direction:Higher_is_better "profile.predicted_speedup_8w"
       (Profile.predicted_speedup p ~workers:8);
+  ]
+
+(* The range-driven autotuner's frontier on the fixed smoke instance
+   (NT=8, nb=16, seed 42, default targets): how many points the Pareto
+   front keeps, and the best advised-map STC volume relative to the
+   norm-rule map among the points whose measured residual satisfies the
+   differential-oracle bound.  The sweep is a pure function of the seed,
+   so the gate cannot flap; the fraction dropping below 1 is the paper's
+   data-motion claim extended to FP8 transfers. *)
+and autotune_metrics () =
+  let module Pe = Geomix_autotune.Pareto_explorer in
+  let f = Pe.sweep ~nt:8 ~nb:16 ~seed:42 () in
+  let motion_frac =
+    List.fold_left
+      (fun acc p ->
+        if p.Pe.ok && p.Pe.bytes_stc_norm > 0. then
+          Float.min acc (p.Pe.bytes_stc /. p.Pe.bytes_stc_norm)
+        else acc)
+      1. f.Pe.points
+  in
+  let open Bench_json in
+  [
+    metric ~units:"" ~direction:Higher_is_better "pareto_points"
+      (float_of_int (List.length f.Pe.pareto));
+    metric ~units:"" "advisor_vs_norm_motion_frac" motion_frac;
+    metric ~units:"" ~direction:Higher_is_better "autotune_within_bound"
+      (if Pe.all_within_bound f then 1. else 0.);
+    metric ~units:"" ~direction:Higher_is_better "autotune_fp8_tiles"
+      (float_of_int
+         (List.fold_left (fun acc p -> max acc p.Pe.fp8_tiles) 0 f.Pe.points));
   ]

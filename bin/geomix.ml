@@ -862,11 +862,129 @@ let report_cmd =
       const run $ smoke_arg $ run_arg $ nt_arg $ config_arg $ nb_arg $ run_nb_arg
       $ workers_arg $ format_arg $ out_arg $ events_arg $ verbose_arg)
 
+(* autotune subcommand *)
+
+let autotune_cmd =
+  let module Px = Geomix_autotune.Pareto_explorer in
+  let run smoke nt nb seed targets machine_name format out json_out verbose =
+    let nt, nb = if smoke then (8, 16) else (nt, nb) in
+    let machine =
+      match machine_name with
+      | `A100 -> Geomix_gpusim.Machine.single_gpu Geomix_gpusim.Gpu_specs.A100
+      | `V100 -> Geomix_gpusim.Machine.single_gpu Geomix_gpusim.Gpu_specs.V100
+      | `H100 -> Geomix_gpusim.Machine.single_gpu Geomix_gpusim.Gpu_specs.H100
+    in
+    let f = Px.sweep ?targets ~machine ~nt ~nb ~seed () in
+    let text =
+      match format with `Md -> Px.to_markdown f | `Json -> Px.to_json_string f
+    in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "frontier written to %s\n" path);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Px.to_json_string f);
+      close_out oc;
+      if verbose then Printf.eprintf "frontier JSON written to %s\n%!" path);
+    (* Exit contract: 0 only when every swept point passes the differential
+       oracle — and, under --smoke, when the sweep covers ≥ 5 targets and
+       some point ships FP8 with strictly fewer STC bytes than the
+       norm-rule map. *)
+    if not (Px.all_within_bound f) then begin
+      Printf.eprintf "geomix autotune: an advised map exceeded its accuracy bound\n";
+      exit 1
+    end;
+    if smoke then begin
+      if List.length f.Px.points < 5 then begin
+        Printf.eprintf "geomix autotune: smoke sweep covers fewer than 5 targets\n";
+        exit 1
+      end;
+      if not (Px.fp8_motion_win f) then begin
+        Printf.eprintf
+          "geomix autotune: no swept point ships FP8 with an STC byte win\n";
+        exit 1
+      end
+    end
+  in
+  let nt_arg = Arg.(value & opt int 8 & info [ "nt" ] ~doc:"Tiles per dimension.") in
+  let nb_small_arg =
+    Arg.(value & opt int 16 & info [ "nb" ] ~doc:"Tile size of the pilot matrix.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI preset (NT=8, nb=16) with the acceptance checks armed: every \
+             advised map must satisfy its accuracy bound, the sweep must cover \
+             at least 5 targets, and some point must ship FP8 with strictly \
+             fewer STC bytes than the norm-rule map.")
+  in
+  let targets_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "targets" ]
+          ~doc:"Comma-separated accuracy targets (default 1e-2 … 1e-12).")
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("v100", `V100); ("a100", `A100); ("h100", `H100) ]) `A100
+      & info [ "gpu" ] ~doc:"Simulated GPU for the energy/makespan axis.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("md", `Md); ("json", `Json) ]) `Md
+      & info [ "format" ] ~doc:"Frontier output: md or json.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the frontier to this file instead of stdout.")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Additionally write the frontier JSON artifact here.")
+  in
+  let exits =
+    Cmd.Exit.info 1
+      ~doc:
+        "an advised map exceeded its differential-oracle accuracy bound, or a \
+         $(b,--smoke) acceptance check failed."
+    :: Cmd.Exit.info 2
+         ~doc:"the pilot factorization failed (e.g. not positive definite)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "autotune" ~exits
+       ~doc:
+         "Range-driven precision autotuning: pilot-instrument a factorization, \
+          advise per-tile transfer formats (down to FP8) from measured ranges, \
+          and sweep accuracy targets into an accuracy-vs-motion/energy Pareto \
+          frontier")
+    Term.(
+      const run $ smoke_arg $ nt_arg $ nb_small_arg $ seed_arg $ targets_arg
+      $ machine_arg $ format_arg $ out_arg $ json_out_arg $ verbose_arg)
+
 let () =
   let doc = "mixed-precision geospatial modeling toolkit (CLUSTER 2023 reproduction)" in
   let group =
     Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
-      [ precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd; report_cmd ]
+      [
+        precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd;
+        report_cmd; autotune_cmd;
+      ]
   in
   (* CLI error boundary: domain failures exit 2 with a one-line diagnostic
      instead of an uncaught-exception backtrace. *)

@@ -1,0 +1,149 @@
+module Fpformat = Geomix_precision.Fpformat
+module Mat = Geomix_linalg.Mat
+module Tiled = Geomix_tile.Tiled
+
+(* Unbiased binary64 exponents live in [-1074, 1023]; the histogram offsets
+   them into one flat array per tile. *)
+let e_lo = -1074
+let e_hi = 1023
+let e_span = e_hi - e_lo + 1
+
+type tile = {
+  mutable observations : int;
+  mutable zeros : int;
+  mutable nonfinite : int;
+  mutable min_mag : float; (* +inf until a nonzero finite value is seen *)
+  mutable max_mag : float;
+  hist : int array; (* count per unbiased exponent, offset by -e_lo *)
+  (* Input-pilot accumulators: Frobenius mass of the tile as first handed
+     to the tracker, feeding the Higham–Mary ratio of the advisor. *)
+  mutable input_sumsq : float;
+}
+
+type t = { nt : int; tiles : tile array }
+
+let pidx i j = (i * (i + 1) / 2) + j
+
+let create ~nt =
+  if nt <= 0 then invalid_arg "Range_tracker.create: nt must be positive";
+  {
+    nt;
+    tiles =
+      Array.init
+        (nt * (nt + 1) / 2)
+        (fun _ ->
+          {
+            observations = 0;
+            zeros = 0;
+            nonfinite = 0;
+            min_mag = infinity;
+            max_mag = 0.;
+            hist = Array.make e_span 0;
+            input_sumsq = 0.;
+          });
+  }
+
+let nt t = t.nt
+
+let tile_of t i j =
+  if j > i || j < 0 || i >= t.nt then invalid_arg "Range_tracker: tile out of range";
+  t.tiles.(pidx i j)
+
+let note tl x =
+  tl.observations <- tl.observations + 1;
+  if x = 0. then tl.zeros <- tl.zeros + 1
+  else if not (Float.is_finite x) then tl.nonfinite <- tl.nonfinite + 1
+  else begin
+    let m = Float.abs x in
+    if m < tl.min_mag then tl.min_mag <- m;
+    if m > tl.max_mag then tl.max_mag <- m;
+    (* x = f·2^e, |f| ∈ [0.5, 1): unbiased exponent e−1, i.e. 2^eu ≤ |x| < 2^(eu+1). *)
+    let _, e = Float.frexp x in
+    let b = e - 1 - e_lo in
+    tl.hist.(b) <- tl.hist.(b) + 1
+  end
+
+let observe_value t ~i ~j x = note (tile_of t i j) x
+
+let observe t ~i ~j m =
+  let tl = tile_of t i j in
+  for r = 0 to Mat.rows m - 1 do
+    for c = 0 to Mat.cols m - 1 do
+      note tl (Mat.get m r c)
+    done
+  done
+
+let observe_input t ~i ~j m =
+  let tl = tile_of t i j in
+  for r = 0 to Mat.rows m - 1 do
+    for c = 0 to Mat.cols m - 1 do
+      let x = Mat.get m r c in
+      tl.input_sumsq <- tl.input_sumsq +. (x *. x);
+      note tl x
+    done
+  done
+
+let observe_tiled t a =
+  if Tiled.nt a <> t.nt then invalid_arg "Range_tracker.observe_tiled: nt mismatch";
+  Tiled.iter_lower a (fun ~i ~j m -> observe_input t ~i ~j m)
+
+let hook t ~i ~j m = observe t ~i ~j m
+
+type stats = {
+  observations : int;
+  zeros : int;
+  nonfinite : int;
+  min_mag : float;
+  max_mag : float;
+  exponents : (int * int) list;
+}
+
+let stats t i j =
+  let tl = tile_of t i j in
+  let exponents = ref [] in
+  for b = e_span - 1 downto 0 do
+    if tl.hist.(b) > 0 then exponents := (b + e_lo, tl.hist.(b)) :: !exponents
+  done;
+  {
+    observations = tl.observations;
+    zeros = tl.zeros;
+    nonfinite = tl.nonfinite;
+    min_mag = tl.min_mag;
+    max_mag = tl.max_mag;
+    exponents = !exponents;
+  }
+
+let observations t =
+  Array.fold_left (fun acc (tl : tile) -> acc + tl.observations) 0 t.tiles
+
+let input_tile_norm t i j = sqrt (tile_of t i j).input_sumsq
+
+let input_norm t =
+  sqrt (Array.fold_left (fun acc tl -> acc +. tl.input_sumsq) 0. t.tiles)
+
+(* A value in exponent bucket eu satisfies 2^eu ≤ |x| < 2^(eu+1).  The
+   bucket flushes to zero under [round s] for certain iff its upper edge is
+   at or below half the smallest subnormal: 2^(eu+1) ≤ 2^(emin−mant−1). *)
+let underflows st s =
+  (* tiny = 2^(emin−mant); recover its exponent with frexp. *)
+  let tiny_e =
+    let _, e = Float.frexp (Fpformat.scalar_min_subnormal s) in
+    e - 1
+  in
+  List.fold_left
+    (fun acc (eu, n) -> if eu + 1 <= tiny_e - 1 then acc + n else acc)
+    0 st.exponents
+
+(* A bucket overflows for certain iff its lower edge already exceeds the
+   largest finite value: 2^eu > max(s). *)
+let overflows st s =
+  let max_v = Fpformat.scalar_max_value s in
+  List.fold_left
+    (fun acc (eu, n) -> if Float.ldexp 1. eu > max_v then acc + n else acc)
+    0 st.exponents
+
+let fits ?(margin = 1.) st s =
+  st.nonfinite = 0
+  && st.max_mag <= Fpformat.scalar_max_value s
+  && (st.min_mag = infinity
+     || st.min_mag >= margin *. Fpformat.scalar_min_subnormal s)

@@ -96,6 +96,32 @@ let compute pmap =
 
 let equal a b = a.nt = b.nt && a.comm = b.comm && a.strat = b.strat
 
+(* Shipped format of tile (i, j) under map [t]: the transfer format for STC
+   tiles, the storage format for TTC tiles (which ship as stored). *)
+let shipped t pmap i j =
+  if t.strat.(pidx i j) = Stc then t.comm.(pidx i j) else Precision_map.storage pmap i j
+
+let override t pmap ~f =
+  if Precision_map.nt pmap <> t.nt then invalid_arg "Comm_map.override: nt mismatch";
+  let comm = Array.copy t.comm and strat = Array.copy t.strat in
+  let n = t.nt in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      if n - 1 - j > 0 then begin
+        (* Only broadcasting tiles; an override must move strictly fewer
+           bytes than what Algorithm 2 already ships, else it is ignored —
+           never silently widened. *)
+        match f i j with
+        | Some s
+          when Fpformat.scalar_bytes s < Fpformat.scalar_bytes (shipped t pmap i j) ->
+          comm.(pidx i j) <- s;
+          strat.(pidx i j) <- Stc
+        | _ -> ()
+      end
+    done
+  done;
+  { nt = n; comm; strat }
+
 (* Broadcast fan-out of tile (i, j) in Algorithm 1.  A diagonal tile (k,k)
    feeds the TRSMs of column k: nt−1−k consumers.  An off-diagonal tile
    (m,k) feeds SYRK(m,k), the row GEMMs (k < n < m) and the column GEMMs
@@ -179,6 +205,8 @@ let render t =
     | Fpformat.S_tf32 -> 't'
     | Fpformat.S_bf16 -> 'b'
     | Fpformat.S_fp16 -> '1'
+    | Fpformat.S_fp8_e4m3 -> '8'
+    | Fpformat.S_fp8_e5m2 -> '5'
   in
   for i = 0 to t.nt - 1 do
     Buffer.add_string buf "  ";
@@ -195,7 +223,7 @@ let render t =
   done;
   Buffer.add_string buf
     (Printf.sprintf
-       "  cells: 6=FP64 3=FP32 1=FP16 (comm precision); '*' marks STC tiles \
-        (%.1f%% STC)\n"
+       "  cells: 6=FP64 3=FP32 1=FP16 8=FP8_E4M3 5=FP8_E5M2 (comm precision); '*' \
+        marks STC tiles (%.1f%% STC)\n"
        (100. *. stc_fraction t));
   Buffer.contents buf

@@ -43,6 +43,23 @@ val strategy : t -> int -> int -> strategy
 val equal : t -> t -> bool
 (** Tile-for-tile equality of transfer formats and strategies. *)
 
+val shipped : t -> Precision_map.t -> int -> int -> Fpformat.scalar
+(** What tile (i, j)'s broadcast actually puts on the wire: the transfer
+    format under STC, the storage format under TTC ([pmap] must be the map
+    the [t] was computed from). *)
+
+val override : t -> Precision_map.t -> f:(int -> int -> Fpformat.scalar option) -> t
+(** [override cm pmap ~f] is [cm] with the shipped format of broadcasting
+    tile (i, j) replaced by [s] (as STC: the producer converts once)
+    wherever [f i j = Some s] names a format with {e strictly fewer} bytes
+    per element than what [cm] already ships for that tile.  All other
+    tiles — including any [Some s] that would not shrink the transfer —
+    keep Algorithm 2's verdict; an override can narrow communication, never
+    widen it.  This is how the range-driven autotuner
+    ({!module:Geomix_autotune.Type_advisor}) injects FP8 transfers it has
+    measured evidence for.
+    @raise Invalid_argument on a tile-count mismatch. *)
+
 val consumers : t -> int -> int -> int
 (** Broadcast fan-out of tile (i, j) under Algorithm 1: the TRSMs of the
     column for a diagonal tile; SYRK plus row and column GEMMs for an

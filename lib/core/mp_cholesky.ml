@@ -27,16 +27,26 @@ let default_options =
 let pidx i j = (i * (i + 1) / 2) + j
 
 let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
-    ?retry ?obs ?integrity ?(fault_round = 1) ~pmap a =
+    ?retry ?obs ?integrity ?cmap ?observe ?(fault_round = 1) ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
+  (match cmap with
+  | Some cm when Comm_map.nt cm <> ntiles ->
+    invalid_arg "Mp_cholesky.factorize: comm map / matrix tile mismatch"
+  | _ -> ());
   let nb = Tiled.nb a in
   let dag = Cholesky_dag.create ~nt:ntiles in
   let cmap =
     if options.model_comm_rounding && options.strategy = Automatic then
-      Some (Comm_map.compute pmap)
+      Some (match cmap with Some cm -> cm | None -> Comm_map.compute pmap)
     else None
+  in
+  (* Range instrumentation: hand each kernel's freshly written FP64 working
+     tile to the observer (before any storage/transfer rounding), leaving
+     the factorization itself bit-identical. *)
+  let note_range =
+    match observe with None -> fun ~i:_ ~j:_ _ -> () | Some f -> f
   in
   let kernel_precision i j = Precision_map.get pmap i j in
   let exec_prec kind = Task.exec_precision ~kernel_precision kind in
@@ -236,6 +246,7 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
       (try Blas_emul.potrf_lower ~fidelity ~prec:(exec_prec (Task.Potrf k)) tile
        with Blas.Not_positive_definite p ->
          raise (Blas.Not_positive_definite ((k * nb) + p)));
+      note_range ~i:k ~j:k tile;
       publish k k;
       corrupt_shipped (Task.Potrf k) k k;
       (* The panel factorization completing is the milestone that releases
@@ -251,6 +262,7 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
       Blas_emul.trsm_right_lower_trans ~fidelity
         ~prec:(exec_prec (Task.Trsm (m, k)))
         ~l:(read k k) b;
+      note_range ~i:m ~j:k b;
       publish m k;
       corrupt_shipped (Task.Trsm (m, k)) m k
     | Task.Syrk (m, k) ->
@@ -259,6 +271,7 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
       Blas_emul.syrk_lower ~fidelity
         ~prec:(exec_prec (Task.Syrk (m, k)))
         ~alpha:(-1.) (read m k) ~beta:1. c;
+      note_range ~i:m ~j:m c;
       stamp_stored m m;
       corrupt_stored (Task.Syrk (m, k)) m m
     | Task.Gemm (m, n, k) ->
@@ -267,6 +280,7 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
       Blas_emul.gemm_nt ~fidelity
         ~prec:(exec_prec (Task.Gemm (m, n, k)))
         ~alpha:(-1.) (read m k) (read n k) ~beta:1. c;
+      note_range ~i:m ~j:n c;
       stamp_stored m n;
       corrupt_stored (Task.Gemm (m, n, k)) m n
   in

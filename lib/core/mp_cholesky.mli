@@ -39,6 +39,8 @@ val factorize :
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
   ?integrity:Geomix_integrity.Guard.t ->
+  ?cmap:Comm_map.t ->
+  ?observe:(i:int -> j:int -> Geomix_linalg.Mat.t -> unit) ->
   ?fault_round:int ->
   pmap:Precision_map.t ->
   Tiled.t ->
@@ -46,6 +48,25 @@ val factorize :
 (** In-place lower Cholesky of the tiled symmetric matrix (upper triangles
     of diagonal tiles are left untouched).  The precision map must have the
     matrix's tile count.
+
+    [?cmap] substitutes a caller-supplied communication map for the
+    [Comm_map.compute pmap] the factorization would otherwise derive — the
+    entry point for range-driven transfer formats such as the autotuner's
+    FP8 overrides ({!Comm_map.override}).  Only consulted when the
+    [Automatic] strategy models communication rounding; must have the
+    matrix's tile count.
+
+    [?observe] is the range-instrumentation hook (the [?obs]-style pilot
+    pass of the autotuner): after each kernel writes tile (i, j), the
+    callback receives the {e FP64 working values} — before any
+    storage/transfer rounding — of that tile.  POTRF and TRSM observe the
+    freshly factored/solved tile once; each SYRK/GEMM observes the
+    accumulator after its update.  Observers must not mutate the matrix;
+    the factorization is bit-identical with or without the hook.  Distinct
+    tiles may be observed concurrently by different pool workers (writes to
+    the {e same} tile are serialized by the DAG), so observer state must be
+    per-tile or synchronized — {!Geomix_autotune.Range_tracker} keeps
+    per-tile accumulators.
 
     [?trace] records one {e real} wall-clock event per task (label =
     ["GEMM(5,3,1)"]-style task name, tag = its kernel precision, resource =

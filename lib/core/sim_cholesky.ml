@@ -49,11 +49,20 @@ let priority kind =
   in
   (((k * 4) + cls) * (4096 * 4096)) + a
 
-let run ?(options = default_options) ~machine ~pmap ~nb () =
+let run ?(options = default_options) ?cmap ~machine ~pmap ~nb () =
   let nt = Precision_map.nt pmap in
   let n = nt * nb in
   let dag = Cholesky_dag.create ~nt in
-  let cmap = match options.strategy with Stc_auto -> Some (Comm_map.compute pmap) | Ttc_always -> None in
+  (match cmap with
+  | Some cm when Comm_map.nt cm <> Precision_map.nt pmap ->
+    invalid_arg "Sim_cholesky.run: comm map / precision map tile mismatch"
+  | _ -> ());
+  let cmap =
+    match options.strategy with
+    | Stc_auto ->
+      Some (match cmap with Some cm -> cm | None -> Comm_map.compute pmap)
+    | Ttc_always -> None
+  in
   let ngpus = Machine.total_gpus machine in
   let gpu = machine.Machine.gpu in
   let devices =

@@ -58,13 +58,17 @@ type report = {
 
 val run :
   ?options:options ->
+  ?cmap:Comm_map.t ->
   machine:Machine.t ->
   pmap:Precision_map.t ->
   nb:int ->
   unit ->
   report
 (** Simulate the factorization of an [nt·nb] matrix whose tile precisions
-    are given by [pmap] on [machine]. *)
+    are given by [pmap] on [machine].  [?cmap] substitutes a caller-built
+    communication map (e.g. the autotuner's FP8 overrides,
+    {!Comm_map.override}) for the [Comm_map.compute pmap] default; only
+    consulted under [Stc_auto], and its tile count must match [pmap]'s. *)
 
 val efficiency : report -> peak_flops_per_gpu:float -> float
 (** Fraction of the aggregate theoretical peak achieved. *)

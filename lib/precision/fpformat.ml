@@ -1,6 +1,6 @@
-type scalar = S_fp64 | S_fp32 | S_tf32 | S_bf16 | S_fp16
+type scalar = S_fp64 | S_fp32 | S_tf32 | S_bf16 | S_fp16 | S_fp8_e4m3 | S_fp8_e5m2
 
-let all_scalars = [ S_fp64; S_fp32; S_tf32; S_bf16; S_fp16 ]
+let all_scalars = [ S_fp64; S_fp32; S_tf32; S_bf16; S_fp16; S_fp8_e4m3; S_fp8_e5m2 ]
 
 type spec = { mant : int; emin : int; emax : int }
 (* [mant] is the number of explicitly stored significand bits; representable
@@ -12,6 +12,8 @@ let spec_of = function
   | S_tf32 -> { mant = 10; emin = -126; emax = 127 }
   | S_bf16 -> { mant = 7; emin = -126; emax = 127 }
   | S_fp16 -> { mant = 10; emin = -14; emax = 15 }
+  | S_fp8_e4m3 -> { mant = 3; emin = -6; emax = 8 }
+  | S_fp8_e5m2 -> { mant = 2; emin = -14; emax = 15 }
 
 (* Round to nearest integer, ties to even.  [Float.round] rounds ties away
    from zero, so ties are detected and nudged back to the even neighbour. *)
@@ -21,9 +23,19 @@ let round_half_even x =
     if Float.rem f 2. <> 0. then f -. Float.copy_sign 1. x else f
   else f
 
-let scalar_max_value s =
-  let { mant; emax; _ } = spec_of s in
-  Float.ldexp (2. -. Float.ldexp 1. (-mant)) emax
+let scalar_max_value = function
+  (* OCP FP8 E4M3 reserves the all-ones pattern (S.1111.111) for NaN, so
+     the largest finite magnitude is 1.110·2^8 = 448, not the generic
+     (2 − 2^-3)·2^8 = 480. *)
+  | S_fp8_e4m3 -> 448.
+  | s ->
+    let { mant; emax; _ } = spec_of s in
+    Float.ldexp (2. -. Float.ldexp 1. (-mant)) emax
+
+(* The FP8 formats saturate on finite overflow (OCP spec / saturating
+   casts): anything rounding past the largest finite value clamps to it
+   instead of producing an infinity E4M3 doesn't even have. *)
+let saturating = function S_fp8_e4m3 | S_fp8_e5m2 -> true | _ -> false
 
 let round s x =
   match s with
@@ -32,10 +44,14 @@ let round s x =
     if x = 0. || not (Float.is_finite x) then x
     else begin
       let { mant; emin; emax } = spec_of s in
+      let overflow () =
+        if saturating s then Float.copy_sign (scalar_max_value s) x
+        else Float.copy_sign infinity x
+      in
       let _, e = Float.frexp x in
       (* x = m·2^e with |m| ∈ [0.5, 1); unbiased exponent is e-1 *)
       let eu = e - 1 in
-      if eu > emax then Float.copy_sign infinity x
+      if eu > emax then overflow ()
       else begin
         let p = mant + 1 in
         let p = if eu < emin then p - (emin - eu) else p in
@@ -49,7 +65,7 @@ let round s x =
           let shift = p - e in
           let scaled = Float.ldexp x shift in
           let y = Float.ldexp (round_half_even scaled) (-shift) in
-          if Float.abs y > scalar_max_value s then Float.copy_sign infinity x else y
+          if Float.abs y > scalar_max_value s then overflow () else y
         end
       end
     end
@@ -58,6 +74,7 @@ let scalar_bytes = function
   | S_fp64 -> 8
   | S_fp32 | S_tf32 -> 4
   | S_bf16 | S_fp16 -> 2
+  | S_fp8_e4m3 | S_fp8_e5m2 -> 1
 
 let scalar_unit_roundoff s =
   let { mant; _ } = spec_of s in
@@ -68,11 +85,13 @@ let scalar_min_subnormal s =
   Float.ldexp 1. (emin - mant)
 
 let scalar_rank = function
-  | S_fp64 -> 5
-  | S_fp32 -> 4
-  | S_tf32 -> 3
-  | S_fp16 -> 2
-  | S_bf16 -> 1
+  | S_fp64 -> 7
+  | S_fp32 -> 6
+  | S_tf32 -> 5
+  | S_fp16 -> 4
+  | S_bf16 -> 3
+  | S_fp8_e4m3 -> 2
+  | S_fp8_e5m2 -> 1
 
 let higher_scalar a b = if scalar_rank a >= scalar_rank b then a else b
 
@@ -90,6 +109,8 @@ let scalar_name = function
   | S_tf32 -> "TF32"
   | S_bf16 -> "BF16"
   | S_fp16 -> "FP16"
+  | S_fp8_e4m3 -> "FP8_E4M3"
+  | S_fp8_e5m2 -> "FP8_E5M2"
 
 let scalar_of_string s =
   match String.uppercase_ascii s with
@@ -98,9 +119,62 @@ let scalar_of_string s =
   | "TF32" -> Some S_tf32
   | "BF16" -> Some S_bf16
   | "FP16" -> Some S_fp16
+  | "FP8_E4M3" | "E4M3" -> Some S_fp8_e4m3
+  | "FP8_E5M2" | "E5M2" -> Some S_fp8_e5m2
   | _ -> None
 
 let pp_scalar ppf s = Format.pp_print_string ppf (scalar_name s)
+
+(* --- FP8 byte codec ---------------------------------------------------- *)
+
+(* (exponent bits, mantissa bits, bias).  E4M3 follows the OCP variant: no
+   infinities, NaN only at S.1111.111; E5M2 is IEEE-structured with ±inf at
+   S.11111.00 and NaNs at nonzero mantissa under the all-ones exponent. *)
+let fp8_params = function
+  | S_fp8_e4m3 -> (4, 3, 7)
+  | S_fp8_e5m2 -> (5, 2, 15)
+  | s -> invalid_arg ("Fpformat.fp8: not an FP8 scalar: " ^ scalar_name s)
+
+let fp8_decode s b =
+  if b < 0 || b > 255 then invalid_arg "Fpformat.fp8_decode: byte out of range";
+  let ebits, mbits, bias = fp8_params s in
+  let sign = if b land 0x80 <> 0 then -1. else 1. in
+  let e = (b lsr mbits) land ((1 lsl ebits) - 1) in
+  let m = b land ((1 lsl mbits) - 1) in
+  let e_ones = (1 lsl ebits) - 1 in
+  if e = 0 then sign *. Float.ldexp (float_of_int m) (1 - bias - mbits)
+  else if s = S_fp8_e5m2 && e = e_ones then
+    if m = 0 then sign *. infinity else Float.copy_sign nan sign
+  else if s = S_fp8_e4m3 && e = e_ones && m = (1 lsl mbits) - 1 then
+    Float.copy_sign nan sign
+  else sign *. Float.ldexp (float_of_int ((1 lsl mbits) lor m)) (e - bias - mbits)
+
+let fp8_encode s x =
+  let ebits, mbits, bias = fp8_params s in
+  let e_ones = (1 lsl ebits) - 1 in
+  let sign_bit = if Float.sign_bit x then 0x80 else 0 in
+  if Float.is_nan x then
+    (* Canonical quiet NaN: E4M3's single pattern; E5M2's quiet bit set. *)
+    if s = S_fp8_e4m3 then sign_bit lor (e_ones lsl mbits) lor ((1 lsl mbits) - 1)
+    else sign_bit lor (e_ones lsl mbits) lor (1 lsl (mbits - 1))
+  else begin
+    let y = round s x in
+    if y = 0. then sign_bit
+    else if Float.is_finite y then begin
+      let m, e = Float.frexp (Float.abs y) in
+      let eu = e - 1 in
+      let emin = 1 - bias in
+      if eu < emin then
+        (* Subnormal: field = |y| / 2^(emin - mbits). *)
+        sign_bit lor int_of_float (Float.ldexp (Float.abs y) (bias - 1 + mbits))
+      else
+        sign_bit
+        lor ((eu + bias) lsl mbits)
+        lor int_of_float (Float.ldexp (m -. 0.5) (mbits + 1))
+    end
+    else if s = S_fp8_e5m2 then sign_bit lor (e_ones lsl mbits) (* ±inf *)
+    else sign_bit lor (e_ones lsl mbits) lor ((1 lsl mbits) - 2) (* ±448: E4M3 has no inf *)
+  end
 
 type t = Fp64 | Fp32 | Tf32 | Fp16_32 | Bf16_32 | Fp16
 

@@ -18,14 +18,21 @@
 
 (** {1 Scalar formats} *)
 
-type scalar = S_fp64 | S_fp32 | S_tf32 | S_bf16 | S_fp16
+type scalar = S_fp64 | S_fp32 | S_tf32 | S_bf16 | S_fp16 | S_fp8_e4m3 | S_fp8_e5m2
+(** [S_fp8_e4m3] and [S_fp8_e5m2] are the OCP 8-bit formats: E4M3
+    (4 exponent / 3 mantissa bits, bias 7, max finite 448, no infinities,
+    NaN only at S.1111.111) and E5M2 (5/2, bias 15, max finite 57344,
+    IEEE-structured inf/NaN).  Both round to nearest even and {e saturate}
+    on finite overflow instead of producing an infinity. *)
 
 val all_scalars : scalar list
 
 val round : scalar -> float -> float
 (** [round s x] is the nearest value of format [s] to [x] (ties to even),
-    with gradual underflow and overflow to [infinity].  NaN and infinities
-    pass through; [round S_fp64] is the identity on finite floats. *)
+    with gradual underflow and overflow to [infinity] — except the FP8
+    formats, which saturate finite overflow to ±{!scalar_max_value}.  NaN
+    and infinities pass through; [round S_fp64] is the identity on finite
+    floats. *)
 
 val scalar_bytes : scalar -> int
 (** Storage/transfer footprint per element (TF32 occupies 4 bytes). *)
@@ -44,7 +51,8 @@ val scalar_max_value : scalar -> float
 (** Largest finite representable magnitude. *)
 
 val scalar_rank : scalar -> int
-(** Total order by "amount of information": FP64 > FP32 > TF32 > FP16 > BF16.
+(** Total order by "amount of information":
+    FP64 > FP32 > TF32 > FP16 > BF16 > FP8-E4M3 > FP8-E5M2.
     Used to pick the highest precision among successors in Algorithm 2. *)
 
 val higher_scalar : scalar -> scalar -> scalar
@@ -60,6 +68,26 @@ val refines : scalar -> scalar -> bool
 val scalar_name : scalar -> string
 val scalar_of_string : string -> scalar option
 val pp_scalar : Format.formatter -> scalar -> unit
+
+(** {1 FP8 byte codec}
+
+    The two FP8 formats are small enough to enumerate, so the test suite
+    round-trips every one of the 256 bit patterns through this codec. *)
+
+val fp8_decode : scalar -> int -> float
+(** [fp8_decode s b] is the value of bit pattern [b] (0–255, sign bit at
+    0x80) under FP8 format [s].  E5M2 decodes S.11111.00 to ±inf and
+    nonzero-mantissa all-ones-exponent patterns to NaN; E4M3 decodes only
+    S.1111.111 to NaN.  Raises [Invalid_argument] if [s] is not an FP8
+    scalar or [b] is out of range. *)
+
+val fp8_encode : scalar -> float -> int
+(** [fp8_encode s x] is the bit pattern of [round s x]: round to nearest
+    even, saturate finite overflow to the max-finite pattern, preserve the
+    sign of zeros.  NaN encodes to the canonical quiet NaN of [s]
+    (E4M3: S.1111.111; E5M2: S.11111.10); ±inf to E5M2's infinity patterns
+    and to E4M3's ±448 (it has none).  [fp8_decode s (fp8_encode s x) =
+    round s x] for all non-NaN [x]. *)
 
 (** {1 Kernel (operation) precisions} *)
 

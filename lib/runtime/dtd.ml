@@ -154,7 +154,7 @@ let successors t id =
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
 let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
-    ?faults ?retry ?snapshot ?integrity ?datum_mat t =
+    ?faults ?retry ?snapshot ?integrity ?datum_mat ?observe t =
   (* The executing bus defaults to the one the graph was built with, so a
      Dtd created with [?bus] narrates submission and execution on the same
      stream without repeating the argument. *)
@@ -281,6 +281,18 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
             t.tasks.(id).writes )
     | _ -> ((fun _ -> ()), fun _ -> ())
   in
+  (* Range instrumentation: after a task body runs, hand each datum it
+     wrote (resolved through [datum_mat]) to the observer.  Read-only — the
+     execution is bit-identical with or without the hook. *)
+  let observe_out =
+    match (observe, datum_mat) with
+    | Some f, Some dm ->
+      fun id ->
+        List.iter
+          (fun key -> match dm key with None -> () | Some m -> f ~key m)
+          t.tasks.(id).writes
+    | _ -> fun _ -> ()
+  in
   let run pool =
     Dag_exec.run ?obs:dag_obs ~task_name:(fun id -> t.tasks.(id).name) ?faults ?retry
       ?capture ?on_retry:note_retry ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
@@ -289,6 +301,7 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
         record id;
         verify_in id;
         t.tasks.(id).body ();
+        observe_out id;
         stamp_out id;
         note_complete id)
       ()

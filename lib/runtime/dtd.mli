@@ -76,6 +76,7 @@ val execute :
   ?snapshot:(int -> unit -> unit) ->
   ?integrity:Geomix_integrity.Guard.t ->
   ?datum_mat:(int -> Geomix_linalg.Mat.t option) ->
+  ?observe:(key:int -> Geomix_linalg.Mat.t -> unit) ->
   t ->
   unit
 (** Run every inserted task under the derived dependencies (serial pool by
@@ -125,7 +126,17 @@ val execute :
     a consumer on corrupted inputs reproduces the wrong answer).  After
     the body, each written payload is (re-)stamped, covering the next hop.
     Counters and [sdc_detected]/[sdc_recovered] events land on the guard's
-    own registry/bus. *)
+    own registry/bus.
+
+    {b Range instrumentation.}  [?observe] (with [?datum_mat], same key
+    resolution as the integrity guard) is the autotuner's pilot hook: after
+    a task body runs, the callback receives each tile datum the task wrote,
+    at full working precision and before any later consumer touches it.
+    Observers must not mutate payloads; execution is bit-identical with or
+    without the hook.  Tasks writing {e distinct} data may be observed
+    concurrently under a parallel pool, so observer state must be per-datum
+    or synchronized ({!Geomix_autotune.Range_tracker} keeps per-tile
+    accumulators). *)
 
 val critical_path_length : t -> int
 (** Longest dependency chain, in tasks — the inherent sequential depth of

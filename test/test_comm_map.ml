@@ -146,6 +146,53 @@ let test_motion_fp64_degenerate () =
   Alcotest.(check int) "no stc conv" 0 m.Cm.conv_stc;
   Alcotest.(check int) "no ttc conv" 0 m.Cm.conv_ttc
 
+let test_motion_fp8_override () =
+  (* Satellite regression for the autotuner entry point: an FP8 override
+     must show up in the reported STC bytes — no silent FP64 (or FP16)
+     fallback anywhere in the accounting.  Same NT=4 two-level map as the
+     hand-computed case: 6 diagonal transfers ship FP32 (4 B), 14
+     off-diagonal ship FP16 (2 B).  Demoting every off-diagonal broadcast
+     to E4M3 (1 B) gives 6·4 + 14·1 = 38 B per nb² vs the base 52. *)
+  let nb = 1024 in
+  let pmap = Pm.two_level ~nt:4 ~off_diag:Fp.Fp16 in
+  let base = Cm.compute pmap in
+  let cm =
+    Cm.override base pmap ~f:(fun i j ->
+      if i <> j then Some Fp.S_fp8_e4m3 else None)
+  in
+  let per_elem bytes = bytes /. float_of_int (nb * nb) in
+  let m = Cm.motion cm pmap ~nb and m0 = Cm.motion base pmap ~nb in
+  Alcotest.(check (float 0.)) "base STC bytes" 52. (per_elem m0.Cm.bytes_stc);
+  Alcotest.(check (float 0.)) "fp8 STC bytes" 38. (per_elem m.Cm.bytes_stc);
+  Alcotest.(check bool) "strictly fewer bytes on the wire" true
+    (m.Cm.bytes_stc < m0.Cm.bytes_stc);
+  (* TTC and FP64 accountings ignore transfer overrides. *)
+  Alcotest.(check (float 0.)) "ttc unchanged" m0.Cm.bytes_ttc m.Cm.bytes_ttc;
+  Alcotest.(check (float 0.)) "fp64 unchanged" m0.Cm.bytes_fp64 m.Cm.bytes_fp64;
+  (* Overridden broadcasters ship E4M3 under STC. *)
+  for i = 1 to 3 do
+    for j = 0 to i - 1 do
+      if 4 - 1 - j > 0 then begin
+        Alcotest.(check strat) "stc" Cm.Stc (Cm.strategy cm i j);
+        Alcotest.(check scalar) "e4m3" Fp.S_fp8_e4m3 (Cm.comm_scalar cm i j)
+      end
+    done
+  done
+
+let test_override_never_widens () =
+  let pmap = Pm.two_level ~nt:4 ~off_diag:Fp.Fp16 in
+  let base = Cm.compute pmap in
+  (* Asking for FP64 everywhere would widen every transfer: refused
+     tile-for-tile, the map comes back unchanged. *)
+  let widened = Cm.override base pmap ~f:(fun _ _ -> Some Fp.S_fp64) in
+  Alcotest.(check bool) "widening override is a no-op" true (Cm.equal base widened);
+  (* The last diagonal tile never broadcasts, so even a narrowing request
+     leaves it alone. *)
+  let cm = Cm.override base pmap ~f:(fun i j ->
+    if i = 3 && j = 3 then Some Fp.S_fp8_e5m2 else None)
+  in
+  Alcotest.(check bool) "non-broadcasting tile untouched" true (Cm.equal base cm)
+
 let prop_motion_ordering =
   QCheck.Test.make ~name:"bytes: STC ≤ TTC ≤ FP64 for any norm-rule map" ~count:30
     (QCheck.pair (QCheck.float_range 1e-10 1e-2) (QCheck.float_range 0.002 0.1))
@@ -191,6 +238,9 @@ let () =
         [
           Alcotest.test_case "NT=4 hand-computed" `Quick test_motion_nt4_hand_computed;
           Alcotest.test_case "uniform FP64 degenerate" `Quick test_motion_fp64_degenerate;
+          Alcotest.test_case "FP8 override changes STC bytes" `Quick
+            test_motion_fp8_override;
+          Alcotest.test_case "override never widens" `Quick test_override_never_widens;
           QCheck_alcotest.to_alcotest prop_motion_ordering;
         ] );
     ]

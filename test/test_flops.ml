@@ -33,7 +33,13 @@ let test_tile_bytes () =
   Alcotest.(check bool) "fp64 tile" true
     (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp64) (128. *. 128. *. 8.));
   Alcotest.(check bool) "fp16 tile" true
-    (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp16) (128. *. 128. *. 2.))
+    (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp16) (128. *. 128. *. 2.));
+  (* One byte per element for both FP8 formats — no silent FP64 fallback
+     for the newest scalars. *)
+  Alcotest.(check bool) "e4m3 tile" true
+    (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp8_e4m3) (128. *. 128. *. 1.));
+  Alcotest.(check bool) "e5m2 tile" true
+    (feq (Flops.tile_bytes ~nb:128 ~scalar:Fp.S_fp8_e5m2) (128. *. 128. *. 1.))
 
 let prop_cholesky_monotone =
   QCheck.Test.make ~name:"cholesky flops monotone in n" ~count:100

@@ -17,11 +17,15 @@ let test_special_values () =
     Fp.all_scalars
 
 let test_exact_values_fixed () =
-  (* Powers of two and small integers are exact in every format. *)
+  (* Powers of two and small integers inside the format's range are exact
+     in every format (1024 exceeds E4M3's 448 ceiling, so keep the probe
+     set within every range). *)
   List.iter
     (fun s ->
       List.iter
-        (fun x -> Alcotest.(check (float 0.)) "exact" x (Fp.round s x))
+        (fun x ->
+          if Float.abs x <= Fp.scalar_max_value s then
+            Alcotest.(check (float 0.)) "exact" x (Fp.round s x))
         [ 1.; 2.; 0.5; -4.; 1024.; 0.0625; 3.; -7. ])
     Fp.all_scalars
 
@@ -65,14 +69,20 @@ let test_unit_roundoff_ordering () =
   Alcotest.(check bool) "fp64 < fp32" true (u Fp.S_fp64 < u Fp.S_fp32);
   Alcotest.(check bool) "fp32 < tf32" true (u Fp.S_fp32 < u Fp.S_tf32);
   Alcotest.(check bool) "tf32 = fp16" true (u Fp.S_tf32 = u Fp.S_fp16);
-  Alcotest.(check bool) "fp16 < bf16" true (u Fp.S_fp16 < u Fp.S_bf16)
+  Alcotest.(check bool) "fp16 < bf16" true (u Fp.S_fp16 < u Fp.S_bf16);
+  Alcotest.(check bool) "bf16 < e4m3" true (u Fp.S_bf16 < u Fp.S_fp8_e4m3);
+  Alcotest.(check bool) "e4m3 < e5m2" true (u Fp.S_fp8_e4m3 < u Fp.S_fp8_e5m2);
+  Alcotest.(check (float 0.)) "e4m3 u" (Float.ldexp 1. (-4)) (u Fp.S_fp8_e4m3);
+  Alcotest.(check (float 0.)) "e5m2 u" (Float.ldexp 1. (-3)) (u Fp.S_fp8_e5m2)
 
 let test_bytes () =
   Alcotest.(check int) "fp64" 8 (Fp.scalar_bytes Fp.S_fp64);
   Alcotest.(check int) "fp32" 4 (Fp.scalar_bytes Fp.S_fp32);
   Alcotest.(check int) "tf32 stored as 4B" 4 (Fp.scalar_bytes Fp.S_tf32);
   Alcotest.(check int) "fp16" 2 (Fp.scalar_bytes Fp.S_fp16);
-  Alcotest.(check int) "bf16" 2 (Fp.scalar_bytes Fp.S_bf16)
+  Alcotest.(check int) "bf16" 2 (Fp.scalar_bytes Fp.S_bf16);
+  Alcotest.(check int) "e4m3" 1 (Fp.scalar_bytes Fp.S_fp8_e4m3);
+  Alcotest.(check int) "e5m2" 1 (Fp.scalar_bytes Fp.S_fp8_e5m2)
 
 let test_higher_scalar () =
   Alcotest.(check scalar) "64 vs 16" Fp.S_fp64 (Fp.higher_scalar Fp.S_fp64 Fp.S_fp16);
@@ -107,6 +117,165 @@ let test_names_roundtrip () =
         (Fp.scalar_of_string (Fp.scalar_name s) = Some s))
     Fp.all_scalars;
   Alcotest.(check bool) "unknown" true (Fp.of_string "FP8" = None)
+
+(* --- FP8 (OCP e4m3 / e5m2) --------------------------------------------- *)
+
+let fp8s = [ Fp.S_fp8_e4m3; Fp.S_fp8_e5m2 ]
+
+let test_fp8_known_values () =
+  (* E4M3: max finite 448 (all-ones pattern is NaN, not a number). *)
+  Alcotest.(check (float 0.)) "e4m3 max" 448. (Fp.scalar_max_value Fp.S_fp8_e4m3);
+  Alcotest.(check (float 0.)) "e4m3 max exact" 448. (Fp.round Fp.S_fp8_e4m3 448.);
+  Alcotest.(check (float 0.)) "e5m2 max" 57344. (Fp.scalar_max_value Fp.S_fp8_e5m2);
+  Alcotest.(check (float 0.)) "e5m2 max exact" 57344. (Fp.round Fp.S_fp8_e5m2 57344.);
+  (* Smallest subnormals: 2^-9 and 2^-16. *)
+  Alcotest.(check (float 0.)) "e4m3 tiny" (Float.ldexp 1. (-9))
+    (Fp.scalar_min_subnormal Fp.S_fp8_e4m3);
+  Alcotest.(check (float 0.)) "e5m2 tiny" (Float.ldexp 1. (-16))
+    (Fp.scalar_min_subnormal Fp.S_fp8_e5m2);
+  (* Grid rounding at 1.0: ulp is 2^-3 / 2^-2. *)
+  Alcotest.(check (float 0.)) "e4m3 1+eps/4 down" 1.
+    (Fp.round Fp.S_fp8_e4m3 (1. +. (0.25 /. 8.)));
+  Alcotest.(check (float 0.)) "e4m3 tie to even" 1.
+    (Fp.round Fp.S_fp8_e4m3 (1. +. (0.5 /. 8.)));
+  Alcotest.(check (float 0.)) "e4m3 up" 1.125 (Fp.round Fp.S_fp8_e4m3 1.1);
+  (* Subnormal flush boundary. *)
+  Alcotest.(check (float 0.)) "e4m3 tiny/2 flushes" 0.
+    (Fp.round Fp.S_fp8_e4m3 (Float.ldexp 1. (-10)));
+  Alcotest.(check (float 0.)) "e4m3 0.75·tiny rounds up" (Float.ldexp 1. (-9))
+    (Fp.round Fp.S_fp8_e4m3 (0.75 *. Float.ldexp 1. (-9)))
+
+let test_fp8_saturation () =
+  (* Finite overflow saturates to ±max instead of producing an infinity
+     (which E4M3 does not even have). *)
+  Alcotest.(check (float 0.)) "464 rounds to even 448" 448.
+    (Fp.round Fp.S_fp8_e4m3 464.);
+  Alcotest.(check (float 0.)) "465 saturates" 448. (Fp.round Fp.S_fp8_e4m3 465.);
+  Alcotest.(check (float 0.)) "1e6 saturates" 448. (Fp.round Fp.S_fp8_e4m3 1e6);
+  Alcotest.(check (float 0.)) "neg saturates" (-448.) (Fp.round Fp.S_fp8_e4m3 (-1e6));
+  Alcotest.(check (float 0.)) "e5m2 saturates" 57344. (Fp.round Fp.S_fp8_e5m2 1e9);
+  Alcotest.(check (float 0.)) "e5m2 neg" (-57344.) (Fp.round Fp.S_fp8_e5m2 (-61441.));
+  (* Infinities still pass through round (they are inputs, not overflow). *)
+  Alcotest.(check (float 0.)) "inf passes" infinity (Fp.round Fp.S_fp8_e4m3 infinity)
+
+let test_fp8_codec_known_patterns () =
+  (* E4M3: 0x7E = 448, 0x01 = 2^-9, 0x7F = NaN, 0x80 = -0. *)
+  Alcotest.(check (float 0.)) "e4m3 0x7E" 448. (Fp.fp8_decode Fp.S_fp8_e4m3 0x7E);
+  Alcotest.(check (float 0.)) "e4m3 0x01" (Float.ldexp 1. (-9))
+    (Fp.fp8_decode Fp.S_fp8_e4m3 0x01);
+  Alcotest.(check bool) "e4m3 0x7F nan" true
+    (Float.is_nan (Fp.fp8_decode Fp.S_fp8_e4m3 0x7F));
+  Alcotest.(check bool) "e4m3 0x80 is -0" true
+    (Float.sign_bit (Fp.fp8_decode Fp.S_fp8_e4m3 0x80));
+  (* E5M2: 0x7B = 57344 (max finite), 0x7C = +inf, 0x7D–0x7F = NaN. *)
+  Alcotest.(check (float 0.)) "e5m2 0x7B" 57344. (Fp.fp8_decode Fp.S_fp8_e5m2 0x7B);
+  Alcotest.(check (float 0.)) "e5m2 0x7C inf" infinity
+    (Fp.fp8_decode Fp.S_fp8_e5m2 0x7C);
+  Alcotest.(check (float 0.)) "e5m2 0xFC -inf" neg_infinity
+    (Fp.fp8_decode Fp.S_fp8_e5m2 0xFC);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "e5m2 0x%02X nan" b)
+        true
+        (Float.is_nan (Fp.fp8_decode Fp.S_fp8_e5m2 b)))
+    [ 0x7D; 0x7E; 0x7F; 0xFD; 0xFE; 0xFF ]
+
+(* The tentpole's exhaustive check: every one of the 256 bit patterns of
+   each FP8 format round-trips through decode → encode.  Non-NaN patterns
+   are exact fixed points of both the codec and [round]; NaN patterns stay
+   NaN with their sign preserved (encode canonicalizes E5M2's three NaN
+   mantissas). *)
+let test_fp8_exhaustive_roundtrip () =
+  List.iter
+    (fun s ->
+      for b = 0 to 255 do
+        let name = Printf.sprintf "%s 0x%02X" (Fp.scalar_name s) b in
+        let v = Fp.fp8_decode s b in
+        if Float.is_nan v then begin
+          let e = Fp.fp8_encode s v in
+          Alcotest.(check bool) (name ^ " nan stays nan") true
+            (Float.is_nan (Fp.fp8_decode s e));
+          Alcotest.(check int) (name ^ " nan sign") (b land 0x80) (e land 0x80)
+        end
+        else begin
+          Alcotest.(check int) (name ^ " roundtrip") b (Fp.fp8_encode s v);
+          (* Every representable value is a fixed point of rounding. *)
+          if Float.is_finite v then
+            Alcotest.(check (float 0.)) (name ^ " fixed point") v (Fp.round s v)
+        end
+      done)
+    fp8s
+
+let test_fp8_encode_of_unrepresentable () =
+  (* encode = encode ∘ round: saturation and ties handled identically. *)
+  Alcotest.(check int) "465 → 0x7E" 0x7E (Fp.fp8_encode Fp.S_fp8_e4m3 465.);
+  Alcotest.(check int) "-1e9 → 0xFE" 0xFE (Fp.fp8_encode Fp.S_fp8_e4m3 (-1e9));
+  Alcotest.(check int) "e5m2 +inf → 0x7C" 0x7C (Fp.fp8_encode Fp.S_fp8_e5m2 infinity);
+  Alcotest.(check int) "e4m3 +inf → 0x7E" 0x7E (Fp.fp8_encode Fp.S_fp8_e4m3 infinity);
+  Alcotest.(check int) "e4m3 nan → 0x7F" 0x7F (Fp.fp8_encode Fp.S_fp8_e4m3 nan);
+  Alcotest.(check int) "-0 → 0x80" 0x80 (Fp.fp8_encode Fp.S_fp8_e4m3 (-0.))
+
+let test_fp8_partial_order () =
+  (* Every wider format in the chain refines both FP8s... *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s refines %s" (Fp.scalar_name t) (Fp.scalar_name s))
+            true (Fp.refines t s))
+        fp8s)
+    [ Fp.S_fp64; Fp.S_fp32; Fp.S_tf32; Fp.S_fp16; Fp.S_bf16 ];
+  (* ...but the two FP8s are incomparable (precision vs range), like
+     FP16/BF16 one level up. *)
+  Alcotest.(check bool) "e4m3 !> e5m2" false (Fp.refines Fp.S_fp8_e4m3 Fp.S_fp8_e5m2);
+  Alcotest.(check bool) "e5m2 !> e4m3" false (Fp.refines Fp.S_fp8_e5m2 Fp.S_fp8_e4m3);
+  Alcotest.(check bool) "nothing below refines fp16" false
+    (Fp.refines Fp.S_fp8_e4m3 Fp.S_fp16)
+
+let fp8_value_gen =
+  (* Concentrated where FP8 values live, including subnormal and
+     saturation territory. *)
+  QCheck.oneof
+    [
+      QCheck.float_range (-480.) 480.;
+      QCheck.float_range (-1.) 1.;
+      QCheck.float_range (-70000.) 70000.;
+      QCheck.float_range (-0.01) 0.01;
+    ]
+
+let prop_fp8_round_idempotent =
+  QCheck.Test.make ~name:"FP8 rounding is idempotent" ~count:2000
+    (QCheck.pair (QCheck.oneofl fp8s) fp8_value_gen)
+    (fun (s, x) ->
+      let y = Fp.round s x in
+      Fp.round s y = y)
+
+let prop_fp8_round_monotone =
+  QCheck.Test.make ~name:"FP8 rounding is monotone" ~count:2000
+    (QCheck.triple (QCheck.oneofl fp8s) fp8_value_gen fp8_value_gen)
+    (fun (s, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Fp.round s lo <= Fp.round s hi)
+
+let prop_fp8_respects_partial_order =
+  (* refines t s ⇒ re-rounding an s-value to t is the identity: an FP8
+     result survives a trip through FP16/BF16 (or wider) untouched. *)
+  QCheck.Test.make ~name:"FP8 values are fixed points of refining formats" ~count:2000
+    (QCheck.triple (QCheck.oneofl fp8s)
+       (QCheck.oneofl [ Fp.S_fp16; Fp.S_bf16; Fp.S_tf32; Fp.S_fp32 ])
+       fp8_value_gen)
+    (fun (s, t, x) ->
+      let y = Fp.round s x in
+      (not (Float.is_finite y)) || Fp.round t y = y)
+
+let prop_fp8_codec_matches_round =
+  QCheck.Test.make ~name:"fp8 decode∘encode = round" ~count:2000
+    (QCheck.pair (QCheck.oneofl fp8s) fp8_value_gen)
+    (fun (s, x) ->
+      Fp.fp8_decode s (Fp.fp8_encode s x) = Fp.round s x
+      || Float.is_nan x)
 
 (* OCaml's Int32.bits_of_float performs IEEE double→single conversion with
    round-to-nearest-even in hardware: a perfect oracle for S_fp32. *)
@@ -161,12 +330,15 @@ let prop_half_ulp =
     (fun (s, x) ->
       if x = 0. then true
       else begin
-        let y = Fp.round s x in
-        if not (Float.is_finite y) then true
+        let u = Fp.scalar_unit_roundoff s in
+        (* The relative bound only holds inside the format's normal range:
+           outside it FP8 saturates (and any format underflows gradually). *)
+        let min_normal = Fp.scalar_min_subnormal s /. (2. *. u) in
+        if Float.abs x > Fp.scalar_max_value s || Float.abs x < min_normal then true
         else begin
-          let u = Fp.scalar_unit_roundoff s in
-          (* |x−y| ≤ u·|x| for normal x (subnormals handled coarsely). *)
-          Float.abs (y -. x) <= (u *. Float.abs x) +. 1e-300
+          let y = Fp.round s x in
+          if not (Float.is_finite y) then true
+          else Float.abs (y -. x) <= (u *. Float.abs x) +. 1e-300
         end
       end)
 
@@ -203,7 +375,22 @@ let () =
           Alcotest.test_case "rule epsilon ordering" `Quick test_rule_epsilon_ordering;
           Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
         ] );
+      ( "fp8",
+        [
+          Alcotest.test_case "known values" `Quick test_fp8_known_values;
+          Alcotest.test_case "saturation" `Quick test_fp8_saturation;
+          Alcotest.test_case "codec known patterns" `Quick test_fp8_codec_known_patterns;
+          Alcotest.test_case "exhaustive 256-pattern roundtrip" `Quick
+            test_fp8_exhaustive_roundtrip;
+          Alcotest.test_case "encode of unrepresentable" `Quick
+            test_fp8_encode_of_unrepresentable;
+          Alcotest.test_case "partial order" `Quick test_fp8_partial_order;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_idempotent; prop_monotone; prop_half_ulp; prop_sign_preserved ] );
+          [
+            prop_idempotent; prop_monotone; prop_half_ulp; prop_sign_preserved;
+            prop_fp8_round_idempotent; prop_fp8_round_monotone;
+            prop_fp8_respects_partial_order; prop_fp8_codec_matches_round;
+          ] );
     ]

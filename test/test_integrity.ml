@@ -12,6 +12,7 @@ module Mat = Geomix_linalg.Mat
 module Tiled = Geomix_tile.Tiled
 module Fp = Geomix_precision.Fpformat
 module Pm = Geomix_core.Precision_map
+module Cm = Geomix_core.Comm_map
 module Chol = Geomix_core.Mp_cholesky
 module Fault = Geomix_fault.Fault
 module Retry = Geomix_fault.Retry
@@ -66,7 +67,7 @@ let test_checksum_tolerates_conversion () =
            (Fp.scalar_name scalar))
         false
         (Checksum.matches_scalar cs ~scalar bad))
-    [ Fp.S_fp32; Fp.S_bf16; Fp.S_fp16 ]
+    [ Fp.S_fp32; Fp.S_bf16; Fp.S_fp16; Fp.S_fp8_e4m3; Fp.S_fp8_e5m2 ]
 
 let test_checksum_fp64_hop_is_exact () =
   (* The identity conversion degrades to the exact discipline: even a
@@ -212,24 +213,56 @@ let test_guarded_factorization_bitwise () =
       Alcotest.(check int) "nothing detected" 0 (Guard.detected g))
     [ Chol.Automatic; Chol.Always_ttc ]
 
-(* Acceptance property: across seeds, tile counts and precision maps, a
-   factorization under silent data corruption (plus the ordinary exec
-   faults, so SDC interacts with retry/rollback) either recovers to the
-   bitwise fault-free factor with detected = recovered, or surfaces
-   Guard.Corrupt — an injected corruption never escapes silently. *)
+(* An Algorithm 2 map with every off-diagonal broadcast forced down to
+   FP8-E5M2 wherever that narrows the wire — the autotuner's override
+   entry point, exercised here so the SDC property also covers FP8
+   transfer fingerprints. *)
+let fp8_cmap pmap =
+  Cm.override (Cm.compute pmap) pmap ~f:(fun i j ->
+    if i <> j then Some Fp.S_fp8_e5m2 else None)
+
+let test_fp8_cmap_guard_pure_observer () =
+  (* Fault-free, FP8 on the wire: the guard's conversion-tolerant
+     fingerprints must accept every E5M2 hop (unit roundoff 2^-3) and the
+     guarded run must stay bitwise identical to the unguarded one. *)
+  let nt = 4 and nb = 8 in
+  let pmap = Pm.two_level ~nt ~off_diag:Fp.Fp16_32 in
+  let cmap = fp8_cmap pmap in
+  let reference = spd ~nt ~nb in
+  Chol.factorize ~cmap ~pmap reference;
+  let a = spd ~nt ~nb in
+  let g = Guard.create ~snapshots:true () in
+  Chol.factorize ~cmap ~integrity:g ~pmap a;
+  Alcotest.(check (float 0.)) "bitwise identical" 0. (Tiled.rel_diff a ~reference);
+  Alcotest.(check bool) "guard actually verified" true (Guard.verified g > 0);
+  Alcotest.(check int) "nothing detected" 0 (Guard.detected g);
+  (* And FP8 genuinely changed the wire: the reference differs from a
+     factorization under Algorithm 2's own map. *)
+  let plain = spd ~nt ~nb in
+  Chol.factorize ~pmap plain;
+  Alcotest.(check bool) "fp8 transfers perturb the factor" true
+    (Tiled.rel_diff plain ~reference > 0.)
+
+(* Acceptance property: across seeds, tile counts and precision maps —
+   including FP8-E5M2 transfer overrides — a factorization under silent
+   data corruption (plus the ordinary exec faults, so SDC interacts with
+   retry/rollback) either recovers to the bitwise fault-free factor with
+   detected = recovered, or surfaces Guard.Corrupt — an injected
+   corruption never escapes silently. *)
 let prop_sdc_never_escapes =
   QCheck.Test.make ~count:60 ~name:"armed SDC never escapes the guard"
-    QCheck.(triple (int_range 0 999) (int_range 2 5) (int_range 0 2))
+    QCheck.(triple (int_range 0 999) (int_range 2 5) (int_range 0 3))
     (fun (seed, nt, which_pmap) ->
       let nb = 8 in
       let pmap =
         match which_pmap with
-        | 0 -> Pm.two_level ~nt ~off_diag:Fp.Fp16_32
+        | 0 | 3 -> Pm.two_level ~nt ~off_diag:Fp.Fp16_32
         | 1 -> Pm.two_level ~nt ~off_diag:Fp.Bf16_32
         | _ -> Pm.uniform ~nt Fp.Fp32
       in
+      let cmap = if which_pmap = 3 then Some (fp8_cmap pmap) else None in
       let reference = spd ~nt ~nb in
-      Chol.factorize ~pmap reference;
+      Chol.factorize ?cmap ~pmap reference;
       let a = spd ~nt ~nb in
       let faults =
         Fault.plan ~rate:0.4
@@ -239,8 +272,8 @@ let prop_sdc_never_escapes =
       let g = Guard.create ~snapshots:true () in
       match
         Pool.with_pool ~num_workers:0 (fun pool ->
-          Chol.factorize ~pool ~faults ~retry:(Retry.immediate ()) ~integrity:g
-            ~pmap a)
+          Chol.factorize ~pool ?cmap ~faults ~retry:(Retry.immediate ())
+            ~integrity:g ~pmap a)
       with
       | () ->
         Tiled.rel_diff a ~reference = 0.
@@ -280,6 +313,8 @@ let () =
         [
           Alcotest.test_case "fault-free guard is a pure observer" `Quick
             test_guarded_factorization_bitwise;
+          Alcotest.test_case "fp8 transfers under guard" `Quick
+            test_fp8_cmap_guard_pure_observer;
           qtest prop_sdc_never_escapes;
         ] );
     ]
