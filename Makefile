@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check chaos report autotune verify-slow clean
+.PHONY: all test check chaos report autotune serve serve-smoke verify-slow clean
 
 all:
 	dune build @all
@@ -38,6 +38,21 @@ autotune:
 	dune exec bin/geomix.exe -- autotune --smoke --out geomix-frontier.md \
 	  --json geomix-frontier.json
 	@echo "wrote geomix-frontier.md and geomix-frontier.json"
+
+# Long-lived model service on a Unix-domain socket (ROADMAP item 2):
+# likelihood / prediction / Monte-Carlo batches over a shared domain pool
+# with a shape-keyed artifact cache.  Ctrl-C (or a shutdown request) stops
+# it.
+serve:
+	dune exec bin/geomix.exe -- serve
+
+# Service load smoke (the CI serve-smoke job): an in-process server plus
+# 8 concurrent socket clients driving >= 200 requests, gated on p50/p99
+# latency and the cache hit rate against the committed baseline.
+serve-smoke:
+	dune exec bench/b_serve.exe -- --smoke --json BENCH_serve.json \
+	  --compare bench/BENCH_baseline.json
+	@echo "wrote BENCH_serve.json"
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

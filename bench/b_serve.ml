@@ -1,0 +1,332 @@
+(* Service load generator: an in-process `geomix serve` instance plus N
+   concurrent socket clients, measuring end-to-end request latency,
+   throughput and the artifact-cache hit rate through the real
+   length-prefixed protocol.
+
+   CI mode (`--smoke`): 8 clients drive >= 200 requests over 4 problem
+   shapes after a sequential warm-up pass, so the expected cache behaviour
+   is deterministic (exactly one miss per shape, single-flight).  The
+   acceptance checks are armed: every request must receive its reply
+   (zero dropped), no error replies, a hit rate above 0.5, and Monte-Carlo
+   progress frames must stream.  `--json` writes the BENCH_serve.json
+   artifact; `--compare BASELINE` gates serve_p50_ms / serve_p99_ms /
+   serve_cache_hit_frac against the committed baseline. *)
+
+module Bench_json = Geomix_obs.Bench_json
+module Pool = Geomix_parallel.Pool
+module Server = Geomix_serve.Server
+module Cache = Geomix_serve.Cache
+module P = Geomix_serve.Protocol
+module Covariance = Geomix_geostat.Covariance
+
+type cfg = {
+  smoke : bool;
+  clients : int;
+  requests : int; (* main-phase total, split across clients *)
+  json_path : string option;
+  compare_with : string option;
+  tolerance : float;
+}
+
+let default_cfg =
+  {
+    smoke = false;
+    clients = 8;
+    requests = 200;
+    json_path = None;
+    compare_with = None;
+    tolerance = 3.0;
+  }
+
+(* The four problem shapes of the workload: one cache artifact each. *)
+let shapes ~n ~nb =
+  [|
+    { P.n; nb; u_req = 1e-6; family = Covariance.Sqexp; sigma2 = 1.0;
+      beta = 0.1; nu = 0.5; nugget = Covariance.default_nugget;
+      locs_seed = 42; data_seed = 0 };
+    { P.n; nb; u_req = 1e-4; family = Covariance.Sqexp; sigma2 = 1.0;
+      beta = 0.2; nu = 0.5; nugget = Covariance.default_nugget;
+      locs_seed = 42; data_seed = 0 };
+    { P.n; nb; u_req = 1e-6; family = Covariance.Matern; sigma2 = 1.0;
+      beta = 0.1; nu = 0.5; nugget = Covariance.default_nugget;
+      locs_seed = 7; data_seed = 0 };
+    { P.n; nb; u_req = 1e-8; family = Covariance.Powexp; sigma2 = 1.5;
+      beta = 0.15; nu = 1.0; nugget = Covariance.default_nugget;
+      locs_seed = 7; data_seed = 0 };
+  |]
+
+(* {2 Socket client} *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let rec connect_retry path attempts =
+  match connect path with
+  | conn -> conn
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+    when attempts > 1 ->
+    Unix.sleepf 0.05;
+    connect_retry path (attempts - 1)
+
+(* One request over an open connection: write the frame, read frames until
+   the terminal reply for our id.  Returns the reply and the number of
+   progress frames seen. *)
+let roundtrip ic oc (req : P.request) =
+  P.write_frame oc (P.request_to_json req);
+  let progress = ref 0 in
+  let rec await () =
+    match P.read_frame ic with
+    | Error msg -> Error msg
+    | Ok json -> (
+      match P.frame_of_json json with
+      | Error msg -> Error msg
+      | Ok (P.Progress { id; _ }) when id = req.P.id ->
+        incr progress;
+        await ()
+      | Ok (P.Progress _) -> await ()
+      | Ok (P.Reply { id; reply }) ->
+        if id = req.P.id then Ok reply
+        else Error (Printf.sprintf "reply for %S while awaiting %S" id req.P.id))
+  in
+  let r = await () in
+  (r, !progress)
+
+type outcome = {
+  latency_s : float;
+  ok : bool; (* a non-error reply *)
+  cache_hit : bool;
+  progress : int;
+}
+
+let cache_hit_of = function
+  | P.Likelihood_r { cache_hit; _ }
+  | P.Predict_r { cache_hit; _ }
+  | P.Mc_r { cache_hit; _ } ->
+    Some cache_hit
+  | P.Pong | P.Shutdown_r | P.Error_r _ -> None
+
+let issue ic oc req =
+  let t0 = Unix.gettimeofday () in
+  let r, progress = roundtrip ic oc req in
+  let latency_s = Unix.gettimeofday () -. t0 in
+  match r with
+  | Error msg ->
+    prerr_endline ("b_serve: transport error: " ^ msg);
+    { latency_s; ok = false; cache_hit = false; progress }
+  | Ok (P.Error_r { code; message }) ->
+    Printf.eprintf "b_serve: %s error: %s\n%!" (P.error_code_name code) message;
+    { latency_s; ok = false; cache_hit = false; progress }
+  | Ok reply ->
+    {
+      latency_s;
+      ok = true;
+      cache_hit = Option.value (cache_hit_of reply) ~default:false;
+      progress;
+    }
+
+(* The request mix, deterministic per (client, slot): mostly likelihoods,
+   every 5th a Monte-Carlo batch, every 7th a kriging prediction. *)
+let request_for ~shapes ~client ~slot =
+  let k = (client + slot) mod Array.length shapes in
+  let spec = { (shapes.(k)) with P.data_seed = (client * 1000) + slot } in
+  let id = Printf.sprintf "c%d-%d" client slot in
+  let priority =
+    match slot mod 3 with 0 -> P.High | 1 -> P.Normal | _ -> P.Low
+  in
+  let payload =
+    if slot mod 5 = 4 then P.Mc_batch { spec; replicates = 4 }
+    else if slot mod 7 = 6 then
+      P.Predict { spec; n_new = 8; pred_seed = 100 + slot }
+    else P.Likelihood spec
+  in
+  { P.id; priority; timeout_s = None; payload }
+
+(* {2 Harness} *)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let run cfg =
+  let n, nb = if cfg.smoke then (64, 16) else (256, 32) in
+  let shapes = shapes ~n ~nb in
+  let path = Printf.sprintf "/tmp/geomix-serve-bench-%d.sock" (Unix.getpid ()) in
+  let obs = Geomix_obs.Metrics.create () in
+  let pool = Pool.create ~obs () in
+  let server =
+    Server.create ~obs ~max_inflight:4
+      ~queue_capacity:(max 16 (2 * cfg.clients))
+      ~cache_capacity:32 ~pool ()
+  in
+  let server_thread =
+    Thread.create (fun () -> Server.serve_unix server ~path ()) ()
+  in
+  (* Readiness barrier: connect (with retry while the listener binds) and
+     ping. *)
+  let fd0, ic0, oc0 = connect_retry path 100 in
+  (match
+     roundtrip ic0 oc0
+       { P.id = "ready"; priority = P.Normal; timeout_s = None; payload = P.Ping }
+   with
+  | Ok P.Pong, _ -> ()
+  | _ -> failwith "b_serve: server did not answer ping");
+  (* Warm-up: one request per shape, sequential, so the cache is populated
+     with exactly one miss per shape before the measured phase. *)
+  let warm =
+    Array.to_list shapes
+    |> List.mapi (fun i spec ->
+           issue ic0 oc0
+             {
+               P.id = Printf.sprintf "warm-%d" i;
+               priority = P.Normal;
+               timeout_s = None;
+               payload = P.Likelihood { spec with P.data_seed = 999 };
+             })
+  in
+  let per_client = (cfg.requests + cfg.clients - 1) / cfg.clients in
+  let results = Array.make (cfg.clients * per_client) None in
+  let t_start = Unix.gettimeofday () in
+  let client_thread c =
+    let fd, ic, oc = connect path in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        for slot = 0 to per_client - 1 do
+          let req = request_for ~shapes ~client:c ~slot in
+          results.((c * per_client) + slot) <- Some (issue ic oc req)
+        done)
+  in
+  let threads = List.init cfg.clients (fun c -> Thread.create client_thread c) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t_start in
+  (* Shut the server down over the wire and join it. *)
+  (match
+     roundtrip ic0 oc0
+       {
+         P.id = "stop";
+         priority = P.Normal;
+         timeout_s = None;
+         payload = P.Shutdown;
+       }
+   with
+  | Ok P.Shutdown_r, _ -> ()
+  | _ -> prerr_endline "b_serve: shutdown handshake failed");
+  (try Unix.close fd0 with Unix.Unix_error _ -> ());
+  Thread.join server_thread;
+  Pool.shutdown pool;
+  (* {2 Aggregation} *)
+  let main = Array.to_list results |> List.filter_map Fun.id in
+  let sent = cfg.clients * per_client in
+  let received = List.length main in
+  let dropped = sent - received in
+  let all = warm @ main in
+  let errors = List.length (List.filter (fun o -> not o.ok) all) in
+  let hits = List.length (List.filter (fun o -> o.ok && o.cache_hit) all) in
+  let answered = List.length (List.filter (fun o -> o.ok) all) in
+  let hit_frac =
+    if answered = 0 then 0. else float_of_int hits /. float_of_int answered
+  in
+  let progress_frames = List.fold_left (fun acc o -> acc + o.progress) 0 all in
+  let lat = List.map (fun o -> o.latency_s) main |> Array.of_list in
+  Array.sort compare lat;
+  let p50_ms = 1000. *. quantile lat 0.50 in
+  let p99_ms = 1000. *. quantile lat 0.99 in
+  let throughput = float_of_int received /. elapsed in
+  let cstats = Cache.stats (Server.cache server) in
+  Printf.printf
+    "serve bench: %d clients, %d+%d requests (warm+main) over %s\n"
+    cfg.clients (List.length warm) sent path;
+  Printf.printf
+    "  received %d  dropped %d  errors %d  progress frames %d\n"
+    received dropped errors progress_frames;
+  Printf.printf "  p50 %.2f ms  p99 %.2f ms  throughput %.1f req/s\n" p50_ms
+    p99_ms throughput;
+  Printf.printf "  cache: %d hits / %d misses / %d evictions (hit rate %.3f)\n"
+    cstats.Cache.hits cstats.Cache.misses cstats.Cache.evictions hit_frac;
+  let metrics =
+    [
+      Bench_json.metric ~units:"ms" "serve_p50_ms" p50_ms;
+      Bench_json.metric ~units:"ms" "serve_p99_ms" p99_ms;
+      Bench_json.metric ~units:"req/s" ~direction:Bench_json.Higher_is_better
+        "serve_throughput_rps" throughput;
+      Bench_json.metric ~direction:Bench_json.Higher_is_better
+        "serve_cache_hit_frac" hit_frac;
+      Bench_json.metric "serve_dropped" (float_of_int dropped);
+      Bench_json.metric "serve_errors" (float_of_int errors);
+      Bench_json.metric ~direction:Bench_json.Higher_is_better
+        "serve_requests" (float_of_int (received + List.length warm));
+    ]
+  in
+  let bench = Bench_json.make ~suite:"serve" metrics in
+  (match cfg.json_path with
+  | None -> ()
+  | Some path ->
+    Bench_json.write ~path bench;
+    Printf.printf "wrote %s\n" path);
+  (* Acceptance checks (always on; `--smoke` additionally pins the minimum
+     request volume the CI job advertises). *)
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check (dropped = 0) "dropped responses";
+  check (errors = 0) "error replies";
+  check (hit_frac > 0.5) "cache hit rate at or below 0.5";
+  check (progress_frames > 0) "no Monte-Carlo progress frames streamed";
+  if cfg.smoke then check (received >= 200) "fewer than 200 main-phase requests";
+  List.iter (fun m -> Printf.eprintf "serve bench FAILED: %s\n" m) !failures;
+  let gate_code =
+    match cfg.compare_with with
+    | None -> 0
+    | Some base_path -> (
+      match Bench_json.read ~path:base_path with
+      | Error msg ->
+        Printf.eprintf "cannot read baseline %s: %s\n" base_path msg;
+        1
+      | Ok baseline ->
+        let verdicts =
+          Bench_json.compare ~tolerance:cfg.tolerance ~baseline ~current:bench
+        in
+        Printf.printf "\nregression gate vs %s (tolerance %.0f%%):\n%s"
+          base_path (100. *. cfg.tolerance)
+          (Bench_json.report_verdicts verdicts);
+        if Bench_json.any_regressed verdicts then begin
+          Printf.eprintf "serve gate FAILED: metrics regressed beyond %.0f%%\n"
+            (100. *. cfg.tolerance);
+          1
+        end
+        else begin
+          Printf.printf "serve gate passed.\n";
+          0
+        end)
+  in
+  if !failures <> [] then 1 else gate_code
+
+let usage () =
+  print_endline
+    "usage: b_serve.exe [--smoke] [--clients N] [--requests N] [--json PATH]\n\
+    \       [--compare BASELINE] [--tolerance F]"
+
+let () =
+  let rec parse cfg = function
+    | [] -> cfg
+    | "--smoke" :: rest -> parse { cfg with smoke = true } rest
+    | "--clients" :: v :: rest ->
+      parse { cfg with clients = int_of_string v } rest
+    | "--requests" :: v :: rest ->
+      parse { cfg with requests = int_of_string v } rest
+    | "--json" :: v :: rest -> parse { cfg with json_path = Some v } rest
+    | "--compare" :: v :: rest -> parse { cfg with compare_with = Some v } rest
+    | "--tolerance" :: v :: rest ->
+      parse { cfg with tolerance = float_of_string v } rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\n" arg;
+      usage ();
+      exit 2
+  in
+  let cfg = parse default_cfg (List.tl (Array.to_list Sys.argv)) in
+  exit (run cfg)

@@ -977,13 +977,90 @@ let autotune_cmd =
       const run $ smoke_arg $ nt_arg $ nb_small_arg $ seed_arg $ targets_arg
       $ machine_arg $ format_arg $ out_arg $ json_out_arg $ verbose_arg)
 
+(* serve subcommand *)
+
+let serve_cmd =
+  let module Server = Geomix_serve.Server in
+  let module Cache = Geomix_serve.Cache in
+  let run socket workers max_inflight queue_capacity cache_capacity max_requests
+      verbose =
+    let bus = stderr_bus_of ~verbose in
+    let obs = Geomix_obs.Metrics.create () in
+    Geomix_parallel.Pool.with_pool ~obs ?bus ?num_workers:workers (fun pool ->
+        let server =
+          Server.create ~obs ?bus ~max_inflight ~queue_capacity ~cache_capacity
+            ~pool ()
+        in
+        Printf.printf
+          "geomix serve: listening on %s (%d worker domains, %d slots, queue %d)\n%!"
+          socket
+          (Geomix_parallel.Pool.num_workers pool)
+          max_inflight queue_capacity;
+        Server.serve_unix server ~path:socket ?max_requests ();
+        let s = Cache.stats (Server.cache server) in
+        Printf.printf
+          "geomix serve: stopped after %d requests (cache: %d hits, %d misses, \
+           %d evictions)\n"
+          (Server.served server) s.Cache.hits s.Cache.misses s.Cache.evictions)
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/geomix.sock"
+      & info [ "socket" ] ~doc:"Unix-domain socket path to listen on.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~doc:"Pool worker domains (default: cores - 1).")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ]
+          ~doc:"Concurrent requests executing on the pool.")
+  in
+  let queue_capacity_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-capacity" ]
+          ~doc:
+            "Admission queue depth; requests beyond it are rejected with a \
+             saturated error.")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "cache-capacity" ]
+          ~doc:"Shape-keyed artifact cache entries (LRU beyond this).")
+  in
+  let max_requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ]
+          ~doc:"Stop after answering this many requests (smoke tests).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the model service: a Unix-domain-socket server evaluating \
+          likelihood, kriging prediction and Monte-Carlo likelihood batches \
+          over a shared domain pool, with a shape-keyed cache of precision \
+          maps, communication maps, DAG schedules and autotune advice")
+    Term.(
+      const run $ socket_arg $ workers_arg $ max_inflight_arg
+      $ queue_capacity_arg $ cache_capacity_arg $ max_requests_arg
+      $ verbose_arg)
+
 let () =
   let doc = "mixed-precision geospatial modeling toolkit (CLUSTER 2023 reproduction)" in
   let group =
     Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
       [
         precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd;
-        report_cmd; autotune_cmd;
+        report_cmd; autotune_cmd; serve_cmd;
       ]
   in
   (* CLI error boundary: domain failures exit 2 with a one-line diagnostic

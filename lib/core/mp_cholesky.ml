@@ -27,7 +27,7 @@ let default_options =
 let pidx i j = (i * (i + 1) / 2) + j
 
 let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
-    ?retry ?obs ?integrity ?cmap ?observe ?(fault_round = 1) ~pmap a =
+    ?retry ?obs ?integrity ?cmap ?observe ?(fault_round = 1) ?job ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
@@ -377,7 +377,7 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
   let run pool =
     Dag_exec.run ?obs:dag_obs
       ~task_name:(fun id -> Task.name (Cholesky_dag.kind_of dag id))
-      ?faults ?retry ~capture ?on_retry:note_retry ~pool
+      ?faults ?retry ~capture ?on_retry:note_retry ?job ~pool
       ~num_tasks:(Cholesky_dag.num_tasks dag)
       ~in_degree:(Cholesky_dag.in_degree dag)
       ~successors:(Cholesky_dag.successors dag)
@@ -425,7 +425,7 @@ let restore_tiles ~from a =
   Tiled.iter_lower from (fun ~i ~j m -> Mat.blit ~src:m ~dst:(Tiled.tile a i j))
 
 let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-    ?integrity ?(max_band_escalations = 4) ~pmap a =
+    ?integrity ?(max_band_escalations = 4) ?job ~pmap a =
   let note_band, note_full, note_indefinite =
     match obs with
     | None -> (ignore, ignore, ignore)
@@ -446,7 +446,7 @@ let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
   let rec go round pmap events bands =
     match
       factorize ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-        ?integrity ~fault_round:round ~pmap a
+        ?integrity ~fault_round:round ?job ~pmap a
     with
     | () -> { outcome = Factorized; escalations = List.rev events; rounds = round; pmap }
     | exception exn -> (

@@ -42,6 +42,7 @@ val factorize :
   ?cmap:Comm_map.t ->
   ?observe:(i:int -> j:int -> Geomix_linalg.Mat.t -> unit) ->
   ?fault_round:int ->
+  ?job:Geomix_parallel.Pool.job ->
   pmap:Precision_map.t ->
   Tiled.t ->
   unit
@@ -52,9 +53,15 @@ val factorize :
     [?cmap] substitutes a caller-supplied communication map for the
     [Comm_map.compute pmap] the factorization would otherwise derive — the
     entry point for range-driven transfer formats such as the autotuner's
-    FP8 overrides ({!Comm_map.override}).  Only consulted when the
-    [Automatic] strategy models communication rounding; must have the
-    matrix's tile count.
+    FP8 overrides ({!Comm_map.override}) and the request server's memoized
+    maps ({!Geomix_serve.Cache}).  Only consulted when the [Automatic]
+    strategy models communication rounding; must have the matrix's tile
+    count.
+
+    [?job] scopes the execution to a {!Geomix_parallel.Pool.job}, so
+    concurrent factorizations sharing one pool neither await nor observe
+    each other's tasks or failures — how the request server multiplexes
+    requests over the shared domain pool.
 
     [?observe] is the range-instrumentation hook (the [?obs]-style pilot
     pass of the autotuner): after each kernel writes tile (i, j), the
@@ -190,6 +197,7 @@ val factorize_robust :
   ?obs:Geomix_obs.Metrics.t ->
   ?integrity:Geomix_integrity.Guard.t ->
   ?max_band_escalations:int ->
+  ?job:Geomix_parallel.Pool.job ->
   pmap:Precision_map.t ->
   Tiled.t ->
   report

@@ -44,6 +44,19 @@ type evaluation = {
   status : status;
 }
 
+val assemble :
+  ?status:status ->
+  n:int ->
+  log_det:float ->
+  quad_form:float ->
+  precision_fractions:(Geomix_precision.Fpformat.t * float) list ->
+  unit ->
+  evaluation
+(** Combine the two factorization-derived terms into Eq. (1)'s
+    log-likelihood ([status] defaults to [Clean]).  The entry point for
+    callers that drive the factorization themselves — the request server
+    evaluates many replicates against one factor this way. *)
+
 val evaluate : engine -> cov:Covariance.t -> locs:Locations.t -> z:float array -> evaluation
 (** Evaluate with no recovery: the factorization runs once under the map the
     norm rule produces, and [status] is always [Clean].

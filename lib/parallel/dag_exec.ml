@@ -32,8 +32,8 @@ let supervise ~faults ~retry ~capture ~task_name ~on_retry execute =
         | Some f -> Fault.wrap f ~site:"exec" ~task:name ~attempt (fun () -> execute id)
         | None -> execute id)
 
-let run ?obs ?task_name ?faults ?retry ?capture ?on_retry ~pool ~num_tasks ~in_degree
-    ~successors ~execute () =
+let run ?obs ?task_name ?faults ?retry ?capture ?on_retry ?job ~pool ~num_tasks
+    ~in_degree ~successors ~execute () =
   if Array.length in_degree <> num_tasks then
     invalid_arg "Dag_exec.run: in_degree length mismatch";
   let task_name = Option.value task_name ~default:string_of_int in
@@ -58,8 +58,16 @@ let run ?obs ?task_name ?faults ?retry ?capture ?on_retry ~pool ~num_tasks ~in_d
   let counters = Array.map (fun d -> Atomic.make d) in_degree in
   let completed = Atomic.make 0 in
   let failed = Atomic.make false in
+  (* Under a job, thunks and the final wait are scoped to this run alone:
+     concurrent runs sharing the pool neither await nor observe each
+     other's tasks or errors. *)
+  let submit =
+    match job with
+    | None -> Pool.submit pool
+    | Some job -> Pool.submit_job pool job
+  in
   let rec launch id =
-    Pool.submit pool (fun () ->
+    submit (fun () ->
       if not (Atomic.get failed) then begin
         (try execute id
          with exn ->
@@ -82,7 +90,9 @@ let run ?obs ?task_name ?faults ?retry ?capture ?on_retry ~pool ~num_tasks ~in_d
   if num_tasks > 0 && !roots = [] then
     invalid_arg "Dag_exec.run: no source task (cyclic graph?)";
   List.iter launch !roots;
-  Pool.wait_idle pool;
+  (match job with
+  | None -> Pool.wait_idle pool
+  | Some job -> Pool.join_job pool job);
   if (not (Atomic.get failed)) && Atomic.get completed <> num_tasks then
     invalid_arg "Dag_exec.run: not all tasks became ready (cyclic graph?)"
 

@@ -36,6 +36,7 @@ val run :
   ?retry:Geomix_fault.Retry.policy ->
   ?capture:(int -> unit -> unit) ->
   ?on_retry:(id:int -> attempt:int -> exn -> unit) ->
+  ?job:Pool.job ->
   pool:Pool.t ->
   num_tasks:int ->
   in_degree:int array ->
@@ -54,6 +55,15 @@ val run :
     written footprint for sound re-execution (see above); it is only
     invoked when a retry policy with [max_attempts > 1] is present.
     [?on_retry] observes every re-execution decision (for metrics).
+
+    [?job] scopes the run to a {!Pool.job}: tasks are submitted under the
+    job and the final wait is {!Pool.join_job} instead of
+    {!Pool.wait_idle}, so {e concurrent runs sharing one pool} neither
+    await nor observe each other's tasks, and a failure aborts only this
+    run (its remaining ready tasks are skipped; other jobs' queued thunks
+    are untouched).  Without [?job] the historical pool-wide semantics
+    apply: the wait covers every pool thunk and the first error recorded
+    pool-wide — possibly another caller's — is re-raised.
 
     @raise Invalid_argument if the graph is cyclic or in-degrees are
     inconsistent (not every task became ready). *)

@@ -33,6 +33,19 @@ type t = {
   bus : Events.t option;
 }
 
+(* A job is a completion scope over a subset of the pool's thunks: its own
+   pending count, its own first-error slot, its own condition variable (all
+   guarded by the pool mutex).  Job thunks are wrapped so an escaping
+   exception lands in the job — never in the pool's fail-fast slot — and
+   a failed job skips its own queued thunks without cancelling anyone
+   else's. *)
+type job = {
+  job_done : Condition.t;
+  mutable pending : int;
+  mutable job_error : (exn * Printexc.raw_backtrace) option;
+  mutable skipped : int;
+}
+
 let emit t ?level name fields =
   match t.bus with
   | None -> ()
@@ -207,6 +220,82 @@ let reraise t =
   Mutex.lock t.mutex;
   let err = t.first_error in
   t.first_error <- None;
+  Mutex.unlock t.mutex;
+  match err with
+  | None -> ()
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+
+(* {2 Job-scoped execution} *)
+
+let new_job _t =
+  { job_done = Condition.create (); pending = 0; job_error = None; skipped = 0 }
+
+let job_skipped job = job.skipped
+
+let submit_job t job thunk =
+  Mutex.lock t.mutex;
+  job.pending <- job.pending + 1;
+  Mutex.unlock t.mutex;
+  submit t (fun () ->
+      (* A failed job skips its remaining thunks (cancel-by-skip); errors
+         are stored in the job, never in the pool's fail-fast slot, so one
+         request's failure cannot cancel or poison another's. *)
+      Mutex.lock t.mutex;
+      let skip = job.job_error <> None in
+      if skip then job.skipped <- job.skipped + 1;
+      Mutex.unlock t.mutex;
+      (if not skip then
+         try thunk ()
+         with exn ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock t.mutex;
+           if job.job_error = None then begin
+             job.job_error <- Some (exn, bt);
+             emit t ~level:Events.Error "job_error"
+               [ ("error", Events.fstr (Printexc.to_string exn)) ]
+           end;
+           Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      job.pending <- job.pending - 1;
+      if job.pending = 0 then Condition.broadcast job.job_done;
+      Mutex.unlock t.mutex)
+
+let join_job t job =
+  (if t.serial then
+     (* No workers: run queued items on the caller until this job's thunks
+        are all done.  Items of other jobs encountered on the way are
+        executed too (they would starve otherwise); if another caller
+        thread is mid-run on our last item, wait for its signal. *)
+     let rec loop () =
+       Mutex.lock t.mutex;
+       if job.pending = 0 then Mutex.unlock t.mutex
+       else if not (Queue.is_empty t.queue) then begin
+         let item = Queue.pop t.queue in
+         Mutex.unlock t.mutex;
+         run_item t ~worker:0 item;
+         Mutex.lock t.mutex;
+         t.in_flight <- t.in_flight - 1;
+         if t.in_flight = 0 then Condition.broadcast t.idle;
+         Mutex.unlock t.mutex;
+         loop ()
+       end
+       else begin
+         Condition.wait job.job_done t.mutex;
+         Mutex.unlock t.mutex;
+         loop ()
+       end
+     in
+     loop ()
+   else begin
+     Mutex.lock t.mutex;
+     while job.pending > 0 do
+       Condition.wait job.job_done t.mutex
+     done;
+     Mutex.unlock t.mutex
+   end);
+  Mutex.lock t.mutex;
+  let err = job.job_error in
+  job.job_error <- None;
   Mutex.unlock t.mutex;
   match err with
   | None -> ()

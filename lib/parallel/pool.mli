@@ -75,3 +75,39 @@ val with_pool :
   ?faults:Geomix_fault.Fault.t -> ?num_workers:int ->
   (t -> 'a) -> 'a
 (** Scoped creation: shuts the pool down on exit or exception. *)
+
+(** {1 Job-scoped execution}
+
+    A {!job} is a completion scope over a subset of the pool's thunks —
+    the primitive that lets {e independent computations share one pool}.
+    {!wait_idle} waits for every thunk the pool has ever been given and
+    re-raises whichever error came first, pool-wide; a server handling
+    concurrent requests on a shared pool needs neither: each request
+    submits its thunks under its own job and {!join_job}s only those.
+
+    Failure semantics are job-scoped: an exception escaping a job thunk is
+    stored in the {e job} (never in the pool's fail-fast slot), subsequent
+    thunks {e of that job} are skipped instead of run, and {!join_job}
+    re-raises the job's first error with its original backtrace.  Thunks
+    of other jobs — and plain {!submit} thunks — are unaffected. *)
+
+type job
+
+val new_job : t -> job
+(** A fresh, empty completion scope.  Cheap; one per request. *)
+
+val submit_job : t -> job -> (unit -> unit) -> unit
+(** Enqueue a thunk under the job's scope.  Must not be called after
+    {!join_job} has returned for this job (a job is not reusable). *)
+
+val join_job : t -> job -> unit
+(** Block until every thunk submitted under this job has finished or been
+    skipped, then re-raise the job's first error, if any, with its
+    original backtrace.  On a serial pool the caller drains the queue
+    itself (items of other jobs encountered on the way are executed too).
+    Unlike {!wait_idle}, completion or failure of {e other} jobs' thunks
+    is neither awaited nor observed. *)
+
+val job_skipped : job -> int
+(** Thunks of this job discarded because the job had already failed.
+    Stable once {!join_job} has returned. *)

@@ -154,7 +154,7 @@ let successors t id =
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
 let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
-    ?faults ?retry ?snapshot ?integrity ?datum_mat ?observe t =
+    ?faults ?retry ?snapshot ?integrity ?datum_mat ?observe ?job t =
   (* The executing bus defaults to the one the graph was built with, so a
      Dtd created with [?bus] narrates submission and execution on the same
      stream without repeating the argument. *)
@@ -295,7 +295,8 @@ let execute ?pool ?obs ?(datum_bytes = default_datum_bytes) ?trace ?bus ?profile
   in
   let run pool =
     Dag_exec.run ?obs:dag_obs ~task_name:(fun id -> t.tasks.(id).name) ?faults ?retry
-      ?capture ?on_retry:note_retry ~pool ~num_tasks:t.count ~in_degree:(in_degree t)
+      ?capture ?on_retry:note_retry ?job ~pool ~num_tasks:t.count
+      ~in_degree:(in_degree t)
       ~successors:(fun id -> t.tasks.(id).succs)
       ~execute:(fun id ->
         record id;

@@ -77,6 +77,7 @@ val execute :
   ?integrity:Geomix_integrity.Guard.t ->
   ?datum_mat:(int -> Geomix_linalg.Mat.t option) ->
   ?observe:(key:int -> Geomix_linalg.Mat.t -> unit) ->
+  ?job:Geomix_parallel.Pool.job ->
   t ->
   unit
 (** Run every inserted task under the derived dependencies (serial pool by
@@ -136,7 +137,14 @@ val execute :
     without the hook.  Tasks writing {e distinct} data may be observed
     concurrently under a parallel pool, so observer state must be per-datum
     or synchronized ({!Geomix_autotune.Range_tracker} keeps per-tile
-    accumulators). *)
+    accumulators).
+
+    {b Shared pools.}  [?job] scopes the run to a
+    {!Geomix_parallel.Pool.job}: concurrent [execute] calls sharing one
+    pool neither await nor observe each other's tasks or failures — the
+    contract the request server ({!Geomix_serve.Server}) relies on.
+    Without it, the final wait covers every pool thunk (pool-wide
+    fail-fast semantics). *)
 
 val critical_path_length : t -> int
 (** Longest dependency chain, in tasks — the inherent sequential depth of

@@ -1,0 +1,420 @@
+module J = Geomix_obs.Jsonlite
+module Covariance = Geomix_geostat.Covariance
+
+(* {2 Wire model} *)
+
+type priority = High | Normal | Low
+
+let priority_rank = function High -> 0 | Normal -> 1 | Low -> 2
+let priority_name = function High -> "high" | Normal -> "normal" | Low -> "low"
+
+let priority_of_string = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+type spec = {
+  n : int;
+  nb : int;
+  u_req : float;
+  family : Covariance.family;
+  sigma2 : float;
+  beta : float;
+  nu : float;
+  nugget : float;
+  locs_seed : int;
+  data_seed : int;
+}
+
+let family_name = function
+  | Covariance.Sqexp -> "sqexp"
+  | Covariance.Matern -> "matern"
+  | Covariance.Powexp -> "powexp"
+  | Covariance.Spherical -> "spherical"
+
+let family_of_string = function
+  | "sqexp" -> Some Covariance.Sqexp
+  | "matern" -> Some Covariance.Matern
+  | "powexp" -> Some Covariance.Powexp
+  | "spherical" -> Some Covariance.Spherical
+  | _ -> None
+
+type payload =
+  | Ping
+  | Likelihood of spec
+  | Predict of { spec : spec; n_new : int; pred_seed : int }
+  | Mc_batch of { spec : spec; replicates : int }
+  | Shutdown
+
+type request = {
+  id : string;
+  priority : priority;
+  timeout_s : float option;
+  payload : payload;
+}
+
+let op_name = function
+  | Ping -> "ping"
+  | Likelihood _ -> "likelihood"
+  | Predict _ -> "predict"
+  | Mc_batch _ -> "mc_batch"
+  | Shutdown -> "shutdown"
+
+type status = Clean | Escalated of int | Indefinite
+
+type error_code = Saturated | Deadline_exceeded | Bad_request | Internal
+
+let error_code_name = function
+  | Saturated -> "saturated"
+  | Deadline_exceeded -> "deadline"
+  | Bad_request -> "bad_request"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "saturated" -> Some Saturated
+  | "deadline" -> Some Deadline_exceeded
+  | "bad_request" -> Some Bad_request
+  | "internal" -> Some Internal
+  | _ -> None
+
+type reply =
+  | Pong
+  | Likelihood_r of {
+      loglik : float;
+      log_det : float;
+      quad_form : float;
+      status : status;
+      cache_hit : bool;
+    }
+  | Predict_r of { mean : float array; variance : float array; cache_hit : bool }
+  | Mc_r of {
+      logliks : float array;
+      mean_loglik : float;
+      status : status;
+      cache_hit : bool;
+    }
+  | Shutdown_r
+  | Error_r of { code : error_code; message : string }
+
+type frame =
+  | Progress of { id : string; completed : int; total : int }
+  | Reply of { id : string; reply : reply }
+
+(* {2 Encoding} *)
+
+let spec_to_json s =
+  J.Obj
+    [
+      ("n", J.Num (float_of_int s.n));
+      ("nb", J.Num (float_of_int s.nb));
+      ("u_req", J.Num s.u_req);
+      ("family", J.Str (family_name s.family));
+      ("sigma2", J.Num s.sigma2);
+      ("beta", J.Num s.beta);
+      ("nu", J.Num s.nu);
+      ("nugget", J.Num s.nugget);
+      ("locs_seed", J.Num (float_of_int s.locs_seed));
+      ("data_seed", J.Num (float_of_int s.data_seed));
+    ]
+
+let request_to_json r =
+  let base =
+    [
+      ("id", J.Str r.id);
+      ("op", J.Str (op_name r.payload));
+      ("priority", J.Str (priority_name r.priority));
+    ]
+  in
+  let timeout =
+    match r.timeout_s with None -> [] | Some t -> [ ("timeout_s", J.Num t) ]
+  in
+  let body =
+    match r.payload with
+    | Ping | Shutdown -> []
+    | Likelihood spec -> [ ("spec", spec_to_json spec) ]
+    | Predict { spec; n_new; pred_seed } ->
+      [
+        ("spec", spec_to_json spec);
+        ("n_new", J.Num (float_of_int n_new));
+        ("pred_seed", J.Num (float_of_int pred_seed));
+      ]
+    | Mc_batch { spec; replicates } ->
+      [ ("spec", spec_to_json spec); ("replicates", J.Num (float_of_int replicates)) ]
+  in
+  J.Obj (base @ timeout @ body)
+
+(* An indefinite evaluation carries loglik = -inf and log_det/quad_form =
+   nan; Jsonlite emits all three as [null], so the ["status"] field — not
+   the numbers — is the authoritative encoding of indefiniteness.  Decoding
+   reconstructs the canonical non-finite values from it. *)
+let status_fields = function
+  | Clean -> [ ("status", J.Str "clean") ]
+  | Escalated k ->
+    [ ("status", J.Str "escalated"); ("escalations", J.Num (float_of_int k)) ]
+  | Indefinite -> [ ("status", J.Str "indefinite") ]
+
+let float_array_to_json a =
+  J.Arr (Array.to_list a |> List.map (fun v -> J.Num v))
+
+let reply_to_json ~id reply =
+  let base op = [ ("id", J.Str id); ("kind", J.Str "reply"); ("op", J.Str op) ] in
+  match reply with
+  | Pong -> J.Obj (base "ping")
+  | Shutdown_r -> J.Obj (base "shutdown")
+  | Error_r { code; message } ->
+    J.Obj
+      (base "error"
+      @ [ ("code", J.Str (error_code_name code)); ("message", J.Str message) ])
+  | Likelihood_r { loglik; log_det; quad_form; status; cache_hit } ->
+    J.Obj
+      (base "likelihood" @ status_fields status
+      @ [
+          ("loglik", J.Num loglik);
+          ("log_det", J.Num log_det);
+          ("quad_form", J.Num quad_form);
+          ("cache_hit", J.Bool cache_hit);
+        ])
+  | Predict_r { mean; variance; cache_hit } ->
+    J.Obj
+      (base "predict"
+      @ [
+          ("mean", float_array_to_json mean);
+          ("variance", float_array_to_json variance);
+          ("cache_hit", J.Bool cache_hit);
+        ])
+  | Mc_r { logliks; mean_loglik; status; cache_hit } ->
+    J.Obj
+      (base "mc_batch" @ status_fields status
+      @ [
+          ("logliks", float_array_to_json logliks);
+          ("mean_loglik", J.Num mean_loglik);
+          ("cache_hit", J.Bool cache_hit);
+        ])
+
+let frame_to_json = function
+  | Reply { id; reply } -> reply_to_json ~id reply
+  | Progress { id; completed; total } ->
+    J.Obj
+      [
+        ("id", J.Str id);
+        ("kind", J.Str "progress");
+        ("completed", J.Num (float_of_int completed));
+        ("total", J.Num (float_of_int total));
+      ]
+
+(* {2 Decoding} *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match J.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let str_field name j =
+  let* v = field name j in
+  match J.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is not a string" name)
+
+let num_field name j =
+  let* v = field name j in
+  match J.to_float v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "field %S is not a number" name)
+
+let int_field name j =
+  let* x = num_field name j in
+  if Float.is_integer x then Ok (int_of_float x)
+  else Error (Printf.sprintf "field %S is not an integer" name)
+
+let bool_field name j =
+  let* v = field name j in
+  match v with
+  | J.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S is not a bool" name)
+
+(* A numeric field whose value may have been a non-finite float: Jsonlite
+   emitted it as [null], so [null] (or absence) decodes to [fallback]. *)
+let lossy_num_field name ~fallback j =
+  match J.member name j with
+  | None | Some J.Null -> Ok fallback
+  | Some v -> (
+    match J.to_float v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S is not a number" name))
+
+let spec_of_json j =
+  let* n = int_field "n" j in
+  let* nb = int_field "nb" j in
+  let* u_req = num_field "u_req" j in
+  let* family_s = str_field "family" j in
+  let* family =
+    match family_of_string family_s with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "unknown family %S" family_s)
+  in
+  let* sigma2 = num_field "sigma2" j in
+  let* beta = num_field "beta" j in
+  let* nu = num_field "nu" j in
+  let* nugget = num_field "nugget" j in
+  let* locs_seed = int_field "locs_seed" j in
+  let* data_seed = int_field "data_seed" j in
+  Ok { n; nb; u_req; family; sigma2; beta; nu; nugget; locs_seed; data_seed }
+
+let request_of_json j =
+  let* id = str_field "id" j in
+  let* op = str_field "op" j in
+  let* priority =
+    match J.member "priority" j with
+    | None -> Ok Normal
+    | Some v -> (
+      match Option.bind (J.to_str v) priority_of_string with
+      | Some p -> Ok p
+      | None -> Error "bad priority")
+  in
+  let* timeout_s =
+    match J.member "timeout_s" j with
+    | None -> Ok None
+    | Some v -> (
+      match J.to_float v with
+      | Some t -> Ok (Some t)
+      | None -> Error "field \"timeout_s\" is not a number")
+  in
+  let spec () = Result.bind (field "spec" j) spec_of_json in
+  let* payload =
+    match op with
+    | "ping" -> Ok Ping
+    | "shutdown" -> Ok Shutdown
+    | "likelihood" ->
+      let* s = spec () in
+      Ok (Likelihood s)
+    | "predict" ->
+      let* s = spec () in
+      let* n_new = int_field "n_new" j in
+      let* pred_seed = int_field "pred_seed" j in
+      Ok (Predict { spec = s; n_new; pred_seed })
+    | "mc_batch" ->
+      let* s = spec () in
+      let* replicates = int_field "replicates" j in
+      Ok (Mc_batch { spec = s; replicates })
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  Ok { id; priority; timeout_s; payload }
+
+let status_of_json j =
+  let* s = str_field "status" j in
+  match s with
+  | "clean" -> Ok Clean
+  | "indefinite" -> Ok Indefinite
+  | "escalated" ->
+    let* k = int_field "escalations" j in
+    Ok (Escalated k)
+  | other -> Error (Printf.sprintf "unknown status %S" other)
+
+let float_array_of_json name j =
+  let* v = field name j in
+  match J.to_list v with
+  | None -> Error (Printf.sprintf "field %S is not an array" name)
+  | Some items ->
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      (* [null] entries are non-finite logliks (indefinite replicates). *)
+      | J.Null :: rest -> go (neg_infinity :: acc) rest
+      | item :: rest -> (
+        match J.to_float item with
+        | Some x -> go (x :: acc) rest
+        | None -> Error (Printf.sprintf "field %S has a non-number entry" name))
+    in
+    go [] items
+
+let reply_of_json j =
+  let* op = str_field "op" j in
+  match op with
+  | "ping" -> Ok Pong
+  | "shutdown" -> Ok Shutdown_r
+  | "error" ->
+    let* code_s = str_field "code" j in
+    let* code =
+      match error_code_of_string code_s with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "unknown error code %S" code_s)
+    in
+    let* message = str_field "message" j in
+    Ok (Error_r { code; message })
+  | "likelihood" ->
+    let* status = status_of_json j in
+    let* cache_hit = bool_field "cache_hit" j in
+    let* loglik = lossy_num_field "loglik" ~fallback:neg_infinity j in
+    let* log_det = lossy_num_field "log_det" ~fallback:nan j in
+    let* quad_form = lossy_num_field "quad_form" ~fallback:nan j in
+    Ok (Likelihood_r { loglik; log_det; quad_form; status; cache_hit })
+  | "predict" ->
+    let* mean = float_array_of_json "mean" j in
+    let* variance = float_array_of_json "variance" j in
+    let* cache_hit = bool_field "cache_hit" j in
+    Ok (Predict_r { mean; variance; cache_hit })
+  | "mc_batch" ->
+    let* status = status_of_json j in
+    let* cache_hit = bool_field "cache_hit" j in
+    let* logliks = float_array_of_json "logliks" j in
+    let* mean_loglik = lossy_num_field "mean_loglik" ~fallback:neg_infinity j in
+    Ok (Mc_r { logliks; mean_loglik; status; cache_hit })
+  | other -> Error (Printf.sprintf "unknown reply op %S" other)
+
+let frame_of_json j =
+  let* id = str_field "id" j in
+  let* kind = str_field "kind" j in
+  match kind with
+  | "progress" ->
+    let* completed = int_field "completed" j in
+    let* total = int_field "total" j in
+    Ok (Progress { id; completed; total })
+  | "reply" ->
+    let* reply = reply_of_json j in
+    Ok (Reply { id; reply })
+  | other -> Error (Printf.sprintf "unknown frame kind %S" other)
+
+(* {2 Framing} *)
+
+let max_frame_bytes = 16 * 1024 * 1024
+
+let write_frame oc json =
+  let body = J.to_string ~indent:false json in
+  let n = String.length body in
+  if n > max_frame_bytes then
+    invalid_arg "Protocol.write_frame: frame exceeds 16 MiB";
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (n land 0xff));
+  output_bytes oc hdr;
+  output_string oc body;
+  flush oc
+
+let read_frame ic =
+  match really_input_string ic 4 with
+  | exception End_of_file -> Error "eof"
+  | hdr ->
+    let b k = Char.code hdr.[k] in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame_bytes then Error "oversized frame"
+    else (
+      match really_input_string ic n with
+      | exception End_of_file -> Error "truncated frame"
+      | body -> J.of_string body)
+
+let frame_to_string json =
+  let body = J.to_string ~indent:false json in
+  let n = String.length body in
+  if n > max_frame_bytes then
+    invalid_arg "Protocol.frame_to_string: frame exceeds 16 MiB";
+  let buf = Buffer.create (n + 4) in
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf body;
+  Buffer.contents buf

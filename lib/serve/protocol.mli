@@ -1,0 +1,130 @@
+(** Wire protocol of the model service: typed requests/replies, their
+    {!Geomix_obs.Jsonlite} codecs, and length-prefixed framing.
+
+    One message on the socket is a {e frame}: a 4-byte big-endian payload
+    length followed by that many bytes of compact JSON.  A client sends one
+    request frame and reads frames back until it sees the terminal [reply]
+    frame for its request id; a long-running Monte-Carlo batch interleaves
+    [progress] frames before the reply.
+
+    {b Non-finite floats.}  An indefinite likelihood carries
+    [loglik = -inf] and [log_det]/[quad_form] = [nan]; JSON has no
+    representation for either, so {!Geomix_obs.Jsonlite} emits them as
+    [null].  The [status] field is therefore the authoritative encoding —
+    decoders reconstruct the canonical non-finite values from it, and a
+    codec round-trip is exact on every reply the server produces. *)
+
+module Covariance = Geomix_geostat.Covariance
+
+(** {1 Requests} *)
+
+type priority = High | Normal | Low
+
+val priority_rank : priority -> int
+(** 0 (high) … 2 (low) — the admission queue orders by rank, then FIFO. *)
+
+val priority_name : priority -> string
+val priority_of_string : string -> priority option
+
+(** The problem shape: everything a request needs to (re)construct its
+    covariance problem deterministically.  [locs_seed] seeds the site
+    generator, [data_seed] the measurement synthesis — two requests sharing
+    every field but [data_seed] share all cacheable artifacts. *)
+type spec = {
+  n : int;            (** sites / matrix order *)
+  nb : int;           (** tile size *)
+  u_req : float;      (** accuracy target of the norm rule *)
+  family : Covariance.family;
+  sigma2 : float;
+  beta : float;
+  nu : float;
+  nugget : float;
+  locs_seed : int;
+  data_seed : int;
+}
+
+val family_name : Covariance.family -> string
+val family_of_string : string -> Covariance.family option
+
+type payload =
+  | Ping  (** health check — also the client's readiness barrier *)
+  | Likelihood of spec
+      (** one mixed-precision log-likelihood evaluation *)
+  | Predict of { spec : spec; n_new : int; pred_seed : int }
+      (** kriging at [n_new] fresh sites drawn from [pred_seed] *)
+  | Mc_batch of { spec : spec; replicates : int }
+      (** [replicates] likelihood replicas sharing one factorization,
+          fanned out as a pool-level job with streamed progress *)
+  | Shutdown  (** finish in-flight work and stop accepting *)
+
+type request = {
+  id : string;           (** client-chosen, echoed on every frame *)
+  priority : priority;
+  timeout_s : float option;
+      (** per-request deadline, seconds from admission on the server's
+          clock; expiry yields a [Deadline_exceeded] error reply *)
+  payload : payload;
+}
+
+val op_name : payload -> string
+
+(** {1 Replies} *)
+
+type status = Clean | Escalated of int | Indefinite
+
+type error_code =
+  | Saturated          (** admission queue full — the 429 of the service *)
+  | Deadline_exceeded
+  | Bad_request
+  | Internal
+
+val error_code_name : error_code -> string
+val error_code_of_string : string -> error_code option
+
+type reply =
+  | Pong
+  | Likelihood_r of {
+      loglik : float;
+      log_det : float;
+      quad_form : float;
+      status : status;
+      cache_hit : bool;
+    }
+  | Predict_r of { mean : float array; variance : float array; cache_hit : bool }
+  | Mc_r of {
+      logliks : float array;  (** per replicate, [-inf] when indefinite *)
+      mean_loglik : float;
+      status : status;
+      cache_hit : bool;
+    }
+  | Shutdown_r
+  | Error_r of { code : error_code; message : string }
+
+type frame =
+  | Progress of { id : string; completed : int; total : int }
+  | Reply of { id : string; reply : reply }
+
+(** {1 Codecs} *)
+
+val request_to_json : request -> Geomix_obs.Jsonlite.t
+val request_of_json : Geomix_obs.Jsonlite.t -> (request, string) result
+
+val frame_to_json : frame -> Geomix_obs.Jsonlite.t
+val frame_of_json : Geomix_obs.Jsonlite.t -> (frame, string) result
+
+(** {1 Framing} *)
+
+val max_frame_bytes : int
+(** 16 MiB — frames beyond this are refused on both ends. *)
+
+val write_frame : out_channel -> Geomix_obs.Jsonlite.t -> unit
+(** Emit one frame (flushes).  @raise Invalid_argument on an oversized
+    payload. *)
+
+val read_frame : in_channel -> (Geomix_obs.Jsonlite.t, string) result
+(** Read one frame; [Error "eof"] on clean end-of-stream before the
+    header, [Error _] on truncation, oversize or a JSON parse failure. *)
+
+val frame_to_string : Geomix_obs.Jsonlite.t -> string
+(** The exact byte sequence {!write_frame} would emit — for tests and
+    in-memory transports. *)

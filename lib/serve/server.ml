@@ -1,0 +1,563 @@
+module Metrics = Geomix_obs.Metrics
+module Events = Geomix_obs.Events
+module Pool = Geomix_parallel.Pool
+module Heap = Geomix_util.Heap
+module Rng = Geomix_util.Rng
+module Locations = Geomix_geostat.Locations
+module Covariance = Geomix_geostat.Covariance
+module Field = Geomix_geostat.Field
+module Likelihood = Geomix_geostat.Likelihood
+module Prediction = Geomix_geostat.Prediction
+module Mp_cholesky = Geomix_core.Mp_cholesky
+module Precision_map = Geomix_core.Precision_map
+module Comm_map = Geomix_core.Comm_map
+module Cholesky_dag = Geomix_runtime.Cholesky_dag
+module Range_tracker = Geomix_autotune.Range_tracker
+module Type_advisor = Geomix_autotune.Type_advisor
+module Tiled = Geomix_tile.Tiled
+module P = Protocol
+
+(* A waiter in the admission queue.  Ordering is (priority rank, arrival
+   sequence): strict priority, FIFO within a class. *)
+type ticket = { rank : int; seq : int; mutable granted : bool }
+
+type t = {
+  pool : Pool.t;
+  cache : Cache.t;
+  now : unit -> float;
+  max_inflight : int;
+  queue_capacity : int;
+  max_order : int;
+  max_replicates : int;
+  mutex : Mutex.t;
+  turn : Condition.t;
+  waiting : ticket Heap.t;
+  mutable waiting_count : int;
+  mutable running : int;
+  mutable seq : int;
+  mutable served : int;
+  mutable stop : (unit -> unit) option;
+  obs : Metrics.t;
+  bus : Events.t option;
+  m_requests : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_expired : Metrics.counter;
+  m_errors : Metrics.counter;
+  m_mc_replicates : Metrics.counter;
+  m_inflight : Metrics.gauge;
+  m_queue_depth : Metrics.gauge;
+  m_queue_peak : Metrics.gauge;
+  m_latency : Metrics.histogram;
+}
+
+let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
+    ?(queue_capacity = 16) ?(cache_capacity = 32) ?(max_order = 4096)
+    ?(max_replicates = 1024) ~pool () =
+  if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
+  if queue_capacity < 0 then
+    invalid_arg "Server.create: queue_capacity must be >= 0";
+  let obs = match obs with Some r -> r | None -> Metrics.create () in
+  let cache = Cache.create ~obs ?bus ~capacity:cache_capacity () in
+  let cmp a b =
+    if a.rank <> b.rank then compare a.rank b.rank else compare a.seq b.seq
+  in
+  {
+    pool;
+    cache;
+    now;
+    max_inflight;
+    queue_capacity;
+    max_order;
+    max_replicates;
+    mutex = Mutex.create ();
+    turn = Condition.create ();
+    waiting = Heap.create ~cmp;
+    waiting_count = 0;
+    running = 0;
+    seq = 0;
+    served = 0;
+    stop = None;
+    obs;
+    bus;
+    m_requests = Metrics.counter obs "serve.requests";
+    m_rejected = Metrics.counter obs "serve.rejected";
+    m_expired = Metrics.counter obs "serve.deadline_expired";
+    m_errors = Metrics.counter obs "serve.errors";
+    m_mc_replicates = Metrics.counter obs "serve.mc_replicates";
+    m_inflight = Metrics.gauge obs "serve.inflight";
+    m_queue_depth = Metrics.gauge obs "serve.queue_depth";
+    m_queue_peak = Metrics.gauge obs "serve.queue_peak";
+    m_latency = Metrics.histogram obs "serve.latency_s";
+  }
+
+let cache t = t.cache
+let metrics t = t.obs
+let pool t = t.pool
+
+let emit ?(level = Events.Info) t name fields =
+  match t.bus with
+  | None -> ()
+  | Some bus -> Events.emit ~level bus ~component:"serve" ~name fields
+
+let served t =
+  Mutex.lock t.mutex;
+  let n = t.served in
+  Mutex.unlock t.mutex;
+  n
+
+let note_served t =
+  Mutex.lock t.mutex;
+  t.served <- t.served + 1;
+  let n = t.served in
+  Mutex.unlock t.mutex;
+  n
+
+(* {2 Admission control}
+
+   A bounded priority queue in front of [max_inflight] execution slots.
+   Waiters never block on a timed wait — deadlines are evaluated against
+   the injected clock at admission entry, at slot grant and between
+   Monte-Carlo replicates, so the whole policy is deterministic under the
+   virtual clock the tests drive. *)
+
+(* Lock held.  Hand free slots to the best waiters; their [granted] flag
+   flips under the lock and the condition broadcast wakes them. *)
+let pump t =
+  let granted = ref false in
+  let continue = ref true in
+  while !continue && t.running < t.max_inflight do
+    match Heap.pop t.waiting with
+    | None -> continue := false
+    | Some tk ->
+      t.waiting_count <- t.waiting_count - 1;
+      tk.granted <- true;
+      t.running <- t.running + 1;
+      granted := true
+  done;
+  if !granted then Condition.broadcast t.turn
+
+let admit t ~rank =
+  Mutex.lock t.mutex;
+  if t.running < t.max_inflight && Heap.is_empty t.waiting then begin
+    t.running <- t.running + 1;
+    Metrics.set t.m_inflight (float_of_int t.running);
+    Mutex.unlock t.mutex;
+    `Admitted
+  end
+  else if t.waiting_count >= t.queue_capacity then begin
+    Mutex.unlock t.mutex;
+    `Saturated
+  end
+  else begin
+    t.seq <- t.seq + 1;
+    let tk = { rank; seq = t.seq; granted = false } in
+    Heap.push t.waiting tk;
+    t.waiting_count <- t.waiting_count + 1;
+    Metrics.set t.m_queue_depth (float_of_int t.waiting_count);
+    Metrics.set_max t.m_queue_peak (float_of_int t.waiting_count);
+    pump t;
+    while not tk.granted do
+      Condition.wait t.turn t.mutex
+    done;
+    Metrics.set t.m_inflight (float_of_int t.running);
+    Metrics.set t.m_queue_depth (float_of_int t.waiting_count);
+    Mutex.unlock t.mutex;
+    `Admitted
+  end
+
+let release t =
+  Mutex.lock t.mutex;
+  t.running <- t.running - 1;
+  pump t;
+  Metrics.set t.m_inflight (float_of_int t.running);
+  Metrics.set t.m_queue_depth (float_of_int t.waiting_count);
+  Mutex.unlock t.mutex
+
+let inflight t =
+  Mutex.lock t.mutex;
+  let n = t.running in
+  Mutex.unlock t.mutex;
+  n
+
+let queued t =
+  Mutex.lock t.mutex;
+  let n = t.waiting_count in
+  Mutex.unlock t.mutex;
+  n
+
+let deadline_passed t = function
+  | None -> false
+  | Some d -> t.now () > d
+
+(* {2 Problem construction} *)
+
+let cov_of (k : Cache.key) =
+  let { Cache.family; sigma2; beta; nu; nugget; _ } = k in
+  match family with
+  | Covariance.Sqexp -> Covariance.sqexp ~nugget ~sigma2 ~beta ()
+  | Covariance.Matern -> Covariance.matern ~nugget ~sigma2 ~beta ~nu ()
+  | Covariance.Powexp -> Covariance.powexp ~nugget ~sigma2 ~beta ~power:nu ()
+  | Covariance.Spherical -> Covariance.spherical ~nugget ~sigma2 ~beta ()
+
+let sites ~n ~seed =
+  Locations.morton_sort
+    (Locations.jittered_grid_2d ~rng:(Rng.create ~seed) ~n)
+
+(* The memoized pre-work: a pure function of the shape key.  The advice
+   pilot observes the input matrix only ([observe_tiled] records per-tile
+   ranges and Frobenius mass), so a miss costs one covariance assembly and
+   three O(NT²)–O(NT³) map constructions — no pilot factorization. *)
+let build_artifact (key : Cache.key) : Cache.artifact =
+  let cov = cov_of key in
+  let locs = sites ~n:key.Cache.n ~seed:key.Cache.locs_seed in
+  let a = Covariance.build_tiled cov locs ~nb:key.Cache.nb in
+  let pmap = Precision_map.of_tiled ~u_req:key.Cache.u_req a in
+  let cmap = Comm_map.compute pmap in
+  let dag = Cholesky_dag.create ~nt:(Tiled.nt a) in
+  let ranges = Range_tracker.create ~nt:(Tiled.nt a) in
+  Range_tracker.observe_tiled ranges a;
+  let advice = Type_advisor.advise ~u_req:key.Cache.u_req ~ranges ~pmap () in
+  { Cache.locs; pmap; cmap; dag; advice }
+
+let validate_spec t (s : P.spec) =
+  let finite_pos x = Float.is_finite x && x > 0. in
+  if s.P.n < 1 || s.P.n > t.max_order then
+    Error (Printf.sprintf "n must be in [1, %d]" t.max_order)
+  else if s.P.nb < 1 || s.P.nb > s.P.n then Error "nb must be in [1, n]"
+  else if not (finite_pos s.P.u_req) then Error "u_req must be finite and positive"
+  else if not (finite_pos s.P.sigma2) then Error "sigma2 must be finite and positive"
+  else if not (finite_pos s.P.beta) then Error "beta must be finite and positive"
+  else if not (Float.is_finite s.P.nugget) || s.P.nugget < 0. then
+    Error "nugget must be finite and non-negative"
+  else if not (Float.is_finite s.P.nu) then Error "nu must be finite"
+  else Ok ()
+
+let validate t = function
+  | P.Ping | P.Shutdown -> Ok ()
+  | P.Likelihood s -> validate_spec t s
+  | P.Predict { spec; n_new; _ } ->
+    Result.bind (validate_spec t spec) (fun () ->
+        if n_new < 1 || n_new > t.max_order then
+          Error (Printf.sprintf "n_new must be in [1, %d]" t.max_order)
+        else Ok ())
+  | P.Mc_batch { spec; replicates } ->
+    Result.bind (validate_spec t spec) (fun () ->
+        if replicates < 1 || replicates > t.max_replicates then
+          Error (Printf.sprintf "replicates must be in [1, %d]" t.max_replicates)
+        else Ok ())
+
+(* {2 Request execution} *)
+
+(* Factorize a fresh covariance assembly under the memoized maps, scoped
+   to its own pool job so concurrent requests sharing the pool neither
+   await nor observe each other.  The cached [cmap] equals what the
+   factorization would derive itself (Algorithm 2 is deterministic), so a
+   warm-cache run is bitwise identical to a cold one — the property the
+   test suite pins. *)
+let factorized_problem t (key : Cache.key) =
+  let art, hit = Cache.find_or_build t.cache key ~build:build_artifact in
+  let cov = cov_of key in
+  let a = Covariance.build_tiled cov art.Cache.locs ~nb:key.Cache.nb in
+  let job = Pool.new_job t.pool in
+  match
+    Mp_cholesky.factorize ~pool:t.pool ~job ~cmap:art.Cache.cmap
+      ~pmap:art.Cache.pmap a
+  with
+  | () -> (art, a, hit, true)
+  | exception Geomix_linalg.Blas.Not_positive_definite _ -> (art, a, hit, false)
+
+let quad_form y = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y
+
+let indefinite_likelihood ~cache_hit =
+  P.Likelihood_r
+    {
+      loglik = neg_infinity;
+      log_det = nan;
+      quad_form = nan;
+      status = P.Indefinite;
+      cache_hit;
+    }
+
+let run_likelihood t (spec : P.spec) =
+  let key = Cache.key_of_spec spec in
+  let art, a, hit, ok = factorized_problem t key in
+  if not ok then indefinite_likelihood ~cache_hit:hit
+  else
+    let cov = cov_of key in
+    let z =
+      Field.synthesize ~rng:(Rng.create ~seed:spec.P.data_seed) ~cov
+        art.Cache.locs
+    in
+    let y = Mp_cholesky.solve_lower a z in
+    let ev =
+      Likelihood.assemble ~n:spec.P.n ~log_det:(Mp_cholesky.log_det a)
+        ~quad_form:(quad_form y)
+        ~precision_fractions:(Precision_map.fractions art.Cache.pmap)
+        ()
+    in
+    P.Likelihood_r
+      {
+        loglik = ev.Likelihood.loglik;
+        log_det = ev.Likelihood.log_det;
+        quad_form = ev.Likelihood.quad_form;
+        status = P.Clean;
+        cache_hit = hit;
+      }
+
+let run_predict t (spec : P.spec) ~n_new ~pred_seed =
+  let key = Cache.key_of_spec spec in
+  let art, hit = Cache.find_or_build t.cache key ~build:build_artifact in
+  let cov = cov_of key in
+  let z =
+    Field.synthesize ~rng:(Rng.create ~seed:spec.P.data_seed) ~cov
+      art.Cache.locs
+  in
+  let new_locs = Locations.uniform_2d ~rng:(Rng.create ~seed:pred_seed) ~n:n_new in
+  let p = Prediction.predict ~cov ~obs_locs:art.Cache.locs ~z ~new_locs in
+  P.Predict_r
+    { mean = p.Prediction.mean; variance = p.Prediction.variance; cache_hit = hit }
+
+let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
+  let key = Cache.key_of_spec spec in
+  let art, a, hit, ok = factorized_problem t key in
+  if not ok then
+    P.Mc_r
+      {
+        logliks = Array.make replicates neg_infinity;
+        mean_loglik = neg_infinity;
+        status = P.Indefinite;
+        cache_hit = hit;
+      }
+  else begin
+    let cov = cov_of key in
+    let zs =
+      Field.synthesize_many
+        ~rng:(Rng.create ~seed:spec.P.data_seed)
+        ~cov ~replicas:replicates art.Cache.locs
+    in
+    let log_det = Mp_cholesky.log_det a in
+    let fractions = Precision_map.fractions art.Cache.pmap in
+    let logliks = Array.make replicates nan in
+    let completed = Atomic.make 0 in
+    let expired = Atomic.make false in
+    (* One pool-level job fans the batch out; every replicate solves
+       against the shared factor (triangular solves only read it) and
+       streams its completion.  The deadline is re-checked per replicate:
+       an expired batch stops doing work instead of finishing late. *)
+    let job = Pool.new_job t.pool in
+    for r = 0 to replicates - 1 do
+      Pool.submit_job t.pool job (fun () ->
+          if deadline_passed t deadline then Atomic.set expired true
+          else begin
+            let y = Mp_cholesky.solve_lower a zs.(r) in
+            let ev =
+              Likelihood.assemble ~n:spec.P.n ~log_det
+                ~quad_form:(quad_form y) ~precision_fractions:fractions ()
+            in
+            logliks.(r) <- ev.Likelihood.loglik;
+            Metrics.incr t.m_mc_replicates;
+            let c = 1 + Atomic.fetch_and_add completed 1 in
+            emit ~level:Events.Debug t "mc_replicate"
+              [
+                ("id", Events.fstr req_id);
+                ("completed", Events.fint c);
+                ("total", Events.fint replicates);
+              ];
+            on_progress ~completed:c ~total:replicates
+          end)
+    done;
+    Pool.join_job t.pool job;
+    if Atomic.get expired then
+      P.Error_r
+        { code = P.Deadline_exceeded; message = "deadline expired mid-batch" }
+    else begin
+      let sum = Array.fold_left ( +. ) 0. logliks in
+      P.Mc_r
+        {
+          logliks;
+          mean_loglik = sum /. float_of_int replicates;
+          status = P.Clean;
+          cache_hit = hit;
+        }
+    end
+  end
+
+let run_payload t ~req_id ~deadline ~on_progress = function
+  | P.Ping | P.Shutdown -> assert false (* handled before admission *)
+  | P.Likelihood spec -> run_likelihood t spec
+  | P.Predict { spec; n_new; pred_seed } -> run_predict t spec ~n_new ~pred_seed
+  | P.Mc_batch { spec; replicates } ->
+    run_mc t ~req_id ~deadline ~on_progress spec ~replicates
+
+let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) =
+  match req.P.payload with
+  | P.Ping -> P.Pong
+  | P.Shutdown ->
+    emit t "shutdown" [ ("id", Events.fstr req.P.id) ];
+    (match t.stop with Some stop -> stop () | None -> ());
+    P.Shutdown_r
+  | payload -> (
+    Metrics.incr t.m_requests;
+    emit ~level:Events.Debug t "request"
+      [
+        ("id", Events.fstr req.P.id);
+        ("op", Events.fstr (P.op_name payload));
+        ("priority", Events.fstr (P.priority_name req.P.priority));
+      ];
+    match validate t payload with
+    | Error message ->
+      Metrics.incr t.m_errors;
+      emit ~level:Events.Warn t "bad_request"
+        [ ("id", Events.fstr req.P.id); ("error", Events.fstr message) ];
+      P.Error_r { code = P.Bad_request; message }
+    | Ok () ->
+      let t0 = t.now () in
+      let deadline = Option.map (fun s -> t0 +. s) req.P.timeout_s in
+      if deadline_passed t deadline then begin
+        Metrics.incr t.m_expired;
+        emit ~level:Events.Warn t "deadline_expired"
+          [ ("id", Events.fstr req.P.id); ("where", Events.fstr "admission") ];
+        P.Error_r
+          { code = P.Deadline_exceeded; message = "deadline expired at admission" }
+      end
+      else
+        match admit t ~rank:(P.priority_rank req.P.priority) with
+        | `Saturated ->
+          Metrics.incr t.m_rejected;
+          emit ~level:Events.Warn t "rejected"
+            [ ("id", Events.fstr req.P.id) ];
+          P.Error_r
+            {
+              code = P.Saturated;
+              message =
+                Printf.sprintf "server saturated (%d in flight, %d queued)"
+                  t.max_inflight t.queue_capacity;
+            }
+        | `Admitted ->
+          Fun.protect
+            ~finally:(fun () -> release t)
+            (fun () ->
+              if deadline_passed t deadline then begin
+                Metrics.incr t.m_expired;
+                emit ~level:Events.Warn t "deadline_expired"
+                  [ ("id", Events.fstr req.P.id); ("where", Events.fstr "grant") ];
+                P.Error_r
+                  {
+                    code = P.Deadline_exceeded;
+                    message = "deadline expired while queued";
+                  }
+              end
+              else
+                match
+                  run_payload t ~req_id:req.P.id ~deadline ~on_progress payload
+                with
+                | reply ->
+                  let dt = t.now () -. t0 in
+                  Metrics.observe t.m_latency dt;
+                  (match reply with
+                  | P.Error_r { code = P.Deadline_exceeded; _ } ->
+                    Metrics.incr t.m_expired
+                  | _ -> ());
+                  emit ~level:Events.Debug t "done"
+                    [
+                      ("id", Events.fstr req.P.id);
+                      ("latency_s", Events.fnum dt);
+                    ];
+                  reply
+                | exception exn ->
+                  Metrics.incr t.m_errors;
+                  let message = Printexc.to_string exn in
+                  emit ~level:Events.Error t "internal_error"
+                    [
+                      ("id", Events.fstr req.P.id);
+                      ("error", Events.fstr message);
+                    ];
+                  P.Error_r { code = P.Internal; message }))
+
+(* {2 Unix-domain-socket front end} *)
+
+let serve_unix t ~path ?(backlog = 64) ?max_requests () =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd backlog;
+  let closed = ref false in
+  let cmutex = Mutex.create () in
+  let is_closed () =
+    Mutex.lock cmutex;
+    let c = !closed in
+    Mutex.unlock cmutex;
+    c
+  in
+  let close_listener () =
+    Mutex.lock cmutex;
+    if not !closed then begin
+      closed := true;
+      (* Closing a listening fd does not wake a thread blocked in accept(2);
+         shutdown does.  The accept loop owns the actual close. *)
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+    end;
+    Mutex.unlock cmutex
+  in
+  t.stop <- Some close_listener;
+  emit t "listening" [ ("path", Events.fstr path) ];
+  let threads = ref [] in
+  let handle_conn conn =
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    let wmutex = Mutex.create () in
+    let write_frame frame =
+      Mutex.lock wmutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock wmutex)
+        (fun () -> P.write_frame oc (P.frame_to_json frame))
+    in
+    let try_write frame = try write_frame frame with Sys_error _ -> () in
+    let bad_request ~id message =
+      try_write
+        (P.Reply { id; reply = P.Error_r { code = P.Bad_request; message } })
+    in
+    let rec loop () =
+      match P.read_frame ic with
+      | Error "eof" -> ()
+      | Error message ->
+        (* Framing is unrecoverable mid-stream: answer once, hang up. *)
+        bad_request ~id:"" message
+      | Ok json -> (
+        match P.request_of_json json with
+        | Error message ->
+          bad_request ~id:"" message;
+          loop ()
+        | Ok req ->
+          let on_progress ~completed ~total =
+            try_write (P.Progress { id = req.P.id; completed; total })
+          in
+          let reply = handle t ~on_progress req in
+          try_write (P.Reply { id = req.P.id; reply });
+          let n = note_served t in
+          (match max_requests with
+          | Some m when n >= m -> close_listener ()
+          | _ -> ());
+          (match reply with P.Shutdown_r -> () | _ -> loop ()))
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+      loop
+  in
+  while not (is_closed ()) do
+    let readable =
+      match Unix.select [ fd ] [] [] 0.2 with
+      | r, _, _ -> r <> []
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if readable then
+      match Unix.accept fd with
+      | conn, _ -> threads := Thread.create handle_conn conn :: !threads
+      | exception Unix.Unix_error _ -> close_listener ()
+  done;
+  close_listener ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  List.iter Thread.join !threads;
+  t.stop <- None;
+  (try Sys.remove path with Sys_error _ -> ());
+  emit t "stopped" [ ("served", Events.fint (served t)) ]

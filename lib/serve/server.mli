@@ -1,0 +1,105 @@
+(** The model service: a long-lived request server multiplexing
+    likelihood, prediction and Monte-Carlo work onto one shared domain
+    pool.
+
+    This is the serving half of the paper's batched-MLE workload: an
+    optimizer (or many) evaluates the Gaussian log-likelihood for a stream
+    of parameter points over a fixed problem shape, so the expensive
+    shape-level pre-work — precision map, Algorithm 2 communication map,
+    static DAG, autotune advice — is memoized in a {!Cache} and every
+    evaluation reuses it.
+
+    {b Concurrency.}  Each admitted request factorizes under its own
+    {!Geomix_parallel.Pool.job}, so concurrent requests share the pool's
+    workers without sharing completion or failure ({!Geomix_parallel.Pool}
+    job semantics).  Admission is a bounded priority queue in front of
+    [max_inflight] execution slots: strict priority rank, FIFO within a
+    class, and a [Saturated] (429-style) rejection when both the slots and
+    the queue are full.
+
+    {b Deadlines.}  The clock is injected ([?now]), and deadlines are
+    evaluated at admission entry, at slot grant and between Monte-Carlo
+    replicates — never inside a timed wait — so expiry behaviour is
+    deterministic under the virtual clock
+    ({!Geomix_fault.Retry.virtual_clock}) the tests drive.
+
+    {b Telemetry.}  With [?obs]: [serve.requests], [serve.rejected],
+    [serve.deadline_expired], [serve.errors], [serve.mc_replicates]
+    counters; [serve.inflight], [serve.queue_depth], [serve.queue_peak]
+    gauges; a [serve.latency_s] histogram; and the cache's
+    [serve.cache.*] counters.  With [?bus], the request lifecycle is
+    narrated on component ["serve"]. *)
+
+type t
+
+val create :
+  ?obs:Geomix_obs.Metrics.t ->
+  ?bus:Geomix_obs.Events.t ->
+  ?now:(unit -> float) ->
+  ?max_inflight:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  ?max_order:int ->
+  ?max_replicates:int ->
+  pool:Geomix_parallel.Pool.t ->
+  unit ->
+  t
+(** Defaults: wall clock, 4 in-flight slots, 16 queue entries, cache
+    capacity 32, [max_order] 4096 (largest accepted matrix order),
+    [max_replicates] 1024.  @raise Invalid_argument when
+    [max_inflight < 1] or [queue_capacity < 0]. *)
+
+val cache : t -> Cache.t
+val metrics : t -> Geomix_obs.Metrics.t
+val pool : t -> Geomix_parallel.Pool.t
+
+val served : t -> int
+(** Requests completed through the socket front end. *)
+
+val handle :
+  t ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
+  Protocol.request ->
+  Protocol.reply
+(** Process one request end to end: validate, admit (blocking while
+    queued), execute on the pool, release.  Never raises on request
+    failure — validation, saturation, deadline expiry and internal errors
+    all come back as {!Protocol.Error_r}.  [on_progress] fires once per
+    completed Monte-Carlo replicate, possibly concurrently from pool
+    worker domains (completion counts may arrive out of order; track the
+    maximum).  Thread-safe: the socket front end calls this from one
+    thread per connection. *)
+
+val build_artifact : Cache.key -> Cache.artifact
+(** The memoized pre-work, exposed for tests: a pure function of the
+    shape key (sites, precision map, communication map, static DAG,
+    advice).  The advice pilot observes the input matrix only — no pilot
+    factorization. *)
+
+(** {1 Admission control}
+
+    The raw admission primitives, exposed so tests can saturate the
+    server deterministically without timing races.  [handle] uses them
+    internally; production callers never need them. *)
+
+val admit : t -> rank:int -> [ `Admitted | `Saturated ]
+(** Take an execution slot, blocking in the priority queue while the
+    server is busy; [`Saturated] when slots and queue are both full.
+    Every [`Admitted] must be paired with a {!release}. *)
+
+val release : t -> unit
+
+val inflight : t -> int
+val queued : t -> int
+
+(** {1 Unix-domain-socket front end} *)
+
+val serve_unix :
+  t -> path:string -> ?backlog:int -> ?max_requests:int -> unit -> unit
+(** Bind [path] (an existing socket file is replaced), accept one thread
+    per connection, and serve length-prefixed {!Protocol} frames until a
+    [Shutdown] request arrives or [max_requests] requests have been
+    answered.  Requests on one connection are handled sequentially;
+    concurrency comes from concurrent connections.  Returns after every
+    connection thread has drained; the socket file is removed on the way
+    out. *)

@@ -52,6 +52,20 @@ let test_unknown_subcommand_fails () =
   Alcotest.(check bool) "unknown subcommand exits nonzero" true (code <> 0);
   check_contains (String.lowercase_ascii out) "usage"
 
+let test_serve_help_documents_surface () =
+  let code, out = run [ "serve"; "--help=plain" ] in
+  Alcotest.(check int) "serve --help exits 0" 0 code;
+  check_contains out "--socket";
+  check_contains out "--max-inflight";
+  check_contains out "--queue-capacity";
+  check_contains out "--cache-capacity";
+  check_contains out "--max-requests"
+
+let test_serve_listed_in_toplevel_help () =
+  let code, out = run [ "--help=plain" ] in
+  Alcotest.(check int) "--help exits 0" 0 code;
+  check_contains out "serve"
+
 let test_chaos_clean_run_exits_zero () =
   let code, out = run [ "chaos"; "--seed"; "1"; "--nt"; "4"; "--nb"; "8" ] in
   Alcotest.(check int) "clean chaos exits 0" 0 code;
@@ -90,6 +104,10 @@ let () =
             test_chaos_help_documents_exit_codes;
           Alcotest.test_case "unknown subcommand" `Quick
             test_unknown_subcommand_fails;
+          Alcotest.test_case "serve help surface" `Quick
+            test_serve_help_documents_surface;
+          Alcotest.test_case "serve listed" `Quick
+            test_serve_listed_in_toplevel_help;
           Alcotest.test_case "clean run exits 0" `Quick
             test_chaos_clean_run_exits_zero;
           Alcotest.test_case "sdc detect-and-recover" `Quick

@@ -194,6 +194,87 @@ let test_check_acyclic () =
   Alcotest.(check bool) "2-cycle detected" false
     (Dag_exec.check_acyclic ~num_tasks:2 ~successors:(fun id -> [ 1 - id ]))
 
+(* {2 Job-scoped submission: the request server's isolation contract} *)
+
+let test_job_completion () =
+  with_pools (fun pool ->
+    let a = Atomic.make 0 and b = Atomic.make 0 in
+    let ja = Pool.new_job pool and jb = Pool.new_job pool in
+    for _ = 1 to 20 do
+      Pool.submit_job pool ja (fun () -> Atomic.incr a);
+      Pool.submit_job pool jb (fun () -> Atomic.incr b)
+    done;
+    Pool.join_job pool ja;
+    Alcotest.(check int) "job a complete at its own join" 20 (Atomic.get a);
+    Pool.join_job pool jb;
+    Alcotest.(check int) "job b complete" 20 (Atomic.get b))
+
+let test_job_failure_isolated () =
+  with_pools (fun pool ->
+    let ok = Atomic.make 0 in
+    let ja = Pool.new_job pool and jb = Pool.new_job pool in
+    Pool.submit_job pool ja (fun () -> raise Boom);
+    for _ = 1 to 10 do
+      Pool.submit_job pool jb (fun () -> Atomic.incr ok)
+    done;
+    (match Pool.join_job pool ja with
+    | () -> Alcotest.fail "job a swallowed its failure"
+    | exception Boom -> ());
+    (* The failing job must not poison its sibling sharing the pool. *)
+    Pool.join_job pool jb;
+    Alcotest.(check int) "sibling job unaffected" 10 (Atomic.get ok))
+
+let test_job_skips_after_failure () =
+  (* Deterministic on the serial pool: the queue drains in order, so the
+     task submitted after the failing one is skipped, not run. *)
+  Pool.with_pool ~num_workers:0 (fun pool ->
+    let ran = Atomic.make 0 in
+    let job = Pool.new_job pool in
+    Pool.submit_job pool job (fun () -> raise Boom);
+    Pool.submit_job pool job (fun () -> Atomic.incr ran);
+    Pool.submit_job pool job (fun () -> Atomic.incr ran);
+    (match Pool.join_job pool job with
+    | () -> Alcotest.fail "failure not raised"
+    | exception Boom -> ());
+    Alcotest.(check int) "later tasks skipped" 0 (Atomic.get ran);
+    Alcotest.(check int) "skips counted" 2 (Pool.job_skipped job))
+
+let test_job_reusable_pool () =
+  with_pools (fun pool ->
+    (* After a failed job, the pool keeps serving fresh jobs. *)
+    let j1 = Pool.new_job pool in
+    Pool.submit_job pool j1 (fun () -> raise Boom);
+    (match Pool.join_job pool j1 with () -> () | exception Boom -> ());
+    let hits = Atomic.make 0 in
+    let j2 = Pool.new_job pool in
+    for _ = 1 to 8 do
+      Pool.submit_job pool j2 (fun () -> Atomic.incr hits)
+    done;
+    Pool.join_job pool j2;
+    Alcotest.(check int) "pool healthy after failed job" 8 (Atomic.get hits))
+
+let test_job_concurrent_joiners () =
+  (* Two threads each drive their own job on one shared pool — the server's
+     exact usage (one systhread per connection, one job per request). *)
+  with_pools (fun pool ->
+    let totals = Array.make 2 0 in
+    let threads =
+      Array.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            let job = Pool.new_job pool in
+            let c = Atomic.make 0 in
+            for _ = 1 to 25 do
+              Pool.submit_job pool job (fun () -> Atomic.incr c)
+            done;
+            Pool.join_job pool job;
+            totals.(i) <- Atomic.get c)
+          ())
+    in
+    Array.iter Thread.join threads;
+    Alcotest.(check (list int)) "both jobs complete" [ 25; 25 ]
+      (Array.to_list totals))
+
 let prop_parallel_init_equals_serial =
   QCheck.Test.make ~name:"parallel_init = Array.init" ~count:50 (QCheck.int_range 0 200)
     (fun n ->
@@ -210,6 +291,14 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
           Alcotest.test_case "raise stress" `Quick test_raise_stress;
           Alcotest.test_case "wait idempotent" `Quick test_wait_idle_idempotent;
+        ] );
+      ( "job",
+        [
+          Alcotest.test_case "completion" `Quick test_job_completion;
+          Alcotest.test_case "failure isolated" `Quick test_job_failure_isolated;
+          Alcotest.test_case "skips after failure" `Quick test_job_skips_after_failure;
+          Alcotest.test_case "pool reusable" `Quick test_job_reusable_pool;
+          Alcotest.test_case "concurrent joiners" `Quick test_job_concurrent_joiners;
         ] );
       ( "par",
         [

@@ -1,0 +1,605 @@
+(* The model service: protocol codecs and framing, admission control,
+   deadlines on the virtual clock, the single-flight shape cache (including
+   an interleaving replay through the verify explorer), the cache-hit
+   bitwise-identity property, Monte-Carlo progress streaming, and a small
+   end-to-end pass over the Unix-domain-socket front end. *)
+
+module J = Geomix_obs.Jsonlite
+module P = Geomix_serve.Protocol
+module Cache = Geomix_serve.Cache
+module Server = Geomix_serve.Server
+module Pool = Geomix_parallel.Pool
+module Explore = Geomix_verify.Explore
+module Retry = Geomix_fault.Retry
+module Covariance = Geomix_geostat.Covariance
+
+(* [compare = 0] instead of [(=)]: Indefinite replies carry nan fields, and
+   nan <> nan structurally while [compare nan nan = 0]. *)
+let same a b = Stdlib.compare a b = 0
+
+let spec ?(n = 48) ?(nb = 16) ?(u_req = 1e-6) ?(family = Covariance.Sqexp)
+    ?(beta = 0.1) ?(locs_seed = 42) ?(data_seed = 1) () =
+  {
+    P.n;
+    nb;
+    u_req;
+    family;
+    sigma2 = 1.0;
+    beta;
+    nu = 0.5;
+    nugget = Covariance.default_nugget;
+    locs_seed;
+    data_seed;
+  }
+
+let request ?(id = "r1") ?(priority = P.Normal) ?timeout_s payload =
+  { P.id; priority; timeout_s; payload }
+
+let with_server ?now ?(max_inflight = 4) ?(queue_capacity = 16)
+    ?(cache_capacity = 32) f =
+  let pool = Pool.create ~num_workers:0 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      f (Server.create ?now ~max_inflight ~queue_capacity ~cache_capacity ~pool ()))
+
+(* {2 Protocol codecs} *)
+
+let roundtrip_request req =
+  match P.request_of_json (P.request_to_json req) with
+  | Ok req' -> Alcotest.(check bool) "request round-trip" true (same req req')
+  | Error m -> Alcotest.failf "decode failed: %s" m
+
+let test_request_roundtrip () =
+  List.iter roundtrip_request
+    [
+      request P.Ping;
+      request ~id:"x" ~priority:P.High ~timeout_s:0.25 (P.Likelihood (spec ()));
+      request ~priority:P.Low
+        (P.Likelihood (spec ~family:Covariance.Matern ~beta:0.3 ()));
+      request (P.Predict { spec = spec (); n_new = 7; pred_seed = 9 });
+      request (P.Mc_batch { spec = spec ~family:Covariance.Powexp (); replicates = 12 });
+      request P.Shutdown;
+    ]
+
+let roundtrip_frame frame =
+  match P.frame_of_json (P.frame_to_json frame) with
+  | Ok frame' -> Alcotest.(check bool) "frame round-trip" true (same frame frame')
+  | Error m -> Alcotest.failf "decode failed: %s" m
+
+let test_frame_roundtrip () =
+  let reply r = P.Reply { id = "id-1"; reply = r } in
+  List.iter roundtrip_frame
+    [
+      P.Progress { id = "mc"; completed = 3; total = 8 };
+      reply P.Pong;
+      reply
+        (P.Likelihood_r
+           {
+             loglik = -61.25;
+             log_det = 3.5;
+             quad_form = 12.0;
+             status = P.Clean;
+             cache_hit = true;
+           });
+      reply
+        (P.Likelihood_r
+           {
+             loglik = -1.5;
+             log_det = 0.25;
+             quad_form = 2.0;
+             status = P.Escalated 2;
+             cache_hit = false;
+           });
+      (* Indefinite: -inf / nan cross JSON as null; the status field is
+         authoritative and the decoder reconstructs the canonical values. *)
+      reply
+        (P.Likelihood_r
+           {
+             loglik = neg_infinity;
+             log_det = nan;
+             quad_form = nan;
+             status = P.Indefinite;
+             cache_hit = false;
+           });
+      reply
+        (P.Predict_r
+           { mean = [| 0.5; -1.25 |]; variance = [| 0.1; 0.2 |]; cache_hit = true });
+      reply
+        (P.Mc_r
+           {
+             logliks = [| -1.0; neg_infinity; -3.0 |];
+             mean_loglik = neg_infinity;
+             status = P.Indefinite;
+             cache_hit = true;
+           });
+      reply P.Shutdown_r;
+      reply (P.Error_r { code = P.Saturated; message = "busy" });
+      reply (P.Error_r { code = P.Deadline_exceeded; message = "late" });
+      reply (P.Error_r { code = P.Bad_request; message = "nope" });
+      reply (P.Error_r { code = P.Internal; message = "boom" });
+    ]
+
+let test_reject_malformed () =
+  let bad json =
+    match P.request_of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "malformed request decoded"
+  in
+  bad (J.Str "nope");
+  bad (J.Obj [ ("id", J.Str "x") ]);
+  bad (J.Obj [ ("id", J.Str "x"); ("op", J.Str "unknown-op") ])
+
+let qcheck_spec_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 96 in
+    let* nb = int_range 1 n in
+    let* u_req = oneofl [ 1e-8; 1e-6; 1e-4; 1e-2 ] in
+    let* family =
+      oneofl
+        [ Covariance.Sqexp; Covariance.Matern; Covariance.Powexp; Covariance.Spherical ]
+    in
+    let* sigma2 = float_range 0.1 4.0 in
+    let* beta = float_range 0.05 0.5 in
+    let* nu = float_range 0.5 1.5 in
+    let* locs_seed = int_range 0 1000 in
+    let* data_seed = int_range 0 1000 in
+    return
+      {
+        P.n;
+        nb;
+        u_req;
+        family;
+        sigma2;
+        beta;
+        nu;
+        nugget = Covariance.default_nugget;
+        locs_seed;
+        data_seed;
+      })
+
+let qcheck_request_gen =
+  QCheck.Gen.(
+    let* s = qcheck_spec_gen in
+    let* priority = oneofl [ P.High; P.Normal; P.Low ] in
+    let* timeout_s = oneofl [ None; Some 0.5; Some 30.0 ] in
+    let* payload =
+      oneof
+        [
+          return P.Ping;
+          return (P.Likelihood s);
+          (let* n_new = int_range 1 16 in
+           let* pred_seed = int_range 0 100 in
+           return (P.Predict { spec = s; n_new; pred_seed }));
+          (let* replicates = int_range 1 32 in
+           return (P.Mc_batch { spec = s; replicates }));
+        ]
+    in
+    let* id = string_size ~gen:(char_range 'a' 'z') (int_range 1 12) in
+    return { P.id; priority; timeout_s; payload })
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"request codec round-trips"
+    (QCheck.make qcheck_request_gen) (fun req ->
+      match P.request_of_json (P.request_to_json req) with
+      | Ok req' -> same req req'
+      | Error _ -> false)
+
+(* {2 Framing} *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr r in
+  let oc = Unix.out_channel_of_descr w in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic)
+    (fun () -> f ic oc)
+
+let test_framing_roundtrip () =
+  with_pipe (fun ic oc ->
+      let json = P.request_to_json (request ~timeout_s:1.5 (P.Likelihood (spec ()))) in
+      P.write_frame oc json;
+      P.write_frame oc (J.Obj [ ("k", J.Num 7.) ]);
+      (match P.read_frame ic with
+      | Ok j -> Alcotest.(check bool) "first frame" true (same json j)
+      | Error m -> Alcotest.failf "read failed: %s" m);
+      match P.read_frame ic with
+      | Ok j -> Alcotest.(check bool) "second frame" true (same (J.Obj [ ("k", J.Num 7.) ]) j)
+      | Error m -> Alcotest.failf "read failed: %s" m)
+
+let test_framing_eof_and_oversize () =
+  with_pipe (fun ic oc ->
+      close_out oc;
+      match P.read_frame ic with
+      | Error "eof" -> ()
+      | Error m -> Alcotest.failf "expected eof, got %s" m
+      | Ok _ -> Alcotest.fail "read from closed pipe");
+  with_pipe (fun ic oc ->
+      (* A header advertising more than [max_frame_bytes] must be refused
+         without attempting the allocation. *)
+      output_string oc "\xff\xff\xff\xff";
+      flush oc;
+      match P.read_frame ic with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "oversized frame accepted");
+  let bytes = P.frame_to_string (J.Str "x") in
+  Alcotest.(check int) "frame layout = 4-byte header + payload"
+    (4 + String.length {|"x"|})
+    (String.length bytes)
+
+(* {2 Admission control} *)
+
+let test_admission_saturation () =
+  with_server ~max_inflight:1 ~queue_capacity:0 (fun srv ->
+      Alcotest.(check bool) "slot granted" true (Server.admit srv ~rank:1 = `Admitted);
+      Alcotest.(check int) "inflight" 1 (Server.inflight srv);
+      (match Server.handle srv (request (P.Likelihood (spec ()))) with
+      | P.Error_r { code = P.Saturated; _ } -> ()
+      | _ -> Alcotest.fail "expected Saturated while slot and queue are full");
+      Server.release srv;
+      Alcotest.(check int) "released" 0 (Server.inflight srv);
+      match Server.handle srv (request (P.Likelihood (spec ()))) with
+      | P.Likelihood_r { status = P.Clean; _ } -> ()
+      | _ -> Alcotest.fail "expected a clean likelihood after release")
+
+let test_admission_priority_order () =
+  with_server ~max_inflight:1 ~queue_capacity:4 (fun srv ->
+      Alcotest.(check bool) "occupy" true (Server.admit srv ~rank:0 = `Admitted);
+      let order = ref [] in
+      let omutex = Mutex.create () in
+      let waiter tag rank =
+        Thread.create
+          (fun () ->
+            match Server.admit srv ~rank with
+            | `Admitted ->
+              Mutex.lock omutex;
+              order := tag :: !order;
+              Mutex.unlock omutex;
+              Server.release srv
+            | `Saturated -> ())
+          ()
+      in
+      let await_queued n =
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        while Server.queued srv < n && Unix.gettimeofday () < deadline do
+          Thread.yield ()
+        done;
+        Alcotest.(check int) "queued" n (Server.queued srv)
+      in
+      (* Low enqueues first, then high: strict priority must overtake FIFO. *)
+      let t_low = waiter `Low 2 in
+      await_queued 1;
+      let t_high = waiter `High 0 in
+      await_queued 2;
+      Server.release srv;
+      Thread.join t_low;
+      Thread.join t_high;
+      Alcotest.(check bool) "high granted before low" true
+        (List.rev !order = [ `High; `Low ]))
+
+(* {2 Deadlines on the virtual clock} *)
+
+let test_deadline_at_admission () =
+  let _sleep, elapsed = Retry.virtual_clock () in
+  with_server ~now:elapsed (fun srv ->
+      match Server.handle srv (request ~timeout_s:(-1.0) (P.Likelihood (spec ()))) with
+      | P.Error_r { code = P.Deadline_exceeded; _ } -> ()
+      | _ -> Alcotest.fail "expected Deadline_exceeded at admission")
+
+let test_deadline_mid_batch () =
+  let sleep, elapsed = Retry.virtual_clock () in
+  with_server ~now:elapsed (fun srv ->
+      let progressed = ref 0 in
+      (* The first replicate completes at t=0 and its progress callback
+         advances the clock past the deadline; the per-replicate check must
+         stop the rest of the batch instead of finishing late. *)
+      let on_progress ~completed:_ ~total:_ =
+        incr progressed;
+        sleep 10.0
+      in
+      match
+        Server.handle srv ~on_progress
+          (request ~timeout_s:5.0 (P.Mc_batch { spec = spec (); replicates = 4 }))
+      with
+      | P.Error_r { code = P.Deadline_exceeded; _ } ->
+        Alcotest.(check int) "one replicate before expiry" 1 !progressed
+      | _ -> Alcotest.fail "expected Deadline_exceeded mid-batch")
+
+(* {2 Shape cache} *)
+
+let key ?beta ?locs_seed () = Cache.key_of_spec (spec ?beta ?locs_seed ())
+
+let small_key i = Cache.key_of_spec (spec ~n:32 ~nb:16 ~locs_seed:i ())
+
+let test_cache_lru_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  let build = Server.build_artifact in
+  let k1 = small_key 1 and k2 = small_key 2 and k3 = small_key 3 in
+  ignore (Cache.find_or_build cache k1 ~build);
+  ignore (Cache.find_or_build cache k2 ~build);
+  ignore (Cache.find_or_build cache k3 ~build);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "misses" 3 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "resident" 2 (Cache.length cache);
+  Alcotest.(check bool) "oldest evicted" true (Cache.find cache k1 = None);
+  Alcotest.(check bool) "newest resident" true (Cache.find cache k3 <> None);
+  (* A hit refreshes recency: touching k2 makes k3 the next victim. *)
+  ignore (Cache.find_or_build cache k2 ~build);
+  ignore (Cache.find_or_build cache k1 ~build);
+  Alcotest.(check bool) "recency refreshed" true
+    (Cache.find cache k2 <> None && Cache.find cache k3 = None)
+
+let test_cache_single_flight () =
+  let cache = Cache.create () in
+  let k = small_key 7 in
+  let barrier = Atomic.make 0 in
+  let results = Array.make 4 None in
+  let threads =
+    Array.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < 4 do
+              Thread.yield ()
+            done;
+            let art, _hit = Cache.find_or_build cache k ~build:Server.build_artifact in
+            results.(i) <- Some art)
+          ())
+  in
+  Array.iter Thread.join threads;
+  let s = Cache.stats cache in
+  Alcotest.(check int) "exactly one build" 1 s.Cache.misses;
+  Alcotest.(check int) "everyone else hits" 3 s.Cache.hits;
+  let first = Option.get results.(0) in
+  Array.iter
+    (fun r -> Alcotest.(check bool) "one publication" true (Option.get r == first))
+    results
+
+(* Replay cache lookups under explored interleavings: the explorer
+   serializes every linearization of an all-independent task graph, so every
+   ordering of racing lookups is exercised.  Under each one the cache must
+   build each distinct key exactly once and hand every task the same
+   physically-equal artifact — no torn or duplicate publication. *)
+let test_cache_interleaving_replay () =
+  let num_tasks = 4 in
+  let g =
+    Explore.graph ~num_tasks ~in_degree:(Array.make num_tasks 0)
+      ~successors:(fun _ -> [])
+  in
+  let check_schedule order =
+    let cache = Cache.create () in
+    let results = Array.make num_tasks None in
+    Explore.run_schedule g ~order ~execute:(fun i ->
+        let art, _ =
+          Cache.find_or_build cache (small_key (i mod 2)) ~build:Server.build_artifact
+        in
+        results.(i) <- Some art);
+    let s = Cache.stats cache in
+    assert (s.Cache.misses = 2 && s.Cache.hits = num_tasks - 2);
+    for i = 0 to num_tasks - 1 do
+      for j = 0 to num_tasks - 1 do
+        if i mod 2 = j mod 2 then
+          assert (Option.get results.(i) == Option.get results.(j))
+      done
+    done
+  in
+  let { Explore.explored; complete } = Explore.explore_systematic g ~f:check_schedule in
+  Alcotest.(check bool) "all 4! orders" true (complete && explored = 24);
+  (* And a seeded pass over a wider race. *)
+  let g6 =
+    Explore.graph ~num_tasks:6 ~in_degree:(Array.make 6 0) ~successors:(fun _ -> [])
+  in
+  Explore.for_each_seed g6 (fun ~seed:_ order ->
+      let cache = Cache.create () in
+      Explore.run_schedule g6 ~order ~execute:(fun i ->
+          ignore (Cache.find_or_build cache (small_key (i mod 3)) ~build:Server.build_artifact));
+      assert ((Cache.stats cache).Cache.misses = 3))
+
+(* {2 Bitwise identity of warm-cache evaluations} *)
+
+let bits = Int64.bits_of_float
+
+let likelihood_fields = function
+  | P.Likelihood_r { loglik; log_det; quad_form; cache_hit; _ } ->
+    (loglik, log_det, quad_form, cache_hit)
+  | r -> Alcotest.failf "expected Likelihood_r, got %s" (match r with
+      | P.Error_r { message; _ } -> message
+      | _ -> "another reply")
+
+let test_cache_hit_bit_identity () =
+  with_server (fun srv ->
+      let s = spec ~n:48 ~nb:16 () in
+      let l1, d1, q1, h1 = likelihood_fields (Server.handle srv (request (P.Likelihood s))) in
+      let l2, d2, q2, h2 = likelihood_fields (Server.handle srv (request (P.Likelihood s))) in
+      Alcotest.(check bool) "first is cold" false h1;
+      Alcotest.(check bool) "second hits" true h2;
+      Alcotest.(check bool) "loglik bitwise identical" true (bits l1 = bits l2);
+      Alcotest.(check bool) "log_det bitwise identical" true (bits d1 = bits d2);
+      Alcotest.(check bool) "quad_form bitwise identical" true (bits q1 = bits q2);
+      (* And identical to a cold run on a fresh server. *)
+      with_server (fun fresh ->
+          let l3, _, _, h3 =
+            likelihood_fields (Server.handle fresh (request (P.Likelihood s)))
+          in
+          Alcotest.(check bool) "fresh server is cold" false h3;
+          Alcotest.(check bool) "cold = warm bitwise" true (bits l1 = bits l3)))
+
+let prop_cache_hit_bit_identity =
+  QCheck.Test.make ~count:8 ~name:"cache-hit factorization is bitwise identical"
+    (QCheck.make
+       QCheck.Gen.(
+         let* u_req = oneofl [ 1e-8; 1e-6; 1e-4 ] in
+         let* family = oneofl [ Covariance.Sqexp; Covariance.Matern ] in
+         let* beta = oneofl [ 0.05; 0.1; 0.2 ] in
+         let* locs_seed = int_range 0 50 in
+         let* data_seed = int_range 0 50 in
+         return (spec ~n:32 ~nb:16 ~u_req ~family ~beta ~locs_seed ~data_seed ())))
+    (fun s ->
+      with_server (fun srv ->
+          let l1, d1, q1, h1 =
+            likelihood_fields (Server.handle srv (request (P.Likelihood s)))
+          in
+          let l2, d2, q2, h2 =
+            likelihood_fields (Server.handle srv (request (P.Likelihood s)))
+          in
+          (not h1) && h2 && bits l1 = bits l2 && bits d1 = bits d2 && bits q1 = bits q2))
+
+(* {2 Monte-Carlo batching} *)
+
+let test_mc_progress_and_batch () =
+  with_server (fun srv ->
+      let events = ref 0 in
+      let peak = ref 0 in
+      let on_progress ~completed ~total =
+        incr events;
+        if completed > !peak then peak := completed;
+        Alcotest.(check int) "total" 5 total
+      in
+      match
+        Server.handle srv ~on_progress
+          (request (P.Mc_batch { spec = spec ~n:32 (); replicates = 5 }))
+      with
+      | P.Mc_r { logliks; mean_loglik; status = P.Clean; _ } ->
+        Alcotest.(check int) "one loglik per replicate" 5 (Array.length logliks);
+        Alcotest.(check int) "one progress event per replicate" 5 !events;
+        Alcotest.(check int) "progress reaches the batch size" 5 !peak;
+        Array.iter
+          (fun l -> Alcotest.(check bool) "finite" true (Float.is_finite l))
+          logliks;
+        let sum = Array.fold_left ( +. ) 0. logliks in
+        Alcotest.(check (float 1e-12)) "mean" (sum /. 5.) mean_loglik
+      | _ -> Alcotest.fail "expected Mc_r")
+
+let test_validation () =
+  with_server (fun srv ->
+      let expect_bad payload =
+        match Server.handle srv (request payload) with
+        | P.Error_r { code = P.Bad_request; _ } -> ()
+        | _ -> Alcotest.fail "expected Bad_request"
+      in
+      expect_bad (P.Likelihood { (spec ()) with P.n = 0 });
+      expect_bad (P.Likelihood { (spec ()) with P.nb = 100; n = 10 });
+      expect_bad (P.Likelihood { (spec ()) with P.u_req = 0.0 });
+      expect_bad (P.Likelihood { (spec ()) with P.sigma2 = nan });
+      expect_bad (P.Predict { spec = spec (); n_new = 0; pred_seed = 1 });
+      expect_bad (P.Mc_batch { spec = spec (); replicates = 0 }))
+
+(* {2 Socket front end} *)
+
+let test_socket_end_to_end () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "geomix-test-serve-%d.sock" (Unix.getpid ()))
+  in
+  with_server (fun srv ->
+      let server_thread =
+        Thread.create (fun () -> Server.serve_unix srv ~path ()) ()
+      in
+      let rec connect tries =
+        match
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+        with
+        | fd -> fd
+        | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+          when tries > 0 ->
+          Thread.delay 0.02;
+          connect (tries - 1)
+      in
+      let fd = connect 250 in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let roundtrip req =
+        P.write_frame oc (P.request_to_json req);
+        let rec await progress =
+          match P.read_frame ic with
+          | Error m -> Alcotest.failf "read_frame: %s" m
+          | Ok j -> (
+            match P.frame_of_json j with
+            | Ok (P.Reply { id; reply }) ->
+              Alcotest.(check string) "id echoed" req.P.id id;
+              (reply, progress)
+            | Ok (P.Progress _) -> await (progress + 1)
+            | Error m -> Alcotest.failf "frame_of_json: %s" m)
+        in
+        await 0
+      in
+      (match roundtrip (request ~id:"ping" P.Ping) with
+      | P.Pong, _ -> ()
+      | _ -> Alcotest.fail "expected Pong");
+      (match roundtrip (request ~id:"lik" (P.Likelihood (spec ~n:32 ()))) with
+      | P.Likelihood_r { status = P.Clean; _ }, _ -> ()
+      | _ -> Alcotest.fail "expected Likelihood_r");
+      (match
+         roundtrip (request ~id:"mc" (P.Mc_batch { spec = spec ~n:32 (); replicates = 3 }))
+       with
+      | P.Mc_r { logliks; _ }, progress ->
+        Alcotest.(check int) "replicates" 3 (Array.length logliks);
+        Alcotest.(check int) "progress frames interleaved" 3 progress
+      | _ -> Alcotest.fail "expected Mc_r");
+      (* A syntactically-valid but meaningless request keeps the
+         connection alive with a Bad_request reply. *)
+      P.write_frame oc (J.Obj [ ("id", J.Str "weird") ]);
+      (match P.read_frame ic with
+      | Ok j -> (
+        match P.frame_of_json j with
+        | Ok (P.Reply { reply = P.Error_r { code = P.Bad_request; _ }; _ }) -> ()
+        | _ -> Alcotest.fail "expected Bad_request")
+      | Error m -> Alcotest.failf "read_frame: %s" m);
+      (match roundtrip (request ~id:"bye" P.Shutdown) with
+      | P.Shutdown_r, _ -> ()
+      | _ -> Alcotest.fail "expected Shutdown_r");
+      Unix.close fd;
+      Thread.join server_thread;
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+      Alcotest.(check bool) "requests served" true (Server.served srv >= 4))
+
+let test_key_of_spec_ignores_data_seed () =
+  let k1 = Cache.key_of_spec (spec ~data_seed:1 ()) in
+  let k2 = Cache.key_of_spec (spec ~data_seed:999 ()) in
+  Alcotest.(check bool) "same shape key" true (k1 = k2);
+  Alcotest.(check bool) "distinct shapes differ" true (key () <> key ~beta:0.3 ())
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request codec round-trips" `Quick test_request_roundtrip;
+          Alcotest.test_case "frame codec round-trips" `Quick test_frame_roundtrip;
+          Alcotest.test_case "malformed requests rejected" `Quick test_reject_malformed;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          Alcotest.test_case "framing round-trips" `Quick test_framing_roundtrip;
+          Alcotest.test_case "framing eof and oversize" `Quick
+            test_framing_eof_and_oversize;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "saturation rejects" `Quick test_admission_saturation;
+          Alcotest.test_case "priority order" `Quick test_admission_priority_order;
+          Alcotest.test_case "deadline at admission" `Quick test_deadline_at_admission;
+          Alcotest.test_case "deadline mid-batch" `Quick test_deadline_mid_batch;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key ignores data seed" `Quick
+            test_key_of_spec_ignores_data_seed;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "single-flight build" `Quick test_cache_single_flight;
+          Alcotest.test_case "interleaving replay" `Quick
+            test_cache_interleaving_replay;
+          Alcotest.test_case "cache-hit bit identity" `Quick
+            test_cache_hit_bit_identity;
+          QCheck_alcotest.to_alcotest prop_cache_hit_bit_identity;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "mc batch progress" `Quick test_mc_progress_and_batch;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end;
+        ] );
+    ]
