@@ -121,7 +121,12 @@ let compare_metric ~tolerance (base : metric) (cur : metric) =
     | Lower_is_better ->
       if base.value = 0. then cur.value > 0.
       else cur.value > base.value *. (1. +. tolerance)
-    | Higher_is_better -> cur.value < base.value *. (1. -. tolerance)
+    | Higher_is_better ->
+      (* Dual of the Lower_is_better bound.  A multiplicative floor of
+         base·(1 − tolerance) goes non-positive once tolerance ≥ 1, which
+         would silently turn wide gates vacuous for higher-is-better
+         metrics; dividing keeps every tolerance meaningful. *)
+      cur.value < base.value /. (1. +. tolerance)
   in
   { metric_name = base.name; baseline = base.value; current = cur.value; ratio; regressed }
 

@@ -46,8 +46,10 @@ type verdict = {
 val compare : tolerance:float -> baseline:t -> current:t -> verdict list
 (** One verdict per baseline metric present in [current].  With
     [tolerance = 0.2], a [Lower_is_better] metric regresses when
-    [current > 1.2 × baseline].  @raise Invalid_argument on a negative
-    tolerance. *)
+    [current > 1.2 × baseline] and a [Higher_is_better] one when
+    [current < baseline / 1.2] — the reciprocal bound, so even tolerances
+    at or above 1 keep a real floor.  @raise Invalid_argument on a
+    negative tolerance. *)
 
 val any_regressed : verdict list -> bool
 

@@ -2,7 +2,22 @@ module Metrics = Geomix_obs.Metrics
 module Events = Geomix_obs.Events
 module Fault = Geomix_fault.Fault
 
-type item = { thunk : unit -> unit; submitted : float; seq : int }
+(* A job is a completion scope over a subset of the pool's thunks: its own
+   pending count, its own first-error slot, its own condition variable (all
+   guarded by the pool mutex).  An exception escaping a job-scoped thunk —
+   including an injected fault — lands in the job, never in the pool's
+   fail-fast slot, and a failed job skips its own queued thunks without
+   cancelling anyone else's. *)
+type job = {
+  job_done : Condition.t;
+  mutable pending : int;
+  mutable job_error : (exn * Printexc.raw_backtrace) option;
+  mutable skipped : int;
+}
+
+type scope = Pool_scope | Job_scope of job
+
+type item = { thunk : unit -> unit; submitted : float; seq : int; scope : scope }
 
 (* Metric cells resolved once at pool creation so the hot path never takes
    the registry lock. *)
@@ -33,19 +48,6 @@ type t = {
   bus : Events.t option;
 }
 
-(* A job is a completion scope over a subset of the pool's thunks: its own
-   pending count, its own first-error slot, its own condition variable (all
-   guarded by the pool mutex).  Job thunks are wrapped so an escaping
-   exception lands in the job — never in the pool's fail-fast slot — and
-   a failed job skips its own queued thunks without cancelling anyone
-   else's. *)
-type job = {
-  job_done : Condition.t;
-  mutable pending : int;
-  mutable job_error : (exn * Printexc.raw_backtrace) option;
-  mutable skipped : int;
-}
-
 let emit t ?level name fields =
   match t.bus with
   | None -> ()
@@ -74,6 +76,17 @@ let make_obs reg n =
 let cancel_pending_locked t =
   let n = Queue.length t.queue in
   if n > 0 then begin
+    (* Discarded job thunks must still settle their job's accounting, or a
+       concurrent [join_job] would wait forever on the pending count. *)
+    Queue.iter
+      (fun it ->
+        match it.scope with
+        | Pool_scope -> ()
+        | Job_scope job ->
+          job.skipped <- job.skipped + 1;
+          job.pending <- job.pending - 1;
+          if job.pending = 0 then Condition.broadcast job.job_done)
+      t.queue;
     Queue.clear t.queue;
     t.cancelled <- t.cancelled + n;
     (match t.obs with Some o -> Metrics.add o.cancelled_total n | None -> ());
@@ -98,18 +111,47 @@ let run_thunk t item =
   | Some f ->
     Fault.wrap f ~site:"pool" ~task:(string_of_int item.seq) ~attempt:1 item.thunk
 
+(* Execute a job-scoped item: skip when the job has already failed, catch
+   the escaping exception — [run_thunk] sits inside the try, so injected
+   faults land here too — in the job's error slot, and settle the pending
+   count whichever way it went. *)
+let run_job_item t job item =
+  Mutex.lock t.mutex;
+  let skip = job.job_error <> None in
+  if skip then job.skipped <- job.skipped + 1;
+  Mutex.unlock t.mutex;
+  (if not skip then
+     try run_thunk t item
+     with exn ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock t.mutex;
+       if job.job_error = None then begin
+         job.job_error <- Some (exn, bt);
+         emit t ~level:Events.Error "job_error"
+           [ ("error", Events.fstr (Printexc.to_string exn)) ]
+       end;
+       Mutex.unlock t.mutex);
+  Mutex.lock t.mutex;
+  job.pending <- job.pending - 1;
+  if job.pending = 0 then Condition.broadcast job.job_done;
+  Mutex.unlock t.mutex
+
 (* Run a dequeued item on behalf of [worker], recording queue-wait and
    run-time when the pool is instrumented. *)
 let run_item t ~worker item =
+  let exec () =
+    match item.scope with
+    | Pool_scope -> (
+      try run_thunk t item
+      with exn -> record_error t exn (Printexc.get_raw_backtrace ()))
+    | Job_scope job -> run_job_item t job item
+  in
   match t.obs with
-  | None -> (
-    try run_thunk t item
-    with exn -> record_error t exn (Printexc.get_raw_backtrace ()))
+  | None -> exec ()
   | Some o ->
     let t0 = Unix.gettimeofday () in
     Metrics.observe o.queue_wait (t0 -. item.submitted);
-    (try run_thunk t item
-     with exn -> record_error t exn (Printexc.get_raw_backtrace ()));
+    exec ();
     Metrics.observe o.run_time (Unix.gettimeofday () -. t0);
     Metrics.incr o.tasks_total;
     Metrics.incr o.worker_tasks.(worker mod Array.length o.worker_tasks)
@@ -187,11 +229,11 @@ let self_index t =
   in
   find 0
 
-let submit t thunk =
+let submit_scoped t ~scope thunk =
   let submitted = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0. in
   Mutex.lock t.mutex;
   assert (not t.stopping);
-  Queue.push { thunk; submitted; seq = t.next_seq } t.queue;
+  Queue.push { thunk; submitted; seq = t.next_seq; scope } t.queue;
   t.next_seq <- t.next_seq + 1;
   t.in_flight <- t.in_flight + 1;
   (match t.obs with
@@ -199,6 +241,8 @@ let submit t thunk =
   | None -> ());
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
+
+let submit t thunk = submit_scoped t ~scope:Pool_scope thunk
 
 let drain_serial t =
   let rec next () =
@@ -236,29 +280,7 @@ let submit_job t job thunk =
   Mutex.lock t.mutex;
   job.pending <- job.pending + 1;
   Mutex.unlock t.mutex;
-  submit t (fun () ->
-      (* A failed job skips its remaining thunks (cancel-by-skip); errors
-         are stored in the job, never in the pool's fail-fast slot, so one
-         request's failure cannot cancel or poison another's. *)
-      Mutex.lock t.mutex;
-      let skip = job.job_error <> None in
-      if skip then job.skipped <- job.skipped + 1;
-      Mutex.unlock t.mutex;
-      (if not skip then
-         try thunk ()
-         with exn ->
-           let bt = Printexc.get_raw_backtrace () in
-           Mutex.lock t.mutex;
-           if job.job_error = None then begin
-             job.job_error <- Some (exn, bt);
-             emit t ~level:Events.Error "job_error"
-               [ ("error", Events.fstr (Printexc.to_string exn)) ]
-           end;
-           Mutex.unlock t.mutex);
-      Mutex.lock t.mutex;
-      job.pending <- job.pending - 1;
-      if job.pending = 0 then Condition.broadcast job.job_done;
-      Mutex.unlock t.mutex)
+  submit_scoped t ~scope:(Job_scope job) thunk
 
 let join_job t job =
   (if t.serial then

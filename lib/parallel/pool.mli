@@ -85,11 +85,16 @@ val with_pool :
     concurrent requests on a shared pool needs neither: each request
     submits its thunks under its own job and {!join_job}s only those.
 
-    Failure semantics are job-scoped: an exception escaping a job thunk is
-    stored in the {e job} (never in the pool's fail-fast slot), subsequent
-    thunks {e of that job} are skipped instead of run, and {!join_job}
-    re-raises the job's first error with its original backtrace.  Thunks
-    of other jobs — and plain {!submit} thunks — are unaffected. *)
+    Failure semantics are job-scoped: an exception escaping a job thunk —
+    including a [?faults] injection — is stored in the {e job} (never in
+    the pool's fail-fast slot), subsequent thunks {e of that job} are
+    skipped instead of run, and {!join_job} re-raises the job's first
+    error with its original backtrace.  Thunks of other jobs — and plain
+    {!submit} thunks — are unaffected.  In the other direction, a
+    pool-wide fail-fast cancellation (first error from a plain {!submit}
+    thunk) discards queued job thunks but still settles their jobs'
+    accounting: they count as skipped and {!join_job} returns rather than
+    waiting forever. *)
 
 type job
 

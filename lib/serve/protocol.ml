@@ -395,15 +395,28 @@ let write_frame oc json =
   flush oc
 
 let read_frame ic =
-  match really_input_string ic 4 with
-  | exception End_of_file -> Error "eof"
-  | hdr ->
-    let b k = Char.code hdr.[k] in
+  (* The header is read with an explicit loop so a connection closed
+     cleanly between frames (0 bytes) stays distinguishable from one cut
+     mid-header (1–3 bytes) — the latter is a framing error, like a
+     truncated body. *)
+  let hdr = Bytes.create 4 in
+  let rec fill pos =
+    if pos >= 4 then 4
+    else
+      match input ic hdr pos (4 - pos) with 0 -> pos | k -> fill (pos + k)
+  in
+  match fill 0 with
+  | exception Sys_error m -> Error m
+  | 0 -> Error "eof"
+  | p when p < 4 -> Error "truncated frame"
+  | _ ->
+    let b k = Char.code (Bytes.get hdr k) in
     let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
     if n > max_frame_bytes then Error "oversized frame"
     else (
       match really_input_string ic n with
       | exception End_of_file -> Error "truncated frame"
+      | exception Sys_error m -> Error m
       | body -> J.of_string body)
 
 let frame_to_string json =

@@ -123,7 +123,9 @@ val write_frame : out_channel -> Geomix_obs.Jsonlite.t -> unit
 
 val read_frame : in_channel -> (Geomix_obs.Jsonlite.t, string) result
 (** Read one frame; [Error "eof"] on clean end-of-stream before the
-    header, [Error _] on truncation, oversize or a JSON parse failure. *)
+    header, [Error _] on truncation, oversize, a JSON parse failure or an
+    I/O error on the stream (e.g. a connection reset) — never raises on
+    stream damage. *)
 
 val frame_to_string : Geomix_obs.Jsonlite.t -> string
 (** The exact byte sequence {!write_frame} would emit — for tests and

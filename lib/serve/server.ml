@@ -477,12 +477,19 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
 (* {2 Unix-domain-socket front end} *)
 
 let serve_unix t ~path ?(backlog = 64) ?max_requests () =
+  (* A client gone mid-stream must surface as Sys_error (EPIPE) in
+     [try_write], not deliver a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   if Sys.file_exists path then Sys.remove path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd backlog;
   let closed = ref false in
   let cmutex = Mutex.create () in
+  (* Open connection fds, guarded by [cmutex]; shutdown must wake their
+     reader threads or the final join would wait on idle clients. *)
+  let conns : (Unix.file_descr, unit) Hashtbl.t = Hashtbl.create 16 in
   let is_closed () =
     Mutex.lock cmutex;
     let c = !closed in
@@ -495,7 +502,14 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
       closed := true;
       (* Closing a listening fd does not wake a thread blocked in accept(2);
          shutdown does.  The accept loop owns the actual close. *)
-      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (* Receive side only: blocked readers see EOF and drain, while
+         in-flight replies (the Shutdown_r handshake) still flush. *)
+      Hashtbl.iter
+        (fun conn () ->
+          try Unix.shutdown conn Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        conns
     end;
     Mutex.unlock cmutex
   in
@@ -541,7 +555,11 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
           (match reply with P.Shutdown_r -> () | _ -> loop ()))
     in
     Fun.protect
-      ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+      ~finally:(fun () ->
+        Mutex.lock cmutex;
+        Hashtbl.remove conns conn;
+        Mutex.unlock cmutex;
+        try Unix.close conn with Unix.Unix_error _ -> ())
       loop
   in
   while not (is_closed ()) do
@@ -552,7 +570,15 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
     in
     if readable then
       match Unix.accept fd with
-      | conn, _ -> threads := Thread.create handle_conn conn :: !threads
+      | conn, _ ->
+        Mutex.lock cmutex;
+        Hashtbl.replace conns conn ();
+        (* A shutdown may have raced this accept; wake the reader too. *)
+        if !closed then
+          (try Unix.shutdown conn Unix.SHUTDOWN_RECEIVE
+           with Unix.Unix_error _ -> ());
+        Mutex.unlock cmutex;
+        threads := Thread.create handle_conn conn :: !threads
       | exception Unix.Unix_error _ -> close_listener ()
   done;
   close_listener ();

@@ -100,6 +100,9 @@ val serve_unix :
     per connection, and serve length-prefixed {!Protocol} frames until a
     [Shutdown] request arrives or [max_requests] requests have been
     answered.  Requests on one connection are handled sequentially;
-    concurrency comes from concurrent connections.  Returns after every
-    connection thread has drained; the socket file is removed on the way
-    out. *)
+    concurrency comes from concurrent connections.  SIGPIPE is ignored
+    process-wide on entry, so a client that disconnects mid-stream costs
+    only its own dropped frames, never the server.  Shutdown closes the
+    read side of every open connection (idle clients see EOF; in-flight
+    replies still flush) and returns after every connection thread has
+    drained; the socket file is removed on the way out. *)

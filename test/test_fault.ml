@@ -330,6 +330,26 @@ let test_pool_site_faults () =
   Alcotest.(check int) "fault.injected mirrored" 1 (counter_of snap "fault.injected");
   Pool.shutdown pool
 
+let test_pool_job_faults_stay_in_job () =
+  (* A fault injected into a job-scoped thunk belongs to the job: join_job
+     re-raises it, the rest of the job is skipped, and the pool's own
+     fail-fast slot stays empty so unrelated work is not cancelled. *)
+  let faults = Fault.plan ~rate:1. ~sleep:ignore ~seed:2 () in
+  let pool = Pool.create ~faults ~num_workers:0 () in
+  let hits = ref 0 in
+  let job = Pool.new_job pool in
+  Pool.submit_job pool job (fun () -> incr hits);
+  Pool.submit_job pool job (fun () -> incr hits);
+  (match Pool.join_job pool job with
+   | () -> Alcotest.fail "injected fault not raised by join_job"
+   | exception Fault.Injected _ -> ());
+  Alcotest.(check int) "faulted job ran nothing" 0 !hits;
+  Alcotest.(check int) "rest of the job skipped" 1 (Pool.job_skipped job);
+  Alcotest.(check int) "no pool-wide cancellation" 0 (Pool.cancelled pool);
+  (* wait_idle must not re-raise the job's fault. *)
+  Pool.wait_idle pool;
+  Pool.shutdown pool
+
 (* Dag_exec: supervised retry with snapshot restore *)
 
 let chain n =
@@ -658,6 +678,8 @@ let () =
             test_pool_cancels_pending_serial;
           Alcotest.test_case "cancels pending (parallel)" `Quick
             test_pool_cancels_pending_parallel;
+          Alcotest.test_case "job faults stay in the job" `Quick
+            test_pool_job_faults_stay_in_job;
           Alcotest.test_case "error identity preserved" `Quick
             test_pool_error_backtrace_preserved;
           Alcotest.test_case "pool-site injection" `Quick test_pool_site_faults;

@@ -259,6 +259,18 @@ let test_regression_gate_directions () =
   Alcotest.(check bool) "only lower" true
     (List.for_all (fun x -> x.B.regressed = (x.B.metric_name = "lower")) v);
   Alcotest.(check bool) "higher trips" true (B.any_regressed (gate 100. 79.));
+  (* Even a wide (300%) tolerance keeps a real floor for higher-is-better
+     metrics: the bound is baseline/(1+tol) = 25, not the vacuous
+     baseline·(1−tol) < 0. *)
+  let wide high =
+    let current =
+      B.make ~suite:"s"
+        [ B.metric "lower" 100.; B.metric ~direction:B.Higher_is_better "higher" high ]
+    in
+    B.any_regressed (B.compare ~tolerance:3.0 ~baseline:base ~current)
+  in
+  Alcotest.(check bool) "wide tolerance trips below floor" true (wide 20.);
+  Alcotest.(check bool) "wide tolerance holds above floor" false (wide 30.);
   (* Metrics missing from current are skipped, not failures. *)
   Alcotest.(check int) "gone skipped" 2 (List.length v);
   Alcotest.(check bool) "report mentions verdicts" true

@@ -239,6 +239,28 @@ let test_job_skips_after_failure () =
     Alcotest.(check int) "later tasks skipped" 0 (Atomic.get ran);
     Alcotest.(check int) "skips counted" 2 (Pool.job_skipped job))
 
+let test_job_settled_by_pool_cancellation () =
+  (* Deterministic on the serial pool: a plain submit fails first, and the
+     pool-wide fail-fast cancellation discards the two queued job thunks.
+     The job's accounting must settle anyway — before the fix this
+     join_job waited forever on a pending count nothing would ever
+     decrement. *)
+  Pool.with_pool ~num_workers:0 (fun pool ->
+    let ran = Atomic.make 0 in
+    let job = Pool.new_job pool in
+    Pool.submit pool (fun () -> raise Boom);
+    Pool.submit_job pool job (fun () -> Atomic.incr ran);
+    Pool.submit_job pool job (fun () -> Atomic.incr ran);
+    (match Pool.wait_idle pool with
+    | () -> Alcotest.fail "pool error not raised"
+    | exception Boom -> ());
+    Pool.join_job pool job;
+    Alcotest.(check int) "cancelled job thunks never ran" 0 (Atomic.get ran);
+    Alcotest.(check int) "cancelled thunks counted as skipped" 2
+      (Pool.job_skipped job);
+    Alcotest.(check int) "pool counted the cancellations" 2
+      (Pool.cancelled pool))
+
 let test_job_reusable_pool () =
   with_pools (fun pool ->
     (* After a failed job, the pool keeps serving fresh jobs. *)
@@ -297,6 +319,8 @@ let () =
           Alcotest.test_case "completion" `Quick test_job_completion;
           Alcotest.test_case "failure isolated" `Quick test_job_failure_isolated;
           Alcotest.test_case "skips after failure" `Quick test_job_skips_after_failure;
+          Alcotest.test_case "settled by pool cancellation" `Quick
+            test_job_settled_by_pool_cancellation;
           Alcotest.test_case "pool reusable" `Quick test_job_reusable_pool;
           Alcotest.test_case "concurrent joiners" `Quick test_job_concurrent_joiners;
         ] );

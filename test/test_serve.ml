@@ -217,6 +217,15 @@ let test_framing_eof_and_oversize () =
       | Error m -> Alcotest.failf "expected eof, got %s" m
       | Ok _ -> Alcotest.fail "read from closed pipe");
   with_pipe (fun ic oc ->
+      (* A connection cut after 1–3 header bytes is a framing error, not a
+         clean end-of-stream. *)
+      output_string oc "\x00\x00";
+      close_out oc;
+      match P.read_frame ic with
+      | Error "truncated frame" -> ()
+      | Error m -> Alcotest.failf "expected truncated frame, got %s" m
+      | Ok _ -> Alcotest.fail "truncated header accepted");
+  with_pipe (fun ic oc ->
       (* A header advertising more than [max_frame_bytes] must be refused
          without attempting the allocation. *)
       output_string oc "\xff\xff\xff\xff";
@@ -558,6 +567,70 @@ let test_socket_end_to_end () =
       Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
       Alcotest.(check bool) "requests served" true (Server.served srv >= 4))
 
+let test_socket_disconnect_and_idle_clients () =
+  (* Two front-end liveness contracts: a client hanging up before its
+     reply lands must cost only its own frames (SIGPIPE is ignored, the
+     dead-socket write is absorbed), and a Shutdown must wake clients
+     sitting idle in the middle of the read loop instead of hanging the
+     final join on them. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "geomix-test-serve-dc-%d.sock" (Unix.getpid ()))
+  in
+  with_server (fun srv ->
+      let server_thread =
+        Thread.create (fun () -> Server.serve_unix srv ~path ()) ()
+      in
+      let rec connect tries =
+        match
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+        with
+        | fd -> fd
+        | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+          when tries > 0 ->
+          Thread.delay 0.02;
+          connect (tries - 1)
+      in
+      (* Connected but never sends a byte; only the shutdown below can
+         release its connection thread. *)
+      let idle_fd = connect 250 in
+      (* Sends a request, then hangs up before the reply. *)
+      let gone_fd = connect 250 in
+      let gone_oc = Unix.out_channel_of_descr gone_fd in
+      P.write_frame gone_oc
+        (P.request_to_json (request ~id:"gone" (P.Likelihood (spec ~n:32 ()))));
+      Unix.close gone_fd;
+      (* The server must still be alive and answering. *)
+      let fd = connect 250 in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let roundtrip req =
+        P.write_frame oc (P.request_to_json req);
+        let rec await () =
+          match P.read_frame ic with
+          | Error m -> Alcotest.failf "read_frame: %s" m
+          | Ok j -> (
+            match P.frame_of_json j with
+            | Ok (P.Reply { reply; _ }) -> reply
+            | Ok (P.Progress _) -> await ()
+            | Error m -> Alcotest.failf "frame_of_json: %s" m)
+        in
+        await ()
+      in
+      (match roundtrip (request ~id:"alive" P.Ping) with
+      | P.Pong -> ()
+      | _ -> Alcotest.fail "expected Pong after client disconnect");
+      (match roundtrip (request ~id:"bye" P.Shutdown) with
+      | P.Shutdown_r -> ()
+      | _ -> Alcotest.fail "expected Shutdown_r");
+      Unix.close fd;
+      (* Joins even though [idle_fd] never closed its end. *)
+      Thread.join server_thread;
+      Unix.close idle_fd;
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists path))
+
 let test_key_of_spec_ignores_data_seed () =
   let k1 = Cache.key_of_spec (spec ~data_seed:1 ()) in
   let k2 = Cache.key_of_spec (spec ~data_seed:999 ()) in
@@ -601,5 +674,7 @@ let () =
           Alcotest.test_case "mc batch progress" `Quick test_mc_progress_and_batch;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "disconnect and idle clients" `Quick
+            test_socket_disconnect_and_idle_clients;
         ] );
     ]
