@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check chaos report autotune serve serve-smoke verify-slow clean
+.PHONY: all test check chaos report autotune serve serve-smoke serve-chaos verify-slow clean
 
 all:
 	dune build @all
@@ -53,6 +53,18 @@ serve-smoke:
 	dune exec bench/b_serve.exe -- --smoke --json BENCH_serve.json \
 	  --compare bench/BENCH_baseline.json
 	@echo "wrote BENCH_serve.json"
+
+# Chaos-under-load smoke (the CI serve-chaos-smoke job): 8 clients hammer
+# the server while a seeded fault plan injects transient faults, forced
+# pivot failures and silent data corruption into every factorization.
+# Exits nonzero on any crash, any unaccounted failure, any corrupt escape
+# (a Clean/Corrupt_recovered reply that is not bitwise-identical to the
+# fault-free reference), or zero injections (a disarmed plan).
+serve-chaos:
+	for seed in 1 2 3; do \
+	  dune exec bench/b_serve.exe -- --chaos --chaos-seed $$seed \
+	    --json BENCH_serve_chaos_$$seed.json || exit 1; \
+	done
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

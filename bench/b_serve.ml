@@ -10,17 +10,34 @@
    (zero dropped), no error replies, a hit rate above 0.5, and Monte-Carlo
    progress frames must stream.  `--json` writes the BENCH_serve.json
    artifact; `--compare BASELINE` gates serve_p50_ms / serve_p99_ms /
-   serve_cache_hit_frac against the committed baseline. *)
+   serve_cache_hit_frac against the committed baseline.
+
+   Chaos mode (`--chaos`, seeded by `--chaos-seed`): the same mixed
+   traffic hammers a server whose execution stack runs under a seeded
+   fault plan — transient kernel faults, silent data corruption and
+   forced pivot failures — with bounded retry, per-request integrity
+   guards and precision-escalation recovery armed.  The gate asserts the
+   ISSUE's chaos contract: the server never crashes, every request
+   resolves to a typed status (clean / escalated / recovered / Saturated
+   / deadline — nothing lands in Internal or a transport error), and
+   every reply whose status claims clean numbers (Clean or
+   Corrupt_recovered) is bitwise-identical to a fault-free reference
+   evaluation of the same request.  Escalation invalidates cache
+   entries, so the hit-rate check is not armed under chaos. *)
 
 module Bench_json = Geomix_obs.Bench_json
 module Pool = Geomix_parallel.Pool
 module Server = Geomix_serve.Server
 module Cache = Geomix_serve.Cache
 module P = Geomix_serve.Protocol
+module Fault = Geomix_fault.Fault
+module Retry = Geomix_fault.Retry
 module Covariance = Geomix_geostat.Covariance
 
 type cfg = {
   smoke : bool;
+  chaos : bool;
+  chaos_seed : int;
   clients : int;
   requests : int; (* main-phase total, split across clients *)
   json_path : string option;
@@ -31,6 +48,8 @@ type cfg = {
 let default_cfg =
   {
     smoke = false;
+    chaos = false;
+    chaos_seed = 1;
     clients = 8;
     requests = 200;
     json_path = None;
@@ -93,11 +112,30 @@ let roundtrip ic oc (req : P.request) =
   let r = await () in
   (r, !progress)
 
+(* How a request resolved, after saturation retries.  Everything here is
+   a *typed* resolution except [Transport] and [Err_other] — those are
+   the chaos gate's definition of an unaccounted failure. *)
+type klass =
+  | Ok_clean
+  | Ok_escalated
+  | Ok_recovered
+  | Ok_indefinite
+  | Err_saturated  (** still saturated after bounded retries *)
+  | Err_deadline
+  | Err_other      (** Internal / Bad_request — never expected *)
+  | Transport
+
+let klass_ok = function
+  | Ok_clean | Ok_escalated | Ok_recovered | Ok_indefinite -> true
+  | Err_saturated | Err_deadline | Err_other | Transport -> false
+
 type outcome = {
   latency_s : float;
-  ok : bool; (* a non-error reply *)
+  klass : klass;
   cache_hit : bool;
   progress : int;
+  sat_retries : int;  (** Saturated replies absorbed by client backoff *)
+  bitwise_ok : bool;  (** clean-claiming reply matched the reference *)
 }
 
 let cache_hit_of = function
@@ -105,26 +143,103 @@ let cache_hit_of = function
   | P.Predict_r { cache_hit; _ }
   | P.Mc_r { cache_hit; _ } ->
     Some cache_hit
-  | P.Pong | P.Shutdown_r | P.Error_r _ -> None
+  | P.Pong | P.Health_r _ | P.Shutdown_r | P.Error_r _ -> None
 
-let issue ic oc req =
+let status_of = function
+  | P.Likelihood_r { status; _ } | P.Mc_r { status; _ } -> Some status
+  | P.Predict_r _ -> Some P.Clean (* prediction has no factorization status *)
+  | P.Pong | P.Health_r _ | P.Shutdown_r | P.Error_r _ -> None
+
+(* Client-side saturation backoff: a `Retry`-style policy whose delays
+   come from [Retry.delay_for] with a per-request salt, so a herd of
+   clients shed at the same instant decorrelates instead of re-colliding
+   on the admission queue.  [retryable] is irrelevant (we match on the
+   Saturated reply, not an exception); delays are real sleeps. *)
+let saturation_policy =
+  {
+    Retry.max_attempts = 6;
+    base_delay = 0.004;
+    factor = 2.0;
+    max_delay = 0.1;
+    jitter = 0.5;
+    sleep = Unix.sleepf;
+    retryable = (fun _ -> false);
+  }
+
+(* Bitwise comparison of the numeric payload of two replies — statuses
+   and cache flags are allowed to differ (the faulted run reports how it
+   recovered; the reference is always Clean). *)
+let f64_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let arr_eq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (f64_eq x b.(i)) then ok := false) a;
+  !ok
+
+let numbers_match a b =
+  match (a, b) with
+  | P.Likelihood_r x, P.Likelihood_r y ->
+    f64_eq x.loglik y.loglik
+    && f64_eq x.log_det y.log_det
+    && f64_eq x.quad_form y.quad_form
+  | P.Mc_r x, P.Mc_r y ->
+    arr_eq x.logliks y.logliks && f64_eq x.mean_loglik y.mean_loglik
+  | P.Predict_r x, P.Predict_r y ->
+    arr_eq x.mean y.mean && arr_eq x.variance y.variance
+  | _ -> false
+
+(* Issue one request: bounded decorrelated-jitter retry on Saturated,
+   then classify the resolution.  [verify] re-evaluates clean-claiming
+   replies against the fault-free reference (chaos mode only). *)
+let issue ?(verify = fun _ _ -> true) ic oc req =
   let t0 = Unix.gettimeofday () in
-  let r, progress = roundtrip ic oc req in
+  let rec go attempt retries =
+    let r, progress = roundtrip ic oc req in
+    match r with
+    | Ok (P.Error_r { code = P.Saturated; _ })
+      when attempt < saturation_policy.Retry.max_attempts ->
+      saturation_policy.Retry.sleep
+        (Retry.delay_for
+           ~salt:(Hashtbl.hash req.P.id)
+           saturation_policy ~attempt);
+      go (attempt + 1) (retries + 1)
+    | r -> (r, progress, retries)
+  in
+  let r, progress, sat_retries = go 1 0 in
   let latency_s = Unix.gettimeofday () -. t0 in
+  let mk klass cache_hit bitwise_ok =
+    { latency_s; klass; cache_hit; progress; sat_retries; bitwise_ok }
+  in
   match r with
   | Error msg ->
     prerr_endline ("b_serve: transport error: " ^ msg);
-    { latency_s; ok = false; cache_hit = false; progress }
+    mk Transport false true
+  | Ok (P.Error_r { code = P.Saturated; _ }) -> mk Err_saturated false true
+  | Ok (P.Error_r { code = P.Deadline_exceeded; _ }) ->
+    mk Err_deadline false true
   | Ok (P.Error_r { code; message }) ->
     Printf.eprintf "b_serve: %s error: %s\n%!" (P.error_code_name code) message;
-    { latency_s; ok = false; cache_hit = false; progress }
+    mk Err_other false true
   | Ok reply ->
-    {
-      latency_s;
-      ok = true;
-      cache_hit = Option.value (cache_hit_of reply) ~default:false;
-      progress;
-    }
+    let hit = Option.value (cache_hit_of reply) ~default:false in
+    let klass, check_bits =
+      match status_of reply with
+      | Some P.Clean | None -> (Ok_clean, true)
+      | Some (P.Corrupt_recovered _) -> (Ok_recovered, true)
+      | Some (P.Escalated _) -> (Ok_escalated, false)
+      | Some P.Indefinite -> (Ok_indefinite, false)
+    in
+    let bitwise_ok = (not check_bits) || verify req reply in
+    if not bitwise_ok then
+      Printf.eprintf
+        "b_serve: CORRUPT ESCAPE: %s reply %S diverged from fault-free \
+         reference\n\
+         %!"
+        (match klass with Ok_recovered -> "recovered" | _ -> "clean")
+        req.P.id;
+    mk klass hit bitwise_ok
 
 (* The request mix, deterministic per (client, slot): mostly likelihoods,
    every 5th a Monte-Carlo batch, every 7th a kriging prediction. *)
@@ -150,19 +265,56 @@ let quantile sorted q =
   if n = 0 then nan
   else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
 
+let count f l = List.length (List.filter f l)
+
 let run cfg =
-  let n, nb = if cfg.smoke then (64, 16) else (256, 32) in
+  let n, nb = if cfg.smoke || cfg.chaos then (64, 16) else (256, 32) in
   let shapes = shapes ~n ~nb in
   let path = Printf.sprintf "/tmp/geomix-serve-bench-%d.sock" (Unix.getpid ()) in
   let obs = Geomix_obs.Metrics.create () in
   let pool = Pool.create ~obs () in
+  (* The chaos plan injects inside the server's factorization stack only
+     (sites exec/sdc/pivot through Mp_cholesky) — decisions are pure
+     functions of the seed, so a failing run replays bit for bit. *)
+  let faults =
+    if cfg.chaos then
+      Some
+        (Fault.plan ~obs ~rate:0.2
+           ~kinds:[ Fault.Transient; Fault.Sdc ]
+           ~pivot_rate:0.05 ~seed:cfg.chaos_seed ())
+    else None
+  in
+  let retry = if cfg.chaos then Some (Retry.immediate ~max_attempts:3 ()) else None in
   let server =
     Server.create ~obs ~max_inflight:4
       ~queue_capacity:(max 16 (2 * cfg.clients))
-      ~cache_capacity:32 ~pool ()
+      ~cache_capacity:32 ?faults ?retry ~integrity:cfg.chaos ~pool ()
   in
+  (* Fault-free reference for the bitwise gate: its own pool and cache,
+     no faults, no guards — `Server.handle` gives the ground truth the
+     chaos server's clean-claiming replies must reproduce exactly. *)
+  let ref_ctx =
+    if cfg.chaos then begin
+      let ref_pool = Pool.create () in
+      let ref_server =
+        Server.create ~max_inflight:(max 8 cfg.clients) ~queue_capacity:64
+          ~cache_capacity:32 ~pool:ref_pool ()
+      in
+      Some (ref_pool, ref_server)
+    end
+    else None
+  in
+  let verify =
+    match ref_ctx with
+    | None -> fun _ _ -> true
+    | Some (_, ref_server) ->
+      fun req reply -> numbers_match reply (Server.handle ref_server req)
+  in
+  let serve_outcome = ref Server.Served in
   let server_thread =
-    Thread.create (fun () -> Server.serve_unix server ~path ()) ()
+    Thread.create
+      (fun () -> serve_outcome := Server.serve_unix server ~path ())
+      ()
   in
   (* Readiness barrier: connect (with retry while the listener binds) and
      ping. *)
@@ -178,7 +330,7 @@ let run cfg =
   let warm =
     Array.to_list shapes
     |> List.mapi (fun i spec ->
-           issue ic0 oc0
+           issue ~verify ic0 oc0
              {
                P.id = Printf.sprintf "warm-%d" i;
                priority = P.Normal;
@@ -196,39 +348,75 @@ let run cfg =
       (fun () ->
         for slot = 0 to per_client - 1 do
           let req = request_for ~shapes ~client:c ~slot in
-          results.((c * per_client) + slot) <- Some (issue ic oc req)
+          results.((c * per_client) + slot) <- Some (issue ~verify ic oc req)
         done)
   in
   let threads = List.init cfg.clients (fun c -> Thread.create client_thread c) in
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t_start in
-  (* Shut the server down over the wire and join it. *)
-  (match
-     roundtrip ic0 oc0
-       {
-         P.id = "stop";
-         priority = P.Normal;
-         timeout_s = None;
-         payload = P.Shutdown;
-       }
-   with
-  | Ok P.Shutdown_r, _ -> ()
-  | _ -> prerr_endline "b_serve: shutdown handshake failed");
+  (* Probe health over the wire, then shut the server down and join it —
+     the join returning at all is the zero-crash assertion. *)
+  let health =
+    match
+      roundtrip ic0 oc0
+        {
+          P.id = "health";
+          priority = P.Normal;
+          timeout_s = None;
+          payload = P.Health;
+        }
+    with
+    | Ok (P.Health_r h), _ -> Some h
+    | _ -> None
+  in
+  let shutdown_ok =
+    match
+      roundtrip ic0 oc0
+        {
+          P.id = "stop";
+          priority = P.Normal;
+          timeout_s = None;
+          payload = P.Shutdown;
+        }
+    with
+    | Ok P.Shutdown_r, _ -> true
+    | _ ->
+      prerr_endline "b_serve: shutdown handshake failed";
+      false
+  in
   (try Unix.close fd0 with Unix.Unix_error _ -> ());
   Thread.join server_thread;
   Pool.shutdown pool;
+  (match ref_ctx with Some (ref_pool, _) -> Pool.shutdown ref_pool | None -> ());
   (* {2 Aggregation} *)
   let main = Array.to_list results |> List.filter_map Fun.id in
   let sent = cfg.clients * per_client in
   let received = List.length main in
   let dropped = sent - received in
   let all = warm @ main in
-  let errors = List.length (List.filter (fun o -> not o.ok) all) in
-  let hits = List.length (List.filter (fun o -> o.ok && o.cache_hit) all) in
-  let answered = List.length (List.filter (fun o -> o.ok) all) in
+  let errors = count (fun o -> not (klass_ok o.klass)) all in
+  let hits = count (fun o -> klass_ok o.klass && o.cache_hit) all in
+  let answered = count (fun o -> klass_ok o.klass) all in
   let hit_frac =
     if answered = 0 then 0. else float_of_int hits /. float_of_int answered
   in
+  let escalated = count (fun o -> o.klass = Ok_escalated) all in
+  let recovered = count (fun o -> o.klass = Ok_recovered) all in
+  let indefinite = count (fun o -> o.klass = Ok_indefinite) all in
+  let saturated = count (fun o -> o.klass = Err_saturated) all in
+  let deadline = count (fun o -> o.klass = Err_deadline) all in
+  let unaccounted =
+    count (fun o -> o.klass = Err_other || o.klass = Transport) all
+  in
+  let bitwise_failures = count (fun o -> not o.bitwise_ok) all in
+  let sat_retries = List.fold_left (fun acc o -> acc + o.sat_retries) 0 all in
+  let shed = match health with Some h -> h.P.shed | None -> 0 in
+  let recovered_frac =
+    if answered = 0 then 0. else float_of_int recovered /. float_of_int answered
+  in
+  let shed_frac = float_of_int shed /. float_of_int (max 1 sent) in
+  let injected = match faults with Some f -> Fault.injected f | None -> 0 in
+  let pivots = match faults with Some f -> Fault.pivots f | None -> 0 in
   let progress_frames = List.fold_left (fun acc o -> acc + o.progress) 0 all in
   let lat = List.map (fun o -> o.latency_s) main |> Array.of_list in
   Array.sort compare lat;
@@ -237,11 +425,24 @@ let run cfg =
   let throughput = float_of_int received /. elapsed in
   let cstats = Cache.stats (Server.cache server) in
   Printf.printf
-    "serve bench: %d clients, %d+%d requests (warm+main) over %s\n"
+    "serve bench%s: %d clients, %d+%d requests (warm+main) over %s\n"
+    (if cfg.chaos then Printf.sprintf " [chaos seed %d]" cfg.chaos_seed else "")
     cfg.clients (List.length warm) sent path;
   Printf.printf
     "  received %d  dropped %d  errors %d  progress frames %d\n"
     received dropped errors progress_frames;
+  if cfg.chaos then begin
+    Printf.printf
+      "  chaos: %d injected (%d pivots)  statuses: clean %d  escalated %d  \
+       recovered %d  indefinite %d\n"
+      injected pivots
+      (count (fun o -> o.klass = Ok_clean) all)
+      escalated recovered indefinite;
+    Printf.printf
+      "  shedding: %d shed by brown-out, %d saturated replies retried away, \
+       %d final saturated, %d deadline\n"
+      shed sat_retries saturated deadline
+  end;
   Printf.printf "  p50 %.2f ms  p99 %.2f ms  throughput %.1f req/s\n" p50_ms
     p99_ms throughput;
   Printf.printf "  cache: %d hits / %d misses / %d evictions (hit rate %.3f)\n"
@@ -258,6 +459,8 @@ let run cfg =
       Bench_json.metric "serve_errors" (float_of_int errors);
       Bench_json.metric ~direction:Bench_json.Higher_is_better
         "serve_requests" (float_of_int (received + List.length warm));
+      Bench_json.metric "serve_recovered_frac" recovered_frac;
+      Bench_json.metric "serve_shed_frac" shed_frac;
     ]
   in
   let bench = Bench_json.make ~suite:"serve" metrics in
@@ -267,12 +470,26 @@ let run cfg =
     Bench_json.write ~path bench;
     Printf.printf "wrote %s\n" path);
   (* Acceptance checks (always on; `--smoke` additionally pins the minimum
-     request volume the CI job advertises). *)
+     request volume the CI job advertises).  Chaos swaps the error checks
+     for the chaos contract: zero crashes, zero corrupt escapes, every
+     failure typed. *)
   let failures = ref [] in
   let check cond msg = if not cond then failures := msg :: !failures in
   check (dropped = 0) "dropped responses";
-  check (errors = 0) "error replies";
-  check (hit_frac > 0.5) "cache hit rate at or below 0.5";
+  check shutdown_ok "shutdown handshake failed (server crashed?)";
+  check (!serve_outcome = Server.Served) "server run did not end cleanly";
+  if cfg.chaos then begin
+    check (injected > 0) "chaos plan injected nothing (gate not exercised)";
+    check (unaccounted = 0)
+      "unaccounted failures (Internal / Bad_request / transport)";
+    check (bitwise_failures = 0)
+      "corrupt escape: clean-claiming reply diverged from fault-free reference";
+    check (indefinite = 0) "indefinite status on an SPD workload"
+  end
+  else begin
+    check (errors = 0) "error replies";
+    check (hit_frac > 0.5) "cache hit rate at or below 0.5"
+  end;
   check (progress_frames > 0) "no Monte-Carlo progress frames streamed";
   if cfg.smoke then check (received >= 200) "fewer than 200 main-phase requests";
   List.iter (fun m -> Printf.eprintf "serve bench FAILED: %s\n" m) !failures;
@@ -305,13 +522,16 @@ let run cfg =
 
 let usage () =
   print_endline
-    "usage: b_serve.exe [--smoke] [--clients N] [--requests N] [--json PATH]\n\
-    \       [--compare BASELINE] [--tolerance F]"
+    "usage: b_serve.exe [--smoke] [--chaos] [--chaos-seed N] [--clients N]\n\
+    \       [--requests N] [--json PATH] [--compare BASELINE] [--tolerance F]"
 
 let () =
   let rec parse cfg = function
     | [] -> cfg
     | "--smoke" :: rest -> parse { cfg with smoke = true } rest
+    | "--chaos" :: rest -> parse { cfg with chaos = true } rest
+    | "--chaos-seed" :: v :: rest ->
+      parse { cfg with chaos_seed = int_of_string v } rest
     | "--clients" :: v :: rest ->
       parse { cfg with clients = int_of_string v } rest
     | "--requests" :: v :: rest ->

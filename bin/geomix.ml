@@ -982,26 +982,56 @@ let autotune_cmd =
 let serve_cmd =
   let module Server = Geomix_serve.Server in
   let module Cache = Geomix_serve.Cache in
+  let module Fault = Geomix_fault.Fault in
   let run socket workers max_inflight queue_capacity cache_capacity max_requests
-      verbose =
+      drain_deadline integrity retry_attempts chaos_seed chaos_rate
+      chaos_pivot_rate chaos_sdc verbose =
     let bus = stderr_bus_of ~verbose in
     let obs = Geomix_obs.Metrics.create () in
+    let faults =
+      match chaos_seed with
+      | None -> None
+      | Some seed ->
+        let kinds =
+          if chaos_sdc then [ Fault.Transient; Fault.Sdc ]
+          else [ Fault.Transient ]
+        in
+        Some
+          (Fault.plan ~obs ?bus ~rate:chaos_rate ~kinds
+             ~pivot_rate:chaos_pivot_rate ~seed ())
+    in
+    let retry =
+      if retry_attempts <= 1 then None
+      else Some { Geomix_fault.Retry.default with max_attempts = retry_attempts }
+    in
+    (* SDC injection without a guard would serve silently wrong numbers —
+       the one configuration the serving layer must never run in. *)
+    let integrity = integrity || chaos_sdc in
     Geomix_parallel.Pool.with_pool ~obs ?bus ?num_workers:workers (fun pool ->
         let server =
           Server.create ~obs ?bus ~max_inflight ~queue_capacity ~cache_capacity
-            ~pool ()
+            ?faults ?retry ~integrity ~drain_deadline_s:drain_deadline ~pool ()
         in
+        Server.install_drain_signals ();
         Printf.printf
           "geomix serve: listening on %s (%d worker domains, %d slots, queue %d)\n%!"
           socket
           (Geomix_parallel.Pool.num_workers pool)
           max_inflight queue_capacity;
-        Server.serve_unix server ~path:socket ?max_requests ();
+        let outcome = Server.serve_unix server ~path:socket ?max_requests () in
         let s = Cache.stats (Server.cache server) in
+        let h = Server.health server in
         Printf.printf
-          "geomix serve: stopped after %d requests (cache: %d hits, %d misses, \
-           %d evictions)\n"
-          (Server.served server) s.Cache.hits s.Cache.misses s.Cache.evictions)
+          "geomix serve: stopped (%s) after %d requests (cache: %d hits, %d \
+           misses, %d evictions; recovered %d, escalated %d, shed %d)\n%!"
+          (Server.outcome_name outcome)
+          (Server.served server) s.Cache.hits s.Cache.misses s.Cache.evictions
+          h.Geomix_serve.Protocol.recovered h.Geomix_serve.Protocol.escalated
+          h.Geomix_serve.Protocol.shed;
+        match outcome with
+        | Server.Served | Server.Drained -> ()
+        | Server.Drain_expired -> exit 3
+        | Server.Forced -> exit 4)
   in
   let socket_arg =
     Arg.(
@@ -1042,16 +1072,93 @@ let serve_cmd =
       & info [ "max-requests" ]
           ~doc:"Stop after answering this many requests (smoke tests).")
   in
+  let drain_deadline_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-deadline" ]
+          ~doc:
+            "Seconds the first SIGTERM/SIGINT lets queued and in-flight \
+             requests finish before the run gives up (exit 3); a second \
+             signal forces an immediate stop (exit 4).")
+  in
+  let integrity_arg =
+    Arg.(
+      value & flag
+      & info [ "integrity" ]
+          ~doc:
+            "Guard every request's factorization with per-tile ABFT \
+             checksums: silent data corruption is detected, quarantined and \
+             repaired in place (forced on under $(b,--chaos-sdc)).")
+  in
+  let retry_attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-attempts" ]
+          ~doc:
+            "Bounded supervised-retry attempts per kernel (jittered \
+             exponential backoff); 1 disables retry.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ]
+          ~doc:
+            "Arm a seeded fault plan inside the server's execution stack — \
+             the chaos-under-load harness.  Decisions are pure functions of \
+             the seed, so a run is replayable bit for bit.")
+  in
+  let chaos_rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "chaos-rate" ]
+          ~doc:"Injection probability per task attempt under $(b,--chaos-seed).")
+  in
+  let chaos_pivot_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-pivot-rate" ]
+          ~doc:
+            "Forced pivot-failure probability — drives band-to-FP64 \
+             escalation, surfaced to clients as an $(i,escalated) status.")
+  in
+  let chaos_sdc_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-sdc" ]
+          ~doc:
+            "Additionally inject silent data corruption (implies \
+             $(b,--integrity) so every corruption is caught and repaired).")
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "the run ended by a $(i,shutdown) request, $(b,--max-requests), or a \
+         drain that finished every queued and in-flight request before \
+         $(b,--drain-deadline)."
+    :: Cmd.Exit.info 3
+         ~doc:
+           "a drain (first SIGTERM/SIGINT) expired with requests still in \
+            flight."
+    :: Cmd.Exit.info 4
+         ~doc:"a second SIGTERM/SIGINT forced an immediate stop."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "serve"
+    (Cmd.info "serve" ~exits
        ~doc:
          "Run the model service: a Unix-domain-socket server evaluating \
           likelihood, kriging prediction and Monte-Carlo likelihood batches \
           over a shared domain pool, with a shape-keyed cache of precision \
-          maps, communication maps, DAG schedules and autotune advice")
+          maps, communication maps, DAG schedules and autotune advice; \
+          requests execute under supervised retry, integrity guards and \
+          precision-escalation recovery, with graceful SIGTERM drain and \
+          overload brown-out")
     Term.(
       const run $ socket_arg $ workers_arg $ max_inflight_arg
       $ queue_capacity_arg $ cache_capacity_arg $ max_requests_arg
+      $ drain_deadline_arg $ integrity_arg $ retry_attempts_arg
+      $ chaos_seed_arg $ chaos_rate_arg $ chaos_pivot_rate_arg $ chaos_sdc_arg
       $ verbose_arg)
 
 let () =

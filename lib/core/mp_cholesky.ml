@@ -425,7 +425,7 @@ let restore_tiles ~from a =
   Tiled.iter_lower from (fun ~i ~j m -> Mat.blit ~src:m ~dst:(Tiled.tile a i j))
 
 let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-    ?integrity ?(max_band_escalations = 4) ?job ~pmap a =
+    ?integrity ?cmap ?(max_band_escalations = 4) ?job ~pmap a =
   let note_band, note_full, note_indefinite =
     match obs with
     | None -> (ignore, ignore, ignore)
@@ -444,9 +444,13 @@ let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
   in
   let original = Tiled.copy a in
   let rec go round pmap events bands =
+    (* The caller's memoized communication map matches the original
+       precision map only; escalated rounds run under a promoted map and
+       must re-derive their transfers. *)
+    let cmap = if round = 1 then cmap else None in
     match
       factorize ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-        ?integrity ~fault_round:round ?job ~pmap a
+        ?integrity ?cmap ~fault_round:round ?job ~pmap a
     with
     | () -> { outcome = Factorized; escalations = List.rev events; rounds = round; pmap }
     | exception exn -> (

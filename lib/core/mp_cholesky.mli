@@ -196,12 +196,16 @@ val factorize_robust :
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
   ?integrity:Geomix_integrity.Guard.t ->
+  ?cmap:Comm_map.t ->
   ?max_band_escalations:int ->
   ?job:Geomix_parallel.Pool.job ->
   pmap:Precision_map.t ->
   Tiled.t ->
   report
-(** {!factorize} with automatic precision escalation.  On [Factorized] the
+(** {!factorize} with automatic precision escalation.  [?cmap] is the
+    caller's memoized communication map for the {e original} [pmap]; it
+    feeds round 1 only — escalated rounds run under a promoted map, so
+    they re-derive their transfers as {!factorize} would.  On [Factorized] the
     matrix holds the factor computed under [report.pmap]; on [Indefinite]
     (and on any propagated execution fault) the matrix is restored to its
     input values.  [max_band_escalations] (default 4) bounds the number of

@@ -102,8 +102,12 @@ val new_job : t -> job
 (** A fresh, empty completion scope.  Cheap; one per request. *)
 
 val submit_job : t -> job -> (unit -> unit) -> unit
-(** Enqueue a thunk under the job's scope.  Must not be called after
-    {!join_job} has returned for this job (a job is not reusable). *)
+(** Enqueue a thunk under the job's scope.  A job is {e sequentially}
+    reusable: once {!join_job} has returned, the pending count is back to
+    zero and the error slot is clear, so the same job may scope a further
+    wave of thunks — how the server chunks Monte-Carlo fan-out under
+    brown-out ({!Geomix_serve.Breaker}).  Submitting while another thread
+    is still inside {!join_job} for the same job is not allowed. *)
 
 val join_job : t -> job -> unit
 (** Block until every thunk submitted under this job has finished or been

@@ -58,6 +58,7 @@ type t = {
   hits : Metrics.counter;
   misses : Metrics.counter;
   evictions : Metrics.counter;
+  invalidations : Metrics.counter;
   bus : Events.t option;
 }
 
@@ -74,6 +75,7 @@ let create ?obs ?bus ?(capacity = 32) () =
     hits = Metrics.counter reg "serve.cache.hits";
     misses = Metrics.counter reg "serve.cache.misses";
     evictions = Metrics.counter reg "serve.cache.evictions";
+    invalidations = Metrics.counter reg "serve.cache.invalidations";
     bus;
   }
 
@@ -162,6 +164,26 @@ let find t key =
   in
   Mutex.unlock t.mutex;
   r
+
+(* Drop a published entry so a later request rebuilds it.  [Building]
+   markers are left alone — the in-flight builder owns them and waiters
+   are parked on the condition; the builder's publish supersedes us. *)
+let invalidate t key =
+  Mutex.lock t.mutex;
+  let removed =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready _) ->
+      Hashtbl.remove t.table key;
+      t.ready_count <- t.ready_count - 1;
+      Metrics.incr t.invalidations;
+      true
+    | Some Building | None -> false
+  in
+  Mutex.unlock t.mutex;
+  if removed then
+    emit t ~level:Events.Info "cache_invalidate"
+      [ ("key", Events.fstr (key_label key)) ];
+  removed
 
 let length t =
   Mutex.lock t.mutex;

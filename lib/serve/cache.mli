@@ -79,6 +79,14 @@ val find : t -> key -> artifact option
 (** Non-blocking probe; refreshes recency on a hit but never waits on a
     concurrent build and never counts toward hit/miss statistics. *)
 
+val invalidate : t -> key -> bool
+(** Remove a {e published} entry, counting [serve.cache.invalidations]
+    and emitting a [cache_invalidate] event; [true] when one was removed.
+    The server calls this when a factorization escalated — a degraded
+    artifact must not be laundered into later requests through a warm
+    hit.  A concurrent [Building] marker is left untouched (its builder
+    owns publication) and yields [false]. *)
+
 val length : t -> int
 (** Published entries currently resident. *)
 

@@ -42,6 +42,7 @@ let family_of_string = function
 
 type payload =
   | Ping
+  | Health
   | Likelihood of spec
   | Predict of { spec : spec; n_new : int; pred_seed : int }
   | Mc_batch of { spec : spec; replicates : int }
@@ -56,12 +57,13 @@ type request = {
 
 let op_name = function
   | Ping -> "ping"
+  | Health -> "health"
   | Likelihood _ -> "likelihood"
   | Predict _ -> "predict"
   | Mc_batch _ -> "mc_batch"
   | Shutdown -> "shutdown"
 
-type status = Clean | Escalated of int | Indefinite
+type status = Clean | Escalated of int | Indefinite | Corrupt_recovered of int
 
 type error_code = Saturated | Deadline_exceeded | Bad_request | Internal
 
@@ -78,8 +80,23 @@ let error_code_of_string = function
   | "internal" -> Some Internal
   | _ -> None
 
+type health = {
+  inflight : int;
+  queued : int;
+  served : int;
+  draining : bool;
+  brownout : bool;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  recovered : int;
+  escalated : int;
+  shed : int;
+}
+
 type reply =
   | Pong
+  | Health_r of health
   | Likelihood_r of {
       loglik : float;
       log_det : float;
@@ -131,7 +148,7 @@ let request_to_json r =
   in
   let body =
     match r.payload with
-    | Ping | Shutdown -> []
+    | Ping | Health | Shutdown -> []
     | Likelihood spec -> [ ("spec", spec_to_json spec) ]
     | Predict { spec; n_new; pred_seed } ->
       [
@@ -148,11 +165,22 @@ let request_to_json r =
    nan; Jsonlite emits all three as [null], so the ["status"] field — not
    the numbers — is the authoritative encoding of indefiniteness.  Decoding
    reconstructs the canonical non-finite values from it. *)
+let status_name = function
+  | Clean -> "clean"
+  | Escalated _ -> "escalated"
+  | Indefinite -> "indefinite"
+  | Corrupt_recovered _ -> "corrupt_recovered"
+
 let status_fields = function
   | Clean -> [ ("status", J.Str "clean") ]
   | Escalated k ->
     [ ("status", J.Str "escalated"); ("escalations", J.Num (float_of_int k)) ]
   | Indefinite -> [ ("status", J.Str "indefinite") ]
+  | Corrupt_recovered k ->
+    [
+      ("status", J.Str "corrupt_recovered");
+      ("recoveries", J.Num (float_of_int k));
+    ]
 
 let float_array_to_json a =
   J.Arr (Array.to_list a |> List.map (fun v -> J.Num v))
@@ -161,6 +189,22 @@ let reply_to_json ~id reply =
   let base op = [ ("id", J.Str id); ("kind", J.Str "reply"); ("op", J.Str op) ] in
   match reply with
   | Pong -> J.Obj (base "ping")
+  | Health_r h ->
+    J.Obj
+      (base "health"
+      @ [
+          ("inflight", J.Num (float_of_int h.inflight));
+          ("queued", J.Num (float_of_int h.queued));
+          ("served", J.Num (float_of_int h.served));
+          ("draining", J.Bool h.draining);
+          ("brownout", J.Bool h.brownout);
+          ("cache_hits", J.Num (float_of_int h.cache_hits));
+          ("cache_misses", J.Num (float_of_int h.cache_misses));
+          ("cache_evictions", J.Num (float_of_int h.cache_evictions));
+          ("recovered", J.Num (float_of_int h.recovered));
+          ("escalated", J.Num (float_of_int h.escalated));
+          ("shed", J.Num (float_of_int h.shed));
+        ])
   | Shutdown_r -> J.Obj (base "shutdown")
   | Error_r { code; message } ->
     J.Obj
@@ -286,6 +330,7 @@ let request_of_json j =
   let* payload =
     match op with
     | "ping" -> Ok Ping
+    | "health" -> Ok Health
     | "shutdown" -> Ok Shutdown
     | "likelihood" ->
       let* s = spec () in
@@ -311,6 +356,9 @@ let status_of_json j =
   | "escalated" ->
     let* k = int_field "escalations" j in
     Ok (Escalated k)
+  | "corrupt_recovered" ->
+    let* k = int_field "recoveries" j in
+    Ok (Corrupt_recovered k)
   | other -> Error (Printf.sprintf "unknown status %S" other)
 
 let float_array_of_json name j =
@@ -333,6 +381,33 @@ let reply_of_json j =
   let* op = str_field "op" j in
   match op with
   | "ping" -> Ok Pong
+  | "health" ->
+    let* inflight = int_field "inflight" j in
+    let* queued = int_field "queued" j in
+    let* served = int_field "served" j in
+    let* draining = bool_field "draining" j in
+    let* brownout = bool_field "brownout" j in
+    let* cache_hits = int_field "cache_hits" j in
+    let* cache_misses = int_field "cache_misses" j in
+    let* cache_evictions = int_field "cache_evictions" j in
+    let* recovered = int_field "recovered" j in
+    let* escalated = int_field "escalated" j in
+    let* shed = int_field "shed" j in
+    Ok
+      (Health_r
+         {
+           inflight;
+           queued;
+           served;
+           draining;
+           brownout;
+           cache_hits;
+           cache_misses;
+           cache_evictions;
+           recovered;
+           escalated;
+           shed;
+         })
   | "shutdown" -> Ok Shutdown_r
   | "error" ->
     let* code_s = str_field "code" j in

@@ -48,6 +48,9 @@ val family_of_string : string -> Covariance.family option
 
 type payload =
   | Ping  (** health check — also the client's readiness barrier *)
+  | Health
+      (** readiness probe: inflight/queued/cache/recovery counters,
+          answered before admission so it works while draining *)
   | Likelihood of spec
       (** one mixed-precision log-likelihood evaluation *)
   | Predict of { spec : spec; n_new : int; pred_seed : int }
@@ -70,7 +73,34 @@ val op_name : payload -> string
 
 (** {1 Replies} *)
 
-type status = Clean | Escalated of int | Indefinite
+type status =
+  | Clean
+  | Escalated of int
+      (** factorization succeeded after [k] band→FP64 escalations — the
+          precision map is degraded, so the artifact is never cached *)
+  | Indefinite
+  | Corrupt_recovered of int
+      (** integrity guards detected and recovered [k] corrupt tiles; the
+          numbers are bitwise-identical to a fault-free run *)
+
+val status_name : status -> string
+(** The wire tag: ["clean"], ["escalated"], ["indefinite"] or
+    ["corrupt_recovered"]. *)
+
+(** Snapshot returned by a [Health] request. *)
+type health = {
+  inflight : int;
+  queued : int;
+  served : int;
+  draining : bool;
+  brownout : bool;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  recovered : int;   (** requests whose status was [Corrupt_recovered] *)
+  escalated : int;   (** requests whose status was [Escalated] *)
+  shed : int;        (** requests shed by the brown-out breaker *)
+}
 
 type error_code =
   | Saturated          (** admission queue full — the 429 of the service *)
@@ -83,6 +113,7 @@ val error_code_of_string : string -> error_code option
 
 type reply =
   | Pong
+  | Health_r of health
   | Likelihood_r of {
       loglik : float;
       log_det : float;

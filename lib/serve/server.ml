@@ -15,11 +15,18 @@ module Cholesky_dag = Geomix_runtime.Cholesky_dag
 module Range_tracker = Geomix_autotune.Range_tracker
 module Type_advisor = Geomix_autotune.Type_advisor
 module Tiled = Geomix_tile.Tiled
+module Guard = Geomix_integrity.Guard
 module P = Protocol
 
 (* A waiter in the admission queue.  Ordering is (priority rank, arrival
    sequence): strict priority, FIFO within a class. *)
 type ticket = { rank : int; seq : int; mutable granted : bool }
+
+(* The graceful-shutdown state machine.  [Running] accepts; [Draining d]
+   refuses new work but lets queued and in-flight requests finish until
+   the absolute deadline [d] on the injected clock; [Stopped] is terminal
+   (a forced stop, or a drain that ran its course). *)
+type lifecycle = Running | Draining of float | Stopped
 
 type t = {
   pool : Pool.t;
@@ -29,6 +36,11 @@ type t = {
   queue_capacity : int;
   max_order : int;
   max_replicates : int;
+  faults : Geomix_fault.Fault.t option;
+  retry : Geomix_fault.Retry.policy option;
+  integrity : bool;
+  drain_deadline_s : float;
+  breaker : Breaker.t;
   mutex : Mutex.t;
   turn : Condition.t;
   waiting : ticket Heap.t;
@@ -36,6 +48,7 @@ type t = {
   mutable running : int;
   mutable seq : int;
   mutable served : int;
+  mutable lifecycle : lifecycle;
   mutable stop : (unit -> unit) option;
   obs : Metrics.t;
   bus : Events.t option;
@@ -44,6 +57,10 @@ type t = {
   m_expired : Metrics.counter;
   m_errors : Metrics.counter;
   m_mc_replicates : Metrics.counter;
+  m_recovered : Metrics.counter;
+  m_escalated : Metrics.counter;
+  m_indefinite : Metrics.counter;
+  m_shed : Metrics.counter;
   m_inflight : Metrics.gauge;
   m_queue_depth : Metrics.gauge;
   m_queue_peak : Metrics.gauge;
@@ -52,12 +69,16 @@ type t = {
 
 let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
     ?(queue_capacity = 16) ?(cache_capacity = 32) ?(max_order = 4096)
-    ?(max_replicates = 1024) ~pool () =
+    ?(max_replicates = 1024) ?faults ?retry ?(integrity = false)
+    ?(drain_deadline_s = 5.0) ?breaker_config ~pool () =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
   if queue_capacity < 0 then
     invalid_arg "Server.create: queue_capacity must be >= 0";
+  if not (Float.is_finite drain_deadline_s) || drain_deadline_s < 0. then
+    invalid_arg "Server.create: drain_deadline_s must be finite and >= 0";
   let obs = match obs with Some r -> r | None -> Metrics.create () in
   let cache = Cache.create ~obs ?bus ~capacity:cache_capacity () in
+  let breaker = Breaker.create ~obs ?bus ?config:breaker_config ~now () in
   let cmp a b =
     if a.rank <> b.rank then compare a.rank b.rank else compare a.seq b.seq
   in
@@ -69,6 +90,11 @@ let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
     queue_capacity;
     max_order;
     max_replicates;
+    faults;
+    retry;
+    integrity;
+    drain_deadline_s;
+    breaker;
     mutex = Mutex.create ();
     turn = Condition.create ();
     waiting = Heap.create ~cmp;
@@ -76,6 +102,7 @@ let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
     running = 0;
     seq = 0;
     served = 0;
+    lifecycle = Running;
     stop = None;
     obs;
     bus;
@@ -84,6 +111,10 @@ let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
     m_expired = Metrics.counter obs "serve.deadline_expired";
     m_errors = Metrics.counter obs "serve.errors";
     m_mc_replicates = Metrics.counter obs "serve.mc_replicates";
+    m_recovered = Metrics.counter obs "serve.recovered";
+    m_escalated = Metrics.counter obs "serve.escalated";
+    m_indefinite = Metrics.counter obs "serve.indefinite";
+    m_shed = Metrics.counter obs "serve.shed";
     m_inflight = Metrics.gauge obs "serve.inflight";
     m_queue_depth = Metrics.gauge obs "serve.queue_depth";
     m_queue_peak = Metrics.gauge obs "serve.queue_peak";
@@ -93,6 +124,7 @@ let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
 let cache t = t.cache
 let metrics t = t.obs
 let pool t = t.pool
+let breaker t = t.breaker
 
 let emit ?(level = Events.Info) t name fields =
   match t.bus with
@@ -189,6 +221,57 @@ let deadline_passed t = function
   | None -> false
   | Some d -> t.now () > d
 
+(* {2 Graceful lifecycle}
+
+   Drain is a pure state machine on the injected clock: {!request_drain}
+   flips [Running] to [Draining (now + drain_deadline_s)] once (further
+   calls are no-ops — the idempotence the signal handler relies on), and
+   {!drain_status} merely reads the state against the clock, never
+   blocking — so the whole drain policy is testable on the virtual
+   clock. *)
+
+let request_drain t =
+  Mutex.lock t.mutex;
+  let started =
+    match t.lifecycle with
+    | Running ->
+      t.lifecycle <- Draining (t.now () +. t.drain_deadline_s);
+      true
+    | Draining _ | Stopped -> false
+  in
+  Mutex.unlock t.mutex;
+  if started then
+    emit ~level:Events.Warn t "drain_begin"
+      [ ("deadline_s", Events.fnum t.drain_deadline_s) ];
+  started
+
+let force_stop t =
+  Mutex.lock t.mutex;
+  let was = t.lifecycle in
+  t.lifecycle <- Stopped;
+  Mutex.unlock t.mutex;
+  if was <> Stopped then emit ~level:Events.Warn t "force_stop" []
+
+let draining t =
+  Mutex.lock t.mutex;
+  let d = t.lifecycle <> Running in
+  Mutex.unlock t.mutex;
+  d
+
+let drain_status t =
+  Mutex.lock t.mutex;
+  let st =
+    match t.lifecycle with
+    | Running -> `Running
+    | Stopped -> `Stopped
+    | Draining d ->
+      if t.running = 0 && t.waiting_count = 0 then `Drained
+      else if t.now () > d then `Expired
+      else `Draining (d -. t.now ())
+  in
+  Mutex.unlock t.mutex;
+  st
+
 (* {2 Problem construction} *)
 
 let cov_of (k : Cache.key) =
@@ -233,7 +316,7 @@ let validate_spec t (s : P.spec) =
   else Ok ()
 
 let validate t = function
-  | P.Ping | P.Shutdown -> Ok ()
+  | P.Ping | P.Health | P.Shutdown -> Ok ()
   | P.Likelihood s -> validate_spec t s
   | P.Predict { spec; n_new; _ } ->
     Result.bind (validate_spec t spec) (fun () ->
@@ -248,23 +331,89 @@ let validate t = function
 
 (* {2 Request execution} *)
 
+(* The result of one resilient factorization: the memoized artifact, the
+   factored (or restored) matrix, the authoritative reply status and the
+   precision map the surviving round actually ran under — escalated
+   rounds degrade it, and the likelihood's precision fractions must
+   describe the factor that was computed, not the map that failed. *)
+type factorized = {
+  art : Cache.artifact;
+  a : Tiled.t;
+  hit : bool;
+  status : P.status;
+  fmap : Precision_map.t;
+}
+
 (* Factorize a fresh covariance assembly under the memoized maps, scoped
    to its own pool job so concurrent requests sharing the pool neither
    await nor observe each other.  The cached [cmap] equals what the
    factorization would derive itself (Algorithm 2 is deterministic), so a
    warm-cache run is bitwise identical to a cold one — the property the
-   test suite pins. *)
+   test suite pins.
+
+   The run goes through [factorize_robust], so the server's configured
+   resilience stack applies per request: the seeded fault plan injects,
+   bounded retry re-executes transients from pre-attempt snapshots, a
+   per-request integrity guard (snapshots on) quarantines and repairs
+   SDC, and pivot failures escalate precision instead of erroring.  The
+   guard is per-request — stamps from concurrent requests must not mix —
+   while the [integrity.*] counters it registers are shared through the
+   registry (counter registration is idempotent by name).
+
+   Status precedence: a failed all-FP64 round is [Indefinite]; a run that
+   needed band/full escalation is [Escalated] even if it also repaired
+   corruption (precision degradation is the part the client must see);
+   a clean-map run that repaired SDC in place is [Corrupt_recovered] —
+   its numbers are bitwise-identical to a fault-free run; else [Clean].
+   Escalated and indefinite runs invalidate the cached artifact so a
+   warm hit can never launder a degraded precision map into a later
+   request. *)
 let factorized_problem t (key : Cache.key) =
   let art, hit = Cache.find_or_build t.cache key ~build:build_artifact in
   let cov = cov_of key in
   let a = Covariance.build_tiled cov art.Cache.locs ~nb:key.Cache.nb in
   let job = Pool.new_job t.pool in
-  match
-    Mp_cholesky.factorize ~pool:t.pool ~job ~cmap:art.Cache.cmap
-      ~pmap:art.Cache.pmap a
-  with
-  | () -> (art, a, hit, true)
-  | exception Geomix_linalg.Blas.Not_positive_definite _ -> (art, a, hit, false)
+  let guard =
+    if t.integrity then Some (Guard.create ~obs:t.obs ?bus:t.bus ~snapshots:true ())
+    else None
+  in
+  let report =
+    Mp_cholesky.factorize_robust ~pool:t.pool ~job ?bus:t.bus
+      ?faults:t.faults ?retry:t.retry ?integrity:guard ~obs:t.obs
+      ~cmap:art.Cache.cmap ~pmap:art.Cache.pmap a
+  in
+  let recovered = match guard with Some g -> Guard.recovered g | None -> 0 in
+  let escalations = List.length report.Mp_cholesky.escalations in
+  let status =
+    match report.Mp_cholesky.outcome with
+    | Mp_cholesky.Indefinite _ -> P.Indefinite
+    | Mp_cholesky.Factorized ->
+      if escalations > 0 then P.Escalated escalations
+      else if recovered > 0 then P.Corrupt_recovered recovered
+      else P.Clean
+  in
+  (match status with
+  | P.Escalated k ->
+    Metrics.incr t.m_escalated;
+    ignore (Cache.invalidate t.cache key);
+    emit ~level:Events.Warn t "escalated"
+      [
+        ("key", Events.fstr (Cache.key_label key));
+        ("escalations", Events.fint k);
+        ("rounds", Events.fint report.Mp_cholesky.rounds);
+      ]
+  | P.Indefinite ->
+    Metrics.incr t.m_indefinite;
+    ignore (Cache.invalidate t.cache key)
+  | P.Corrupt_recovered k ->
+    Metrics.incr t.m_recovered;
+    emit ~level:Events.Warn t "recovered"
+      [
+        ("key", Events.fstr (Cache.key_label key));
+        ("recoveries", Events.fint k);
+      ]
+  | P.Clean -> ());
+  { art; a; hit; status; fmap = report.Mp_cholesky.pmap }
 
 let quad_form y = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. y
 
@@ -280,19 +429,19 @@ let indefinite_likelihood ~cache_hit =
 
 let run_likelihood t (spec : P.spec) =
   let key = Cache.key_of_spec spec in
-  let art, a, hit, ok = factorized_problem t key in
-  if not ok then indefinite_likelihood ~cache_hit:hit
+  let f = factorized_problem t key in
+  if f.status = P.Indefinite then indefinite_likelihood ~cache_hit:f.hit
   else
     let cov = cov_of key in
     let z =
       Field.synthesize ~rng:(Rng.create ~seed:spec.P.data_seed) ~cov
-        art.Cache.locs
+        f.art.Cache.locs
     in
-    let y = Mp_cholesky.solve_lower a z in
+    let y = Mp_cholesky.solve_lower f.a z in
     let ev =
-      Likelihood.assemble ~n:spec.P.n ~log_det:(Mp_cholesky.log_det a)
+      Likelihood.assemble ~n:spec.P.n ~log_det:(Mp_cholesky.log_det f.a)
         ~quad_form:(quad_form y)
-        ~precision_fractions:(Precision_map.fractions art.Cache.pmap)
+        ~precision_fractions:(Precision_map.fractions f.fmap)
         ()
     in
     P.Likelihood_r
@@ -300,8 +449,8 @@ let run_likelihood t (spec : P.spec) =
         loglik = ev.Likelihood.loglik;
         log_det = ev.Likelihood.log_det;
         quad_form = ev.Likelihood.quad_form;
-        status = P.Clean;
-        cache_hit = hit;
+        status = f.status;
+        cache_hit = f.hit;
       }
 
 let run_predict t (spec : P.spec) ~n_new ~pred_seed =
@@ -319,37 +468,44 @@ let run_predict t (spec : P.spec) ~n_new ~pred_seed =
 
 let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
   let key = Cache.key_of_spec spec in
-  let art, a, hit, ok = factorized_problem t key in
-  if not ok then
+  let f = factorized_problem t key in
+  if f.status = P.Indefinite then
     P.Mc_r
       {
         logliks = Array.make replicates neg_infinity;
         mean_loglik = neg_infinity;
         status = P.Indefinite;
-        cache_hit = hit;
+        cache_hit = f.hit;
       }
   else begin
     let cov = cov_of key in
     let zs =
       Field.synthesize_many
         ~rng:(Rng.create ~seed:spec.P.data_seed)
-        ~cov ~replicas:replicates art.Cache.locs
+        ~cov ~replicas:replicates f.art.Cache.locs
     in
-    let log_det = Mp_cholesky.log_det a in
-    let fractions = Precision_map.fractions art.Cache.pmap in
+    let log_det = Mp_cholesky.log_det f.a in
+    let fractions = Precision_map.fractions f.fmap in
     let logliks = Array.make replicates nan in
     let completed = Atomic.make 0 in
     let expired = Atomic.make false in
     (* One pool-level job fans the batch out; every replicate solves
        against the shared factor (triangular solves only read it) and
        streams its completion.  The deadline is re-checked per replicate:
-       an expired batch stops doing work instead of finishing late. *)
+       an expired batch stops doing work instead of finishing late.
+
+       Under brown-out the fan-out is capped: replicates are submitted in
+       waves of [Breaker.mc_chunk] and the job is joined between waves
+       (jobs are sequentially reusable), so one big batch cannot
+       monopolize the pool while the server is already behind.  Each
+       replicate is independent, so chunking changes scheduling only —
+       the logliks are identical to the unchunked run. *)
     let job = Pool.new_job t.pool in
-    for r = 0 to replicates - 1 do
+    let submit r =
       Pool.submit_job t.pool job (fun () ->
           if deadline_passed t deadline then Atomic.set expired true
           else begin
-            let y = Mp_cholesky.solve_lower a zs.(r) in
+            let y = Mp_cholesky.solve_lower f.a zs.(r) in
             let ev =
               Likelihood.assemble ~n:spec.P.n ~log_det
                 ~quad_form:(quad_form y) ~precision_fractions:fractions ()
@@ -365,8 +521,17 @@ let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
               ];
             on_progress ~completed:c ~total:replicates
           end)
+    in
+    let next = ref 0 in
+    while !next < replicates && not (Atomic.get expired) do
+      let chunk = Breaker.mc_chunk t.breaker ~replicates:(replicates - !next) in
+      let upto = min replicates (!next + chunk) in
+      for r = !next to upto - 1 do
+        submit r
+      done;
+      Pool.join_job t.pool job;
+      next := upto
     done;
-    Pool.join_job t.pool job;
     if Atomic.get expired then
       P.Error_r
         { code = P.Deadline_exceeded; message = "deadline expired mid-batch" }
@@ -376,22 +541,42 @@ let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
         {
           logliks;
           mean_loglik = sum /. float_of_int replicates;
-          status = P.Clean;
-          cache_hit = hit;
+          status = f.status;
+          cache_hit = f.hit;
         }
     end
   end
 
 let run_payload t ~req_id ~deadline ~on_progress = function
-  | P.Ping | P.Shutdown -> assert false (* handled before admission *)
+  | P.Ping | P.Health | P.Shutdown ->
+    assert false (* handled before admission *)
   | P.Likelihood spec -> run_likelihood t spec
   | P.Predict { spec; n_new; pred_seed } -> run_predict t spec ~n_new ~pred_seed
   | P.Mc_batch { spec; replicates } ->
     run_mc t ~req_id ~deadline ~on_progress spec ~replicates
 
+(* The readiness snapshot, answered before admission so probes work while
+   the server is saturated or draining. *)
+let health t =
+  let s = Cache.stats t.cache in
+  {
+    P.inflight = inflight t;
+    queued = queued t;
+    served = served t;
+    draining = draining t;
+    brownout = Breaker.tripped t.breaker;
+    cache_hits = s.Cache.hits;
+    cache_misses = s.Cache.misses;
+    cache_evictions = s.Cache.evictions;
+    recovered = Metrics.counter_value t.m_recovered;
+    escalated = Metrics.counter_value t.m_escalated;
+    shed = Metrics.counter_value t.m_shed;
+  }
+
 let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) =
   match req.P.payload with
   | P.Ping -> P.Pong
+  | P.Health -> P.Health_r (health t)
   | P.Shutdown ->
     emit t "shutdown" [ ("id", Events.fstr req.P.id) ];
     (match t.stop with Some stop -> stop () | None -> ());
@@ -413,12 +598,32 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
     | Ok () ->
       let t0 = t.now () in
       let deadline = Option.map (fun s -> t0 +. s) req.P.timeout_s in
-      if deadline_passed t deadline then begin
+      (* Admission-time queue-depth sample for the brown-out breaker. *)
+      Breaker.note_queue t.breaker
+        ~frac:
+          (float_of_int (queued t) /. float_of_int (max 1 t.queue_capacity));
+      if draining t then begin
+        Metrics.incr t.m_rejected;
+        emit ~level:Events.Warn t "rejected"
+          [ ("id", Events.fstr req.P.id); ("why", Events.fstr "draining") ];
+        P.Error_r
+          { code = P.Saturated; message = "server draining, not accepting work" }
+      end
+      else if deadline_passed t deadline then begin
         Metrics.incr t.m_expired;
         emit ~level:Events.Warn t "deadline_expired"
           [ ("id", Events.fstr req.P.id); ("where", Events.fstr "admission") ];
         P.Error_r
           { code = P.Deadline_exceeded; message = "deadline expired at admission" }
+      end
+      else if Breaker.tripped t.breaker && req.P.priority = P.Low then begin
+        (* Brown-out: shed the lowest class at admission so the work the
+           server does accept still meets its deadlines. *)
+        Metrics.incr t.m_shed;
+        Metrics.incr t.m_rejected;
+        emit ~level:Events.Warn t "shed" [ ("id", Events.fstr req.P.id) ];
+        P.Error_r
+          { code = P.Saturated; message = "brown-out: low-priority request shed" }
       end
       else
         match admit t ~rank:(P.priority_rank req.P.priority) with
@@ -439,6 +644,7 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
             (fun () ->
               if deadline_passed t deadline then begin
                 Metrics.incr t.m_expired;
+                Breaker.note_outcome t.breaker ~missed:true;
                 emit ~level:Events.Warn t "deadline_expired"
                   [ ("id", Events.fstr req.P.id); ("where", Events.fstr "grant") ];
                 P.Error_r
@@ -454,10 +660,14 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
                 | reply ->
                   let dt = t.now () -. t0 in
                   Metrics.observe t.m_latency dt;
-                  (match reply with
-                  | P.Error_r { code = P.Deadline_exceeded; _ } ->
-                    Metrics.incr t.m_expired
-                  | _ -> ());
+                  let missed =
+                    match reply with
+                    | P.Error_r { code = P.Deadline_exceeded; _ } ->
+                      Metrics.incr t.m_expired;
+                      true
+                    | _ -> false
+                  in
+                  Breaker.note_outcome t.breaker ~missed;
                   emit ~level:Events.Debug t "done"
                     [
                       ("id", Events.fstr req.P.id);
@@ -476,11 +686,39 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
 
 (* {2 Unix-domain-socket front end} *)
 
+type outcome = Served | Drained | Drain_expired | Forced
+
+let outcome_name = function
+  | Served -> "served"
+  | Drained -> "drained"
+  | Drain_expired -> "drain_expired"
+  | Forced -> "forced"
+
+(* Signal plumbing.  A handler may only do async-signal-safe work, so it
+   just bumps a module-global counter; the accept loop polls it between
+   selects.  One signal begins a drain, a second forces immediate stop.
+   [notify_signal] is the handler body, exposed so tests can drive the
+   exact same path without delivering real signals. *)
+
+let signal_count = Atomic.make 0
+let notify_signal () = Atomic.incr signal_count
+let signals_installed = Atomic.make false
+
+let install_drain_signals () =
+  if not (Atomic.exchange signals_installed true) then begin
+    let h = Sys.Signal_handle (fun _ -> notify_signal ()) in
+    (try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint h with Invalid_argument _ | Sys_error _ -> ())
+  end
+
 let serve_unix t ~path ?(backlog = 64) ?max_requests () =
   (* A client gone mid-stream must surface as Sys_error (EPIPE) in
      [try_write], not deliver a process-killing SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  (* A signal delivered before this serve run belongs to a previous run
+     (or to the launcher); the drain policy starts from a clean slate. *)
+  Atomic.set signal_count 0;
   if Sys.file_exists path then Sys.remove path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
@@ -562,8 +800,29 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
         try Unix.close conn with Unix.Unix_error _ -> ())
       loop
   in
+  let drain_started = ref false in
+  let begin_drain () =
+    if not !drain_started then begin
+      drain_started := true;
+      ignore (request_drain t);
+      (* Stop accepting and EOF idle readers; queued and in-flight
+         requests keep running and their replies still flush. *)
+      close_listener ()
+    end
+  in
+  let check_signals () =
+    match Atomic.get signal_count with
+    | 0 -> ()
+    | 1 -> begin_drain ()
+    | _ ->
+      force_stop t;
+      close_listener ()
+  in
   while not (is_closed ()) do
+    check_signals ();
     let readable =
+      (not (is_closed ()))
+      &&
       match Unix.select [ fd ] [] [] 0.2 with
       | r, _, _ -> r <> []
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
@@ -583,7 +842,42 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
   done;
   close_listener ();
   (try Unix.close fd with Unix.Unix_error _ -> ());
-  List.iter Thread.join !threads;
+  (* Decide how this run ends.  A forced stop (second signal) and an
+     expired drain must not join the connection threads — an in-flight
+     factorization cannot be interrupted, and the caller (the CLI) exits
+     the process, which is the cancellation. *)
+  let outcome =
+    if Atomic.get signal_count >= 2 then Forced
+    else if !drain_started then begin
+      let rec await () =
+        if Atomic.get signal_count >= 2 then begin
+          force_stop t;
+          Forced
+        end
+        else
+          match drain_status t with
+          | `Drained | `Running | `Stopped ->
+            (* [`Running]/[`Stopped] are unreachable here (drain was
+               requested and nothing re-opens it); join and finish. *)
+            List.iter Thread.join !threads;
+            Drained
+          | `Expired -> Drain_expired
+          | `Draining _ ->
+            Thread.delay 0.02;
+            await ()
+      in
+      await ()
+    end
+    else begin
+      List.iter Thread.join !threads;
+      Served
+    end
+  in
   t.stop <- None;
   (try Sys.remove path with Sys_error _ -> ());
-  emit t "stopped" [ ("served", Events.fint (served t)) ]
+  emit t "stopped"
+    [
+      ("served", Events.fint (served t));
+      ("outcome", Events.fstr (outcome_name outcome));
+    ];
+  outcome

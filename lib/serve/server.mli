@@ -23,12 +23,37 @@
     deterministic under the virtual clock
     ({!Geomix_fault.Retry.virtual_clock}) the tests drive.
 
+    {b Resilience.}  Every factorizing request runs through
+    {!Geomix_core.Mp_cholesky.factorize_robust} under the server's
+    configured stack: a seeded fault plan ([?faults]) injects, bounded
+    retry ([?retry]) re-executes transient casualties from pre-attempt
+    snapshots, a {e per-request} integrity guard ([?integrity], snapshots
+    on) quarantines and repairs silent data corruption, and pivot
+    failures escalate precision bands to FP64 instead of erroring.  The
+    reply's {!Protocol.status} is the authoritative account: [Escalated]
+    degradation invalidates the cached artifact (a warm hit never
+    launders a degraded precision map), and a [Corrupt_recovered] reply
+    is bitwise-identical to the fault-free run.
+
+    {b Overload brown-out.}  A {!Breaker} watches queue depth and
+    deadline-miss rate over sliding windows; while tripped the server
+    sheds [Low]-priority requests at admission ([Saturated]) and caps
+    Monte-Carlo replicate fan-out, recovering hysteretically.
+
+    {b Graceful lifecycle.}  {!request_drain} stops admission and lets
+    queued plus in-flight work finish until a deadline on the injected
+    clock; {!drain_status} is a pure, non-blocking probe of that state
+    machine, and {!install_drain_signals} wires SIGTERM/SIGINT so one
+    signal drains and a second forces an immediate stop ({!outcome}).
+
     {b Telemetry.}  With [?obs]: [serve.requests], [serve.rejected],
-    [serve.deadline_expired], [serve.errors], [serve.mc_replicates]
-    counters; [serve.inflight], [serve.queue_depth], [serve.queue_peak]
-    gauges; a [serve.latency_s] histogram; and the cache's
-    [serve.cache.*] counters.  With [?bus], the request lifecycle is
-    narrated on component ["serve"]. *)
+    [serve.deadline_expired], [serve.errors], [serve.mc_replicates],
+    [serve.recovered], [serve.escalated], [serve.indefinite],
+    [serve.shed], [serve.brownout_trips] counters; [serve.inflight],
+    [serve.queue_depth], [serve.queue_peak], [serve.brownout] gauges; a
+    [serve.latency_s] histogram; and the cache's [serve.cache.*]
+    counters.  With [?bus], the request lifecycle is narrated on
+    component ["serve"]. *)
 
 type t
 
@@ -41,17 +66,26 @@ val create :
   ?cache_capacity:int ->
   ?max_order:int ->
   ?max_replicates:int ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?retry:Geomix_fault.Retry.policy ->
+  ?integrity:bool ->
+  ?drain_deadline_s:float ->
+  ?breaker_config:Breaker.config ->
   pool:Geomix_parallel.Pool.t ->
   unit ->
   t
 (** Defaults: wall clock, 4 in-flight slots, 16 queue entries, cache
     capacity 32, [max_order] 4096 (largest accepted matrix order),
-    [max_replicates] 1024.  @raise Invalid_argument when
-    [max_inflight < 1] or [queue_capacity < 0]. *)
+    [max_replicates] 1024; no fault plan, no retry policy, integrity
+    guards off, a 5 s drain deadline and {!Breaker.default_config}.
+    @raise Invalid_argument when [max_inflight < 1], [queue_capacity < 0],
+    [drain_deadline_s] is negative or non-finite, or the breaker config
+    is invalid. *)
 
 val cache : t -> Cache.t
 val metrics : t -> Geomix_obs.Metrics.t
 val pool : t -> Geomix_parallel.Pool.t
+val breaker : t -> Breaker.t
 
 val served : t -> int
 (** Requests completed through the socket front end. *)
@@ -92,17 +126,78 @@ val release : t -> unit
 val inflight : t -> int
 val queued : t -> int
 
+(** {1 Graceful lifecycle}
+
+    The drain machinery is a pure state machine on the injected clock —
+    nothing here blocks, so every path is testable under
+    {!Geomix_fault.Retry.virtual_clock}. *)
+
+val request_drain : t -> bool
+(** Begin draining: admission starts refusing new work ([Saturated],
+    message ["server draining…"]) while queued and in-flight requests
+    keep running until [now + drain_deadline_s].  Idempotent — [true]
+    only for the call that actually started the drain. *)
+
+val force_stop : t -> unit
+(** Terminal: the lifecycle moves to stopped immediately.  In-flight
+    pool work is not interrupted (OCaml has no safe asynchronous
+    cancellation); the socket front end stops accepting and its caller —
+    the CLI — exits the process, which is the cancellation. *)
+
+val draining : t -> bool
+(** [true] once {!request_drain} or {!force_stop} has been called. *)
+
+val drain_status :
+  t ->
+  [ `Running  (** no drain requested *)
+  | `Draining of float  (** seconds left before the deadline *)
+  | `Drained  (** drain requested and no work queued or in flight *)
+  | `Expired  (** deadline passed with work still in flight *)
+  | `Stopped  (** {!force_stop} was called *) ]
+(** A pure, non-blocking probe of the drain state machine against the
+    injected clock.  [`Drained] wins over [`Expired] when the last
+    request finished after the deadline but before the probe. *)
+
+val health : t -> Protocol.health
+(** The readiness snapshot a [Health] request returns, answered before
+    admission — probes work while saturated or draining. *)
+
 (** {1 Unix-domain-socket front end} *)
 
+type outcome =
+  | Served  (** a [Shutdown] request or [max_requests] ended the run *)
+  | Drained  (** one signal; every queued and in-flight request finished *)
+  | Drain_expired
+      (** one signal; the drain deadline passed with work in flight *)
+  | Forced  (** a second signal forced an immediate stop *)
+
+val outcome_name : outcome -> string
+
+val install_drain_signals : unit -> unit
+(** Install the SIGTERM/SIGINT handler that feeds {!serve_unix}'s drain
+    policy: the first signal begins a drain, a second forces an immediate
+    stop.  Idempotent — concurrent and repeated calls install exactly
+    once, so a signal arriving while a handler is being (re)installed is
+    never lost to a handler race. *)
+
+val notify_signal : unit -> unit
+(** The handler body: record one delivered signal.  Exposed so tests can
+    drive the drain and second-signal paths without raw signals. *)
+
 val serve_unix :
-  t -> path:string -> ?backlog:int -> ?max_requests:int -> unit -> unit
+  t -> path:string -> ?backlog:int -> ?max_requests:int -> unit -> outcome
 (** Bind [path] (an existing socket file is replaced), accept one thread
     per connection, and serve length-prefixed {!Protocol} frames until a
-    [Shutdown] request arrives or [max_requests] requests have been
-    answered.  Requests on one connection are handled sequentially;
-    concurrency comes from concurrent connections.  SIGPIPE is ignored
-    process-wide on entry, so a client that disconnects mid-stream costs
-    only its own dropped frames, never the server.  Shutdown closes the
-    read side of every open connection (idle clients see EOF; in-flight
-    replies still flush) and returns after every connection thread has
-    drained; the socket file is removed on the way out. *)
+    [Shutdown] request arrives, [max_requests] requests have been
+    answered, or a signal recorded by {!notify_signal} ends the run (the
+    pending signal count is cleared on entry).  Requests on one
+    connection are handled sequentially; concurrency comes from
+    concurrent connections.  SIGPIPE is ignored process-wide on entry,
+    so a client that disconnects mid-stream costs only its own dropped
+    frames, never the server.  Shutdown closes the read side of every
+    open connection (idle clients see EOF; in-flight replies still
+    flush).  On [Served] and [Drained] every connection thread has been
+    joined; on [Drain_expired] and [Forced] the run returns {e without}
+    joining — in-flight factorizations cannot be interrupted and the
+    caller is expected to exit the process.  The socket file is removed
+    on the way out. *)

@@ -275,6 +275,32 @@ let test_job_reusable_pool () =
     Pool.join_job pool j2;
     Alcotest.(check int) "pool healthy after failed job" 8 (Atomic.get hits))
 
+let test_job_sequential_reuse () =
+  (* One job handle drives several waves in sequence — the request server's
+     Monte-Carlo chunking under brown-out submits a wave, joins, then
+     submits the next wave into the same handle.  join_job must leave the
+     handle clean (pending count zero, error slot cleared) between waves,
+     including after a wave that failed. *)
+  with_pools (fun pool ->
+    let hits = Atomic.make 0 in
+    let job = Pool.new_job pool in
+    for wave = 1 to 3 do
+      for _ = 1 to 4 do
+        Pool.submit_job pool job (fun () -> Atomic.incr hits)
+      done;
+      Pool.join_job pool job;
+      Alcotest.(check int) "wave complete at its join" (4 * wave)
+        (Atomic.get hits)
+    done;
+    Pool.submit_job pool job (fun () -> raise Boom);
+    (match Pool.join_job pool job with
+    | () -> Alcotest.fail "failed wave not raised"
+    | exception Boom -> ());
+    Pool.submit_job pool job (fun () -> Atomic.incr hits);
+    Pool.join_job pool job;
+    Alcotest.(check int) "handle clean after a failed wave" 13
+      (Atomic.get hits))
+
 let test_job_concurrent_joiners () =
   (* Two threads each drive their own job on one shared pool — the server's
      exact usage (one systhread per connection, one job per request). *)
@@ -322,6 +348,7 @@ let () =
           Alcotest.test_case "settled by pool cancellation" `Quick
             test_job_settled_by_pool_cancellation;
           Alcotest.test_case "pool reusable" `Quick test_job_reusable_pool;
+          Alcotest.test_case "sequential reuse" `Quick test_job_sequential_reuse;
           Alcotest.test_case "concurrent joiners" `Quick test_job_concurrent_joiners;
         ] );
       ( "par",

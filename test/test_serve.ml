@@ -8,8 +8,10 @@ module J = Geomix_obs.Jsonlite
 module P = Geomix_serve.Protocol
 module Cache = Geomix_serve.Cache
 module Server = Geomix_serve.Server
+module Breaker = Geomix_serve.Breaker
 module Pool = Geomix_parallel.Pool
 module Explore = Geomix_verify.Explore
+module Fault = Geomix_fault.Fault
 module Retry = Geomix_fault.Retry
 module Covariance = Geomix_geostat.Covariance
 
@@ -36,12 +38,15 @@ let request ?(id = "r1") ?(priority = P.Normal) ?timeout_s payload =
   { P.id; priority; timeout_s; payload }
 
 let with_server ?now ?(max_inflight = 4) ?(queue_capacity = 16)
-    ?(cache_capacity = 32) f =
+    ?(cache_capacity = 32) ?faults ?retry ?integrity ?drain_deadline_s
+    ?breaker_config f =
   let pool = Pool.create ~num_workers:0 () in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
     (fun () ->
-      f (Server.create ?now ~max_inflight ~queue_capacity ~cache_capacity ~pool ()))
+      f
+        (Server.create ?now ~max_inflight ~queue_capacity ~cache_capacity
+           ?faults ?retry ?integrity ?drain_deadline_s ?breaker_config ~pool ()))
 
 (* {2 Protocol codecs} *)
 
@@ -59,6 +64,7 @@ let test_request_roundtrip () =
         (P.Likelihood (spec ~family:Covariance.Matern ~beta:0.3 ()));
       request (P.Predict { spec = spec (); n_new = 7; pred_seed = 9 });
       request (P.Mc_batch { spec = spec ~family:Covariance.Powexp (); replicates = 12 });
+      request P.Health;
       request P.Shutdown;
     ]
 
@@ -101,6 +107,30 @@ let test_frame_roundtrip () =
              quad_form = nan;
              status = P.Indefinite;
              cache_hit = false;
+           });
+      reply
+        (P.Likelihood_r
+           {
+             loglik = -2.0;
+             log_det = 1.0;
+             quad_form = 3.0;
+             status = P.Corrupt_recovered 3;
+             cache_hit = false;
+           });
+      reply
+        (P.Health_r
+           {
+             inflight = 1;
+             queued = 2;
+             served = 30;
+             draining = false;
+             brownout = true;
+             cache_hits = 4;
+             cache_misses = 5;
+             cache_evictions = 6;
+             recovered = 7;
+             escalated = 8;
+             shed = 9;
            });
       reply
         (P.Predict_r
@@ -637,6 +667,302 @@ let test_key_of_spec_ignores_data_seed () =
   Alcotest.(check bool) "same shape key" true (k1 = k2);
   Alcotest.(check bool) "distinct shapes differ" true (key () <> key ~beta:0.3 ())
 
+let test_cache_invalidate () =
+  let cache = Cache.create () in
+  let k = small_key 9 in
+  ignore (Cache.find_or_build cache k ~build:Server.build_artifact);
+  Alcotest.(check bool) "resident" true (Cache.find cache k <> None);
+  Alcotest.(check bool) "invalidate removes" true (Cache.invalidate cache k);
+  Alcotest.(check bool) "gone" true (Cache.find cache k = None);
+  Alcotest.(check bool) "second invalidate is a no-op" false
+    (Cache.invalidate cache k);
+  Alcotest.(check int) "empty" 0 (Cache.length cache)
+
+(* {2 Resilience: chaos replay through the serve path}
+
+   The fault plan is a pure hash of (seed, site, task, attempt), so a
+   chaos run is replayable bit-for-bit: a transient storm retried from
+   snapshots and an SDC storm repaired by the integrity guard must both
+   produce replies bitwise-identical to the fault-free run. *)
+
+let fault_free_reference s =
+  with_server (fun srv ->
+      likelihood_fields (Server.handle srv (request (P.Likelihood s))))
+
+let test_chaos_transient_bitwise () =
+  let s = spec ~n:32 ~nb:16 () in
+  let l0, d0, q0, _ = fault_free_reference s in
+  let faults = Fault.plan ~rate:1.0 ~kinds:[ Fault.Transient ] ~seed:11 () in
+  with_server ~faults ~retry:(Retry.immediate ()) (fun srv ->
+      match Server.handle srv (request (P.Likelihood s)) with
+      | P.Likelihood_r { loglik; log_det; quad_form; status = P.Clean; _ } ->
+        Alcotest.(check bool) "loglik bitwise = fault-free" true
+          (bits loglik = bits l0);
+        Alcotest.(check bool) "log_det bitwise = fault-free" true
+          (bits log_det = bits d0);
+        Alcotest.(check bool) "quad_form bitwise = fault-free" true
+          (bits quad_form = bits q0)
+      | P.Likelihood_r { status; _ } ->
+        Alcotest.failf "expected Clean after retry, got %s" (P.status_name status)
+      | _ -> Alcotest.fail "expected Likelihood_r under transient storm")
+
+let test_chaos_sdc_recovered_bitwise () =
+  let s = spec ~n:32 ~nb:16 () in
+  let l0, d0, q0, _ = fault_free_reference s in
+  let faults = Fault.plan ~rate:1.0 ~kinds:[ Fault.Sdc ] ~seed:5 () in
+  with_server ~faults ~integrity:true (fun srv ->
+      match Server.handle srv (request (P.Likelihood s)) with
+      | P.Likelihood_r
+          { loglik; log_det; quad_form; status = P.Corrupt_recovered k; _ } ->
+        Alcotest.(check bool) "repairs counted" true (k > 0);
+        Alcotest.(check bool) "loglik bitwise = fault-free" true
+          (bits loglik = bits l0);
+        Alcotest.(check bool) "log_det bitwise = fault-free" true
+          (bits log_det = bits d0);
+        Alcotest.(check bool) "quad_form bitwise = fault-free" true
+          (bits quad_form = bits q0)
+      | P.Likelihood_r { status; _ } ->
+        Alcotest.failf "expected Corrupt_recovered, got %s" (P.status_name status)
+      | _ -> Alcotest.fail "expected Likelihood_r under SDC storm")
+
+let test_pivot_escalation_invalidates_cache () =
+  let faults = Fault.plan ~pivot_rate:1.0 ~seed:3 () in
+  with_server ~faults (fun srv ->
+      let s = spec ~n:32 ~nb:16 () in
+      (match Server.handle srv (request (P.Likelihood s)) with
+      | P.Likelihood_r { status = P.Escalated k; cache_hit = false; loglik; _ }
+        ->
+        Alcotest.(check bool) "bands escalated" true (k > 0);
+        Alcotest.(check bool) "escalated result is finite" true
+          (Float.is_finite loglik)
+      | P.Likelihood_r { status; _ } ->
+        Alcotest.failf "expected Escalated, got %s" (P.status_name status)
+      | _ -> Alcotest.fail "expected Likelihood_r under forced pivot failures");
+      (* The degraded artifact must not have been cached: the same shape
+         rebuilds (and re-escalates, deterministically) instead of
+         laundering an FP64-widened precision map through a warm hit. *)
+      match Server.handle srv (request (P.Likelihood s)) with
+      | P.Likelihood_r { status = P.Escalated _; cache_hit; _ } ->
+        Alcotest.(check bool) "escalated artifact never reused" false cache_hit
+      | _ -> Alcotest.fail "expected a second escalated reply")
+
+(* {2 Graceful drain on the virtual clock} *)
+
+let test_drain_lifecycle () =
+  let sleep, elapsed = Retry.virtual_clock () in
+  with_server ~now:elapsed ~drain_deadline_s:2.0 (fun srv ->
+      Alcotest.(check bool) "running" true (Server.drain_status srv = `Running);
+      Alcotest.(check bool) "slot" true (Server.admit srv ~rank:1 = `Admitted);
+      Alcotest.(check bool) "drain starts" true (Server.request_drain srv);
+      Alcotest.(check bool) "idempotent" false (Server.request_drain srv);
+      (match Server.drain_status srv with
+      | `Draining r -> Alcotest.(check (float 1e-9)) "full deadline left" 2.0 r
+      | _ -> Alcotest.fail "expected `Draining with work in flight");
+      (* Admission refuses while draining; probes still answer. *)
+      (match Server.handle srv (request (P.Likelihood (spec ()))) with
+      | P.Error_r { code = P.Saturated; _ } -> ()
+      | _ -> Alcotest.fail "expected Saturated during drain");
+      (match Server.handle srv (request P.Ping) with
+      | P.Pong -> ()
+      | _ -> Alcotest.fail "Ping must answer during drain");
+      sleep 1.0;
+      (match Server.drain_status srv with
+      | `Draining r -> Alcotest.(check (float 1e-9)) "clock advanced" 1.0 r
+      | _ -> Alcotest.fail "still draining before the deadline");
+      sleep 5.0;
+      (match Server.drain_status srv with
+      | `Expired -> ()
+      | _ -> Alcotest.fail "expected `Expired past the deadline");
+      (* The straggler finishing late still ends the drain cleanly:
+         [`Drained] wins over [`Expired] once nothing is in flight. *)
+      Server.release srv;
+      match Server.drain_status srv with
+      | `Drained -> ()
+      | _ -> Alcotest.fail "expected `Drained once the last request finished")
+
+let test_drain_completes_before_deadline () =
+  let _sleep, elapsed = Retry.virtual_clock () in
+  with_server ~now:elapsed (fun srv ->
+      Alcotest.(check bool) "slot" true (Server.admit srv ~rank:1 = `Admitted);
+      ignore (Server.request_drain srv);
+      Server.release srv;
+      match Server.drain_status srv with
+      | `Drained -> ()
+      | _ -> Alcotest.fail "expected `Drained with no work left")
+
+let test_force_stop () =
+  with_server (fun srv ->
+      Alcotest.(check bool) "not draining" false (Server.draining srv);
+      Server.force_stop srv;
+      Alcotest.(check bool) "stopped counts as draining" true (Server.draining srv);
+      Alcotest.(check bool) "stopped" true (Server.drain_status srv = `Stopped);
+      Alcotest.(check bool) "drain after stop refused" false
+        (Server.request_drain srv);
+      match Server.handle srv (request (P.Likelihood (spec ()))) with
+      | P.Error_r { code = P.Saturated; _ } -> ()
+      | _ -> Alcotest.fail "expected Saturated after force_stop")
+
+(* {2 Signal-driven lifecycle through the socket front end}
+
+   [notify_signal] is the exact handler body the SIGTERM/SIGINT handler
+   runs, so driving it from a test thread exercises the real drain and
+   second-signal paths without delivering raw signals. *)
+
+let await_socket path =
+  let rec wait tries =
+    if Sys.file_exists path then ()
+    else if tries = 0 then Alcotest.fail "server socket never appeared"
+    else begin
+      Thread.delay 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 500
+
+let test_signal_drains_to_completion () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "geomix-test-drain-%d.sock" (Unix.getpid ()))
+  in
+  with_server (fun srv ->
+      let outcome = ref None in
+      let th =
+        Thread.create
+          (fun () -> outcome := Some (Server.serve_unix srv ~path ()))
+          ()
+      in
+      await_socket path;
+      Server.notify_signal ();
+      Thread.join th;
+      (match !outcome with
+      | Some Server.Drained -> ()
+      | Some o -> Alcotest.failf "expected drained, got %s" (Server.outcome_name o)
+      | None -> Alcotest.fail "serve_unix never returned");
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists path))
+
+let test_second_signal_forces_stop () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "geomix-test-force-%d.sock" (Unix.getpid ()))
+  in
+  with_server (fun srv ->
+      let outcome = ref None in
+      let th =
+        Thread.create
+          (fun () -> outcome := Some (Server.serve_unix srv ~path ()))
+          ()
+      in
+      await_socket path;
+      Server.notify_signal ();
+      Server.notify_signal ();
+      Thread.join th;
+      (match !outcome with
+      | Some Server.Forced -> ()
+      | Some o -> Alcotest.failf "expected forced, got %s" (Server.outcome_name o)
+      | None -> Alcotest.fail "serve_unix never returned");
+      Alcotest.(check bool) "lifecycle stopped" true
+        (Server.drain_status srv = `Stopped))
+
+(* {2 Health probes} *)
+
+let test_health_request () =
+  with_server (fun srv ->
+      (match Server.handle srv (request P.Health) with
+      | P.Health_r h ->
+        Alcotest.(check int) "idle inflight" 0 h.P.inflight;
+        Alcotest.(check int) "idle queued" 0 h.P.queued;
+        Alcotest.(check bool) "not draining" false h.P.draining;
+        Alcotest.(check bool) "no brown-out" false h.P.brownout
+      | _ -> Alcotest.fail "expected Health_r");
+      (match Server.handle srv (request (P.Likelihood (spec ~n:32 ()))) with
+      | P.Likelihood_r _ -> ()
+      | _ -> Alcotest.fail "expected Likelihood_r");
+      ignore (Server.request_drain srv);
+      (* Health answers before admission, so probes work while draining. *)
+      match Server.handle srv (request P.Health) with
+      | P.Health_r h ->
+        Alcotest.(check bool) "draining reported" true h.P.draining;
+        Alcotest.(check bool) "served counted" true (h.P.cache_misses >= 1)
+      | _ -> Alcotest.fail "expected Health_r during drain")
+
+(* {2 Brown-out breaker} *)
+
+let test_breaker_trips_and_recovers () =
+  let sleep, elapsed = Retry.virtual_clock () in
+  let b = Breaker.create ~now:elapsed () in
+  Alcotest.(check bool) "starts closed" false (Breaker.tripped b);
+  Alcotest.(check int) "closed batches uncapped" 64
+    (Breaker.mc_chunk b ~replicates:64);
+  for _ = 1 to 7 do
+    Breaker.note_queue b ~frac:1.0
+  done;
+  Alcotest.(check bool) "below min_samples" false (Breaker.tripped b);
+  Breaker.note_queue b ~frac:1.0;
+  Alcotest.(check bool) "tripped on queue depth" true (Breaker.tripped b);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  Alcotest.(check int) "open batches capped" 4 (Breaker.mc_chunk b ~replicates:64);
+  Alcotest.(check int) "cap never exceeds the batch" 2
+    (Breaker.mc_chunk b ~replicates:2);
+  (* Hysteresis leg 1: the hold alone does not recover a hot window. *)
+  sleep 1.5;
+  Alcotest.(check bool) "hot window holds it open" true (Breaker.tripped b);
+  (* Hysteresis leg 2: a cooled window recovers only after the hold.  The
+     window holds the 8 saturated samples; the 24th zero is the first that
+     drags the mean down to the 0.25 low-water mark (8/32), so recovery —
+     and the window clearing — fires exactly on that push. *)
+  for _ = 1 to 24 do
+    Breaker.note_queue b ~frac:0.0
+  done;
+  Alcotest.(check bool) "recovered" false (Breaker.tripped b);
+  Alcotest.(check int) "recovery is not a trip" 1 (Breaker.trips b);
+  (* Windows are cleared on recovery: stale saturation samples cannot
+     re-trip it below min_samples. *)
+  for _ = 1 to 7 do
+    Breaker.note_queue b ~frac:1.0
+  done;
+  Alcotest.(check bool) "cleared window needs fresh evidence" false
+    (Breaker.tripped b);
+  Breaker.note_queue b ~frac:1.0;
+  Alcotest.(check bool) "re-tripped" true (Breaker.tripped b);
+  Alcotest.(check int) "second trip counted" 2 (Breaker.trips b)
+
+let test_breaker_trips_on_miss_rate () =
+  let _sleep, elapsed = Retry.virtual_clock () in
+  let b = Breaker.create ~now:elapsed () in
+  for _ = 1 to 8 do
+    Breaker.note_outcome b ~missed:true
+  done;
+  Alcotest.(check bool) "tripped on deadline misses" true (Breaker.tripped b)
+
+let test_brownout_sheds_low_priority () =
+  let cfg = { Breaker.default_config with window = 8; min_samples = 1 } in
+  with_server ~breaker_config:cfg (fun srv ->
+      Breaker.note_outcome (Server.breaker srv) ~missed:true;
+      Alcotest.(check bool) "tripped" true (Breaker.tripped (Server.breaker srv));
+      (match Server.handle srv (request ~priority:P.Low (P.Likelihood (spec ()))) with
+      | P.Error_r { code = P.Saturated; message } ->
+        Alcotest.(check bool) "shed, not queue-full" true
+          (String.length message >= 9 && String.sub message 0 9 = "brown-out")
+      | _ -> Alcotest.fail "expected the Low request shed");
+      (* Higher classes still pass, and Monte-Carlo fan-out is capped but
+         the batch still completes in full. *)
+      let events = ref 0 in
+      let on_progress ~completed:_ ~total:_ = incr events in
+      (match
+         Server.handle srv ~on_progress
+           (request (P.Mc_batch { spec = spec ~n:32 (); replicates = 10 }))
+       with
+      | P.Mc_r { logliks; status = P.Clean; _ } ->
+        Alcotest.(check int) "all replicates despite the cap" 10
+          (Array.length logliks);
+        Alcotest.(check int) "progress still per replicate" 10 !events
+      | _ -> Alcotest.fail "expected Mc_r during brown-out");
+      match Server.handle srv (request P.Health) with
+      | P.Health_r h ->
+        Alcotest.(check bool) "brown-out reported" true h.P.brownout;
+        Alcotest.(check int) "shed counted" 1 h.P.shed
+      | _ -> Alcotest.fail "expected Health_r")
+
 let () =
   Alcotest.run "serve"
     [
@@ -661,6 +987,7 @@ let () =
         [
           Alcotest.test_case "key ignores data seed" `Quick
             test_key_of_spec_ignores_data_seed;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "single-flight build" `Quick test_cache_single_flight;
           Alcotest.test_case "interleaving replay" `Quick
@@ -668,6 +995,36 @@ let () =
           Alcotest.test_case "cache-hit bit identity" `Quick
             test_cache_hit_bit_identity;
           QCheck_alcotest.to_alcotest prop_cache_hit_bit_identity;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "transient storm replays bitwise" `Quick
+            test_chaos_transient_bitwise;
+          Alcotest.test_case "sdc storm recovered bitwise" `Quick
+            test_chaos_sdc_recovered_bitwise;
+          Alcotest.test_case "pivot escalation invalidates cache" `Quick
+            test_pivot_escalation_invalidates_cache;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "drain state machine" `Quick test_drain_lifecycle;
+          Alcotest.test_case "drain completes before deadline" `Quick
+            test_drain_completes_before_deadline;
+          Alcotest.test_case "force stop" `Quick test_force_stop;
+          Alcotest.test_case "signal drains to completion" `Quick
+            test_signal_drains_to_completion;
+          Alcotest.test_case "second signal forces stop" `Quick
+            test_second_signal_forces_stop;
+          Alcotest.test_case "health probe" `Quick test_health_request;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips and recovers" `Quick
+            test_breaker_trips_and_recovers;
+          Alcotest.test_case "trips on miss rate" `Quick
+            test_breaker_trips_on_miss_rate;
+          Alcotest.test_case "sheds low priority" `Quick
+            test_brownout_sheds_low_priority;
         ] );
       ( "service",
         [
