@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check chaos report autotune serve serve-smoke serve-chaos verify-slow clean
+.PHONY: all test check chaos report autotune serve serve-smoke serve-chaos top trace-smoke verify-slow clean
 
 all:
 	dune build @all
@@ -65,6 +65,25 @@ serve-chaos:
 	  dune exec bench/b_serve.exe -- --chaos --chaos-seed $$seed \
 	    --json BENCH_serve_chaos_$$seed.json || exit 1; \
 	done
+
+# Live operator view of a running `make serve`: polls the server's stats
+# and health requests, rendering inflight/queue depth, latency quantiles,
+# cache hit rate, breaker state and bytes/s by transfer precision.
+top:
+	dune exec bin/geomix.exe -- top
+
+# Traced serve smoke (the CI trace-smoke job): every request carries a
+# span; gates that the summed per-request footer bytes equal the
+# registry's aggregate RAW-edge accounting bitwise, that the Prometheus
+# exposition (both the stats request and the scrape listener) lints and
+# round-trips, and that tracing overhead stays within 5% of untraced
+# latency.  Leaves the scrape and rolling telemetry JSONL as artifacts.
+trace-smoke:
+	dune exec bench/b_serve.exe -- --smoke --trace \
+	  --scrape-out geomix-scrape.prom --telemetry-out geomix-telemetry.jsonl \
+	  --json BENCH_serve_trace.json --compare bench/BENCH_baseline.json
+	dune exec test/check_prom.exe -- geomix-scrape.prom
+	@echo "wrote BENCH_serve_trace.json, geomix-scrape.prom, geomix-telemetry.jsonl"
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

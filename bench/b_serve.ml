@@ -26,6 +26,9 @@
    entries, so the hit-rate check is not armed under chaos. *)
 
 module Bench_json = Geomix_obs.Bench_json
+module Metrics = Geomix_obs.Metrics
+module Expo = Geomix_obs.Expo
+module Span = Geomix_obs.Span
 module Pool = Geomix_parallel.Pool
 module Server = Geomix_serve.Server
 module Cache = Geomix_serve.Cache
@@ -38,10 +41,13 @@ type cfg = {
   smoke : bool;
   chaos : bool;
   chaos_seed : int;
+  trace : bool;  (* per-request spans at full sampling + scrape checks *)
   clients : int;
   requests : int; (* main-phase total, split across clients *)
   json_path : string option;
   compare_with : string option;
+  scrape_out : string option;    (* save the Prometheus exposition here *)
+  telemetry_out : string option; (* rolling JSONL snapshot path *)
   tolerance : float;
 }
 
@@ -50,10 +56,13 @@ let default_cfg =
     smoke = false;
     chaos = false;
     chaos_seed = 1;
+    trace = false;
     clients = 8;
     requests = 200;
     json_path = None;
     compare_with = None;
+    scrape_out = None;
+    telemetry_out = None;
     tolerance = 3.0;
   }
 
@@ -90,11 +99,13 @@ let rec connect_retry path attempts =
     connect_retry path (attempts - 1)
 
 (* One request over an open connection: write the frame, read frames until
-   the terminal reply for our id.  Returns the reply and the number of
-   progress frames seen. *)
+   the terminal reply for our id.  Returns the reply, the number of
+   progress frames seen, and the telemetry footer when the server attached
+   one (traced requests only). *)
 let roundtrip ic oc (req : P.request) =
   P.write_frame oc (P.request_to_json req);
   let progress = ref 0 in
+  let footer = ref None in
   let rec await () =
     match P.read_frame ic with
     | Error msg -> Error msg
@@ -105,12 +116,15 @@ let roundtrip ic oc (req : P.request) =
         incr progress;
         await ()
       | Ok (P.Progress _) -> await ()
-      | Ok (P.Reply { id; reply }) ->
-        if id = req.P.id then Ok reply
+      | Ok (P.Reply { id; reply; footer = f }) ->
+        if id = req.P.id then begin
+          footer := f;
+          Ok reply
+        end
         else Error (Printf.sprintf "reply for %S while awaiting %S" id req.P.id))
   in
   let r = await () in
-  (r, !progress)
+  (r, !progress, !footer)
 
 (* How a request resolved, after saturation retries.  Everything here is
    a *typed* resolution except [Transport] and [Err_other] — those are
@@ -136,6 +150,7 @@ type outcome = {
   progress : int;
   sat_retries : int;  (** Saturated replies absorbed by client backoff *)
   bitwise_ok : bool;  (** clean-claiming reply matched the reference *)
+  footer : P.footer option;  (** telemetry footer of the terminal reply *)
 }
 
 let cache_hit_of = function
@@ -143,12 +158,12 @@ let cache_hit_of = function
   | P.Predict_r { cache_hit; _ }
   | P.Mc_r { cache_hit; _ } ->
     Some cache_hit
-  | P.Pong | P.Health_r _ | P.Shutdown_r | P.Error_r _ -> None
+  | P.Pong | P.Health_r _ | P.Stats_r _ | P.Shutdown_r | P.Error_r _ -> None
 
 let status_of = function
   | P.Likelihood_r { status; _ } | P.Mc_r { status; _ } -> Some status
   | P.Predict_r _ -> Some P.Clean (* prediction has no factorization status *)
-  | P.Pong | P.Health_r _ | P.Shutdown_r | P.Error_r _ -> None
+  | P.Pong | P.Health_r _ | P.Stats_r _ | P.Shutdown_r | P.Error_r _ -> None
 
 (* Client-side saturation backoff: a `Retry`-style policy whose delays
    come from [Retry.delay_for] with a per-request salt, so a herd of
@@ -196,7 +211,7 @@ let numbers_match a b =
 let issue ?(verify = fun _ _ -> true) ic oc req =
   let t0 = Unix.gettimeofday () in
   let rec go attempt retries =
-    let r, progress = roundtrip ic oc req in
+    let r, progress, footer = roundtrip ic oc req in
     match r with
     | Ok (P.Error_r { code = P.Saturated; _ })
       when attempt < saturation_policy.Retry.max_attempts ->
@@ -205,12 +220,12 @@ let issue ?(verify = fun _ _ -> true) ic oc req =
            ~salt:(Hashtbl.hash req.P.id)
            saturation_policy ~attempt);
       go (attempt + 1) (retries + 1)
-    | r -> (r, progress, retries)
+    | r -> (r, progress, footer, retries)
   in
-  let r, progress, sat_retries = go 1 0 in
+  let r, progress, footer, sat_retries = go 1 0 in
   let latency_s = Unix.gettimeofday () -. t0 in
   let mk klass cache_hit bitwise_ok =
-    { latency_s; klass; cache_hit; progress; sat_retries; bitwise_ok }
+    { latency_s; klass; cache_hit; progress; sat_retries; bitwise_ok; footer }
   in
   match r with
   | Error msg ->
@@ -288,7 +303,9 @@ let run cfg =
   let server =
     Server.create ~obs ~max_inflight:4
       ~queue_capacity:(max 16 (2 * cfg.clients))
-      ~cache_capacity:32 ?faults ?retry ~integrity:cfg.chaos ~pool ()
+      ~cache_capacity:32 ?faults ?retry ~integrity:cfg.chaos
+      ~trace_sample:(if cfg.trace then 1.0 else 0.)
+      ~pool ()
   in
   (* Fault-free reference for the bitwise gate: its own pool and cache,
      no faults, no guards — `Server.handle` gives the ground truth the
@@ -310,10 +327,16 @@ let run cfg =
     | Some (_, ref_server) ->
       fun req reply -> numbers_match reply (Server.handle ref_server req)
   in
+  let stats_path = if cfg.trace then Some (path ^ ".stats") else None in
+  let telemetry =
+    Option.map (fun p -> Expo.snapshotter ~path:p ()) cfg.telemetry_out
+  in
   let serve_outcome = ref Server.Served in
   let server_thread =
     Thread.create
-      (fun () -> serve_outcome := Server.serve_unix server ~path ())
+      (fun () ->
+        serve_outcome :=
+          Server.serve_unix server ~path ?stats_path ?telemetry ())
       ()
   in
   (* Readiness barrier: connect (with retry while the listener binds) and
@@ -323,7 +346,7 @@ let run cfg =
      roundtrip ic0 oc0
        { P.id = "ready"; priority = P.Normal; timeout_s = None; payload = P.Ping }
    with
-  | Ok P.Pong, _ -> ()
+  | Ok P.Pong, _, _ -> ()
   | _ -> failwith "b_serve: server did not answer ping");
   (* Warm-up: one request per shape, sequential, so the cache is populated
      with exactly one miss per shape before the measured phase. *)
@@ -366,8 +389,58 @@ let run cfg =
           payload = P.Health;
         }
     with
-    | Ok (P.Health_r h), _ -> Some h
+    | Ok (P.Health_r h), _, _ -> Some h
     | _ -> None
+  in
+  (* Over-the-wire scrape through the framed protocol: one Stats request
+     in each format.  The Prometheus body must lint clean and parse, and
+     its counter samples must round-trip against the live registry. *)
+  let stats_prom =
+    match
+      roundtrip ic0 oc0
+        {
+          P.id = "stats-prom";
+          priority = P.Normal;
+          timeout_s = None;
+          payload = P.Stats P.Stats_prom;
+        }
+    with
+    | Ok (P.Stats_r { format = P.Stats_prom; body }), _, _ -> Some body
+    | _ -> None
+  in
+  let stats_json_ok =
+    match
+      roundtrip ic0 oc0
+        {
+          P.id = "stats-json";
+          priority = P.Normal;
+          timeout_s = None;
+          payload = P.Stats P.Stats_json;
+        }
+    with
+    | Ok (P.Stats_r { format = P.Stats_json; body }), _, _ -> (
+      match Geomix_obs.Jsonlite.of_string body with
+      | Ok j -> Result.is_ok (Metrics.of_json j)
+      | Error _ -> false)
+    | _ -> false
+  in
+  (* And through the dedicated scrape listener: connect, read the whole
+     exposition, EOF.  This is the path a real Prometheus poll takes. *)
+  let raw_scrape =
+    match stats_path with
+    | None -> None
+    | Some sp -> (
+      try
+        let fd, sic, _ = connect sp in
+        let buf = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel buf sic 1
+           done
+         with End_of_file -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Some (Buffer.contents buf)
+      with Unix.Unix_error _ | Sys_error _ -> None)
   in
   let shutdown_ok =
     match
@@ -379,7 +452,7 @@ let run cfg =
           payload = P.Shutdown;
         }
     with
-    | Ok P.Shutdown_r, _ -> true
+    | Ok P.Shutdown_r, _, _ -> true
     | _ ->
       prerr_endline "b_serve: shutdown handshake failed";
       false
@@ -388,6 +461,15 @@ let run cfg =
   Thread.join server_thread;
   Pool.shutdown pool;
   (match ref_ctx with Some (ref_pool, _) -> Pool.shutdown ref_pool | None -> ());
+  Option.iter Expo.close telemetry;
+  (* The registry is quiescent from here on: every aggregate below reads
+     one final snapshot. *)
+  let final_snap = Metrics.snapshot obs in
+  let counter_of name =
+    match Metrics.find final_snap name with
+    | Some (Metrics.Counter c) -> c
+    | _ -> 0
+  in
   (* {2 Aggregation} *)
   let main = Array.to_list results |> List.filter_map Fun.id in
   let sent = cfg.clients * per_client in
@@ -424,6 +506,89 @@ let run cfg =
   let p99_ms = 1000. *. quantile lat 0.99 in
   let throughput = float_of_int received /. elapsed in
   let cstats = Cache.stats (Server.cache server) in
+  (* {2 Trace-mode accounting}
+
+     Conservation: at full sampling every executed request carries a
+     footer, and the footers' summed shipped-byte counts must equal the
+     registry's aggregate RAW-edge accounting bitwise — same call site,
+     same values, different ledgers. *)
+  let footers = List.filter_map (fun o -> o.footer) all in
+  let footer_bytes_stc =
+    List.fold_left (fun acc (f : P.footer) -> acc + f.P.f_span.Span.s_bytes_stc)
+      0 footers
+  in
+  let footer_bytes_fp64 =
+    List.fold_left
+      (fun acc (f : P.footer) -> acc + f.P.f_span.Span.s_bytes_fp64)
+      0 footers
+  in
+  let shipped_bytes = counter_of "cholesky.shipped_bytes" in
+  let shipped_fp64 = counter_of "cholesky.shipped_bytes_fp64" in
+  let missing_footers =
+    if not cfg.trace then 0
+    else count (fun o -> klass_ok o.klass && o.footer = None) main
+  in
+  (* Tracing overhead: median in-process request latency of a traced
+     server over an untraced one, same shape, warm cache (first request
+     per server is the one miss; the median is unaffected). *)
+  let obs_overhead_frac =
+    if not cfg.trace then None
+    else begin
+      let median_latency traced =
+        let p = Pool.create () in
+        let s =
+          Server.create ~obs:(Metrics.create ()) ~max_inflight:2
+            ~trace_sample:(if traced then 1.0 else 0.)
+            ~pool:p ()
+        in
+        let m = 11 in
+        let lat =
+          Array.init m (fun i ->
+              let req =
+                {
+                  P.id = Printf.sprintf "ovh%c-%d" (if traced then 't' else 'u') i;
+                  priority = P.Normal;
+                  timeout_s = None;
+                  payload =
+                    P.Likelihood { (shapes.(0)) with P.data_seed = 500 + i };
+                }
+              in
+              let t0 = Unix.gettimeofday () in
+              (match Server.handle s req with
+              | P.Likelihood_r _ -> ()
+              | _ -> failwith "b_serve: overhead probe did not factorize");
+              Unix.gettimeofday () -. t0)
+        in
+        Pool.shutdown p;
+        Array.sort compare lat;
+        lat.(m / 2)
+      in
+      let plain = median_latency false in
+      let traced = median_latency true in
+      Some (if plain <= 0. then 0. else Float.max 0. ((traced -. plain) /. plain))
+    end
+  in
+  (* Scrape validation: the exposition must lint clean, parse, and its
+     counter samples must round-trip against the (now quiescent)
+     registry — [serve.requests] only moves on admission-gated payloads,
+     none of which ran after the scrape. *)
+  let scrape_ok body =
+    Expo.lint body = []
+    &&
+    match Expo.parse body with
+    | Error _ -> false
+    | Ok samples -> (
+      match Expo.find samples "geomix_serve_requests" with
+      | Some s -> s.Expo.value = float_of_int (counter_of "serve.requests")
+      | None -> false)
+  in
+  (match (cfg.scrape_out, raw_scrape, stats_prom) with
+  | Some out, Some body, _ | Some out, None, Some body ->
+    let oc = open_out out in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "wrote %s\n" out
+  | _ -> ());
   Printf.printf
     "serve bench%s: %d clients, %d+%d requests (warm+main) over %s\n"
     (if cfg.chaos then Printf.sprintf " [chaos seed %d]" cfg.chaos_seed else "")
@@ -447,6 +612,32 @@ let run cfg =
     p99_ms throughput;
   Printf.printf "  cache: %d hits / %d misses / %d evictions (hit rate %.3f)\n"
     cstats.Cache.hits cstats.Cache.misses cstats.Cache.evictions hit_frac;
+  if cfg.trace then begin
+    Printf.printf
+      "  trace: %d footers  bytes STC %d / FP64-equivalent %d (registry %d / \
+       %d)\n"
+      (List.length footers) footer_bytes_stc footer_bytes_fp64 shipped_bytes
+      shipped_fp64;
+    (match obs_overhead_frac with
+    | Some f -> Printf.printf "  trace overhead: %.4f of untraced latency\n" f
+    | None -> ())
+  end;
+  (* End-of-run serve metrics dump: every serve.* counter/gauge plus the
+     latency histogram, straight from the registry — what an operator
+     reconciles the scrape against. *)
+  print_endline "  serve metrics:";
+  List.iter
+    (fun (name, v) ->
+      if String.length name >= 6 && String.sub name 0 6 = "serve." then
+        match v with
+        | Metrics.Counter c -> Printf.printf "    %-32s %d\n" name c
+        | Metrics.Gauge g -> Printf.printf "    %-32s %g\n" name g
+        | Metrics.Histogram h ->
+          Printf.printf "    %-32s count=%d p50=%.4g p99=%.4g\n" name
+            h.Metrics.count
+            (Metrics.quantile h 0.50)
+            (Metrics.quantile h 0.99))
+    final_snap;
   let metrics =
     [
       Bench_json.metric ~units:"ms" "serve_p50_ms" p50_ms;
@@ -462,6 +653,10 @@ let run cfg =
       Bench_json.metric "serve_recovered_frac" recovered_frac;
       Bench_json.metric "serve_shed_frac" shed_frac;
     ]
+    @
+    match obs_overhead_frac with
+    | Some f -> [ Bench_json.metric "obs_overhead_frac" f ]
+    | None -> []
   in
   let bench = Bench_json.make ~suite:"serve" metrics in
   (match cfg.json_path with
@@ -492,6 +687,45 @@ let run cfg =
   end;
   check (progress_frames > 0) "no Monte-Carlo progress frames streamed";
   if cfg.smoke then check (received >= 200) "fewer than 200 main-phase requests";
+  if cfg.trace then begin
+    check (missing_footers = 0)
+      "traced request resolved without a telemetry footer";
+    if dropped = 0 && unaccounted = 0 then begin
+      check
+        (footer_bytes_stc = shipped_bytes)
+        (Printf.sprintf
+           "span/counter conservation broken: footers %d bytes, registry %d"
+           footer_bytes_stc shipped_bytes);
+      check
+        (footer_bytes_fp64 = shipped_fp64)
+        "span/counter conservation broken on the FP64-equivalent ledger"
+    end;
+    check (footer_bytes_stc > 0) "traced run moved no attributed bytes";
+    check stats_json_ok "Stats(json) body did not decode as a registry snapshot";
+    (match stats_prom with
+    | None -> check false "no Stats(prom) reply"
+    | Some body -> check (scrape_ok body) "Stats(prom) body failed lint/round-trip");
+    (match raw_scrape with
+    | None -> check false "scrape listener produced no exposition"
+    | Some body ->
+      check (scrape_ok body) "scrape-listener exposition failed lint/round-trip");
+    (match obs_overhead_frac with
+    | Some f ->
+      check (f <= 0.05)
+        (Printf.sprintf "tracing overhead %.4f exceeds 0.05 budget" f)
+    | None -> ());
+    match cfg.telemetry_out with
+    | None -> ()
+    | Some p ->
+      check
+        (Sys.file_exists p
+        &&
+        let ic = open_in p in
+        let len = in_channel_length ic in
+        close_in ic;
+        len > 0)
+        "telemetry snapshot file missing or empty"
+  end;
   List.iter (fun m -> Printf.eprintf "serve bench FAILED: %s\n" m) !failures;
   let gate_code =
     match cfg.compare_with with
@@ -523,7 +757,8 @@ let run cfg =
 let usage () =
   print_endline
     "usage: b_serve.exe [--smoke] [--chaos] [--chaos-seed N] [--clients N]\n\
-    \       [--requests N] [--json PATH] [--compare BASELINE] [--tolerance F]"
+    \       [--requests N] [--json PATH] [--compare BASELINE] [--tolerance F]\n\
+    \       [--trace] [--scrape-out PATH] [--telemetry-out PATH]"
 
 let () =
   let rec parse cfg = function
@@ -540,6 +775,10 @@ let () =
     | "--compare" :: v :: rest -> parse { cfg with compare_with = Some v } rest
     | "--tolerance" :: v :: rest ->
       parse { cfg with tolerance = float_of_string v } rest
+    | "--trace" :: rest -> parse { cfg with trace = true } rest
+    | "--scrape-out" :: v :: rest -> parse { cfg with scrape_out = Some v } rest
+    | "--telemetry-out" :: v :: rest ->
+      parse { cfg with telemetry_out = Some v } rest
     | ("--help" | "-h") :: _ ->
       usage ();
       exit 0

@@ -680,6 +680,21 @@ let report_cmd =
           Chol.factorize ~pool ~trace ~bus ~profile ~integrity:guard ~pmap a);
       let wall = Unix.gettimeofday () -. t0 in
       Option.iter close_out events_oc;
+      (* Read the JSONL sink back through the resilient reader: the report
+         records how many intact events the file holds and how many
+         damaged lines were skipped, so a truncated or interleaved log is
+         visible in the artifact instead of silently shorter. *)
+      let events_readback =
+        Option.map
+          (fun path ->
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () ->
+                let evs, skipped = Events.read_jsonl ic in
+                (List.length evs, skipped)))
+          events
+      in
       let dag = Cdag.create ~nt:ntiles in
       let preds =
         Geomix_parallel.Dag_exec.predecessors ~num_tasks:(Cdag.num_tasks dag)
@@ -700,18 +715,35 @@ let report_cmd =
       in
       Report.section doc "Execution";
       Report.table doc ~headers:[ "quantity"; "value" ]
-        [
-          [ "matrix"; Printf.sprintf "n=%d (nb=%d)" n run_nb ];
-          [ "workers"; string_of_int !resources ];
-          [ "makespan"; sec (Trace.makespan trace) ];
-          [ "wall clock"; Printf.sprintf "%.3f s" wall ];
-          [ "utilisation"; pct (Trace.utilisation trace ~resources:!resources) ];
-          [ "tasks"; string_of_int prof.Profile.tasks ];
-          [ "event log reconstructs makespan";
-            (if streamed_makespan = Trace.makespan trace then "yes (bit-identical)"
-             else Printf.sprintf "NO (%.9f vs %.9f)" streamed_makespan
-                    (Trace.makespan trace)) ];
-        ];
+        ([
+           [ "matrix"; Printf.sprintf "n=%d (nb=%d)" n run_nb ];
+           [ "workers"; string_of_int !resources ];
+           [ "makespan"; sec (Trace.makespan trace) ];
+           [ "wall clock"; Printf.sprintf "%.3f s" wall ];
+           [ "utilisation"; pct (Trace.utilisation trace ~resources:!resources) ];
+           [ "tasks"; string_of_int prof.Profile.tasks ];
+           [ "event log reconstructs makespan";
+             (if streamed_makespan = Trace.makespan trace then "yes (bit-identical)"
+              else Printf.sprintf "NO (%.9f vs %.9f)" streamed_makespan
+                     (Trace.makespan trace)) ];
+         ]
+        @
+        match events_readback with
+        | None -> []
+        | Some (intact, skipped) ->
+          [
+            [ "events file intact lines"; string_of_int intact ];
+            [ "events file damaged lines skipped"; string_of_int skipped ];
+          ]);
+      (match events_readback with
+      | None -> ()
+      | Some (intact, skipped) ->
+        Report.attach doc ~key:"events_file"
+          (Jsonlite.Obj
+             [
+               ("intact", Jsonlite.Num (float_of_int intact));
+               ("skipped", Jsonlite.Num (float_of_int skipped));
+             ]));
       Report.para doc "Occupancy (rows = workers, glyph = precision tag):";
       Report.code doc (Trace.gantt trace ~resources:!resources ~width:72);
       Report.section doc "Critical path";
@@ -984,8 +1016,8 @@ let serve_cmd =
   let module Cache = Geomix_serve.Cache in
   let module Fault = Geomix_fault.Fault in
   let run socket workers max_inflight queue_capacity cache_capacity max_requests
-      drain_deadline integrity retry_attempts chaos_seed chaos_rate
-      chaos_pivot_rate chaos_sdc verbose =
+      drain_deadline integrity retry_attempts trace_sample stats_socket
+      telemetry_out chaos_seed chaos_rate chaos_pivot_rate chaos_sdc verbose =
     let bus = stderr_bus_of ~verbose in
     let obs = Geomix_obs.Metrics.create () in
     let faults =
@@ -1010,7 +1042,8 @@ let serve_cmd =
     Geomix_parallel.Pool.with_pool ~obs ?bus ?num_workers:workers (fun pool ->
         let server =
           Server.create ~obs ?bus ~max_inflight ~queue_capacity ~cache_capacity
-            ?faults ?retry ~integrity ~drain_deadline_s:drain_deadline ~pool ()
+            ?faults ?retry ~integrity ~drain_deadline_s:drain_deadline
+            ~trace_sample ~pool ()
         in
         Server.install_drain_signals ();
         Printf.printf
@@ -1018,7 +1051,18 @@ let serve_cmd =
           socket
           (Geomix_parallel.Pool.num_workers pool)
           max_inflight queue_capacity;
-        let outcome = Server.serve_unix server ~path:socket ?max_requests () in
+        let telemetry =
+          Option.map
+            (fun path -> Geomix_obs.Expo.snapshotter ~path ())
+            telemetry_out
+        in
+        let outcome =
+          Fun.protect
+            ~finally:(fun () -> Option.iter Geomix_obs.Expo.close telemetry)
+            (fun () ->
+              Server.serve_unix server ~path:socket ?max_requests
+                ?stats_path:stats_socket ?telemetry ())
+        in
         let s = Cache.stats (Server.cache server) in
         let h = Server.health server in
         Printf.printf
@@ -1098,6 +1142,36 @@ let serve_cmd =
             "Bounded supervised-retry attempts per kernel (jittered \
              exponential backoff); 1 disables retry.")
   in
+  let trace_sample_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "trace-sample" ]
+          ~doc:
+            "Fraction of requests to trace end to end (0 disables, 1 traces \
+             every request).  Sampling is a deterministic function of the \
+             request id; a traced request's terminal reply carries a \
+             telemetry footer with per-request bytes moved, modeled energy \
+             and critical-path attribution.")
+  in
+  let stats_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-socket" ]
+          ~doc:
+            "Bind a second Unix socket that answers every connection with \
+             one Prometheus text exposition of the server's metrics \
+             registry — a scrape endpoint independent of admission.")
+  in
+  let telemetry_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ]
+          ~doc:
+            "Append rolling registry snapshots (one JSON line per second) \
+             to this file, size-rotated to PATH.1..PATH.3.")
+  in
   let chaos_seed_arg =
     Arg.(
       value
@@ -1158,8 +1232,201 @@ let serve_cmd =
       const run $ socket_arg $ workers_arg $ max_inflight_arg
       $ queue_capacity_arg $ cache_capacity_arg $ max_requests_arg
       $ drain_deadline_arg $ integrity_arg $ retry_attempts_arg
+      $ trace_sample_arg $ stats_socket_arg $ telemetry_out_arg
       $ chaos_seed_arg $ chaos_rate_arg $ chaos_pivot_rate_arg $ chaos_sdc_arg
       $ verbose_arg)
+
+(* top subcommand *)
+
+let top_cmd =
+  let module P = Geomix_serve.Protocol in
+  let module Metrics = Geomix_obs.Metrics in
+  let module Jsonlite = Geomix_obs.Jsonlite in
+  let fb = Geomix_util.Table.fmt_bytes in
+  (* One poll = one connection: Health plus a Stats(json) scrape over the
+     framed protocol, so `top` exercises exactly the surface any other
+     operator tooling would. *)
+  let poll socket =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let roundtrip payload =
+          P.write_frame oc
+            (P.request_to_json
+               { P.id = "top"; priority = P.High; timeout_s = None; payload });
+          let rec await () =
+            match P.read_frame ic with
+            | Error m -> failwith ("read_frame: " ^ m)
+            | Ok j -> (
+              match P.frame_of_json j with
+              | Ok (P.Reply { reply; _ }) -> reply
+              | Ok (P.Progress _) -> await ()
+              | Error m -> failwith ("frame_of_json: " ^ m))
+          in
+          await ()
+        in
+        let health =
+          match roundtrip P.Health with
+          | P.Health_r h -> h
+          | _ -> failwith "unexpected reply to Health"
+        in
+        let snap =
+          match roundtrip (P.Stats P.Stats_json) with
+          | P.Stats_r { body; _ } -> (
+            match Jsonlite.of_string body with
+            | Error m -> failwith ("stats body: " ^ m)
+            | Ok j -> (
+              match Metrics.of_json j with
+              | Ok s -> s
+              | Error m -> failwith ("stats snapshot: " ^ m)))
+          | _ -> failwith "unexpected reply to Stats"
+        in
+        (health, snap))
+  in
+  let counter snap name =
+    match Metrics.find snap name with Some (Metrics.Counter c) -> c | _ -> 0
+  in
+  let gauge snap name =
+    match Metrics.find snap name with Some (Metrics.Gauge g) -> g | _ -> 0.
+  in
+  let shipped_prefix = "cholesky.shipped_bytes." in
+  let by_precision snap =
+    List.filter_map
+      (fun (name, v) ->
+        let pl = String.length shipped_prefix in
+        if String.length name > pl && String.sub name 0 pl = shipped_prefix then
+          match v with
+          | Metrics.Counter c -> Some (String.sub name pl (String.length name - pl), c)
+          | _ -> None
+        else None)
+      snap
+  in
+  let render ~socket ~clear ~dt ~prev (h, snap) =
+    if clear then print_string "\027[2J\027[H";
+    let p50, p99 =
+      match Metrics.find snap "serve.latency_s" with
+      | Some (Metrics.Histogram hs) when hs.Metrics.count > 0 ->
+        (Metrics.quantile hs 0.5 *. 1e3, Metrics.quantile hs 0.99 *. 1e3)
+      | _ -> (nan, nan)
+    in
+    let lookups = h.P.cache_hits + h.P.cache_misses in
+    let hit_rate =
+      if lookups = 0 then 0. else float_of_int h.P.cache_hits /. float_of_int lookups
+    in
+    Printf.printf "geomix top — %s%s\n\n" socket
+      (if h.P.draining then "  [DRAINING]" else "");
+    Printf.printf "  requests   served %-8d inflight %-4d queued %-4d peak %g\n"
+      h.P.served h.P.inflight h.P.queued
+      (gauge snap "serve.queue_peak");
+    Printf.printf "  latency    p50 %.2f ms   p99 %.2f ms\n" p50 p99;
+    Printf.printf "  cache      %.1f%% hit (%d/%d, %d evictions)\n"
+      (100. *. hit_rate) h.P.cache_hits lookups h.P.cache_evictions;
+    Printf.printf "  breaker    %s (%d trips, %d shed)  queue-mean %.2f  miss-mean %.2f\n"
+      (if h.P.brownout then "OPEN" else "closed")
+      (counter snap "serve.brownout_trips")
+      h.P.shed
+      (gauge snap "serve.brownout_queue_mean")
+      (gauge snap "serve.brownout_miss_mean");
+    Printf.printf "  recovery   recovered %d  escalated %d  retries %d\n"
+      h.P.recovered h.P.escalated
+      (counter snap "cholesky.retries");
+    let total = counter snap "cholesky.shipped_bytes" in
+    let total_fp64 = counter snap "cholesky.shipped_bytes_fp64" in
+    Printf.printf "  motion     %s shipped STC (%s FP64-equivalent%s)\n"
+      (fb (float_of_int total))
+      (fb (float_of_int total_fp64))
+      (if total_fp64 > 0 then
+         Printf.sprintf ", %.1f%% saved"
+           (100. *. (1. -. (float_of_int total /. float_of_int total_fp64)))
+       else "");
+    let prev_total = Option.fold ~none:0 ~some:(fun p -> counter p "cholesky.shipped_bytes") prev in
+    if dt > 0. && prev <> None then
+      Printf.printf "  rate       %s/s\n" (fb (float_of_int (total - prev_total) /. dt));
+    let split = by_precision snap in
+    if split <> [] then begin
+      print_string "  by precision:\n";
+      List.iter
+        (fun (prec, bytes) ->
+          let prev_bytes =
+            match prev with Some p -> counter p (shipped_prefix ^ prec) | None -> 0
+          in
+          Printf.printf "    %-6s %10s%s\n" prec
+            (fb (float_of_int bytes))
+            (if dt > 0. && prev <> None then
+               Printf.sprintf "  %s/s" (fb (float_of_int (bytes - prev_bytes) /. dt))
+             else ""))
+        split
+    end;
+    flush Stdlib.stdout
+  in
+  let run socket interval count once =
+    if interval <= 0. then begin
+      prerr_endline "geomix top: --interval must be positive";
+      exit 2
+    end;
+    let rounds = if once then 1 else Option.value count ~default:max_int in
+    let prev = ref None in
+    let code = ref 0 in
+    (try
+       let i = ref 0 in
+       while !i < rounds && !code = 0 do
+         (match poll socket with
+         | h, snap ->
+           render ~socket ~clear:(not once && rounds > 1) ~dt:interval ~prev:!prev
+             (h, snap);
+           prev := Some snap
+         | exception (Unix.Unix_error _ | Failure _ | Sys_error _) when !prev <> None ->
+           (* A poll that fails after a successful one usually means the
+              server went away mid-watch — report and stop cleanly. *)
+           print_endline "geomix top: server went away";
+           code := 1);
+         incr i;
+         if !i < rounds && !code = 0 then Unix.sleepf interval
+       done
+     with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "geomix top: cannot reach %s: %s\n" socket (Unix.error_message e);
+      code := 1
+    | Failure m | Sys_error m ->
+      Printf.eprintf "geomix top: %s\n" m;
+      code := 1);
+    if !code <> 0 then exit !code
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/geomix.sock"
+      & info [ "socket" ] ~doc:"Unix-domain socket of the running server.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~doc:"Seconds between refreshes.")
+  in
+  let count_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~doc:"Stop after this many refreshes (default: forever).")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single snapshot without clearing the screen and exit.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live operator view of a running $(b,geomix serve): polls the \
+          server's $(i,stats) and $(i,health) requests and renders inflight \
+          and queue depth, latency quantiles, cache hit rate, brown-out \
+          breaker state and data-motion rates by transfer precision")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg $ once_arg)
 
 let () =
   let doc = "mixed-precision geospatial modeling toolkit (CLUSTER 2023 reproduction)" in
@@ -1167,7 +1434,7 @@ let () =
     Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
       [
         precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd;
-        report_cmd; autotune_cmd; serve_cmd;
+        report_cmd; autotune_cmd; serve_cmd; top_cmd;
       ]
   in
   (* CLI error boundary: domain failures exit 2 with a one-line diagnostic

@@ -11,6 +11,7 @@ module Fault = Geomix_fault.Fault
 module Retry = Geomix_fault.Retry
 module Metrics = Geomix_obs.Metrics
 module Events = Geomix_obs.Events
+module Span = Geomix_obs.Span
 module Guard = Geomix_integrity.Guard
 
 type strategy = Automatic | Always_ttc
@@ -27,7 +28,7 @@ let default_options =
 let pidx i j = (i * (i + 1) / 2) + j
 
 let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
-    ?retry ?obs ?integrity ?cmap ?observe ?(fault_round = 1) ?job ~pmap a =
+    ?retry ?obs ?span ?integrity ?cmap ?observe ?(fault_round = 1) ?job ~pmap a =
   let ntiles = Tiled.nt a in
   if Precision_map.nt pmap <> ntiles then
     invalid_arg "Mp_cholesky.factorize: precision map / matrix tile mismatch";
@@ -145,13 +146,68 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
     | None -> ()
     | Some g -> Guard.stamp g ~key:(stored_key i j) (Tiled.tile a i j)
   in
+  (* RAW-edge motion accounting at the consumption site: every [read] of
+     a broadcast payload ships [scalar_bytes] per element in the form
+     Algorithm 2 selected (the storage scalar under TTC), against an
+     8-byte FP64-equivalent baseline.  The registry counters and the
+     per-request span increment from the same call with the same values,
+     so a fully-sampled traced run conserves the aggregate totals
+     bitwise. *)
+  let shipped_scalar i j =
+    match comm_conversion i j with
+    | Some s -> s
+    | None -> Precision_map.storage pmap i j
+  in
+  let note_ship =
+    let span_note =
+      match span with
+      | None -> fun ~scalar:_ ~bytes:_ ~fp64:_ -> ()
+      | Some sp ->
+        fun ~scalar ~bytes ~fp64 ->
+          Span.note_transfer ~prec:(Fpformat.scalar_name scalar) sp ~bytes
+            ~fp64_bytes:fp64
+    in
+    match obs with
+    | None -> (
+      match span with None -> None | Some _ -> Some span_note)
+    | Some reg ->
+      let shipped_b = Metrics.counter reg "cholesky.shipped_bytes" in
+      let shipped_fp64 = Metrics.counter reg "cholesky.shipped_bytes_fp64" in
+      let edges = Metrics.counter reg "cholesky.shipped_edges" in
+      let per_scalar =
+        List.map
+          (fun s ->
+            ( s,
+              Metrics.counter reg
+                ("cholesky.shipped_bytes." ^ Fpformat.scalar_name s) ))
+          Fpformat.all_scalars
+      in
+      Some
+        (fun ~scalar ~bytes ~fp64 ->
+          Metrics.add shipped_b bytes;
+          Metrics.add shipped_fp64 fp64;
+          Metrics.incr edges;
+          (match List.assoc_opt scalar per_scalar with
+          | Some c -> Metrics.add c bytes
+          | None -> ());
+          span_note ~scalar ~bytes ~fp64)
+  in
   let read i j =
-    match shipped.(pidx i j) with
-    | Some m -> (
-      match integrity with
-      | None -> m
-      | Some g -> recover_shipped g ~task:(Printf.sprintf "read(%d,%d)" i j) i j m)
-    | None -> assert false (* DAG ordering guarantees the producer ran *)
+    let m =
+      match shipped.(pidx i j) with
+      | Some m -> (
+        match integrity with
+        | None -> m
+        | Some g -> recover_shipped g ~task:(Printf.sprintf "read(%d,%d)" i j) i j m)
+      | None -> assert false (* DAG ordering guarantees the producer ran *)
+    in
+    (match note_ship with
+    | None -> ()
+    | Some f ->
+      let el = Mat.rows m * Mat.cols m in
+      let scalar = shipped_scalar i j in
+      f ~scalar ~bytes:(Fpformat.scalar_bytes scalar * el) ~fp64:(8 * el));
+    m
   in
   (* Silent-data-corruption injection (chaos --sdc).  A drawn corruption is
      always applied to a fresh copy whose pointer replaces the slot: under
@@ -298,6 +354,13 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
           Option.map
             (fun c -> Bridge.profile_recorder ~name:task_label ~tag:task_prec c)
             profile;
+          Option.map
+            (fun sp ->
+              {
+                Dag_exec.on_task =
+                  (fun ~id:_ ~worker:_ ~start:_ ~stop:_ -> Span.note_task sp);
+              })
+            span;
         ]
     in
     match hooks with [] -> None | [ h ] -> Some h | hs -> Some (Bridge.fanout hs)
@@ -334,12 +397,13 @@ let factorize ?(options = default_options) ?pool ?trace ?bus ?profile ?faults
           Metrics.add restored (8 * Mat.rows m * Mat.cols m) )
   in
   let note_retry =
-    match (metric_retry, bus) with
-    | None, None -> None
+    match (metric_retry, bus, span) with
+    | None, None, None -> None
     | _ ->
       Some
         (fun ~id ~attempt exn ->
           (match metric_retry with Some f -> f ~id ~attempt exn | None -> ());
+          (match span with Some sp -> Span.note_retry sp | None -> ());
           emit ~level:Events.Warn "retry"
             ([
                ("task", Events.fstr (task_label id));
@@ -425,7 +489,7 @@ let restore_tiles ~from a =
   Tiled.iter_lower from (fun ~i ~j m -> Mat.blit ~src:m ~dst:(Tiled.tile a i j))
 
 let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
-    ?integrity ?cmap ?(max_band_escalations = 4) ?job ~pmap a =
+    ?span ?integrity ?cmap ?(max_band_escalations = 4) ?job ~pmap a =
   let note_band, note_full, note_indefinite =
     match obs with
     | None -> (ignore, ignore, ignore)
@@ -449,7 +513,7 @@ let factorize_robust ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
        must re-derive their transfers. *)
     let cmap = if round = 1 then cmap else None in
     match
-      factorize ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs
+      factorize ?options ?pool ?trace ?bus ?profile ?faults ?retry ?obs ?span
         ?integrity ?cmap ~fault_round:round ?job ~pmap a
     with
     | () -> { outcome = Factorized; escalations = List.rev events; rounds = round; pmap }

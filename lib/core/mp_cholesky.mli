@@ -38,6 +38,7 @@ val factorize :
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
+  ?span:Geomix_obs.Span.t ->
   ?integrity:Geomix_integrity.Guard.t ->
   ?cmap:Comm_map.t ->
   ?observe:(i:int -> j:int -> Geomix_linalg.Mat.t -> unit) ->
@@ -104,6 +105,18 @@ val factorize :
     ({!factorize_robust}), not execution recovery.  With [?obs], recovery
     records [cholesky.retries], [cholesky.restores] and
     [cholesky.restored_bytes].
+
+    {b Motion accounting.}  With [?obs], every consumer [read] of a
+    broadcast payload records the RAW-edge transfer at the byte level:
+    [cholesky.shipped_bytes] (as actually shipped — the Algorithm 2
+    transfer scalar under STC, the storage scalar under TTC),
+    [cholesky.shipped_bytes_fp64] (the 8-byte-per-element FP64-equivalent
+    baseline), [cholesky.shipped_edges], and a
+    [cholesky.shipped_bytes.<scalar>] counter per transfer format.
+    [?span] attributes the very same quantities — same call site, same
+    values — to a per-request trace span ({!Geomix_obs.Span}), along with
+    task completions and supervised retries, so a fully-sampled traced
+    run conserves the aggregate counters bitwise.
 
     [?faults] additionally arms forced pivot failures (site ["pivot"],
     {!Geomix_fault.Fault.pivot_failure}): an armed POTRF(k) whose row band
@@ -195,6 +208,7 @@ val factorize_robust :
   ?faults:Geomix_fault.Fault.t ->
   ?retry:Geomix_fault.Retry.policy ->
   ?obs:Geomix_obs.Metrics.t ->
+  ?span:Geomix_obs.Span.t ->
   ?integrity:Geomix_integrity.Guard.t ->
   ?cmap:Comm_map.t ->
   ?max_band_escalations:int ->

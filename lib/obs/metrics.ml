@@ -326,6 +326,7 @@ let value_to_json = function
     Jsonlite.Obj
       [
         ("kind", Jsonlite.Str "histogram");
+        ("lo", Jsonlite.Num h.lo);
         ("count", Jsonlite.Num (float_of_int h.count));
         ("sum", Jsonlite.Num h.sum);
         ("min", Jsonlite.Num (if h.count = 0 then Float.nan else h.min_v));
@@ -345,3 +346,73 @@ let value_to_json = function
 let to_json snap = Jsonlite.Obj (List.map (fun (name, v) -> (name, value_to_json v)) snap)
 
 let to_json_string snap = Jsonlite.to_string (to_json snap)
+
+(* Decoder — the inverse of [value_to_json], used by [geomix top] to
+   reconstruct snapshots from a stats reply.  NaN min/max emit as [null],
+   so an empty histogram decodes back to the canonical ±inf extrema. *)
+
+let value_of_json j =
+  let num name =
+    match Jsonlite.member name j with
+    | Some (Jsonlite.Num x) -> Some x
+    | _ -> None
+  in
+  match Jsonlite.member "kind" j with
+  | Some (Jsonlite.Str "counter") -> (
+    match num "value" with
+    | Some v -> Ok (Counter (int_of_float v))
+    | None -> Error "counter without numeric value")
+  | Some (Jsonlite.Str "gauge") -> (
+    match num "value" with
+    | Some v -> Ok (Gauge v)
+    | None -> Error "gauge without numeric value")
+  | Some (Jsonlite.Str "histogram") -> (
+    let buckets =
+      match Jsonlite.member "buckets" j with
+      | Some (Jsonlite.Arr bs) ->
+        let decoded =
+          List.filter_map
+            (fun b ->
+              match (Jsonlite.member "le" b, Jsonlite.member "count" b) with
+              | Some (Jsonlite.Num le), Some (Jsonlite.Num c) ->
+                Some (le, int_of_float c)
+              | _ -> None)
+            bs
+        in
+        if List.length decoded = List.length bs then Some (Array.of_list decoded)
+        else None
+      | _ -> None
+    in
+    match (num "lo", buckets, num "count", num "sum", num "underflow", num "overflow")
+    with
+    | Some lo, Some buckets, Some count, Some sum, Some underflow, Some overflow ->
+      let count = int_of_float count in
+      let extremum name default =
+        match num name with Some v -> v | None -> if count = 0 then default else 0.
+      in
+      Ok
+        (Histogram
+           {
+             lo;
+             buckets;
+             underflow = int_of_float underflow;
+             overflow = int_of_float overflow;
+             count;
+             sum;
+             min_v = extremum "min" Float.infinity;
+             max_v = extremum "max" Float.neg_infinity;
+           })
+    | _ -> Error "histogram with missing fields")
+  | _ -> Error "metric value without a known kind"
+
+let of_json = function
+  | Jsonlite.Obj kvs ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, v) :: rest -> (
+        match value_of_json v with
+        | Ok value -> go ((name, value) :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" name e))
+    in
+    go [] kvs
+  | _ -> Error "Metrics.of_json: expected object"

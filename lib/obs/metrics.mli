@@ -108,3 +108,9 @@ val to_csv : snapshot -> string
 
 val to_json : snapshot -> Jsonlite.t
 val to_json_string : snapshot -> string
+
+val of_json : Jsonlite.t -> (snapshot, string) result
+(** Inverse of {!to_json} — reconstructs a snapshot from a stats reply
+    (histogram [min]/[max] encode as [null] when empty and decode back to
+    the canonical ±inf extrema).  Used by [geomix top] to compute
+    quantiles client-side. *)

@@ -13,6 +13,9 @@ type job = {
   mutable pending : int;
   mutable job_error : (exn * Printexc.raw_backtrace) option;
   mutable skipped : int;
+  span : Geomix_obs.Span.t option;
+      (* per-request trace context: every item run under this job adds
+         its queue-wait and run time to the span *)
 }
 
 type scope = Pool_scope | Job_scope of job
@@ -138,6 +141,11 @@ let run_job_item t job item =
 
 (* Run a dequeued item on behalf of [worker], recording queue-wait and
    run-time when the pool is instrumented. *)
+let item_span item =
+  match item.scope with
+  | Job_scope { span = Some sp; _ } -> Some sp
+  | _ -> None
+
 let run_item t ~worker item =
   let exec () =
     match item.scope with
@@ -146,15 +154,25 @@ let run_item t ~worker item =
       with exn -> record_error t exn (Printexc.get_raw_backtrace ()))
     | Job_scope job -> run_job_item t job item
   in
-  match t.obs with
-  | None -> exec ()
-  | Some o ->
+  match (t.obs, item_span item) with
+  | None, None -> exec ()
+  | obs, span ->
+    (* One gettimeofday pair serves both the registry histograms and the
+       job's span — tracing adds no extra clock reads. *)
     let t0 = Unix.gettimeofday () in
-    Metrics.observe o.queue_wait (t0 -. item.submitted);
+    let queue_s = t0 -. item.submitted in
+    (match obs with Some o -> Metrics.observe o.queue_wait queue_s | None -> ());
     exec ();
-    Metrics.observe o.run_time (Unix.gettimeofday () -. t0);
-    Metrics.incr o.tasks_total;
-    Metrics.incr o.worker_tasks.(worker mod Array.length o.worker_tasks)
+    let run_s = Unix.gettimeofday () -. t0 in
+    (match obs with
+    | Some o ->
+      Metrics.observe o.run_time run_s;
+      Metrics.incr o.tasks_total;
+      Metrics.incr o.worker_tasks.(worker mod Array.length o.worker_tasks)
+    | None -> ());
+    match span with
+    | Some sp -> Geomix_obs.Span.note_exec sp ~queue_s ~run_s
+    | None -> ()
 
 let worker_loop t worker () =
   emit t ~level:Events.Debug "worker_start" [ ("worker", Events.fint worker) ];
@@ -230,7 +248,12 @@ let self_index t =
   find 0
 
 let submit_scoped t ~scope thunk =
-  let submitted = match t.obs with Some _ -> Unix.gettimeofday () | None -> 0. in
+  let traced =
+    match scope with Job_scope { span = Some _; _ } -> true | _ -> false
+  in
+  let submitted =
+    if t.obs <> None || traced then Unix.gettimeofday () else 0.
+  in
   Mutex.lock t.mutex;
   assert (not t.stopping);
   Queue.push { thunk; submitted; seq = t.next_seq; scope } t.queue;
@@ -271,8 +294,10 @@ let reraise t =
 
 (* {2 Job-scoped execution} *)
 
-let new_job _t =
-  { job_done = Condition.create (); pending = 0; job_error = None; skipped = 0 }
+let new_job ?span _t =
+  { job_done = Condition.create (); pending = 0; job_error = None; skipped = 0; span }
+
+let job_span job = job.span
 
 let job_skipped job = job.skipped
 

@@ -98,8 +98,16 @@ val with_pool :
 
 type job
 
-val new_job : t -> job
-(** A fresh, empty completion scope.  Cheap; one per request. *)
+val new_job : ?span:Geomix_obs.Span.t -> t -> job
+(** A fresh, empty completion scope.  Cheap; one per request.  With
+    [?span], every item run under the job accumulates its queue-wait and
+    run time into the span ({!Geomix_obs.Span.note_exec}) — the pool then
+    takes the same two clock readings it takes when instrumented, shared
+    between the registry histograms and the span. *)
+
+val job_span : job -> Geomix_obs.Span.t option
+(** The trace context the job was created with — executors propagate it
+    to their own per-task hooks. *)
 
 val submit_job : t -> job -> (unit -> unit) -> unit
 (** Enqueue a thunk under the job's scope.  A job is {e sequentially}

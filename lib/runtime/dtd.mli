@@ -67,6 +67,7 @@ val comm_volume : ?datum_bytes:(int -> int) -> t -> int
 val execute :
   ?pool:Geomix_parallel.Pool.t ->
   ?obs:Geomix_obs.Metrics.t ->
+  ?span:Geomix_obs.Span.t ->
   ?datum_bytes:(int -> int) ->
   ?trace:Trace.t ->
   ?bus:Geomix_obs.Events.t ->
@@ -90,6 +91,14 @@ val execute :
     [?trace] appends one wall-clock event per task (label = task name,
     resource = pool worker index) — feed it to {!Trace.to_chrome_json} or
     {!Trace.gantt} for a real-run timeline.
+
+    [?span] attributes the execution to a per-request trace span
+    ({!Geomix_obs.Span}): one {!Geomix_obs.Span.note_transfer} per RAW
+    edge (bytes under [datum_bytes]; Dtd data carry no transfer scalar, so
+    the FP64-equivalent equals the shipped volume), one task completion
+    per body run, and a retry note per supervised re-execution — the same
+    quantities [?obs] accumulates in [dtd.raw_bytes]/[dtd.raw_edges],
+    credited to the originating request.
 
     [?bus] (default: the bus the graph was created with, if any) streams
     the same execution onto the telemetry bus (component ["dtd"]): Debug

@@ -67,6 +67,8 @@ type t = {
   mutable trips : int;
   m_trips : Metrics.counter option;
   m_open : Metrics.gauge option;
+  m_queue_mean : Metrics.gauge option;
+  m_miss_mean : Metrics.gauge option;
   bus : Events.t option;
 }
 
@@ -93,6 +95,10 @@ let create ?obs ?bus ?(config = default_config) ~now () =
     trips = 0;
     m_trips = Option.map (fun r -> Metrics.counter r "serve.brownout_trips") obs;
     m_open = Option.map (fun r -> Metrics.gauge r "serve.brownout") obs;
+    m_queue_mean =
+      Option.map (fun r -> Metrics.gauge r "serve.brownout_queue_mean") obs;
+    m_miss_mean =
+      Option.map (fun r -> Metrics.gauge r "serve.brownout_miss_mean") obs;
     bus;
   }
 
@@ -113,6 +119,11 @@ let set_open_gauge t v =
    — the hysteresis that keeps a saturated server from flapping. *)
 let update_locked t =
   let qm = ring_mean t.queue and mm = ring_mean t.misses in
+  (* Export the window means the trip decisions are made from — an
+     operator watching the scrape sees the same signals the breaker
+     sees. *)
+  (match t.m_queue_mean with None -> () | Some g -> Metrics.set g qm);
+  (match t.m_miss_mean with None -> () | Some g -> Metrics.set g mm);
   match t.state with
   | Closed ->
     let q_trip =

@@ -44,9 +44,12 @@ val create :
   now:(unit -> float) ->
   unit ->
   t
-(** [?obs] registers [serve.brownout_trips] (counter) and [serve.brownout]
-    (gauge, 1 while Open); [?bus] narrates [brownout_trip] /
-    [brownout_recover] at Warn on component ["serve"].
+(** [?obs] registers [serve.brownout_trips] (counter), [serve.brownout]
+    (gauge, 1 while Open) and the sliding-window signal gauges
+    [serve.brownout_queue_mean] / [serve.brownout_miss_mean] (the exact
+    means the trip decisions are made from, refreshed on every
+    observation); [?bus] narrates [brownout_trip] / [brownout_recover] at
+    Warn on component ["serve"].
     @raise Invalid_argument on a non-positive window, [min_samples] or
     [mc_chunk], a low-water mark above its high-water mark, or a negative
     [hold_s]. *)

@@ -115,14 +115,22 @@ let enforce_capacity t =
       emit t "cache_evict" [ ("key", Events.fstr (key_label k)) ]
   done
 
-let find_or_build t key ~build =
+let find_or_build ?span t key ~build =
+  (* Trace attribution rides on the lookup events: a traced request's
+     cache_hit/cache_miss carry its trace/request/span ids. *)
+  let trace_fields =
+    match span with
+    | None -> []
+    | Some sp -> Geomix_obs.Span.fields sp
+  in
   Mutex.lock t.mutex;
   let rec await () =
     match Hashtbl.find_opt t.table key with
     | Some (Ready e) ->
       e.tick <- next_tick t;
       Metrics.incr t.hits;
-      emit t "cache_hit" [ ("key", Events.fstr (key_label key)) ];
+      emit t "cache_hit"
+        (("key", Events.fstr (key_label key)) :: trace_fields);
       Mutex.unlock t.mutex;
       (e.artifact, true)
     | Some Building ->
@@ -131,7 +139,8 @@ let find_or_build t key ~build =
     | None -> (
       Hashtbl.replace t.table key Building;
       Metrics.incr t.misses;
-      emit t "cache_miss" [ ("key", Events.fstr (key_label key)) ];
+      emit t "cache_miss"
+        (("key", Events.fstr (key_label key)) :: trace_fields);
       Mutex.unlock t.mutex;
       match build key with
       | artifact ->

@@ -71,9 +71,12 @@ val create :
 
 val capacity : t -> int
 
-val find_or_build : t -> key -> build:(key -> artifact) -> artifact * bool
+val find_or_build :
+  ?span:Geomix_obs.Span.t -> t -> key -> build:(key -> artifact) -> artifact * bool
 (** The memoized lookup; the boolean is [true] on a hit.  [build] runs
-    outside the cache lock and must be a pure function of the key. *)
+    outside the cache lock and must be a pure function of the key.  With
+    [?span], the [cache_hit]/[cache_miss] event carries the request's
+    trace correlation fields ({!Geomix_obs.Span.fields}). *)
 
 val find : t -> key -> artifact option
 (** Non-blocking probe; refreshes recency on a hit but never waits on a

@@ -40,9 +40,19 @@ let family_of_string = function
   | "spherical" -> Some Covariance.Spherical
   | _ -> None
 
+type stats_format = Stats_json | Stats_prom
+
+let stats_format_name = function Stats_json -> "json" | Stats_prom -> "prom"
+
+let stats_format_of_string = function
+  | "json" -> Some Stats_json
+  | "prom" -> Some Stats_prom
+  | _ -> None
+
 type payload =
   | Ping
   | Health
+  | Stats of stats_format
   | Likelihood of spec
   | Predict of { spec : spec; n_new : int; pred_seed : int }
   | Mc_batch of { spec : spec; replicates : int }
@@ -58,6 +68,7 @@ type request = {
 let op_name = function
   | Ping -> "ping"
   | Health -> "health"
+  | Stats _ -> "stats"
   | Likelihood _ -> "likelihood"
   | Predict _ -> "predict"
   | Mc_batch _ -> "mc_batch"
@@ -97,6 +108,7 @@ type health = {
 type reply =
   | Pong
   | Health_r of health
+  | Stats_r of { format : stats_format; body : string }
   | Likelihood_r of {
       loglik : float;
       log_det : float;
@@ -114,9 +126,24 @@ type reply =
   | Shutdown_r
   | Error_r of { code : error_code; message : string }
 
+(* The per-request telemetry footer: the span summary plus the derived
+   quantities the server computes at reply time.  It rides on the reply
+   frame under a ["telemetry"] key, so untraced clients decode frames
+   exactly as before. *)
+type footer = {
+  f_span : Geomix_obs.Span.summary;
+  f_energy_j : float;
+  f_cp_s : float;
+  f_wall_s : float;
+  f_cache_hit : bool;
+  f_sdc_detected : int;
+  f_sdc_recovered : int;
+  f_status : string;
+}
+
 type frame =
   | Progress of { id : string; completed : int; total : int }
-  | Reply of { id : string; reply : reply }
+  | Reply of { id : string; reply : reply; footer : footer option }
 
 (* {2 Encoding} *)
 
@@ -149,6 +176,7 @@ let request_to_json r =
   let body =
     match r.payload with
     | Ping | Health | Shutdown -> []
+    | Stats fmt -> [ ("format", J.Str (stats_format_name fmt)) ]
     | Likelihood spec -> [ ("spec", spec_to_json spec) ]
     | Predict { spec; n_new; pred_seed } ->
       [
@@ -205,6 +233,10 @@ let reply_to_json ~id reply =
           ("escalated", J.Num (float_of_int h.escalated));
           ("shed", J.Num (float_of_int h.shed));
         ])
+  | Stats_r { format; body } ->
+    J.Obj
+      (base "stats"
+      @ [ ("format", J.Str (stats_format_name format)); ("body", J.Str body) ])
   | Shutdown_r -> J.Obj (base "shutdown")
   | Error_r { code; message } ->
     J.Obj
@@ -236,8 +268,24 @@ let reply_to_json ~id reply =
           ("cache_hit", J.Bool cache_hit);
         ])
 
+let footer_to_json f =
+  J.Obj
+    [
+      ("span", Geomix_obs.Span.summary_to_json f.f_span);
+      ("energy_j", J.Num f.f_energy_j);
+      ("cp_s", J.Num f.f_cp_s);
+      ("wall_s", J.Num f.f_wall_s);
+      ("cache_hit", J.Bool f.f_cache_hit);
+      ("sdc_detected", J.Num (float_of_int f.f_sdc_detected));
+      ("sdc_recovered", J.Num (float_of_int f.f_sdc_recovered));
+      ("status", J.Str f.f_status);
+    ]
+
 let frame_to_json = function
-  | Reply { id; reply } -> reply_to_json ~id reply
+  | Reply { id; reply; footer } -> (
+    match (reply_to_json ~id reply, footer) with
+    | J.Obj kvs, Some f -> J.Obj (kvs @ [ ("telemetry", footer_to_json f) ])
+    | json, _ -> json)
   | Progress { id; completed; total } ->
     J.Obj
       [
@@ -331,6 +379,16 @@ let request_of_json j =
     match op with
     | "ping" -> Ok Ping
     | "health" -> Ok Health
+    | "stats" ->
+      let* format =
+        match J.member "format" j with
+        | None -> Ok Stats_json
+        | Some v -> (
+          match Option.bind (J.to_str v) stats_format_of_string with
+          | Some f -> Ok f
+          | None -> Error "bad stats format")
+      in
+      Ok (Stats format)
     | "shutdown" -> Ok Shutdown
     | "likelihood" ->
       let* s = spec () in
@@ -408,6 +466,15 @@ let reply_of_json j =
            escalated;
            shed;
          })
+  | "stats" ->
+    let* format_s = str_field "format" j in
+    let* format =
+      match stats_format_of_string format_s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "unknown stats format %S" format_s)
+    in
+    let* body = str_field "body" j in
+    Ok (Stats_r { format; body })
   | "shutdown" -> Ok Shutdown_r
   | "error" ->
     let* code_s = str_field "code" j in
@@ -448,7 +515,34 @@ let frame_of_json j =
     Ok (Progress { id; completed; total })
   | "reply" ->
     let* reply = reply_of_json j in
-    Ok (Reply { id; reply })
+    let* footer =
+      match J.member "telemetry" j with
+      | None -> Ok None
+      | Some fj ->
+        let* span =
+          Result.bind (field "span" fj) Geomix_obs.Span.summary_of_json
+        in
+        let* energy_j = num_field "energy_j" fj in
+        let* cp_s = num_field "cp_s" fj in
+        let* wall_s = num_field "wall_s" fj in
+        let* cache_hit = bool_field "cache_hit" fj in
+        let* sdc_detected = int_field "sdc_detected" fj in
+        let* sdc_recovered = int_field "sdc_recovered" fj in
+        let* status = str_field "status" fj in
+        Ok
+          (Some
+             {
+               f_span = span;
+               f_energy_j = energy_j;
+               f_cp_s = cp_s;
+               f_wall_s = wall_s;
+               f_cache_hit = cache_hit;
+               f_sdc_detected = sdc_detected;
+               f_sdc_recovered = sdc_recovered;
+               f_status = status;
+             })
+    in
+    Ok (Reply { id; reply; footer })
   | other -> Error (Printf.sprintf "unknown frame kind %S" other)
 
 (* {2 Framing} *)

@@ -46,11 +46,24 @@ type spec = {
 val family_name : Covariance.family -> string
 val family_of_string : string -> Covariance.family option
 
+(** Body format of a [Stats] request/reply: the metrics-registry JSON
+    snapshot ({!Geomix_obs.Metrics.to_json}) or the Prometheus text
+    exposition ({!Geomix_obs.Expo.to_prometheus}). *)
+type stats_format = Stats_json | Stats_prom
+
+val stats_format_name : stats_format -> string
+(** ["json"] or ["prom"]. *)
+
+val stats_format_of_string : string -> stats_format option
+
 type payload =
   | Ping  (** health check — also the client's readiness barrier *)
   | Health
       (** readiness probe: inflight/queued/cache/recovery counters,
           answered before admission so it works while draining *)
+  | Stats of stats_format
+      (** full metrics-registry scrape, answered before admission like
+          [Health] — the pull surface [geomix top] and Prometheus poll *)
   | Likelihood of spec
       (** one mixed-precision log-likelihood evaluation *)
   | Predict of { spec : spec; n_new : int; pred_seed : int }
@@ -114,6 +127,8 @@ val error_code_of_string : string -> error_code option
 type reply =
   | Pong
   | Health_r of health
+  | Stats_r of { format : stats_format; body : string }
+      (** the rendered registry snapshot in the requested format *)
   | Likelihood_r of {
       loglik : float;
       log_det : float;
@@ -131,9 +146,26 @@ type reply =
   | Shutdown_r
   | Error_r of { code : error_code; message : string }
 
+(** Per-request telemetry footer attached to the terminal reply frame of
+    a traced request (under a ["telemetry"] key on the wire — untraced
+    clients and old decoders are unaffected): the request's
+    {!Geomix_obs.Span.summary} (bytes moved STC vs FP64-equivalent, by
+    transfer precision, tasks/retries, queue/busy time) plus the derived
+    quantities the server computes at reply time. *)
+type footer = {
+  f_span : Geomix_obs.Span.summary;
+  f_energy_j : float;  (** modeled energy of the request's execution, J *)
+  f_cp_s : float;      (** critical-path length of the task DAG, s *)
+  f_wall_s : float;    (** admission-to-reply wall time, s *)
+  f_cache_hit : bool;
+  f_sdc_detected : int;
+  f_sdc_recovered : int;
+  f_status : string;   (** {!status_name} of the carried reply *)
+}
+
 type frame =
   | Progress of { id : string; completed : int; total : int }
-  | Reply of { id : string; reply : reply }
+  | Reply of { id : string; reply : reply; footer : footer option }
 
 (** {1 Codecs} *)
 

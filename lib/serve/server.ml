@@ -16,6 +16,14 @@ module Range_tracker = Geomix_autotune.Range_tracker
 module Type_advisor = Geomix_autotune.Type_advisor
 module Tiled = Geomix_tile.Tiled
 module Guard = Geomix_integrity.Guard
+module Span = Geomix_obs.Span
+module Profile = Geomix_obs.Profile
+module Expo = Geomix_obs.Expo
+module Energy = Geomix_gpusim.Energy
+module Gpu_specs = Geomix_gpusim.Gpu_specs
+module Flops = Geomix_precision.Flops
+module Fpformat = Geomix_precision.Fpformat
+module Dag_exec = Geomix_parallel.Dag_exec
 module P = Protocol
 
 (* A waiter in the admission queue.  Ordering is (priority rank, arrival
@@ -40,6 +48,7 @@ type t = {
   retry : Geomix_fault.Retry.policy option;
   integrity : bool;
   drain_deadline_s : float;
+  trace_sample : float;
   breaker : Breaker.t;
   mutex : Mutex.t;
   turn : Condition.t;
@@ -70,12 +79,14 @@ type t = {
 let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
     ?(queue_capacity = 16) ?(cache_capacity = 32) ?(max_order = 4096)
     ?(max_replicates = 1024) ?faults ?retry ?(integrity = false)
-    ?(drain_deadline_s = 5.0) ?breaker_config ~pool () =
+    ?(drain_deadline_s = 5.0) ?(trace_sample = 0.) ?breaker_config ~pool () =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
   if queue_capacity < 0 then
     invalid_arg "Server.create: queue_capacity must be >= 0";
   if not (Float.is_finite drain_deadline_s) || drain_deadline_s < 0. then
     invalid_arg "Server.create: drain_deadline_s must be finite and >= 0";
+  if not (Float.is_finite trace_sample) || trace_sample < 0. || trace_sample > 1.
+  then invalid_arg "Server.create: trace_sample must be in [0, 1]";
   let obs = match obs with Some r -> r | None -> Metrics.create () in
   let cache = Cache.create ~obs ?bus ~capacity:cache_capacity () in
   let breaker = Breaker.create ~obs ?bus ?config:breaker_config ~now () in
@@ -94,6 +105,7 @@ let create ?obs ?bus ?(now = Unix.gettimeofday) ?(max_inflight = 4)
     retry;
     integrity;
     drain_deadline_s;
+    trace_sample;
     breaker;
     mutex = Mutex.create ();
     turn = Condition.create ();
@@ -316,7 +328,7 @@ let validate_spec t (s : P.spec) =
   else Ok ()
 
 let validate t = function
-  | P.Ping | P.Health | P.Shutdown -> Ok ()
+  | P.Ping | P.Health | P.Stats _ | P.Shutdown -> Ok ()
   | P.Likelihood s -> validate_spec t s
   | P.Predict { spec; n_new; _ } ->
     Result.bind (validate_spec t spec) (fun () ->
@@ -344,6 +356,39 @@ type factorized = {
   fmap : Precision_map.t;
 }
 
+(* Everything a traced request accumulates on its way down the stack: the
+   span the instrumented layers credit their transfers/tasks/retries to, a
+   per-request profile collector for critical-path and energy attribution,
+   and the shape/SDC facts the footer is assembled from at reply time. *)
+type trace_ctx = {
+  span : Span.t;
+  prof : Profile.collector;
+  mutable dag : Cholesky_dag.t option;  (* set once a factorization ran *)
+  mutable t_nb : int;
+  mutable sdc_detected : int;
+  mutable sdc_recovered : int;
+}
+
+let make_trace t (req : P.request) =
+  (* Deterministic per-request sampling on the id hash: the same request
+     id samples identically on every replica, and [trace_sample = 1.0]
+     traces everything. *)
+  if
+    t.trace_sample > 0.
+    && Hashtbl.hash req.P.id land 0xFFFF
+       < int_of_float (t.trace_sample *. 65536.)
+  then
+    Some
+      {
+        span = Span.create ~request_id:req.P.id ();
+        prof = Profile.collector ();
+        dag = None;
+        t_nb = 0;
+        sdc_detected = 0;
+        sdc_recovered = 0;
+      }
+  else None
+
 (* Factorize a fresh covariance assembly under the memoized maps, scoped
    to its own pool job so concurrent requests sharing the pool neither
    await nor observe each other.  The cached [cmap] equals what the
@@ -368,20 +413,32 @@ type factorized = {
    Escalated and indefinite runs invalidate the cached artifact so a
    warm hit can never launder a degraded precision map into a later
    request. *)
-let factorized_problem t (key : Cache.key) =
-  let art, hit = Cache.find_or_build t.cache key ~build:build_artifact in
+let factorized_problem ?trace t (key : Cache.key) =
+  let span = Option.map (fun c -> c.span) trace in
+  let art, hit = Cache.find_or_build ?span t.cache key ~build:build_artifact in
   let cov = cov_of key in
   let a = Covariance.build_tiled cov art.Cache.locs ~nb:key.Cache.nb in
-  let job = Pool.new_job t.pool in
+  let job = Pool.new_job ?span t.pool in
   let guard =
     if t.integrity then Some (Guard.create ~obs:t.obs ?bus:t.bus ~snapshots:true ())
     else None
   in
   let report =
-    Mp_cholesky.factorize_robust ~pool:t.pool ~job ?bus:t.bus
+    Mp_cholesky.factorize_robust ~pool:t.pool ~job ?bus:t.bus ?span
+      ?profile:(Option.map (fun c -> c.prof) trace)
       ?faults:t.faults ?retry:t.retry ?integrity:guard ~obs:t.obs
       ~cmap:art.Cache.cmap ~pmap:art.Cache.pmap a
   in
+  (match trace with
+  | None -> ()
+  | Some c ->
+    c.dag <- Some art.Cache.dag;
+    c.t_nb <- key.Cache.nb;
+    (match guard with
+    | Some g ->
+      c.sdc_detected <- c.sdc_detected + Guard.detected g;
+      c.sdc_recovered <- c.sdc_recovered + Guard.recovered g
+    | None -> ()));
   let recovered = match guard with Some g -> Guard.recovered g | None -> 0 in
   let escalations = List.length report.Mp_cholesky.escalations in
   let status =
@@ -427,9 +484,9 @@ let indefinite_likelihood ~cache_hit =
       cache_hit;
     }
 
-let run_likelihood t (spec : P.spec) =
+let run_likelihood ?trace t (spec : P.spec) =
   let key = Cache.key_of_spec spec in
-  let f = factorized_problem t key in
+  let f = factorized_problem ?trace t key in
   if f.status = P.Indefinite then indefinite_likelihood ~cache_hit:f.hit
   else
     let cov = cov_of key in
@@ -453,9 +510,10 @@ let run_likelihood t (spec : P.spec) =
         cache_hit = f.hit;
       }
 
-let run_predict t (spec : P.spec) ~n_new ~pred_seed =
+let run_predict ?trace t (spec : P.spec) ~n_new ~pred_seed =
   let key = Cache.key_of_spec spec in
-  let art, hit = Cache.find_or_build t.cache key ~build:build_artifact in
+  let span = Option.map (fun c -> c.span) trace in
+  let art, hit = Cache.find_or_build ?span t.cache key ~build:build_artifact in
   let cov = cov_of key in
   let z =
     Field.synthesize ~rng:(Rng.create ~seed:spec.P.data_seed) ~cov
@@ -466,9 +524,9 @@ let run_predict t (spec : P.spec) ~n_new ~pred_seed =
   P.Predict_r
     { mean = p.Prediction.mean; variance = p.Prediction.variance; cache_hit = hit }
 
-let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
+let run_mc ?trace t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
   let key = Cache.key_of_spec spec in
-  let f = factorized_problem t key in
+  let f = factorized_problem ?trace t key in
   if f.status = P.Indefinite then
     P.Mc_r
       {
@@ -500,7 +558,7 @@ let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
        monopolize the pool while the server is already behind.  Each
        replicate is independent, so chunking changes scheduling only —
        the logliks are identical to the unchunked run. *)
-    let job = Pool.new_job t.pool in
+    let job = Pool.new_job ?span:(Option.map (fun c -> c.span) trace) t.pool in
     let submit r =
       Pool.submit_job t.pool job (fun () ->
           if deadline_passed t deadline then Atomic.set expired true
@@ -547,13 +605,14 @@ let run_mc t ~req_id ~deadline ~on_progress (spec : P.spec) ~replicates =
     end
   end
 
-let run_payload t ~req_id ~deadline ~on_progress = function
-  | P.Ping | P.Health | P.Shutdown ->
+let run_payload ?trace t ~req_id ~deadline ~on_progress = function
+  | P.Ping | P.Health | P.Stats _ | P.Shutdown ->
     assert false (* handled before admission *)
-  | P.Likelihood spec -> run_likelihood t spec
-  | P.Predict { spec; n_new; pred_seed } -> run_predict t spec ~n_new ~pred_seed
+  | P.Likelihood spec -> run_likelihood ?trace t spec
+  | P.Predict { spec; n_new; pred_seed } ->
+    run_predict ?trace t spec ~n_new ~pred_seed
   | P.Mc_batch { spec; replicates } ->
-    run_mc t ~req_id ~deadline ~on_progress spec ~replicates
+    run_mc ?trace t ~req_id ~deadline ~on_progress spec ~replicates
 
 (* The readiness snapshot, answered before admission so probes work while
    the server is saturated or draining. *)
@@ -573,14 +632,75 @@ let health t =
     shed = Metrics.counter_value t.m_shed;
   }
 
-let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) =
+(* The pull surface: the whole registry rendered in the requested format.
+   Answered before admission (like [Health]) so [geomix top] and a
+   Prometheus poller keep seeing the server while it is saturated or
+   draining. *)
+let stats_body t = function
+  | P.Stats_json -> Metrics.to_json_string (Metrics.snapshot t.obs)
+  | P.Stats_prom -> Expo.to_prometheus (Metrics.snapshot t.obs)
+
+(* Assemble the reply footer of a traced request: the span's raw motion
+   accounting plus the derived quantities — duration-weighted critical
+   path and modeled energy from the per-request profile (A100 power model,
+   busy seconds bucketed by kernel precision), SDC counts from the
+   per-request guard, and the carried reply's status/cache facts. *)
+let footer_of t c ~wall reply =
+  let cp_s, energy_j =
+    match (c.dag, Profile.measures c.prof) with
+    | Some dag, (_ :: _ as ms) ->
+      let preds =
+        Dag_exec.predecessors
+          ~num_tasks:(Cholesky_dag.num_tasks dag)
+          ~successors:(Cholesky_dag.successors dag)
+      in
+      let prof = Profile.analyze ~preds ms in
+      let busy =
+        List.filter_map
+          (fun (b : Profile.bucket) ->
+            Option.map (fun f -> (f, b.Profile.busy))
+              (Fpformat.of_string b.Profile.key))
+          prof.Profile.by_precision
+      in
+      let flops = Flops.cholesky_tiled ~nt:(Cholesky_dag.nt dag) ~nb:c.t_nb in
+      let e =
+        Energy.of_busy Gpu_specs.a100 ~makespan:prof.Profile.makespan
+          ~ngpus:(max 1 (Pool.num_workers t.pool))
+          ~flops ~busy
+      in
+      (prof.Profile.cp_length, e.Energy.energy_joules)
+    | _ -> (0., 0.)
+  in
+  let cache_hit, status =
+    match reply with
+    | P.Likelihood_r { status; cache_hit; _ } | P.Mc_r { status; cache_hit; _ }
+      ->
+      (cache_hit, P.status_name status)
+    | P.Predict_r { cache_hit; _ } -> (cache_hit, P.status_name P.Clean)
+    | P.Error_r { code; _ } -> (false, P.error_code_name code)
+    | P.Pong | P.Health_r _ | P.Stats_r _ | P.Shutdown_r -> (false, "clean")
+  in
+  {
+    P.f_span = Span.summary c.span;
+    f_energy_j = energy_j;
+    f_cp_s = cp_s;
+    f_wall_s = wall;
+    f_cache_hit = cache_hit;
+    f_sdc_detected = c.sdc_detected;
+    f_sdc_recovered = c.sdc_recovered;
+    f_status = status;
+  }
+
+let handle_traced t ?(on_progress = fun ~completed:_ ~total:_ -> ())
+    (req : P.request) =
   match req.P.payload with
-  | P.Ping -> P.Pong
-  | P.Health -> P.Health_r (health t)
+  | P.Ping -> (P.Pong, None)
+  | P.Health -> (P.Health_r (health t), None)
+  | P.Stats fmt -> (P.Stats_r { format = fmt; body = stats_body t fmt }, None)
   | P.Shutdown ->
     emit t "shutdown" [ ("id", Events.fstr req.P.id) ];
     (match t.stop with Some stop -> stop () | None -> ());
-    P.Shutdown_r
+    (P.Shutdown_r, None)
   | payload -> (
     Metrics.incr t.m_requests;
     emit ~level:Events.Debug t "request"
@@ -594,7 +714,7 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
       Metrics.incr t.m_errors;
       emit ~level:Events.Warn t "bad_request"
         [ ("id", Events.fstr req.P.id); ("error", Events.fstr message) ];
-      P.Error_r { code = P.Bad_request; message }
+      (P.Error_r { code = P.Bad_request; message }, None)
     | Ok () ->
       let t0 = t.now () in
       let deadline = Option.map (fun s -> t0 +. s) req.P.timeout_s in
@@ -606,15 +726,20 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
         Metrics.incr t.m_rejected;
         emit ~level:Events.Warn t "rejected"
           [ ("id", Events.fstr req.P.id); ("why", Events.fstr "draining") ];
-        P.Error_r
-          { code = P.Saturated; message = "server draining, not accepting work" }
+        ( P.Error_r
+            { code = P.Saturated; message = "server draining, not accepting work" },
+          None )
       end
       else if deadline_passed t deadline then begin
         Metrics.incr t.m_expired;
         emit ~level:Events.Warn t "deadline_expired"
           [ ("id", Events.fstr req.P.id); ("where", Events.fstr "admission") ];
-        P.Error_r
-          { code = P.Deadline_exceeded; message = "deadline expired at admission" }
+        ( P.Error_r
+            {
+              code = P.Deadline_exceeded;
+              message = "deadline expired at admission";
+            },
+          None )
       end
       else if Breaker.tripped t.breaker && req.P.priority = P.Low then begin
         (* Brown-out: shed the lowest class at admission so the work the
@@ -622,8 +747,9 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
         Metrics.incr t.m_shed;
         Metrics.incr t.m_rejected;
         emit ~level:Events.Warn t "shed" [ ("id", Events.fstr req.P.id) ];
-        P.Error_r
-          { code = P.Saturated; message = "brown-out: low-priority request shed" }
+        ( P.Error_r
+            { code = P.Saturated; message = "brown-out: low-priority request shed" },
+          None )
       end
       else
         match admit t ~rank:(P.priority_rank req.P.priority) with
@@ -631,13 +757,14 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
           Metrics.incr t.m_rejected;
           emit ~level:Events.Warn t "rejected"
             [ ("id", Events.fstr req.P.id) ];
-          P.Error_r
-            {
-              code = P.Saturated;
-              message =
-                Printf.sprintf "server saturated (%d in flight, %d queued)"
-                  t.max_inflight t.queue_capacity;
-            }
+          ( P.Error_r
+              {
+                code = P.Saturated;
+                message =
+                  Printf.sprintf "server saturated (%d in flight, %d queued)"
+                    t.max_inflight t.queue_capacity;
+              },
+            None )
         | `Admitted ->
           Fun.protect
             ~finally:(fun () -> release t)
@@ -647,15 +774,18 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
                 Breaker.note_outcome t.breaker ~missed:true;
                 emit ~level:Events.Warn t "deadline_expired"
                   [ ("id", Events.fstr req.P.id); ("where", Events.fstr "grant") ];
-                P.Error_r
-                  {
-                    code = P.Deadline_exceeded;
-                    message = "deadline expired while queued";
-                  }
+                ( P.Error_r
+                    {
+                      code = P.Deadline_exceeded;
+                      message = "deadline expired while queued";
+                    },
+                  None )
               end
               else
+                let trace = make_trace t req in
                 match
-                  run_payload t ~req_id:req.P.id ~deadline ~on_progress payload
+                  run_payload ?trace t ~req_id:req.P.id ~deadline ~on_progress
+                    payload
                 with
                 | reply ->
                   let dt = t.now () -. t0 in
@@ -673,7 +803,7 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
                       ("id", Events.fstr req.P.id);
                       ("latency_s", Events.fnum dt);
                     ];
-                  reply
+                  (reply, Option.map (fun c -> footer_of t c ~wall:dt reply) trace)
                 | exception exn ->
                   Metrics.incr t.m_errors;
                   let message = Printexc.to_string exn in
@@ -682,7 +812,9 @@ let handle t ?(on_progress = fun ~completed:_ ~total:_ -> ()) (req : P.request) 
                       ("id", Events.fstr req.P.id);
                       ("error", Events.fstr message);
                     ];
-                  P.Error_r { code = P.Internal; message }))
+                  (P.Error_r { code = P.Internal; message }, None)))
+
+let handle t ?on_progress req = fst (handle_traced t ?on_progress req)
 
 (* {2 Unix-domain-socket front end} *)
 
@@ -711,7 +843,8 @@ let install_drain_signals () =
     (try Sys.set_signal Sys.sigint h with Invalid_argument _ | Sys_error _ -> ())
   end
 
-let serve_unix t ~path ?(backlog = 64) ?max_requests () =
+let serve_unix t ~path ?(backlog = 64) ?max_requests ?stats_path ?telemetry
+    ?(telemetry_interval_s = 1.0) () =
   (* A client gone mid-stream must surface as Sys_error (EPIPE) in
      [try_write], not deliver a process-killing SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -753,6 +886,56 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
   in
   t.stop <- Some close_listener;
   emit t "listening" [ ("path", Events.fstr path) ];
+  (* The scrape surface: a second Unix listener that answers every
+     connection with one full Prometheus exposition of the registry and
+     hangs up — the curl/Prometheus-friendly pull endpoint, independent of
+     the framed request protocol (and of admission, so scrapes keep
+     working while the server is saturated or draining). *)
+  let stats_thread =
+    Option.map
+      (fun spath ->
+        if Sys.file_exists spath then Sys.remove spath;
+        let sfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sfd (Unix.ADDR_UNIX spath);
+        Unix.listen sfd 16;
+        emit t "stats_listening" [ ("path", Events.fstr spath) ];
+        Thread.create
+          (fun () ->
+            while not (is_closed ()) do
+              let readable =
+                match Unix.select [ sfd ] [] [] 0.2 with
+                | r, _, _ -> r <> []
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+              in
+              if readable && not (is_closed ()) then
+                match Unix.accept sfd with
+                | conn, _ ->
+                  let oc = Unix.out_channel_of_descr conn in
+                  (try
+                     output_string oc
+                       (Expo.to_prometheus (Metrics.snapshot t.obs));
+                     flush oc
+                   with Sys_error _ -> ());
+                  (try Unix.close conn with Unix.Unix_error _ -> ())
+                | exception Unix.Unix_error _ -> ()
+            done;
+            (try Unix.close sfd with Unix.Unix_error _ -> ());
+            try Sys.remove spath with Sys_error _ -> ())
+          ())
+      stats_path
+  in
+  (* Rolling telemetry: one registry snapshot line per interval on the
+     injected clock, rotated by the snapshotter itself. *)
+  let last_snap = ref neg_infinity in
+  let maybe_snap () =
+    match telemetry with
+    | None -> ()
+    | Some s ->
+      if t.now () -. !last_snap >= telemetry_interval_s then begin
+        last_snap := t.now ();
+        Expo.snap s (Metrics.snapshot t.obs)
+      end
+  in
   let threads = ref [] in
   let handle_conn conn =
     let ic = Unix.in_channel_of_descr conn in
@@ -767,7 +950,12 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
     let try_write frame = try write_frame frame with Sys_error _ -> () in
     let bad_request ~id message =
       try_write
-        (P.Reply { id; reply = P.Error_r { code = P.Bad_request; message } })
+        (P.Reply
+           {
+             id;
+             reply = P.Error_r { code = P.Bad_request; message };
+             footer = None;
+           })
     in
     let rec loop () =
       match P.read_frame ic with
@@ -784,8 +972,8 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
           let on_progress ~completed ~total =
             try_write (P.Progress { id = req.P.id; completed; total })
           in
-          let reply = handle t ~on_progress req in
-          try_write (P.Reply { id = req.P.id; reply });
+          let reply, footer = handle_traced t ~on_progress req in
+          try_write (P.Reply { id = req.P.id; reply; footer });
           let n = note_served t in
           (match max_requests with
           | Some m when n >= m -> close_listener ()
@@ -820,6 +1008,7 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
   in
   while not (is_closed ()) do
     check_signals ();
+    maybe_snap ();
     let readable =
       (not (is_closed ()))
       &&
@@ -874,6 +1063,12 @@ let serve_unix t ~path ?(backlog = 64) ?max_requests () =
     end
   in
   t.stop <- None;
+  Option.iter Thread.join stats_thread;
+  (* A terminal snapshot so even a run shorter than the interval leaves
+     one line of telemetry behind. *)
+  (match telemetry with
+  | None -> ()
+  | Some s -> Expo.snap s (Metrics.snapshot t.obs));
   (try Sys.remove path with Sys_error _ -> ());
   emit t "stopped"
     [

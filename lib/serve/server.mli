@@ -53,7 +53,22 @@
     [serve.queue_depth], [serve.queue_peak], [serve.brownout] gauges; a
     [serve.latency_s] histogram; and the cache's [serve.cache.*]
     counters.  With [?bus], the request lifecycle is narrated on
-    component ["serve"]. *)
+    component ["serve"].
+
+    {b Per-request tracing.}  With [trace_sample > 0], a sampled request
+    gets a {!Geomix_obs.Span} that every instrumented layer below —
+    cache lookup events, pool job timing, the factorization's RAW-edge
+    byte accounting, supervised retries — credits its activity to, and
+    the terminal reply carries a {!Protocol.footer}: bytes moved as
+    shipped vs the FP64-equivalent baseline (split by transfer
+    precision), modeled energy and duration-weighted critical path from
+    a per-request profile, queue/busy time, SDC detect/recover counts
+    and the reply status.  Sampling is a deterministic function of the
+    request id, so the same id traces identically on every replica; at
+    [trace_sample = 1.0] the footers' summed byte counts equal the
+    registry's [cholesky.shipped_bytes] aggregate exactly.  The [Stats]
+    request ({!Protocol.payload}) and the [?stats_path] listener of
+    {!serve_unix} are the matching pull surfaces. *)
 
 type t
 
@@ -70,6 +85,7 @@ val create :
   ?retry:Geomix_fault.Retry.policy ->
   ?integrity:bool ->
   ?drain_deadline_s:float ->
+  ?trace_sample:float ->
   ?breaker_config:Breaker.config ->
   pool:Geomix_parallel.Pool.t ->
   unit ->
@@ -77,10 +93,11 @@ val create :
 (** Defaults: wall clock, 4 in-flight slots, 16 queue entries, cache
     capacity 32, [max_order] 4096 (largest accepted matrix order),
     [max_replicates] 1024; no fault plan, no retry policy, integrity
-    guards off, a 5 s drain deadline and {!Breaker.default_config}.
+    guards off, a 5 s drain deadline, [trace_sample = 0] (per-request
+    tracing off) and {!Breaker.default_config}.
     @raise Invalid_argument when [max_inflight < 1], [queue_capacity < 0],
-    [drain_deadline_s] is negative or non-finite, or the breaker config
-    is invalid. *)
+    [drain_deadline_s] is negative or non-finite, [trace_sample] is
+    outside [0, 1], or the breaker config is invalid. *)
 
 val cache : t -> Cache.t
 val metrics : t -> Geomix_obs.Metrics.t
@@ -103,6 +120,17 @@ val handle :
     worker domains (completion counts may arrive out of order; track the
     maximum).  Thread-safe: the socket front end calls this from one
     thread per connection. *)
+
+val handle_traced :
+  t ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
+  Protocol.request ->
+  Protocol.reply * Protocol.footer option
+(** {!handle} plus the telemetry footer of a sampled request ([None] for
+    an unsampled request, for pre-admission replies — [Ping], [Health],
+    [Stats], [Shutdown] — and for requests rejected before execution).
+    The socket front end uses this and attaches the footer to the
+    terminal reply frame. *)
 
 val build_artifact : Cache.key -> Cache.artifact
 (** The memoized pre-work, exposed for tests: a pure function of the
@@ -185,7 +213,15 @@ val notify_signal : unit -> unit
     drive the drain and second-signal paths without raw signals. *)
 
 val serve_unix :
-  t -> path:string -> ?backlog:int -> ?max_requests:int -> unit -> outcome
+  t ->
+  path:string ->
+  ?backlog:int ->
+  ?max_requests:int ->
+  ?stats_path:string ->
+  ?telemetry:Geomix_obs.Expo.snapshotter ->
+  ?telemetry_interval_s:float ->
+  unit ->
+  outcome
 (** Bind [path] (an existing socket file is replaced), accept one thread
     per connection, and serve length-prefixed {!Protocol} frames until a
     [Shutdown] request arrives, [max_requests] requests have been
@@ -200,4 +236,17 @@ val serve_unix :
     joined; on [Drain_expired] and [Forced] the run returns {e without}
     joining — in-flight factorizations cannot be interrupted and the
     caller is expected to exit the process.  The socket file is removed
-    on the way out. *)
+    on the way out.
+
+    [?stats_path] binds a {e second} Unix listener that answers every
+    connection with one full Prometheus text exposition
+    ({!Geomix_obs.Expo.to_prometheus}) of the server's registry and
+    closes — a scrape endpoint independent of the framed protocol and
+    of admission, so it keeps answering while the server is saturated
+    or draining.  [?telemetry] appends one compact registry-snapshot
+    JSON line per [telemetry_interval_s] (default 1 s, on the injected
+    clock) to the rolling snapshotter, plus a terminal line when the
+    run ends; rotation is the snapshotter's
+    ({!Geomix_obs.Expo.snapshotter}).  Both surfaces are removed/closed
+    by their owners — the stats socket file on the way out, the
+    snapshotter by its creator. *)

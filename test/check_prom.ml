@@ -1,0 +1,48 @@
+(* Prometheus exposition validator, the CI trace-smoke gate: read one
+   scrape from a file (or stdin with "-"), run it through the
+   {!Geomix_obs.Expo} linter and parser, and exit non-zero on any
+   diagnostic.  Kept out of the alcotest suites so CI can point it at an
+   artifact produced by a live server run. *)
+
+module Expo = Geomix_obs.Expo
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+      prerr_endline "usage: check_prom.exe FILE  (\"-\" reads stdin)";
+      exit 2
+  in
+  let body =
+    if path = "-" then read_all stdin
+    else begin
+      let ic = try open_in path with Sys_error m -> prerr_endline m; exit 2 in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+    end
+  in
+  if String.trim body = "" then begin
+    Printf.eprintf "%s: empty exposition\n" path;
+    exit 1
+  end;
+  match Expo.lint body with
+  | [] -> (
+    match Expo.parse body with
+    | Ok samples ->
+      Printf.printf "%s: OK (%d samples)\n" path (List.length samples);
+      exit 0
+    | Error m ->
+      Printf.eprintf "%s: parse error: %s\n" path m;
+      exit 1)
+  | diags ->
+    List.iter (fun d -> Printf.eprintf "%s: %s\n" path d) diags;
+    exit 1

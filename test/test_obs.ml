@@ -132,7 +132,36 @@ let test_quantile_edge_cases () =
     (try
        ignore (M.quantile s1 1.5);
        false
-     with Invalid_argument _ -> true)
+     with Invalid_argument _ -> true);
+  (* All mass in one bucket: every quantile collapses to that bucket's
+     bounds, so p01 and p99 agree within one bucket's resolution. *)
+  let h2 = M.histogram t "h2" in
+  for _ = 1 to 100 do
+    M.observe h2 0.42
+  done;
+  let s2 = hist_of (M.find (M.snapshot t) "h2") in
+  let p01 = M.quantile s2 0.01 and p99 = M.quantile s2 0.99 in
+  Alcotest.(check bool) "single-bucket p01 brackets the value" true
+    (p01 <= 0.42 *. 1.78 && p99 >= 0.42 /. 1.78);
+  Alcotest.(check bool) "single-bucket quantiles agree" true
+    (p99 <= p01 *. 1.7782794100389228 +. 1e-12);
+  (* Sparse mass across distant log buckets: p99 must land in the top
+     populated bucket, p50 in the bottom one — cumulative counting must
+     not smear across the empty decades between them. *)
+  let h3 = M.histogram t "h3" in
+  for _ = 1 to 99 do
+    M.observe h3 1e-3
+  done;
+  M.observe h3 10.;
+  let s3 = hist_of (M.find (M.snapshot t) "h3") in
+  Alcotest.(check bool) "sparse p50 stays in the low bucket" true
+    (M.quantile s3 0.50 <= 1e-3 *. 1.78);
+  Alcotest.(check bool) "sparse p99 stays low (99/100 below)" true
+    (M.quantile s3 0.99 <= 1e-3 *. 1.78);
+  Alcotest.(check bool) "sparse p995 jumps to the top bucket" true
+    (M.quantile s3 0.995 >= 10. /. 1.78);
+  Alcotest.(check bool) "p100 caps at max bucket" true
+    (M.quantile s3 1.0 >= 10. /. 1.78)
 
 let test_span_timer () =
   let t = M.create () in
@@ -661,6 +690,153 @@ let test_metrics_csv_quoting () =
     (contains ~affix:"\"weird \"\"name\"\", x\"" csv);
   Alcotest.(check bool) "plain name unquoted" true (contains ~affix:"\nplain," csv)
 
+(* {1 Exposition, snapshotter and spans} *)
+
+module Expo = Geomix_obs.Expo
+module Span = Geomix_obs.Span
+
+let populated_registry () =
+  let t = M.create () in
+  M.add (M.counter t "serve.requests") 7;
+  M.set (M.gauge t "serve.inflight") 2.;
+  let h = M.histogram t "serve.latency_s" in
+  List.iter (M.observe h) [ 0.001; 0.012; 0.012; 0.3 ];
+  M.observe h 0.;
+  (* one underflow observation *)
+  t
+
+let test_expo_roundtrip () =
+  let t = populated_registry () in
+  let body = Expo.to_prometheus (M.snapshot t) in
+  Alcotest.(check (list string)) "lints clean" [] (Expo.lint body);
+  match Expo.parse body with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok samples ->
+    let value name =
+      match Expo.find samples name with
+      | Some s -> s.Expo.value
+      | None -> Alcotest.failf "sample %s missing" name
+    in
+    Alcotest.(check (float 0.)) "counter" 7. (value "geomix_serve_requests");
+    Alcotest.(check (float 0.)) "gauge" 2. (value "geomix_serve_inflight");
+    Alcotest.(check (float 0.)) "hist count (incl. underflow)" 5.
+      (value "geomix_serve_latency_s_count");
+    (* The +Inf cumulative bucket equals _count. *)
+    let inf_bucket =
+      List.find_opt
+        (fun s ->
+          s.Expo.name = "geomix_serve_latency_s_bucket"
+          && List.mem_assoc "le" s.Expo.labels
+          && List.assoc "le" s.Expo.labels = "+Inf")
+        samples
+    in
+    (match inf_bucket with
+    | Some s -> Alcotest.(check (float 0.)) "+Inf bucket = count" 5. s.Expo.value
+    | None -> Alcotest.fail "+Inf bucket missing")
+
+let test_expo_lint_rejects_damage () =
+  let t = populated_registry () in
+  let body = Expo.to_prometheus (M.snapshot t) in
+  Alcotest.(check bool) "missing TYPE flagged" true
+    (Expo.lint ("orphan_metric 1\n" ^ body) <> []);
+  Alcotest.(check bool) "malformed line flagged" true
+    (Expo.lint (body ^ "not a sample line at all\n") <> [])
+
+let test_snapshotter_rotation () =
+  let dir = Filename.temp_file "geomix-telemetry" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "telemetry.jsonl" in
+  let t = populated_registry () in
+  let sink = Expo.snapshotter ~max_bytes:256 ~keep:2 ~path () in
+  Alcotest.(check string) "path accessor" path (Expo.snapshotter_path sink);
+  for _ = 1 to 12 do
+    Expo.snap sink (M.snapshot t)
+  done;
+  Expo.close sink;
+  Alcotest.(check bool) "live file exists" true (Sys.file_exists path);
+  Alcotest.(check bool) "rotated at least once" true
+    (Sys.file_exists (path ^ ".1"));
+  Alcotest.(check bool) "keep bound respected" false
+    (Sys.file_exists (path ^ ".3"));
+  (* Every line of the newest rotated file is a decodable snapshot
+     envelope (the live file may be freshly rotated, hence empty). *)
+  let ic = open_in (path ^ ".1") in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match J.of_string line with
+       | Ok (J.Obj kvs) ->
+         Alcotest.(check bool) "has t" true (List.mem_assoc "t" kvs);
+         (match List.assoc_opt "metrics" kvs with
+         | Some m -> (
+           match M.of_json m with
+           | Ok snap ->
+             Alcotest.(check bool) "snapshot decodes" true
+               (M.find snap "serve.requests" <> None)
+           | Error e -> Alcotest.failf "metrics decode: %s" e)
+         | None -> Alcotest.fail "missing metrics key")
+       | Ok _ -> Alcotest.fail "line is not an object"
+       | Error e -> Alcotest.failf "line is not json: %s" e
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Alcotest.(check bool) "rotated file non-empty" true (!lines > 0);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_metrics_json_roundtrip () =
+  let t = populated_registry () in
+  let s = M.snapshot t in
+  match M.of_json (M.to_json s) with
+  | Error m -> Alcotest.failf "of_json: %s" m
+  | Ok s' ->
+    Alcotest.(check int) "same cardinality" (List.length s) (List.length s');
+    (match (M.find s' "serve.requests", M.find s' "serve.inflight") with
+    | Some (M.Counter 7), Some (M.Gauge 2.) -> ()
+    | _ -> Alcotest.fail "scalar values survive");
+    (match (M.find s "serve.latency_s", M.find s' "serve.latency_s") with
+    | Some (M.Histogram h), Some (M.Histogram h') ->
+      Alcotest.(check int) "hist count" h.M.count h'.M.count;
+      Alcotest.(check int) "hist underflow" h.M.underflow h'.M.underflow;
+      Alcotest.(check (float 1e-12)) "hist sum" h.M.sum h'.M.sum;
+      Alcotest.(check (float 1e-12)) "p99 survives json" (M.quantile h 0.99)
+        (M.quantile h' 0.99)
+    | _ -> Alcotest.fail "histogram survives")
+
+let test_span_accumulation_and_json () =
+  let sp = Span.create ~request_id:"req-1" () in
+  Span.note_transfer sp ~prec:"FP32" ~bytes:400 ~fp64_bytes:800;
+  Span.note_transfer sp ~prec:"FP64" ~bytes:800 ~fp64_bytes:800;
+  Span.note_transfer sp ~bytes:100 ~fp64_bytes:100;
+  Span.note_task sp;
+  Span.note_task sp;
+  Span.note_retry sp;
+  Span.note_exec sp ~queue_s:0.25 ~run_s:1.5;
+  let s = Span.summary sp in
+  Alcotest.(check int) "stc bytes" 1300 s.Span.s_bytes_stc;
+  Alcotest.(check int) "fp64 bytes" 1700 s.Span.s_bytes_fp64;
+  Alcotest.(check int) "edges" 3 s.Span.s_edges;
+  Alcotest.(check int) "tasks" 2 s.Span.s_tasks;
+  Alcotest.(check int) "retries" 1 s.Span.s_retries;
+  Alcotest.(check (float 1e-12)) "queue" 0.25 s.Span.s_queue_s;
+  Alcotest.(check (float 1e-12)) "busy" 1.5 s.Span.s_busy_s;
+  Alcotest.(check bool) "precision split covers labelled bytes" true
+    (List.assoc_opt "FP32" s.Span.s_by_precision = Some 400
+    && List.assoc_opt "FP64" s.Span.s_by_precision = Some 800);
+  (* Children share the trace, parent linkage survives the codec. *)
+  let child = Span.child sp ~request_id:"req-1/mc" in
+  Alcotest.(check string) "child shares trace id" (Span.trace_id sp)
+    (Span.trace_id child);
+  let cs = Span.summary child in
+  Alcotest.(check bool) "child parented" true
+    (cs.Span.s_parent = Some (Span.span_id sp));
+  match Span.summary_of_json (Span.summary_to_json s) with
+  | Ok s' -> Alcotest.(check bool) "summary json round-trip" true (s = s')
+  | Error m -> Alcotest.failf "summary_of_json: %s" m
+
 let () =
   Alcotest.run "obs"
     [
@@ -707,6 +883,18 @@ let () =
           Alcotest.test_case "json roundtrip" `Quick test_bench_json_roundtrip;
           Alcotest.test_case "gate directions" `Quick test_regression_gate_directions;
           Alcotest.test_case "file io" `Quick test_bench_json_file_io;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "prometheus round-trip" `Quick test_expo_roundtrip;
+          Alcotest.test_case "lint rejects damage" `Quick
+            test_expo_lint_rejects_damage;
+          Alcotest.test_case "snapshotter rotation" `Quick
+            test_snapshotter_rotation;
+          Alcotest.test_case "metrics json round-trip" `Quick
+            test_metrics_json_roundtrip;
+          Alcotest.test_case "span accumulation and codec" `Quick
+            test_span_accumulation_and_json;
         ] );
       ( "instrumented executors",
         [
