@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; see TESTING.md for the test layers.
 
-.PHONY: all test check chaos report autotune serve serve-smoke serve-chaos top trace-smoke verify-slow clean
+.PHONY: all test check chaos report autotune serve serve-smoke serve-chaos top trace-smoke ooc ooc-crash verify-slow clean
 
 all:
 	dune build @all
@@ -84,6 +84,30 @@ trace-smoke:
 	  --json BENCH_serve_trace.json --compare bench/BENCH_baseline.json
 	dune exec test/check_prom.exe -- geomix-scrape.prom
 	@echo "wrote BENCH_serve_trace.json, geomix-scrape.prom, geomix-telemetry.jsonl"
+
+# Out-of-core bench gate (the CI ooc-crash-smoke job's first leg): one
+# deterministic factorization under a 4-tile residency window, gating
+# spill bytes (strictly below FP64-equivalent accounting), the re-read
+# fraction of the farthest-next-use eviction order, and mid-run
+# crash-resume exactness against the committed baseline.
+ooc:
+	dune exec bench/b_ooc.exe -- --json BENCH_ooc.json \
+	  --compare bench/BENCH_baseline.json
+	@echo "wrote BENCH_ooc.json"
+
+# Kill-recovery matrix over the crash-consistent tile store: forked
+# children SIGKILL themselves at seeded durable disk transitions
+# (mid-spill, mid-manifest), each orphaned store is recovered, and every
+# resumed factorization must be bitwise identical to the uninterrupted
+# run.  The on-disk bit-rot leg then flips one committed byte and
+# requires the checksum quarantine + typed recovery to restore exactness.
+ooc-crash:
+	for seed in 1 2 3; do \
+	  dune exec bin/geomix.exe -- ooc --seed $$seed --kill-matrix \
+	    --dir /tmp/geomix-ooc-km-$$seed || exit 1; \
+	  dune exec bin/geomix.exe -- ooc --seed $$seed --rot \
+	    --dir /tmp/geomix-ooc-rot-$$seed || exit 1; \
+	done
 
 # Exhaustive schedule enumeration — minutes-scale, out of tier-1.
 verify-slow:

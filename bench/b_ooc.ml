@@ -1,0 +1,193 @@
+(* Out-of-core bench: spill traffic, re-read fraction and crash-resume
+   exactness of the crash-consistent tile store (the ROADMAP item 1
+   gate).
+
+   One deterministic workload, three gated metrics:
+   - ooc_spill_bytes: payload bytes written by spills under the mixed
+     precision map — must sit strictly below the FP64-equivalent
+     accounting (the paper's data-motion win carried to disk);
+   - ooc_reread_frac: bytes re-read per byte spilled under the static
+     farthest-next-use eviction order;
+   - ooc_resume_exact: 1.0 iff a factorization crashed mid-run resumes
+     from its manifest to a factor bitwise identical to the in-core run.
+
+   `--json PATH` writes the BENCH artifact; `--compare BASELINE` gates the
+   ooc_* slice of the shared baseline (missing metrics fail loudly). *)
+
+module Bench_json = Geomix_obs.Bench_json
+module Tiled = Geomix_tile.Tiled
+module Chol = Geomix_core.Mp_cholesky
+module Ooc = Geomix_core.Ooc_cholesky
+module Store = Geomix_ooc.Store
+module Pm = Geomix_core.Precision_map
+module Fp = Geomix_precision.Fpformat
+
+exception Crash
+
+let nt = 8
+let nb = 16
+let n = nt * nb
+let budget = 4 * nb * nb * 8
+
+(* Past the initial input checkpoint (2·NT(NT+1)/2 + 1 = 73 disk ops for
+   NT = 8) and into the panel updates, so the resume path exercises a real
+   committed prefix rather than the no-manifest restart. *)
+let kill_at = 150
+let spd i j = (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j)))
+let init () = Tiled.init ~n ~nb spd
+let pmap = Pm.two_level ~nt ~off_diag:Fp.Fp16_32
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_scratch f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "geomix-b-ooc-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let run ~json_path ~compare_with ~tolerance =
+  with_scratch (fun scratch ->
+    let reference = init () in
+    Chol.factorize ~pmap reference;
+    (* Uninterrupted out-of-core run: the traffic numbers. *)
+    let st = Store.create ~budget ~dir:(Filename.concat scratch "run") () in
+    let a = init () in
+    Ooc.factorize ~store:st ~pmap a;
+    let exact_run = Tiled.rel_diff a ~reference = 0. in
+    let spill = Store.spilled_bytes st in
+    let spill_fp64 = Store.spilled_bytes_fp64 st in
+    let reread_frac =
+      if spill = 0 then 0.
+      else float_of_int (Store.reread_bytes st) /. float_of_int spill
+    in
+    Printf.printf
+      "ooc bench: NT=%d nb=%d budget %d B — %d B spilled (%d B FP64-equivalent, %.1f%% saved), re-read frac %.3f\n"
+      nt nb budget spill spill_fp64
+      (100. *. (1. -. (float_of_int spill /. float_of_int spill_fp64)))
+      reread_frac;
+    List.iter
+      (fun (s, b) -> Printf.printf "  %-10s %8d B spilled\n" (Fp.scalar_name s) b)
+      (Store.spilled_by_scalar st);
+    (* Crash mid-run at a fixed disk op, then resume from the manifest:
+       the recovered factor must be bitwise identical to the in-core
+       run. *)
+    let kdir = Filename.concat scratch "crash" in
+    let st2 = Store.create ~budget ~dir:kdir () in
+    Store.set_op_hook st2 (Some (fun k -> if k >= kill_at then raise Crash));
+    let crashed =
+      match Ooc.factorize ~store:st2 ~pmap (init ()) with
+      | () -> false
+      | exception Crash -> true
+    in
+    let exact_resume =
+      crashed
+      &&
+      let _, r, outcome = Ooc.resume ~budget ~dir:kdir ~init ~pmap () in
+      (match outcome with
+      | Ooc.Resumed { from_column; reshipped } ->
+        Printf.printf "crash at disk op %d: resumed from column %d (%d reshipped)\n"
+          kill_at from_column reshipped
+      | Ooc.Restarted { quarantined } ->
+        Printf.printf "crash at disk op %d: restarted (%d quarantined)\n"
+          kill_at (List.length quarantined));
+      Tiled.rel_diff r ~reference = 0.
+    in
+    let metrics =
+      [
+        Bench_json.metric ~units:"B" "ooc_spill_bytes" (float_of_int spill);
+        Bench_json.metric "ooc_reread_frac" reread_frac;
+        Bench_json.metric ~direction:Bench_json.Higher_is_better
+          "ooc_resume_exact"
+          (if exact_run && exact_resume then 1. else 0.);
+      ]
+    in
+    let bench = Bench_json.make ~suite:"ooc" metrics in
+    (match json_path with
+    | None -> ()
+    | Some path ->
+      Bench_json.write ~path bench;
+      Printf.printf "wrote %s\n" path);
+    let failures = ref [] in
+    let check cond msg = if not cond then failures := msg :: !failures in
+    check exact_run "out-of-core factor diverged from the in-core run";
+    check crashed "op hook never fired (workload too small?)";
+    check exact_resume "resumed factor diverged from the in-core run";
+    check (spill < spill_fp64)
+      "narrowed spill records did not beat FP64-equivalent accounting";
+    List.iter (fun m -> Printf.eprintf "ooc bench FAILED: %s\n" m) !failures;
+    let gate_code =
+      match compare_with with
+      | None -> 0
+      | Some base_path -> (
+        match Bench_json.read ~path:base_path with
+        | Error msg ->
+          Printf.eprintf "cannot read baseline %s: %s\n" base_path msg;
+          1
+        | Ok baseline ->
+          let verdicts =
+            Bench_json.compare
+              ~expect:(String.starts_with ~prefix:"ooc_")
+              ~tolerance ~baseline ~current:bench ()
+          in
+          Printf.printf "\nregression gate vs %s (tolerance %.0f%%):\n%s"
+            base_path (100. *. tolerance)
+            (Bench_json.report_verdicts verdicts);
+          if Bench_json.any_regressed verdicts then begin
+            (match Bench_json.missing verdicts with
+            | [] -> ()
+            | names ->
+              Printf.eprintf "ooc gate: baseline metrics missing: %s\n"
+                (String.concat ", " names));
+            Printf.eprintf "ooc gate FAILED: metrics regressed beyond %.0f%%\n"
+              (100. *. tolerance);
+            1
+          end
+          else begin
+            Printf.printf "ooc gate passed.\n";
+            0
+          end)
+    in
+    if !failures <> [] then 1 else gate_code)
+
+let () =
+  let json_path = ref None in
+  let compare_with = ref None in
+  let tolerance = ref 0.20 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+      json_path := Some path;
+      parse rest
+    | "--json" :: rest ->
+      json_path := Some "BENCH_ooc.json";
+      parse rest
+    | "--compare" :: path :: rest ->
+      compare_with := Some path;
+      parse rest
+    | "--tolerance" :: f :: rest ->
+      (match float_of_string_opt f with
+      | Some t when t >= 0. -> tolerance := t
+      | _ ->
+        Printf.eprintf "bad --tolerance %S\n" f;
+        exit 2);
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      print_endline
+        "usage: b_ooc.exe [--json PATH] [--compare BASELINE] [--tolerance F]";
+      exit 0
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  exit
+    (run ~json_path:!json_path ~compare_with:!compare_with ~tolerance:!tolerance)

@@ -736,13 +736,23 @@ let run cfg =
         Printf.eprintf "cannot read baseline %s: %s\n" base_path msg;
         1
       | Ok baseline ->
+        (* This gate owns the serve_* slice of the shared baseline: a
+           serve metric that stops being emitted fails loudly instead of
+           silently shrinking the gate. *)
         let verdicts =
-          Bench_json.compare ~tolerance:cfg.tolerance ~baseline ~current:bench
+          Bench_json.compare
+            ~expect:(String.starts_with ~prefix:"serve_")
+            ~tolerance:cfg.tolerance ~baseline ~current:bench ()
         in
         Printf.printf "\nregression gate vs %s (tolerance %.0f%%):\n%s"
           base_path (100. *. cfg.tolerance)
           (Bench_json.report_verdicts verdicts);
         if Bench_json.any_regressed verdicts then begin
+          (match Bench_json.missing verdicts with
+          | [] -> ()
+          | names ->
+            Printf.eprintf "serve gate: baseline metrics missing: %s\n"
+              (String.concat ", " names));
           Printf.eprintf "serve gate FAILED: metrics regressed beyond %.0f%%\n"
             (100. *. cfg.tolerance);
           1

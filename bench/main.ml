@@ -63,11 +63,26 @@ let run_smoke ~json_path ~compare_with ~tolerance =
       Printf.eprintf "cannot read baseline %s: %s\n" base_path msg;
       1
     | Ok baseline ->
-      let verdicts = Bench_json.compare ~tolerance ~baseline ~current:bench in
+      (* The smoke run owns every baseline metric outside the serve / obs /
+         ooc suites (which gate their own slices in b_serve / b_ooc): a
+         baseline metric this run stops emitting is a hard failure, not a
+         skip. *)
+      let expect n =
+        let owned_elsewhere p = String.starts_with ~prefix:p n in
+        not
+          (owned_elsewhere "serve_" || owned_elsewhere "obs_"
+         || owned_elsewhere "ooc_")
+      in
+      let verdicts = Bench_json.compare ~expect ~tolerance ~baseline ~current:bench () in
       Printf.printf "\nregression gate vs %s (tolerance %.0f%%):\n%s" base_path
         (100. *. tolerance)
         (Bench_json.report_verdicts verdicts);
       if Bench_json.any_regressed verdicts then begin
+        (match Bench_json.missing verdicts with
+        | [] -> ()
+        | names ->
+          Printf.eprintf "bench gate: baseline metrics missing from this run: %s\n"
+            (String.concat ", " names));
         Printf.eprintf "bench gate FAILED: metrics regressed beyond %.0f%%\n"
           (100. *. tolerance);
         1

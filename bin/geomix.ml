@@ -571,6 +571,397 @@ let chaos_cmd =
       $ pivot_rate_arg $ kinds_arg $ sdc_arg $ attempts_arg $ workers_arg
       $ format_arg $ metrics_out_arg $ verbose_arg)
 
+(* ooc subcommand *)
+
+let ooc_cmd =
+  let module Metrics = Geomix_obs.Metrics in
+  let module Tiled = Geomix_tile.Tiled in
+  let module Fault = Geomix_fault.Fault in
+  let module Chol = Geomix_core.Mp_cholesky in
+  let module Ooc = Geomix_core.Ooc_cholesky in
+  let module Store = Geomix_ooc.Store in
+  let fb = Geomix_util.Table.fmt_bytes in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let mkdir_p d = if not (Sys.file_exists d) then Unix.mkdir d 0o755 in
+  (* Only ever delete directories that look like ours: tile records, a
+     manifest, or the kill-matrix scratch layout. *)
+  let reset_store_dir d =
+    if Sys.file_exists d then begin
+      let ours f =
+        f = "MANIFEST.json" || f = "reference"
+        || (String.length f >= 5 && String.sub f 0 5 = "tile_")
+        || (String.length f >= 5 && String.sub f 0 5 = "kill_")
+      in
+      if Array.for_all ours (Sys.readdir d) then rm_rf d
+      else begin
+        Printf.eprintf
+          "geomix ooc: %s exists and does not look like a tile store; refusing to delete it\n"
+          d;
+        exit 2
+      end
+    end
+  in
+  let spd_init i j =
+    (if i = j then 1.0 else 0.) +. exp (-0.05 *. float_of_int (abs (i - j)))
+  in
+  let report_store st =
+    let sp = Store.spilled_bytes st and sp64 = Store.spilled_bytes_fp64 st in
+    Printf.printf
+      "store: %d spills (%s written, %s FP64-equivalent%s), %d loads (%s re-read), %d evictions, %d checkpoints\n"
+      (Store.spills st)
+      (fb (float_of_int sp))
+      (fb (float_of_int sp64))
+      (if sp64 > 0 then
+         Printf.sprintf ", %.1f%% saved"
+           (100. *. (1. -. (float_of_int sp /. float_of_int sp64)))
+       else "")
+      (Store.loads st)
+      (fb (float_of_int (Store.reread_bytes st)))
+      (Store.evictions st) (Store.checkpoints st);
+    (match Store.spilled_by_scalar st with
+    | [] -> ()
+    | split ->
+      print_string "  spilled by scalar:";
+      List.iter
+        (fun (s, b) ->
+          Printf.printf "  %s %s" (Fp.scalar_name s) (fb (float_of_int b)))
+        split;
+      print_newline ());
+    if Store.spill_retries st + Store.read_retries st + Store.quarantined_count st > 0
+    then
+      Printf.printf "  fault seam: %d spill retries, %d read retries, %d quarantined\n"
+        (Store.spill_retries st) (Store.read_retries st)
+        (Store.quarantined_count st)
+  in
+  let outcome_line = function
+    | Ooc.Resumed { from_column; reshipped } ->
+      Printf.sprintf "resumed from column %d%s" from_column
+        (if reshipped > 0 then
+           Printf.sprintf " (%d broadcast records reshipped)" reshipped
+         else "")
+    | Ooc.Restarted { quarantined } ->
+      Printf.sprintf "restarted from the input (%d quarantined: %s)"
+        (List.length quarantined)
+        (String.concat "," (List.map string_of_int quarantined))
+  in
+  let run seed ntiles config nb budget_tiles every dir resume kill_after
+      kill_matrix rot disk_rate format metrics_out verbose =
+    let bus = stderr_bus_of ~verbose in
+    let reg = Metrics.create () in
+    let n = ntiles * nb in
+    let pmap = pmap_of_config ~ntiles config in
+    let init () = Tiled.init ~n ~nb spd_init in
+    let budget = budget_tiles * nb * nb * 8 in
+    let faults =
+      if disk_rate > 0. then Some (Fault.plan ~obs:reg ?bus ~disk_rate ~seed ())
+      else None
+    in
+    (* Every mode ends by comparing against the same in-core factorization
+       under the same precision map — the contract is bitwise identity. *)
+    let reference =
+      lazy
+        (let r = init () in
+         Chol.factorize ~pmap r;
+         r)
+    in
+    let verify name a =
+      let diff = Tiled.rel_diff a ~reference:(Lazy.force reference) in
+      Printf.printf "%s vs in-core factorization: rel diff %.3e (%s)\n" name diff
+        (if diff = 0. then "bitwise identical" else "MISMATCH");
+      diff = 0.
+    in
+    let print_metrics () =
+      let snap = Metrics.snapshot reg in
+      print_string
+        (match format with
+        | `Table -> Metrics.to_table snap
+        | `Csv -> Metrics.to_csv snap
+        | `Json -> Metrics.to_json_string snap ^ "\n")
+    in
+    let write_metrics_out () =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Metrics.to_json_string (Metrics.snapshot reg));
+        output_char oc '\n';
+        close_out oc
+    in
+    let finishing ok =
+      print_metrics ();
+      write_metrics_out ();
+      if not ok then exit 1
+    in
+    let arm_kill st at =
+      if at > 0 then
+        Store.set_op_hook st
+          (Some
+             (fun k ->
+               if k >= at then begin
+                 flush Stdlib.stdout;
+                 Unix.kill (Unix.getpid ()) Sys.sigkill
+               end))
+    in
+    let resume_dir ?obs d =
+      match
+        Ooc.resume ?obs ?faults ~checkpoint_every:every ~budget ~dir:d ~init
+          ~pmap ()
+      with
+      | st, a, outcome -> (st, a, outcome_line outcome)
+      | exception Store.Store_error (Store.No_manifest _) ->
+        (* Killed before the first manifest committed: nothing durable
+           exists, so a fresh run is the documented recovery. *)
+        let st = Store.create ?obs ?faults ~budget ~dir:d () in
+        let a = init () in
+        Ooc.factorize ~checkpoint_every:every ~store:st ~pmap a;
+        (st, a, "no manifest yet; restarted fresh")
+    in
+    if kill_matrix then begin
+      mkdir_p dir;
+      let refdir = Filename.concat dir "reference" in
+      rm_rf refdir;
+      let st = Store.create ~obs:reg ?faults ~budget ~dir:refdir () in
+      let a_ref = init () in
+      Ooc.factorize ~checkpoint_every:every ~store:st ~pmap a_ref;
+      let total = Store.ops st in
+      let ok_ref = verify "uninterrupted out-of-core run" a_ref in
+      report_store st;
+      let points =
+        let stride = max 1 (total / 8) in
+        let rec up k acc =
+          if k >= total then List.rev ((total - 1) :: acc)
+          else up (k + stride) (k :: acc)
+        in
+        List.sort_uniq compare (1 :: up stride [])
+      in
+      Printf.printf "kill matrix: seed %d, %d disk ops per run, killing at [%s]\n"
+        seed total
+        (String.concat "; " (List.map string_of_int points));
+      let all_ok = ref ok_ref in
+      List.iter
+        (fun pt ->
+          let kdir = Filename.concat dir (Printf.sprintf "kill_%d" pt) in
+          rm_rf kdir;
+          flush Stdlib.stdout;
+          flush Stdlib.stderr;
+          match Unix.fork () with
+          | 0 ->
+            (* Child: run until the op hook SIGKILLs the process at the
+               seeded durable transition — a real mid-spill crash. *)
+            (try
+               let st = Store.create ?faults ~budget ~dir:kdir () in
+               arm_kill st pt;
+               Ooc.factorize ~checkpoint_every:every ~store:st ~pmap (init ())
+             with _ -> ());
+            exit 0
+          | pid ->
+            let _, status = Unix.waitpid [] pid in
+            let killed = status = Unix.WSIGNALED Sys.sigkill in
+            let _, a, how = resume_dir kdir in
+            let diff = Tiled.rel_diff a ~reference:(Lazy.force reference) in
+            Printf.printf "  kill@%-4d %s: %s; rel diff %.3e (%s)\n" pt
+              (if killed then "killed" else "ran to completion")
+              how diff
+              (if diff = 0. then "ok" else "MISMATCH");
+            if diff <> 0. then all_ok := false)
+        points;
+      finishing !all_ok
+    end
+    else if rot then begin
+      reset_store_dir dir;
+      let st = Store.create ~obs:reg ?faults ~budget ~dir () in
+      Ooc.factorize ~checkpoint_every:every ~store:st ~pmap (init ());
+      (* Flip one payload byte of a committed record chosen by the seed,
+         then resume: the checksum must catch it and the typed recovery
+         must end in the exact factor. *)
+      let records =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f >= 5
+               && String.sub f 0 5 = "tile_"
+               && not (Filename.check_suffix f ".quarantined"))
+        |> List.sort compare
+      in
+      let victim = List.nth records (seed mod List.length records) in
+      let path = Filename.concat dir victim in
+      let len = (Unix.stat path).Unix.st_size in
+      let off = min (len - 1) (47 + (seed mod max 1 (len - 47))) in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      Printf.printf "rotted one byte of %s at offset %d\n" victim off;
+      let st, a, how = resume_dir ~obs:reg dir in
+      Printf.printf "recovery: %s\n" how;
+      report_store st;
+      finishing (verify "recovered factorization" a)
+    end
+    else if resume then begin
+      let st, a, how = resume_dir ~obs:reg dir in
+      Printf.printf "recovery: %s\n" how;
+      report_store st;
+      finishing (verify "resumed factorization" a)
+    end
+    else begin
+      reset_store_dir dir;
+      let st = Store.create ~obs:reg ?faults ~budget ~dir () in
+      arm_kill st kill_after;
+      let a = init () in
+      Printf.printf
+        "ooc: NT=%d nb=%d (%s), residency budget %d tiles (%s), store %s, seed %d\n"
+        ntiles nb (config_name config) budget_tiles
+        (fb (float_of_int budget))
+        dir seed;
+      Ooc.factorize ~checkpoint_every:every ~store:st ~pmap a;
+      report_store st;
+      let ok = verify "out-of-core factorization" a in
+      (* The headline claim of the paper carried to disk: narrowed spill
+         records must cost strictly less than FP64-equivalent accounting
+         whenever the map narrows anything. *)
+      let ok =
+        if config <> `Fp64 && Store.spilled_bytes st >= Store.spilled_bytes_fp64 st
+        then begin
+          Printf.printf "spilled bytes did not beat FP64-equivalent accounting\n";
+          false
+        end
+        else ok
+      in
+      finishing ok
+    end
+  in
+  let nt_arg = Arg.(value & opt int 6 & info [ "nt" ] ~doc:"Tiles per dimension.") in
+  let config_arg =
+    Arg.(
+      value
+      & opt config_conv `Mixed16_32
+      & info [ "config" ] ~doc:"fp64|fp32|fp64-fp16|fp64-fp16-32.")
+  in
+  let nb_small_arg = Arg.(value & opt int 16 & info [ "nb" ] ~doc:"Tile size.") in
+  let budget_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "budget-tiles" ]
+          ~doc:
+            "Residency window in tiles: at most this many binary64 tile \
+             images stay in memory; everything else lives in spill records.")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ]
+          ~doc:"Commit a manifest checkpoint every N completed panel columns.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string (Filename.concat (Filename.get_temp_dir_name ()) "geomix-ooc")
+      & info [ "dir" ]
+          ~doc:
+            "Store directory.  A fresh run recreates it; $(b,--resume) reads \
+             the manifest it left behind.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover from the manifest in $(b,--dir) instead of starting \
+             fresh: verify every surviving record's checksum, quarantine \
+             rot, recompute the dirty frontier and verify the finished \
+             factor bitwise.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-after" ]
+          ~doc:
+            "SIGKILL this process at the Nth durable disk transition \
+             (temp-written / rename-committed / manifest-committed) — a \
+             real crash mid-spill.  Follow with $(b,--resume) in the same \
+             $(b,--dir).  0 disarms.")
+  in
+  let kill_matrix_arg =
+    Arg.(
+      value & flag
+      & info [ "kill-matrix" ]
+          ~doc:
+            "The crash-recovery gate: run once uninterrupted, then fork a \
+             child per seeded kill point that SIGKILLs itself mid-run, \
+             resume each orphaned store, and require every recovered \
+             factor to be bitwise identical to the reference.")
+  in
+  let rot_arg =
+    Arg.(
+      value & flag
+      & info [ "rot" ]
+          ~doc:
+            "After a complete run, flip one payload byte of a committed \
+             spill record (chosen by $(b,--seed)) and resume: the checksum \
+             must quarantine it and the typed recovery must still end in \
+             the exact factor.")
+  in
+  let disk_rate_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "disk-rate" ]
+          ~doc:
+            "Seeded disk-fault probability per spill/load (short writes, \
+             ENOSPC, read bit-flips), absorbed by the store's bounded \
+             retries.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+      & info [ "format" ] ~doc:"Metric output: table, csv or json.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:
+            "Also write the final metrics snapshot (ooc.* spill, re-read, \
+             retry and quarantine counters) as JSON to this file.")
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "the out-of-core (and, under $(b,--kill-matrix) / $(b,--rot) / \
+         $(b,--resume), the recovered) factor is bitwise identical to the \
+         in-core factorization under the same precision map."
+    :: Cmd.Exit.info 1
+         ~doc:
+           "a recovered factor diverged from the reference, or narrowed \
+            spill records failed to beat FP64-equivalent accounting."
+    :: Cmd.Exit.info 2
+         ~doc:
+           "a domain failure: unrecoverable store corruption, an \
+            indefinite matrix, or a directory that is not a tile store."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "ooc" ~exits
+       ~doc:
+         "Out-of-core tile Cholesky over the crash-consistent spill store: \
+          factorize under a bounded residency window with precision-narrowed \
+          spill records, and verify kill/resume crash recovery bitwise")
+    Term.(
+      const run $ seed_arg $ nt_arg $ config_arg $ nb_small_arg $ budget_arg
+      $ every_arg $ dir_arg $ resume_arg $ kill_after_arg $ kill_matrix_arg
+      $ rot_arg $ disk_rate_arg $ format_arg $ metrics_out_arg $ verbose_arg)
+
 (* report subcommand *)
 
 let report_cmd =
@@ -1363,7 +1754,7 @@ let top_cmd =
     end;
     flush Stdlib.stdout
   in
-  let run socket interval count once =
+  let run socket interval count once max_stale =
     if interval <= 0. then begin
       prerr_endline "geomix top: --interval must be positive";
       exit 2
@@ -1371,21 +1762,51 @@ let top_cmd =
     let rounds = if once then 1 else Option.value count ~default:max_int in
     let prev = ref None in
     let code = ref 0 in
+    let backoff = ref 0.5 in
+    let stale_since = ref None in
     (try
        let i = ref 0 in
        while !i < rounds && !code = 0 do
-         (match poll socket with
+         match poll socket with
          | h, snap ->
+           backoff := 0.5;
+           if !stale_since <> None then begin
+             stale_since := None;
+             print_endline "geomix top: reconnected"
+           end;
            render ~socket ~clear:(not once && rounds > 1) ~dt:interval ~prev:!prev
              (h, snap);
-           prev := Some snap
-         | exception (Unix.Unix_error _ | Failure _ | Sys_error _) when !prev <> None ->
-           (* A poll that fails after a successful one usually means the
-              server went away mid-watch — report and stop cleanly. *)
-           print_endline "geomix top: server went away";
-           code := 1);
-         incr i;
-         if !i < rounds && !code = 0 then Unix.sleepf interval
+           prev := Some snap;
+           incr i;
+           if !i < rounds then Unix.sleepf interval
+         | exception (Unix.Unix_error _ | Failure _ | Sys_error _)
+           when (not once) && !prev <> None ->
+           (* The server went away mid-watch.  Don't die: banner the data
+              on screen as stale and retry with bounded exponential
+              backoff until it comes back or the stale budget runs out. *)
+           let now = Unix.gettimeofday () in
+           let since =
+             match !stale_since with
+             | Some t -> t
+             | None ->
+               stale_since := Some now;
+               now
+           in
+           let age = now -. since in
+           if age > max_stale then begin
+             Printf.eprintf
+               "geomix top: %s unreachable for %.0f s (limit %.0f s) — giving up\n"
+               socket age max_stale;
+             code := 1
+           end
+           else begin
+             Printf.printf
+               "geomix top: [STALE %.0f s] %s unreachable — retrying in %.1f s\n"
+               age socket !backoff;
+             flush Stdlib.stdout;
+             Unix.sleepf !backoff;
+             backoff := Float.min 8.0 (!backoff *. 2.)
+           end
        done
      with
     | Unix.Unix_error (e, _, _) ->
@@ -1419,14 +1840,28 @@ let top_cmd =
       & info [ "once" ]
           ~doc:"Print a single snapshot without clearing the screen and exit.")
   in
+  let max_stale_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "max-stale" ]
+          ~doc:
+            "Seconds to keep retrying (with 0.5 s → 8 s exponential \
+             backoff, the on-screen data bannered STALE) after the server \
+             stops answering mid-watch, before exiting nonzero.  A server \
+             restart inside this window reconnects seamlessly.")
+  in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Live operator view of a running $(b,geomix serve): polls the \
           server's $(i,stats) and $(i,health) requests and renders inflight \
           and queue depth, latency quantiles, cache hit rate, brown-out \
-          breaker state and data-motion rates by transfer precision")
-    Term.(const run $ socket_arg $ interval_arg $ count_arg $ once_arg)
+          breaker state and data-motion rates by transfer precision; a \
+          server that goes away mid-watch is retried with bounded backoff \
+          under a STALE banner instead of killing the view")
+    Term.(
+      const run $ socket_arg $ interval_arg $ count_arg $ once_arg
+      $ max_stale_arg)
 
 let () =
   let doc = "mixed-precision geospatial modeling toolkit (CLUSTER 2023 reproduction)" in
@@ -1434,7 +1869,7 @@ let () =
     Cmd.group (Cmd.info "geomix" ~version:"1.0.0" ~doc)
       [
         precision_map_cmd; simulate_cmd; stats_cmd; mle_cmd; gemm_cmd; chaos_cmd;
-        report_cmd; autotune_cmd; serve_cmd; top_cmd;
+        ooc_cmd; report_cmd; autotune_cmd; serve_cmd; top_cmd;
       ]
   in
   (* CLI error boundary: domain failures exit 2 with a one-line diagnostic
@@ -1448,6 +1883,10 @@ let () =
       Printf.eprintf
         "geomix: unrecoverable data corruption detected (tile key %d in %s: %s)\n"
         key task reason;
+      2
+    | Geomix_ooc.Store.Store_error e ->
+      Printf.eprintf "geomix: tile store failure: %s\n"
+        (Geomix_ooc.Store.error_to_string e);
       2
     | Sys_error msg ->
       Printf.eprintf "geomix: %s\n" msg;

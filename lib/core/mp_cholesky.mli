@@ -41,6 +41,7 @@ val factorize :
   ?span:Geomix_obs.Span.t ->
   ?integrity:Geomix_integrity.Guard.t ->
   ?cmap:Comm_map.t ->
+  ?store:Geomix_ooc.Store.t ->
   ?observe:(i:int -> j:int -> Geomix_linalg.Mat.t -> unit) ->
   ?fault_round:int ->
   ?job:Geomix_parallel.Pool.job ->
@@ -58,6 +59,20 @@ val factorize :
     maps ({!Geomix_serve.Cache}).  Only consulted when the [Automatic]
     strategy models communication rounding; must have the matrix's tile
     count.
+
+    [?store] runs the factorization {e out of core} over a
+    {!Geomix_ooc.Store}: every stored tile of the matrix is adopted into
+    the store up front, each task's declared footprint is pinned resident
+    for the duration of its supervision envelope (acquired before the
+    first attempt's snapshot, released — written tile dirty — after the
+    last, also on failure), and tiles past the store's residency budget
+    are spilled to disk in their narrowest lossless format and reloaded
+    through the checksum-verified fault seam on next use.  Broadcast
+    payloads stay in memory (they are immutable once published), so the
+    factor is {e bitwise identical} to an in-core run under any budget.
+    On return the tiled matrix holds the store's resident images of the
+    factor, and the store's keys are the packed lower-tile indices
+    [i·(i+1)/2 + j].
 
     [?job] scopes the execution to a {!Geomix_parallel.Pool.job}, so
     concurrent factorizations sharing one pool neither await nor observe
@@ -211,6 +226,7 @@ val factorize_robust :
   ?span:Geomix_obs.Span.t ->
   ?integrity:Geomix_integrity.Guard.t ->
   ?cmap:Comm_map.t ->
+  ?store:Geomix_ooc.Store.t ->
   ?max_band_escalations:int ->
   ?job:Geomix_parallel.Pool.job ->
   pmap:Precision_map.t ->

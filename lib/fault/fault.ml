@@ -5,6 +5,13 @@ type kind = Transient | Crash_after_write | Stall | Sdc
 
 type sdc = Bitflip of { bit : int; lane : int } | Tile_swap of { lane : int }
 
+type disk_op = Dwrite | Dread
+
+type disk =
+  | Short_write of { frac : float }
+  | Enospc
+  | Read_bit_flip of { bit : int; lane : int }
+
 exception Injected of { task : string; attempt : int; kind : kind }
 
 let kind_name = function
@@ -16,6 +23,12 @@ let kind_name = function
 let sdc_name = function
   | Bitflip { bit; lane } -> Printf.sprintf "bitflip(bit %d, lane %d)" bit lane
   | Tile_swap { lane } -> Printf.sprintf "tile-swap(lane %d)" lane
+
+let disk_name = function
+  | Short_write { frac } -> Printf.sprintf "short-write(%.2f)" frac
+  | Enospc -> "enospc"
+  | Read_bit_flip { bit; lane } ->
+    Printf.sprintf "read-bit-flip(bit %d, lane %d)" bit lane
 
 let () =
   Printexc.register_printer (function
@@ -32,6 +45,7 @@ type obs_state = {
   m_stalls : Metrics.counter;
   m_sdc : Metrics.counter;
   m_pivots : Metrics.counter;
+  m_disk : Metrics.counter;
 }
 
 type t = {
@@ -40,12 +54,14 @@ type t = {
   kinds : kind array;
   exec_kinds : kind array; (* [kinds] minus [Sdc] — what {!wrap} may inject *)
   pivot_rate : float;
+  disk_rate : float;
   stall : float;
   sleep : float -> unit;
   fail_attempts : int;
   only : string -> bool;
   n_injected : int Atomic.t;
   n_pivots : int Atomic.t;
+  n_disk : int Atomic.t;
   n_by_kind : int Atomic.t array; (* indexed like [kinds] *)
   obs : obs_state option;
   bus : Events.t option;
@@ -78,11 +94,13 @@ let hash_triple ~seed ~site ~task ~attempt =
 let u01 h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
 
 let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
-    ?(stall = 1e-3) ?(sleep = Unix.sleepf) ?(fail_attempts = 1)
+    ?(disk_rate = 0.) ?(stall = 1e-3) ?(sleep = Unix.sleepf) ?(fail_attempts = 1)
     ?(only = fun _ -> true) ~seed () =
   if not (rate >= 0. && rate <= 1.) then invalid_arg "Fault.plan: rate outside [0, 1]";
   if not (pivot_rate >= 0. && pivot_rate <= 1.) then
     invalid_arg "Fault.plan: pivot_rate outside [0, 1]";
+  if not (disk_rate >= 0. && disk_rate <= 1.) then
+    invalid_arg "Fault.plan: disk_rate outside [0, 1]";
   if not (stall >= 0.) then invalid_arg "Fault.plan: negative stall";
   if fail_attempts < 1 then invalid_arg "Fault.plan: fail_attempts < 1";
   if kinds = [] then invalid_arg "Fault.plan: empty kinds";
@@ -92,12 +110,14 @@ let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
     kinds = Array.of_list kinds;
     exec_kinds = Array.of_list (List.filter (fun k -> k <> Sdc) kinds);
     pivot_rate;
+    disk_rate;
     stall;
     sleep;
     fail_attempts;
     only;
     n_injected = Atomic.make 0;
     n_pivots = Atomic.make 0;
+    n_disk = Atomic.make 0;
     n_by_kind = Array.init (List.length kinds) (fun _ -> Atomic.make 0);
     obs =
       Option.map
@@ -109,6 +129,7 @@ let plan ?obs ?bus ?(rate = 0.) ?(kinds = [ Transient ]) ?(pivot_rate = 0.)
             m_stalls = Metrics.counter reg "fault.stalls";
             m_sdc = Metrics.counter reg "fault.sdc";
             m_pivots = Metrics.counter reg "fault.pivots";
+            m_disk = Metrics.counter reg "fault.disk";
           })
         obs;
     bus;
@@ -231,8 +252,57 @@ let sdc_decide t ~task ~attempt =
       Some sdc
     end
 
+let disk_op_name = function Dwrite -> "write" | Dread -> "read"
+
+let disk_decide t ~op ~path ~attempt =
+  if t.disk_rate <= 0. || attempt > t.fail_attempts || not (t.only path) then
+    None
+  else
+    let site = "disk:" ^ disk_op_name op in
+    let h = hash_triple ~seed:t.seed ~site ~task:path ~attempt in
+    if u01 h >= t.disk_rate then None
+    else begin
+      let h2 = mix64 h in
+      let fault =
+        match op with
+        | Dwrite ->
+          if Int64.to_int (Int64.logand h2 1L) = 0 then Enospc
+          else
+            (* truncate somewhere strictly inside the image: [0.1, 0.9) of
+               the payload survives, so both the header and the tail are
+               exercised as torn points. *)
+            Short_write { frac = 0.1 +. (0.8 *. u01 (mix64 h2)) }
+        | Dread ->
+          let lane = Int64.to_int (Int64.shift_right_logical h2 40) in
+          let bit =
+            44 + Int64.to_int (Int64.rem (Int64.shift_right_logical h2 2) 19L)
+          in
+          Read_bit_flip { bit; lane }
+      in
+      Atomic.incr t.n_disk;
+      Atomic.incr t.n_injected;
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+        Metrics.incr o.m_injected;
+        Metrics.incr o.m_disk);
+      (match t.bus with
+      | None -> ()
+      | Some bus ->
+        Events.emit ~level:Events.Warn bus ~component:"fault" ~name:"inject"
+          [
+            ("site", Events.fstr site);
+            ("task", Events.fstr path);
+            ("attempt", Events.fint attempt);
+            ("kind", Events.fstr "disk");
+            ("detail", Events.fstr (disk_name fault));
+          ]);
+      Some fault
+    end
+
 let injected t = Atomic.get t.n_injected
 let pivots t = Atomic.get t.n_pivots
+let disk_faults t = Atomic.get t.n_disk
 
 let by_kind t =
   Array.to_list (Array.mapi (fun i k -> (k, Atomic.get t.n_by_kind.(i))) t.kinds)

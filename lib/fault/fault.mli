@@ -43,6 +43,21 @@ type sdc =
       (** replace the payload with another tile of the same shape — a
           misrouted message; [lane] selects the impostor *)
 
+type disk_op = Dwrite | Dread
+(** Which side of the store's syscall seam a {!disk_decide} query guards. *)
+
+type disk =
+  | Short_write of { frac : float }
+      (** the spill image is truncated at [frac] of its bytes before the
+          write "succeeds" — a torn write surviving to the atomic-rename
+          seam.  The store's checksum header must catch it on read-back. *)
+  | Enospc
+      (** the write raises [ENOSPC] after creating the temp file — a full
+          disk mid-spill. *)
+  | Read_bit_flip of { bit : int; lane : int }
+      (** on-disk bit rot: flip bit [bit mod 8] of byte [lane mod size] of
+          the payload as it is read back. *)
+
 exception Injected of { task : string; attempt : int; kind : kind }
 (** The exception raised by injected [Transient] / [Crash_after_write]
     faults.  Registered with a human-readable printer. *)
@@ -55,6 +70,7 @@ val plan :
   ?rate:float ->
   ?kinds:kind list ->
   ?pivot_rate:float ->
+  ?disk_rate:float ->
   ?stall:float ->
   ?sleep:(float -> unit) ->
   ?fail_attempts:int ->
@@ -75,6 +91,9 @@ val plan :
     - [pivot_rate] (default [0.]): probability that {!pivot_failure}
       answers [true] — forced low-precision pivot failures, consumed by
       {!Geomix_core.Mp_cholesky}.
+    - [disk_rate] (default [0.]): probability that {!disk_decide} grants a
+      disk fault to a given [(op, path, attempt)] — consumed by the
+      out-of-core tile store's syscall seam ({!Geomix_ooc.Store}).
     - [stall] (default [1e-3] s) and [sleep] (default [Unix.sleepf]): the
       duration and clock of [Stall] faults; pass a virtual sleep in tests.
     - [fail_attempts] (default [1]): attempts [<= fail_attempts] are
@@ -122,6 +141,17 @@ val sdc_decide : t -> task:string -> attempt:int -> sdc option
 
 val sdc_name : sdc -> string
 
+val disk_decide : t -> op:disk_op -> path:string -> attempt:int -> disk option
+(** Whether this disk operation faults, and how (decided at the dedicated
+    ["disk:write"] / ["disk:read"] site under [disk_rate]; [path] plays
+    the task role in the hash so each spill file draws independently).
+    Write ops draw {!Short_write} or {!Enospc}; read ops draw
+    {!Read_bit_flip}.  Attempts above [fail_attempts] never fault, so the
+    store's bounded rewrite/re-read retry always converges.  Counts and
+    narrates on the bus when [Some]. *)
+
+val disk_name : disk -> string
+
 (** {1 Injection accounting}
 
     Monotonic counters over the plan's lifetime (atomic — {!wrap} is
@@ -131,10 +161,14 @@ val sdc_name : sdc -> string
     [fault.pivots]. *)
 
 val injected : t -> int
-(** Total faults injected by {!wrap} and {!sdc_decide} (all kinds). *)
+(** Total faults injected by {!wrap}, {!sdc_decide} and {!disk_decide}
+    (all kinds). *)
 
 val pivots : t -> int
 (** Forced pivot failures granted by {!pivot_failure}. *)
+
+val disk_faults : t -> int
+(** Disk faults granted by {!disk_decide} (mirrored as [fault.disk]). *)
 
 val by_kind : t -> (kind * int) list
 (** Injection count per execution-level kind, in declaration order. *)

@@ -130,26 +130,49 @@ let compare_metric ~tolerance (base : metric) (cur : metric) =
   in
   { metric_name = base.name; baseline = base.value; current = cur.value; ratio; regressed }
 
-let compare ~tolerance ~baseline ~current =
+let compare ?(expect = fun _ -> false) ~tolerance ~baseline ~current () =
   if tolerance < 0. then invalid_arg "Bench_json.compare";
   List.filter_map
     (fun base ->
       match find current base.name with
       | Some cur -> Some (compare_metric ~tolerance base cur)
+      | None when expect base.name ->
+        (* A gate that owns this metric's namespace must not silently pass
+           when its producer stops emitting it — that is how a broken
+           bench quietly stops gating anything. *)
+        Some
+          {
+            metric_name = base.name;
+            baseline = base.value;
+            current = Float.nan;
+            ratio = Float.nan;
+            regressed = true;
+          }
       | None -> None)
     baseline.metrics
 
 let any_regressed verdicts = List.exists (fun v -> v.regressed) verdicts
+
+let missing verdicts =
+  List.filter_map
+    (fun v -> if Float.is_nan v.current then Some v.metric_name else None)
+    verdicts
 
 let report_verdicts verdicts =
   let buf = Buffer.create 256 in
   List.iter
     (fun v ->
       Buffer.add_string buf
-        (Printf.sprintf "  %-28s base %-12s cur %-12s %s%s\n" v.metric_name
-           (Geomix_util.Table.fmt_float ~digits:5 v.baseline)
-           (Geomix_util.Table.fmt_float ~digits:5 v.current)
-           (if Float.is_nan v.ratio then "" else Printf.sprintf "(%+.1f%%) " ((v.ratio -. 1.) *. 100.))
-           (if v.regressed then "REGRESSED" else "ok")))
+        (if Float.is_nan v.current then
+           Printf.sprintf "  %-28s base %-12s MISSING FROM CANDIDATE\n"
+             v.metric_name
+             (Geomix_util.Table.fmt_float ~digits:5 v.baseline)
+         else
+           Printf.sprintf "  %-28s base %-12s cur %-12s %s%s\n" v.metric_name
+             (Geomix_util.Table.fmt_float ~digits:5 v.baseline)
+             (Geomix_util.Table.fmt_float ~digits:5 v.current)
+             (if Float.is_nan v.ratio then ""
+              else Printf.sprintf "(%+.1f%%) " ((v.ratio -. 1.) *. 100.))
+             (if v.regressed then "REGRESSED" else "ok")))
     verdicts;
   Buffer.contents buf

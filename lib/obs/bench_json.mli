@@ -43,15 +43,29 @@ type verdict = {
   regressed : bool;
 }
 
-val compare : tolerance:float -> baseline:t -> current:t -> verdict list
+val compare :
+  ?expect:(string -> bool) -> tolerance:float -> baseline:t -> current:t ->
+  unit -> verdict list
 (** One verdict per baseline metric present in [current].  With
     [tolerance = 0.2], a [Lower_is_better] metric regresses when
     [current > 1.2 × baseline] and a [Higher_is_better] one when
     [current < baseline / 1.2] — the reciprocal bound, so even tolerances
-    at or above 1 keep a real floor.  @raise Invalid_argument on a
-    negative tolerance. *)
+    at or above 1 keep a real floor.
+
+    [expect] (default: nothing) names the baseline namespace this gate
+    owns: a baseline metric matching the predicate but absent from
+    [current] yields a regressed verdict with [current = nan] (rendered
+    [MISSING FROM CANDIDATE]) instead of being skipped, so a producer
+    that silently stops emitting a gated metric fails the gate.
+    Non-matching absences keep the subset-gate behaviour: suites gating
+    only their own slice of a shared baseline skip the rest.
+    @raise Invalid_argument on a negative tolerance. *)
 
 val any_regressed : verdict list -> bool
+
+val missing : verdict list -> string list
+(** Names of the [expect]ed baseline metrics absent from the candidate
+    (the [current = nan] verdicts), for explicit failure messages. *)
 
 val report_verdicts : verdict list -> string
 (** Human-readable verdict lines (one per metric, marked [ok] /

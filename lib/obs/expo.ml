@@ -289,12 +289,20 @@ let snapshotter ?(max_bytes = 1024 * 1024) ?(keep = 3) ?(now = Unix.gettimeofday
 let rotated_path t i = Printf.sprintf "%s.%d" t.path i
 
 let rotate_locked t =
+  (* Make the full archive durable before it moves, then shift the
+     retained generations with atomic renames and fsync the directory
+     entry afterwards: a crash anywhere in the window leaves every
+     generation either fully old or fully shifted — never a lost or torn
+     archive (same idiom as {!Geomix_util.Durable.write_atomic}). *)
+  flush t.oc;
+  Geomix_util.Durable.fsync_fd (Unix.descr_of_out_channel t.oc);
   close_out t.oc;
   for i = t.keep - 1 downto 1 do
     let src = rotated_path t i in
     if Sys.file_exists src then Sys.rename src (rotated_path t (i + 1))
   done;
   Sys.rename t.path (rotated_path t 1);
+  Geomix_util.Durable.fsync_dir (Filename.dirname t.path);
   let oc, size = open_append t.path in
   t.oc <- oc;
   t.size <- size

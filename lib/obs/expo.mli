@@ -39,7 +39,11 @@ val lint : string -> string list
     Appends one compact JSON line [{"t": <unix time>, "metrics": {...}}]
     per {!snap} call to [path]; when the file exceeds [max_bytes] it
     rotates to [path.1] … [path.keep] (oldest dropped), so a long-running
-    service keeps a bounded telemetry history on disk. *)
+    service keeps a bounded telemetry history on disk.  Rotation is
+    crash-consistent: the retiring file is fsynced before the atomic
+    rename chain shifts the generations and the directory entry is
+    fsynced after, so a crash mid-rotation never loses or tears an
+    archived generation ({!Geomix_util.Durable} idiom). *)
 
 type snapshotter
 

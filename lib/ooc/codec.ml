@@ -1,0 +1,147 @@
+module Mat = Geomix_linalg.Mat
+module Fpformat = Geomix_precision.Fpformat
+
+let payload_bytes s ~rows ~cols =
+  let per = match s with Fpformat.S_tf32 -> 4 | _ -> Fpformat.scalar_bytes s in
+  per * rows * cols
+
+(* IEEE binary16 bit codec.  Only exact values reach [fp16_bits] (the
+   store encodes after a lossless-grid probe), so no rounding logic is
+   needed: the value is sign · mant · 2^e with a 10-bit significand. *)
+
+let fp16_bits x =
+  if Float.is_nan x then 0x7e00
+  else
+    let sign = if 1. /. x < 0. then 0x8000 else 0 in
+    let a = Float.abs x in
+    if a = Float.infinity then sign lor 0x7c00
+    else if a = 0. then sign
+    else if a >= 0x1p-14 then
+      let m, e = Float.frexp a in
+      (* a = m·2^e, m ∈ [0.5, 1) → value = 1.f·2^(e-1) *)
+      let mant = int_of_float (((m *. 2.) -. 1.) *. 1024.) in
+      sign lor ((e - 1 + 15) lsl 10) lor mant
+    else sign lor int_of_float (a *. 0x1p24)
+
+let fp16_of_bits b =
+  let sign = if b land 0x8000 <> 0 then -1. else 1. in
+  let e = (b lsr 10) land 0x1f
+  and m = b land 0x3ff in
+  if e = 0x1f then if m = 0 then sign *. Float.infinity else Float.nan
+  else if e = 0 then sign *. float_of_int m *. 0x1p-24
+  else sign *. (1. +. (float_of_int m /. 1024.)) *. Float.ldexp 1. (e - 15)
+
+(* BF16 is the top half of the FP32 image; both halves of the probe are
+   exact because encoding happens only on-grid. *)
+let bf16_bits x = Int32.to_int (Int32.shift_right_logical (Int32.bits_of_float x) 16) land 0xffff
+let bf16_of_bits b = Int32.float_of_bits (Int32.shift_left (Int32.of_int b) 16)
+
+let narrowest m =
+  let rows = Mat.rows m and cols = Mat.cols m in
+  let exact s =
+    try
+      for j = 0 to cols - 1 do
+        for i = 0 to rows - 1 do
+          let x = Mat.unsafe_get m i j in
+          if Float.is_nan x
+             || Int64.bits_of_float (Fpformat.round s x) <> Int64.bits_of_float x
+          then raise Exit
+        done
+      done;
+      true
+    with Exit -> false
+  in
+  let rec first = function
+    | [] -> Fpformat.S_fp64
+    | s :: rest -> if exact s then s else first rest
+  in
+  (* by byte cost; TF32 omitted (same 4 B as FP32, coarser grid) *)
+  first [ Fpformat.S_fp8_e4m3; S_fp8_e5m2; S_fp16; S_bf16; S_fp32 ]
+
+let encode s m =
+  let rows = Mat.rows m and cols = Mat.cols m in
+  let buf = Bytes.create (payload_bytes s ~rows ~cols) in
+  let idx = ref 0 in
+  (match s with
+  | Fpformat.S_fp64 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Bytes.set_int64_le buf !idx (Int64.bits_of_float (Mat.unsafe_get m i j));
+        idx := !idx + 8
+      done
+    done
+  | S_fp32 | S_tf32 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Bytes.set_int32_le buf !idx (Int32.bits_of_float (Mat.unsafe_get m i j));
+        idx := !idx + 4
+      done
+    done
+  | S_fp16 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Bytes.set_uint16_le buf !idx (fp16_bits (Mat.unsafe_get m i j));
+        idx := !idx + 2
+      done
+    done
+  | S_bf16 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Bytes.set_uint16_le buf !idx (bf16_bits (Mat.unsafe_get m i j));
+        idx := !idx + 2
+      done
+    done
+  | (S_fp8_e4m3 | S_fp8_e5m2) as s8 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Bytes.set_uint8 buf !idx (Fpformat.fp8_encode s8 (Mat.unsafe_get m i j));
+        incr idx
+      done
+    done);
+  buf
+
+let decode s ~rows ~cols buf =
+  let expect = payload_bytes s ~rows ~cols in
+  if Bytes.length buf <> expect then
+    invalid_arg
+      (Printf.sprintf "Codec.decode: %d payload bytes, expected %d"
+         (Bytes.length buf) expect);
+  let m = Mat.create ~rows ~cols in
+  let idx = ref 0 in
+  (match s with
+  | Fpformat.S_fp64 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Mat.unsafe_set m i j (Int64.float_of_bits (Bytes.get_int64_le buf !idx));
+        idx := !idx + 8
+      done
+    done
+  | S_fp32 | S_tf32 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Mat.unsafe_set m i j (Int32.float_of_bits (Bytes.get_int32_le buf !idx));
+        idx := !idx + 4
+      done
+    done
+  | S_fp16 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Mat.unsafe_set m i j (fp16_of_bits (Bytes.get_uint16_le buf !idx));
+        idx := !idx + 2
+      done
+    done
+  | S_bf16 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Mat.unsafe_set m i j (bf16_of_bits (Bytes.get_uint16_le buf !idx));
+        idx := !idx + 2
+      done
+    done
+  | (S_fp8_e4m3 | S_fp8_e5m2) as s8 ->
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Mat.unsafe_set m i j (Fpformat.fp8_decode s8 (Bytes.get_uint8 buf !idx));
+        incr idx
+      done
+    done);
+  m

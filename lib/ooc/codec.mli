@@ -1,0 +1,40 @@
+(** Byte codecs for spilled tiles, one per {!Geomix_precision.Fpformat}
+    scalar format.
+
+    The out-of-core store spills a tile in the narrowest format that
+    represents its entries {e losslessly} ({!narrowest}), so disk traffic
+    tracks the precision map instead of paying binary64 for everything: a
+    tile the runtime has already rounded to FP32-class storage spills at
+    4 B/element, and a shipped transfer image on an FP16/FP8 grid spills
+    at 2/1 B/element — the 2410.09819 observation that low-precision
+    storage turns directly into I/O bandwidth.
+
+    Losslessness is the contract that makes this compatible with the
+    bitwise-identical crash-recovery gate: for every matrix [m] whose
+    entries all lie on the grid of scalar [s],
+    [decode s ~rows ~cols (encode s m)] reproduces [m] bit-for-bit
+    (signed zeros included; NaN payloads force [S_fp64], whose codec is
+    the raw binary64 image). *)
+
+val payload_bytes : Geomix_precision.Fpformat.scalar -> rows:int -> cols:int -> int
+(** Encoded payload size: [scalar_bytes s · rows · cols], except TF32
+    which packs as FP32 (4 B — its grid is an FP32 subset). *)
+
+val narrowest : Geomix_linalg.Mat.t -> Geomix_precision.Fpformat.scalar
+(** The cheapest scalar format whose grid contains every entry of the
+    matrix, probed by bit-exact round-trip through
+    {!Geomix_precision.Fpformat.round} — FP8 (1 B), then FP16/BF16 (2 B),
+    then FP32 (4 B), falling back to [S_fp64].  Any NaN entry forces
+    [S_fp64]. *)
+
+val encode : Geomix_precision.Fpformat.scalar -> Geomix_linalg.Mat.t -> Bytes.t
+(** Column-major little-endian payload.  Entries off the scalar's grid
+    are silently rounded ({!narrowest} exists to avoid that); use a
+    lossless scalar when bit-identity matters. *)
+
+val decode :
+  Geomix_precision.Fpformat.scalar -> rows:int -> cols:int -> Bytes.t ->
+  Geomix_linalg.Mat.t
+(** Inverse of {!encode}.
+    @raise Invalid_argument when the payload length does not match
+    {!payload_bytes}. *)

@@ -1,0 +1,753 @@
+module Mat = Geomix_linalg.Mat
+module Fpformat = Geomix_precision.Fpformat
+module Checksum = Geomix_integrity.Checksum
+module Fault = Geomix_fault.Fault
+module Metrics = Geomix_obs.Metrics
+module Jsonlite = Geomix_obs.Jsonlite
+module Durable = Geomix_util.Durable
+
+type key = int
+
+type error =
+  | Spill_failed of { key : key; attempts : int; reason : string }
+  | Read_failed of { key : key; attempts : int; reason : string }
+  | No_manifest of string
+  | Pinned_evict of { key : key }
+
+exception Store_error of error
+
+let error_to_string = function
+  | Spill_failed { key; attempts; reason } ->
+    Printf.sprintf "spill of tile %d failed after %d attempts: %s" key attempts
+      reason
+  | Read_failed { key; attempts; reason } ->
+    Printf.sprintf "read of tile %d failed after %d attempts: %s" key attempts
+      reason
+  | No_manifest dir -> Printf.sprintf "no committed manifest in %s" dir
+  | Pinned_evict { key } -> Printf.sprintf "attempt to evict pinned tile %d" key
+
+let () =
+  Printexc.register_printer (function
+    | Store_error e -> Some ("Geomix_ooc.Store.Store_error(" ^ error_to_string e ^ ")")
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Spill record format: a 47-byte header followed by the Codec payload.
+   The header duplicates the manifest's identity fields so a record is
+   self-validating even before the manifest is consulted. *)
+
+let magic = "GOOC"
+let format_version = 1
+let header_len = 47
+
+let scalar_tag = function
+  | Fpformat.S_fp64 -> 0
+  | S_fp32 -> 1
+  | S_tf32 -> 2
+  | S_bf16 -> 3
+  | S_fp16 -> 4
+  | S_fp8_e4m3 -> 5
+  | S_fp8_e5m2 -> 6
+
+let scalar_of_tag = function
+  | 0 -> Some Fpformat.S_fp64
+  | 1 -> Some Fpformat.S_fp32
+  | 2 -> Some Fpformat.S_tf32
+  | 3 -> Some Fpformat.S_bf16
+  | 4 -> Some Fpformat.S_fp16
+  | 5 -> Some Fpformat.S_fp8_e4m3
+  | 6 -> Some Fpformat.S_fp8_e5m2
+  | _ -> None
+
+let make_header ~key ~scalar ~payload (sum : Checksum.t) =
+  let b = Bytes.create header_len in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint16_le b 4 format_version;
+  Bytes.set_int64_le b 6 (Int64.of_int key);
+  Bytes.set_int32_le b 14 (Int32.of_int sum.rows);
+  Bytes.set_int32_le b 18 (Int32.of_int sum.cols);
+  Bytes.set_uint8 b 22 (scalar_tag scalar);
+  Bytes.set_int64_le b 23 (Int64.of_int payload);
+  Bytes.set_int64_le b 31 sum.fnv;
+  Bytes.set_int64_le b 39 (Int64.bits_of_float sum.fro);
+  b
+
+type header = {
+  h_key : int;
+  h_scalar : Fpformat.scalar;
+  h_payload : int;
+  h_sum : Checksum.t;
+}
+
+let parse_header b =
+  if Bytes.length b < header_len then Error "record shorter than header"
+  else if Bytes.sub_string b 0 4 <> magic then Error "bad magic"
+  else if Bytes.get_uint16_le b 4 <> format_version then Error "bad format version"
+  else
+    match scalar_of_tag (Bytes.get_uint8 b 22) with
+    | None -> Error "bad scalar tag"
+    | Some h_scalar ->
+      let rows = Int32.to_int (Bytes.get_int32_le b 14)
+      and cols = Int32.to_int (Bytes.get_int32_le b 18) in
+      if rows <= 0 || cols <= 0 then Error "bad dimensions"
+      else
+        Ok
+          {
+            h_key = Int64.to_int (Bytes.get_int64_le b 6);
+            h_scalar;
+            h_payload = Int64.to_int (Bytes.get_int64_le b 23);
+            h_sum =
+              {
+                fnv = Bytes.get_int64_le b 31;
+                fro = Int64.float_of_bits (Bytes.get_int64_le b 39);
+                rows;
+                cols;
+              };
+          }
+
+(* ------------------------------------------------------------------ *)
+
+type spill_meta = {
+  file : string;
+  scalar : Fpformat.scalar;
+  payload : int;
+  sum : Checksum.t;
+}
+
+type entry = {
+  ekey : int;
+  mutable mat : Mat.t option;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable next_version : int;
+  mutable spill : spill_meta option;
+  mutable committed : spill_meta option;
+  mutable last_use : int;
+}
+
+type obs_cells = {
+  c_spills : Metrics.counter;
+  c_loads : Metrics.counter;
+  c_evictions : Metrics.counter;
+  c_spilled_bytes : Metrics.counter;
+  c_reread_bytes : Metrics.counter;
+  c_spill_retries : Metrics.counter;
+  c_read_retries : Metrics.counter;
+  c_quarantined : Metrics.counter;
+  c_checkpoints : Metrics.counter;
+}
+
+type t = {
+  dirpath : string;
+  mutable budget_v : int;
+  max_attempts : int;
+  faults : Fault.t option;
+  entries : (key, entry) Hashtbl.t;
+  mutable priority : (key -> int) option;
+  mutable clock : int;
+  mutable resident_v : int;
+  mutable epoch_v : int;
+  mutable meta_v : (string * string) list;
+  mutable ops_v : int;
+  mutable hook : (int -> unit) option;
+  mutable n_spills : int;
+  mutable n_loads : int;
+  mutable n_evictions : int;
+  mutable n_spilled_bytes : int;
+  mutable n_spilled_fp64 : int;
+  mutable n_reread_bytes : int;
+  mutable n_spill_retries : int;
+  mutable n_read_retries : int;
+  mutable n_quarantined : int;
+  mutable n_checkpoints : int;
+  by_scalar : int array; (* indexed by scalar_tag *)
+  obs : obs_cells option;
+  lock : Mutex.t;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let mk_obs reg =
+  {
+    c_spills = Metrics.counter reg "ooc.spills";
+    c_loads = Metrics.counter reg "ooc.loads";
+    c_evictions = Metrics.counter reg "ooc.evictions";
+    c_spilled_bytes = Metrics.counter reg "ooc.spilled_bytes";
+    c_reread_bytes = Metrics.counter reg "ooc.reread_bytes";
+    c_spill_retries = Metrics.counter reg "ooc.spill_retries";
+    c_read_retries = Metrics.counter reg "ooc.read_retries";
+    c_quarantined = Metrics.counter reg "ooc.quarantined";
+    c_checkpoints = Metrics.counter reg "ooc.checkpoints";
+  }
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let create ?obs ?faults ?(budget = max_int) ?(max_attempts = 3) ~dir () =
+  if budget < 0 then invalid_arg "Store.create: negative budget";
+  if max_attempts < 1 then invalid_arg "Store.create: max_attempts < 1";
+  mkdir_p dir;
+  {
+    dirpath = dir;
+    budget_v = budget;
+    max_attempts;
+    faults;
+    entries = Hashtbl.create 64;
+    priority = None;
+    clock = 0;
+    resident_v = 0;
+    epoch_v = 0;
+    meta_v = [];
+    ops_v = 0;
+    hook = None;
+    n_spills = 0;
+    n_loads = 0;
+    n_evictions = 0;
+    n_spilled_bytes = 0;
+    n_spilled_fp64 = 0;
+    n_reread_bytes = 0;
+    n_spill_retries = 0;
+    n_read_retries = 0;
+    n_quarantined = 0;
+    n_checkpoints = 0;
+    by_scalar = Array.make 7 0;
+    obs = Option.map mk_obs obs;
+    lock = Mutex.create ();
+  }
+
+let dir t = t.dirpath
+let budget t = t.budget_v
+
+(* Advance the disk-op counter and run the kill hook — the seeded points
+   where the kill-matrix harness SIGKILLs the process. *)
+let tick t =
+  t.ops_v <- t.ops_v + 1;
+  match t.hook with None -> () | Some h -> h t.ops_v
+
+(* ---------------- raw file IO -------------------------------------- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+let write_bytes_durable path b n =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_bytes oc (if n = Bytes.length b then b else Bytes.sub b 0 n);
+      flush oc;
+      Durable.fsync_fd (Unix.descr_of_out_channel oc))
+
+(* The syscall seam: every spill write and every record read consults the
+   fault plan.  A short write truncates the image but "succeeds" (caught
+   by the read-back verification); ENOSPC leaves a partial temp file and
+   raises like the kernel would; a read bit-flip corrupts the in-memory
+   buffer after the read (caught by the checksum, clean on re-read). *)
+
+let write_image t ~file ~path ~attempt image =
+  match
+    Option.bind t.faults (fun f ->
+        Fault.disk_decide f ~op:Fault.Dwrite ~path:file ~attempt)
+  with
+  | Some Fault.Enospc ->
+    write_bytes_durable path image (Bytes.length image / 2);
+    raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
+  | Some (Fault.Short_write { frac }) ->
+    let n =
+      max 1 (int_of_float (frac *. float_of_int (Bytes.length image)))
+    in
+    write_bytes_durable path image n
+  | Some (Fault.Read_bit_flip _) | None ->
+    write_bytes_durable path image (Bytes.length image)
+
+let read_image t ~file ~path ~attempt =
+  let b = read_whole_file path in
+  (match
+     Option.bind t.faults (fun f ->
+         Fault.disk_decide f ~op:Fault.Dread ~path:file ~attempt)
+   with
+  | Some (Fault.Read_bit_flip { bit; lane }) when Bytes.length b > 0 ->
+    let idx = lane mod Bytes.length b in
+    let v = Bytes.get_uint8 b idx in
+    Bytes.set_uint8 b idx (v lxor (1 lsl (bit mod 8)))
+  | _ -> ());
+  b
+
+(* ---------------- record validation -------------------------------- *)
+
+let validate_record ~key ~expect b =
+  match parse_header b with
+  | Error e -> Error e
+  | Ok h ->
+    if h.h_key <> key then Error "key mismatch"
+    else if Bytes.length b <> header_len + h.h_payload then
+      Error
+        (Printf.sprintf "payload truncated: %d of %d bytes"
+           (Bytes.length b - header_len) h.h_payload)
+    else begin
+      match expect with
+      | Some (m : spill_meta)
+        when m.sum.fnv <> h.h_sum.fnv || m.sum.rows <> h.h_sum.rows
+             || m.sum.cols <> h.h_sum.cols || m.scalar <> h.h_scalar ->
+        Error "header disagrees with manifest"
+      | _ -> (
+        match
+          Codec.decode h.h_scalar ~rows:h.h_sum.rows ~cols:h.h_sum.cols
+            (Bytes.sub b header_len h.h_payload)
+        with
+        | exception Invalid_argument e -> Error e
+        | m ->
+          if Checksum.matches h.h_sum m then Ok (h, m)
+          else Error "checksum mismatch")
+    end
+
+(* ---------------- spill / load ------------------------------------- *)
+
+let bump_counter o f = match o with None -> () | Some cells -> f cells
+
+let spill_locked t e =
+  let m = match e.mat with
+    | Some m -> m
+    | None -> assert false (* dirty implies resident *)
+  in
+  let scalar = Codec.narrowest m in
+  let sum = Checksum.stamp m in
+  let payload = Codec.encode scalar m in
+  let image = Bytes.cat (make_header ~key:e.ekey ~scalar ~payload:(Bytes.length payload) sum) payload in
+  let rec attempt_write attempt =
+    if attempt > t.max_attempts then
+      raise
+        (Store_error
+           (Spill_failed
+              { key = e.ekey; attempts = t.max_attempts; reason = "retries exhausted" }));
+    let file = Printf.sprintf "tile_%d.v%d" e.ekey e.next_version in
+    let path = Filename.concat t.dirpath file in
+    let tmp = path ^ ".tmp" in
+    let retry reason =
+      t.n_spill_retries <- t.n_spill_retries + 1;
+      bump_counter t.obs (fun c -> Metrics.incr c.c_spill_retries);
+      (try Sys.remove tmp with Sys_error _ -> ());
+      (try Sys.remove path with Sys_error _ -> ());
+      ignore reason;
+      attempt_write (attempt + 1)
+    in
+    match write_image t ~file ~path:tmp ~attempt image with
+    | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> retry "enospc"
+    | () ->
+      tick t;
+      Durable.rename_durable ~src:tmp ~dst:path;
+      tick t;
+      (* read-back verification: a short write that survived to the
+         rename is caught here, at the seam that produced it. *)
+      (match validate_record ~key:e.ekey ~expect:None (read_whole_file path) with
+      | Error reason -> retry reason
+      | Ok _ ->
+        e.next_version <- e.next_version + 1;
+        e.spill <- Some { file; scalar; payload = Bytes.length payload; sum };
+        e.dirty <- false;
+        t.n_spills <- t.n_spills + 1;
+        t.n_spilled_bytes <- t.n_spilled_bytes + Bytes.length payload;
+        t.n_spilled_fp64 <- t.n_spilled_fp64 + (8 * sum.rows * sum.cols);
+        t.by_scalar.(scalar_tag scalar) <-
+          t.by_scalar.(scalar_tag scalar) + Bytes.length payload;
+        bump_counter t.obs (fun c ->
+            Metrics.incr c.c_spills;
+            Metrics.add c.c_spilled_bytes (Bytes.length payload)))
+  in
+  attempt_write 1
+
+let load_record t ~key (meta : spill_meta) =
+  let path = Filename.concat t.dirpath meta.file in
+  let rec attempt_read attempt =
+    if attempt > t.max_attempts then
+      raise
+        (Store_error
+           (Read_failed
+              { key; attempts = t.max_attempts; reason = "retries exhausted" }));
+    let retry () =
+      t.n_read_retries <- t.n_read_retries + 1;
+      bump_counter t.obs (fun c -> Metrics.incr c.c_read_retries);
+      attempt_read (attempt + 1)
+    in
+    match read_image t ~file:meta.file ~path ~attempt with
+    | exception Sys_error e ->
+      raise (Store_error (Read_failed { key; attempts = attempt; reason = e }))
+    | b -> (
+      match validate_record ~key ~expect:(Some meta) b with
+      | Ok (_, m) -> m
+      | Error _ -> retry ())
+  in
+  attempt_read 1
+
+(* ---------------- eviction ----------------------------------------- *)
+
+let entry_bytes e =
+  match e.mat with None -> 0 | Some m -> 8 * Mat.rows m * Mat.cols m
+
+let evict_one t =
+  let better a b =
+    (* [a] beats [b] as a victim *)
+    match t.priority with
+    | Some p ->
+      let pa = p a.ekey and pb = p b.ekey in
+      pa > pb || (pa = pb && a.last_use < b.last_use)
+    | None -> a.last_use < b.last_use
+  in
+  let victim =
+    Hashtbl.fold
+      (fun _ e best ->
+        if e.mat = None || e.pins > 0 then best
+        else
+          match best with
+          | None -> Some e
+          | Some b -> if better e b then Some e else best)
+      t.entries None
+  in
+  match victim with
+  | None -> false
+  | Some e ->
+    if e.pins > 0 then raise (Store_error (Pinned_evict { key = e.ekey }));
+    if e.dirty then spill_locked t e;
+    t.resident_v <- t.resident_v - entry_bytes e;
+    e.mat <- None;
+    t.n_evictions <- t.n_evictions + 1;
+    bump_counter t.obs (fun c -> Metrics.incr c.c_evictions);
+    true
+
+let evict_to_budget t =
+  let continue = ref true in
+  while t.resident_v > t.budget_v && !continue do
+    continue := evict_one t
+  done
+
+(* ---------------- residency API ------------------------------------ *)
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.last_use <- t.clock
+
+let put t key m =
+  with_lock t (fun () ->
+      let e =
+        match Hashtbl.find_opt t.entries key with
+        | Some e ->
+          t.resident_v <- t.resident_v - entry_bytes e;
+          e
+        | None ->
+          let e =
+            {
+              ekey = key;
+              mat = None;
+              pins = 0;
+              dirty = false;
+              next_version = 0;
+              spill = None;
+              committed = None;
+              last_use = 0;
+            }
+          in
+          Hashtbl.replace t.entries key e;
+          e
+      in
+      e.mat <- Some m;
+      e.dirty <- true;
+      t.resident_v <- t.resident_v + entry_bytes e;
+      touch t e;
+      evict_to_budget t)
+
+let acquire t key =
+  with_lock t (fun () ->
+      let e = Hashtbl.find t.entries key in
+      touch t e;
+      e.pins <- e.pins + 1;
+      match e.mat with
+      | Some m -> m
+      | None ->
+        let meta = match e.spill with
+          | Some meta -> meta
+          | None -> assert false (* no image and no spill: impossible *)
+        in
+        (match load_record t ~key meta with
+        | exception e2 ->
+          e.pins <- e.pins - 1;
+          raise e2
+        | m ->
+          e.mat <- Some m;
+          t.resident_v <- t.resident_v + entry_bytes e;
+          t.n_loads <- t.n_loads + 1;
+          t.n_reread_bytes <- t.n_reread_bytes + meta.payload;
+          bump_counter t.obs (fun c ->
+              Metrics.incr c.c_loads;
+              Metrics.add c.c_reread_bytes meta.payload);
+          evict_to_budget t;
+          m))
+
+let release t ?(dirty = false) key =
+  with_lock t (fun () ->
+      let e = Hashtbl.find t.entries key in
+      if e.pins <= 0 then invalid_arg "Store.release: tile not pinned";
+      e.pins <- e.pins - 1;
+      if dirty then e.dirty <- true;
+      evict_to_budget t)
+
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.entries key)
+
+let resident t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | Some e -> e.mat <> None
+      | None -> false)
+
+let keys t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort compare)
+
+let resident_bytes t = with_lock t (fun () -> t.resident_v)
+let set_priority t p = with_lock t (fun () -> t.priority <- p)
+
+(* ---------------- manifest ----------------------------------------- *)
+
+let manifest_file = "MANIFEST.json"
+
+let scalar_json s = Jsonlite.Str (Fpformat.scalar_name s)
+
+let hex64 v = Printf.sprintf "%016Lx" v
+
+let manifest_json t =
+  let tiles =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match e.committed with
+        | None -> acc
+        | Some m ->
+          Jsonlite.Obj
+            [
+              ("key", Jsonlite.Num (float_of_int e.ekey));
+              ("file", Jsonlite.Str m.file);
+              ("rows", Jsonlite.Num (float_of_int m.sum.rows));
+              ("cols", Jsonlite.Num (float_of_int m.sum.cols));
+              ("scalar", scalar_json m.scalar);
+              ("payload", Jsonlite.Num (float_of_int m.payload));
+              ("fnv", Jsonlite.Str (hex64 m.sum.fnv));
+              ("fro_bits", Jsonlite.Str (hex64 (Int64.bits_of_float m.sum.fro)));
+            ]
+          :: acc)
+      t.entries []
+  in
+  let tiles =
+    List.sort
+      (fun a b ->
+        compare (Jsonlite.member "key" a) (Jsonlite.member "key" b))
+      tiles
+  in
+  Jsonlite.Obj
+    [
+      ("version", Jsonlite.Num 1.);
+      ("epoch", Jsonlite.Num (float_of_int t.epoch_v));
+      ("meta", Jsonlite.Obj (List.map (fun (k, v) -> (k, Jsonlite.Str v)) t.meta_v));
+      ("tiles", Jsonlite.Arr tiles);
+    ]
+
+let flush_locked t =
+  Hashtbl.iter (fun _ e -> if e.dirty then spill_locked t e) t.entries
+
+let flush t = with_lock t (fun () -> flush_locked t)
+
+(* Version files superseded by the committed manifest (and stray temp
+   files) are uncommitted garbage: delete them so the directory holds
+   exactly the committed state plus quarantine forensics. *)
+let gc_locked t =
+  let committed = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ e ->
+      match e.committed with
+      | Some m -> Hashtbl.replace committed m.file ()
+      | None -> ())
+    t.entries;
+  Array.iter
+    (fun f ->
+      let stale =
+        Filename.check_suffix f ".tmp"
+        || (String.length f > 5
+            && String.sub f 0 5 = "tile_"
+            && not (Hashtbl.mem committed f)
+            && not (Filename.check_suffix f ".quarantined"))
+      in
+      if stale then
+        try Sys.remove (Filename.concat t.dirpath f) with Sys_error _ -> ())
+    (Sys.readdir t.dirpath)
+
+let checkpoint t ?(meta = []) ~epoch () =
+  with_lock t (fun () ->
+      flush_locked t;
+      t.epoch_v <- epoch;
+      t.meta_v <- meta;
+      Hashtbl.iter (fun _ e -> e.committed <- e.spill) t.entries;
+      let path = Filename.concat t.dirpath manifest_file in
+      Durable.write_atomic ~path (fun oc ->
+          output_string oc (Jsonlite.to_string ~indent:false (manifest_json t)));
+      tick t;
+      t.n_checkpoints <- t.n_checkpoints + 1;
+      bump_counter t.obs (fun c -> Metrics.incr c.c_checkpoints);
+      gc_locked t)
+
+let epoch t = with_lock t (fun () -> t.epoch_v)
+let meta t = with_lock t (fun () -> t.meta_v)
+
+(* ---------------- recovery ----------------------------------------- *)
+
+type recovery = {
+  rec_epoch : int;
+  rec_meta : (string * string) list;
+  present : key list;
+  quarantined : key list;
+}
+
+let parse_version_of_file file =
+  (* "tile_<key>.v<n>" -> n *)
+  match String.rindex_opt file 'v' with
+  | Some i -> (
+    match int_of_string_opt (String.sub file (i + 1) (String.length file - i - 1)) with
+    | Some n -> n
+    | None -> 0)
+  | None -> 0
+
+let parse_manifest dir text =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Store_error (No_manifest (dir ^ ": " ^ s)))) fmt in
+  match Jsonlite.of_string text with
+  | Error e -> fail "unparseable manifest: %s" e
+  | Ok j ->
+    let num name obj =
+      match Option.bind (Jsonlite.member name obj) Jsonlite.to_float with
+      | Some v -> int_of_float v
+      | None -> fail "missing numeric field %S" name
+    in
+    let str name obj =
+      match Option.bind (Jsonlite.member name obj) Jsonlite.to_str with
+      | Some v -> v
+      | None -> fail "missing string field %S" name
+    in
+    if num "version" j <> 1 then fail "unsupported manifest version";
+    let meta =
+      match Jsonlite.member "meta" j with
+      | Some (Jsonlite.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Jsonlite.to_str v))
+          kvs
+      | _ -> []
+    in
+    let tiles =
+      match Option.bind (Jsonlite.member "tiles" j) Jsonlite.to_list with
+      | Some l -> l
+      | None -> fail "missing tiles array"
+    in
+    let tile obj =
+      let scalar =
+        match Fpformat.scalar_of_string (str "scalar" obj) with
+        | Some s -> s
+        | None -> fail "bad scalar name"
+      in
+      let hex name =
+        match Int64.of_string_opt ("0x" ^ str name obj) with
+        | Some v -> v
+        | None -> fail "bad hex field %S" name
+      in
+      ( num "key" obj,
+        {
+          file = str "file" obj;
+          scalar;
+          payload = num "payload" obj;
+          sum =
+            {
+              Checksum.fnv = hex "fnv";
+              fro = Int64.float_of_bits (hex "fro_bits");
+              rows = num "rows" obj;
+              cols = num "cols" obj;
+            };
+        } )
+    in
+    (num "epoch" j, meta, List.map tile tiles)
+
+let recover ?obs ?faults ?budget ?max_attempts ~dir () =
+  let manifest_path = Filename.concat dir manifest_file in
+  if not (Sys.file_exists manifest_path) then
+    raise (Store_error (No_manifest dir));
+  let epoch_v, meta_v, tiles =
+    parse_manifest dir (Bytes.to_string (read_whole_file manifest_path))
+  in
+  let t = create ?obs ?faults ?budget ?max_attempts ~dir () in
+  t.epoch_v <- epoch_v;
+  t.meta_v <- meta_v;
+  let present = ref [] and quarantined = ref [] in
+  List.iter
+    (fun (key, (m : spill_meta)) ->
+      let e =
+        {
+          ekey = key;
+          mat = None;
+          pins = 0;
+          dirty = false;
+          next_version = parse_version_of_file m.file + 1;
+          spill = Some m;
+          committed = Some m;
+          last_use = 0;
+        }
+      in
+      match load_record t ~key m with
+      | _ -> (
+        Hashtbl.replace t.entries key e;
+        present := key :: !present)
+      | exception Store_error (Read_failed _) ->
+        (* persistent rot: quarantine the record for forensics and hand
+           the key back to the caller for recomputation *)
+        let path = Filename.concat dir m.file in
+        (try Sys.rename path (path ^ ".quarantined") with Sys_error _ -> ());
+        t.n_quarantined <- t.n_quarantined + 1;
+        bump_counter t.obs (fun c -> Metrics.incr c.c_quarantined);
+        quarantined := key :: !quarantined)
+    tiles;
+  gc_locked t;
+  ( t,
+    {
+      rec_epoch = epoch_v;
+      rec_meta = meta_v;
+      present = List.sort compare !present;
+      quarantined = List.sort compare !quarantined;
+    } )
+
+(* ---------------- kill points & accounting ------------------------- *)
+
+let ops t = t.ops_v
+let set_op_hook t h = t.hook <- h
+let spills t = t.n_spills
+let loads t = t.n_loads
+let evictions t = t.n_evictions
+let spilled_bytes t = t.n_spilled_bytes
+let reread_bytes t = t.n_reread_bytes
+let spilled_bytes_fp64 t = t.n_spilled_fp64
+let spill_retries t = t.n_spill_retries
+let read_retries t = t.n_read_retries
+let quarantined_count t = t.n_quarantined
+let checkpoints t = t.n_checkpoints
+
+let spilled_by_scalar t =
+  List.filter_map
+    (fun s ->
+      let b = t.by_scalar.(scalar_tag s) in
+      if b = 0 then None else Some (s, b))
+    Fpformat.all_scalars

@@ -1,0 +1,172 @@
+(** Crash-consistent file-backed tile store with a bounded residency
+    window — the out-of-core substrate of ROADMAP item 1.
+
+    A store owns a directory of spill records and a set of keyed tiles,
+    each either {e resident} (a live {!Geomix_linalg.Mat.t}) or {e
+    spilled} (a durable file in its narrowest lossless scalar format, see
+    {!Codec}).  Resident bytes are bounded by a budget: inserting or
+    loading past it evicts unpinned tiles — least-recently-used by
+    default, or farthest-next-use when the caller installs the static
+    DAG-derived priority ({!set_priority}, the I/O-aware schedule of
+    arXiv 2410.09819).  Kernels pin their operands ({!acquire} /
+    {!release}) so an in-flight tile is never evicted under them.
+
+    {b Crash consistency.}  Every spill is write-temp → fsync →
+    atomic-rename into a fresh {e versioned} file ([tile_<key>.v<n>]),
+    then read back and checksum-verified, so the previous version is
+    never overwritten in place and a torn write is caught at the seam
+    that produced it.  A {!checkpoint} flushes all dirty tiles and then
+    atomically replaces [MANIFEST.json], which names exactly one durable
+    version per tile together with its {!Geomix_integrity.Checksum}.
+    Files not named by the committed manifest are uncommitted orphans;
+    {!recover} deletes them and re-verifies every surviving tile against
+    its manifest checksum, quarantining (not silently repairing) any that
+    fail.  A crash at {e any} instruction therefore leaves the store
+    recoverable to the last checkpoint — old or new tile image, never a
+    torn one.
+
+    {b Fault seam.}  All file reads and writes pass through a seam that
+    consults an optional {!Geomix_fault} plan ({!Geomix_fault.Fault.disk_decide}):
+    injected short writes and ENOSPC are caught by the write-back
+    verification and retried (bounded), injected read bit-flips are
+    caught by the checksum and re-read — typed recoveries, counted in
+    [ooc.*] metrics, never wrong results. *)
+
+type key = int
+
+type error =
+  | Spill_failed of { key : key; attempts : int; reason : string }
+  | Read_failed of { key : key; attempts : int; reason : string }
+  | No_manifest of string
+  | Pinned_evict of { key : key }  (** internal-misuse guard *)
+
+exception Store_error of error
+
+val error_to_string : error -> string
+
+type t
+
+val create :
+  ?obs:Geomix_obs.Metrics.t ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?budget:int ->
+  ?max_attempts:int ->
+  dir:string ->
+  unit ->
+  t
+(** Open a store over [dir] (created if missing).  [budget] (bytes,
+    default unlimited) bounds resident binary64 bytes; [max_attempts]
+    (default 3) bounds the rewrite/re-read retry loops at the fault seam.
+    [?obs] mirrors the accounting below as [ooc.*] metrics. *)
+
+val dir : t -> string
+val budget : t -> int
+
+(** {1 Residency} *)
+
+val put : t -> key -> Geomix_linalg.Mat.t -> unit
+(** Insert (or replace) a tile as resident and dirty.  The store takes
+    ownership of the matrix — the caller must not alias it after [put].
+    May evict other unpinned tiles to make room. *)
+
+val acquire : t -> key -> Geomix_linalg.Mat.t
+(** Pin the tile and return its resident image, loading (and
+    checksum-verifying) it from its spill record if evicted.  Pins nest.
+    The returned matrix is the store's resident image: a kernel that
+    writes it must {!release} with [~dirty:true].
+    @raise Store_error ([Read_failed]) when the spill record stays
+    corrupt past the retry budget, [Not_found] on an unknown key. *)
+
+val release : t -> ?dirty:bool -> key -> unit
+(** Drop one pin; [~dirty:true] (default [false]) marks the resident
+    image newer than its spill record.  May evict once the pin count
+    reaches zero. *)
+
+val mem : t -> key -> bool
+val resident : t -> key -> bool
+val keys : t -> key list
+val resident_bytes : t -> int
+
+val set_priority : t -> (key -> int) option -> unit
+(** Install (or clear) the static eviction priority: higher = next use
+    farther away = evicted first, ties broken least-recently-used.
+    [None] reverts to pure LRU. *)
+
+(** {1 Durability} *)
+
+val flush : t -> unit
+(** Spill every dirty tile (resident images stay resident). *)
+
+val checkpoint : t -> ?meta:(string * string) list -> epoch:int -> unit -> unit
+(** {!flush}, then atomically commit [MANIFEST.json] naming the current
+    durable version and checksum of every tile, then delete superseded
+    version files.  After a crash, {!recover} returns to exactly this
+    state. *)
+
+val epoch : t -> int
+(** The last committed (or recovered) manifest epoch; 0 before any
+    checkpoint. *)
+
+val meta : t -> (string * string) list
+(** The metadata committed with the last checkpoint. *)
+
+type recovery = {
+  rec_epoch : int;
+  rec_meta : (string * string) list;
+  present : key list;  (** tiles that verified against their checksums *)
+  quarantined : key list;
+      (** tiles whose records stayed corrupt past the retry budget; their
+          files are kept beside the store as [*.quarantined] for
+          forensics, and the keys must be recomputed by the caller *)
+}
+
+val recover :
+  ?obs:Geomix_obs.Metrics.t ->
+  ?faults:Geomix_fault.Fault.t ->
+  ?budget:int ->
+  ?max_attempts:int ->
+  dir:string ->
+  unit ->
+  t * recovery
+(** Reopen a store from its last committed manifest: parse
+    [MANIFEST.json], delete uncommitted orphan files, verify every
+    manifest tile's record against its checksum (through the fault seam,
+    with bounded re-read), and quarantine the rest.  All surviving tiles
+    start spilled (nothing resident).
+    @raise Store_error ([No_manifest]) when [dir] has no manifest — the
+    caller restarts from scratch. *)
+
+(** {1 Kill points}
+
+    The disk-op counter advances at every durable transition (temp image
+    written, rename committed, manifest committed).  The hook lets a
+    harness SIGKILL the process at a seeded op index — the kill-matrix
+    gate — or a test raise to simulate the crash in-process. *)
+
+val ops : t -> int
+val set_op_hook : t -> (int -> unit) option -> unit
+
+(** {1 Accounting} (mirrored as [ooc.*] metrics when built with [?obs]) *)
+
+val spills : t -> int
+val loads : t -> int
+val evictions : t -> int
+
+val spilled_bytes : t -> int
+(** Cumulative payload bytes written by spills — the store-traffic
+    numerator; compare {!spilled_bytes_fp64} for the win. *)
+
+val reread_bytes : t -> int
+(** Cumulative payload bytes read back by loads. *)
+
+val spilled_bytes_fp64 : t -> int
+(** What the same spills would have cost at 8 B/element — the
+    FP64-equivalent accounting the bench gate compares against. *)
+
+val spilled_by_scalar : t -> (Geomix_precision.Fpformat.scalar * int) list
+(** Cumulative spilled payload bytes per scalar format (omits zeros). *)
+
+val spill_retries : t -> int
+val read_retries : t -> int
+val quarantined_count : t -> int
+val checkpoints : t -> int

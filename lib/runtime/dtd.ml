@@ -154,7 +154,8 @@ let successors t id =
 let in_degree t = Array.init t.count (fun id -> t.tasks.(id).indeg)
 
 let execute ?pool ?obs ?span ?(datum_bytes = default_datum_bytes) ?trace ?bus
-    ?profile ?faults ?retry ?snapshot ?integrity ?datum_mat ?observe ?job t =
+    ?profile ?faults ?retry ?snapshot ?integrity ?datum_mat ?observe ?acquire
+    ?release ?job t =
   (* The executing bus defaults to the one the graph was built with, so a
      Dtd created with [?bus] narrates submission and execution on the same
      stream without repeating the argument. *)
@@ -311,7 +312,7 @@ let execute ?pool ?obs ?span ?(datum_bytes = default_datum_bytes) ?trace ?bus
   in
   let run pool =
     Dag_exec.run ?obs:dag_obs ~task_name:(fun id -> t.tasks.(id).name) ?faults ?retry
-      ?capture ?on_retry:note_retry ?job ~pool ~num_tasks:t.count
+      ?capture ?on_retry:note_retry ?acquire ?release ?job ~pool ~num_tasks:t.count
       ~in_degree:(in_degree t)
       ~successors:(fun id -> t.tasks.(id).succs)
       ~execute:(fun id ->

@@ -78,6 +78,8 @@ val execute :
   ?integrity:Geomix_integrity.Guard.t ->
   ?datum_mat:(int -> Geomix_linalg.Mat.t option) ->
   ?observe:(key:int -> Geomix_linalg.Mat.t -> unit) ->
+  ?acquire:(task_id -> unit) ->
+  ?release:(task_id -> unit) ->
   ?job:Geomix_parallel.Pool.job ->
   t ->
   unit
@@ -147,6 +149,13 @@ val execute :
     concurrently under a parallel pool, so observer state must be per-datum
     or synchronized ({!Geomix_autotune.Range_tracker} keeps per-tile
     accumulators).
+
+    {b Out-of-core residency.}  [?acquire]/[?release] bracket each task's
+    supervision envelope (forwarded to {!Geomix_parallel.Dag_exec.run}):
+    an out-of-core tile store pins the task's declared footprint — from
+    {!footprint} — so no in-flight tile is evicted under a kernel, and
+    unpins it after the last attempt, also on failure.  Called from worker
+    domains, so they must be thread-safe.
 
     {b Shared pools.}  [?job] scopes the run to a
     {!Geomix_parallel.Pool.job}: concurrent [execute] calls sharing one

@@ -276,7 +276,7 @@ let test_regression_gate_directions () =
       B.make ~suite:"s"
         [ B.metric "lower" low; B.metric ~direction:B.Higher_is_better "higher" high ]
     in
-    B.compare ~tolerance:0.2 ~baseline:base ~current
+    B.compare ~tolerance:0.2 ~baseline:base ~current ()
   in
   (* Within tolerance in the bad direction: ok. *)
   Alcotest.(check bool) "within" false (B.any_regressed (gate 115. 85.));
@@ -296,7 +296,7 @@ let test_regression_gate_directions () =
       B.make ~suite:"s"
         [ B.metric "lower" 100.; B.metric ~direction:B.Higher_is_better "higher" high ]
     in
-    B.any_regressed (B.compare ~tolerance:3.0 ~baseline:base ~current)
+    B.any_regressed (B.compare ~tolerance:3.0 ~baseline:base ~current ())
   in
   Alcotest.(check bool) "wide tolerance trips below floor" true (wide 20.);
   Alcotest.(check bool) "wide tolerance holds above floor" false (wide 30.);
@@ -304,6 +304,32 @@ let test_regression_gate_directions () =
   Alcotest.(check int) "gone skipped" 2 (List.length v);
   Alcotest.(check bool) "report mentions verdicts" true
     (contains ~affix:"REGRESSED" (B.report_verdicts v))
+
+let test_regression_gate_expect () =
+  let base =
+    B.make ~suite:"s"
+      [ B.metric "owned_a" 10.; B.metric "owned_gone" 5.; B.metric "other" 1. ]
+  in
+  let current = B.make ~suite:"s" [ B.metric "owned_a" 10. ] in
+  let expect n = String.length n >= 6 && String.sub n 0 6 = "owned_" in
+  (* Without the predicate both absences are subset-gate skips. *)
+  let plain = B.compare ~tolerance:0.2 ~baseline:base ~current () in
+  Alcotest.(check bool) "default skips" false (B.any_regressed plain);
+  Alcotest.(check int) "default verdict count" 1 (List.length plain);
+  (* With it, an owned metric missing from the candidate is a failure with
+     an explicit name; foreign absences still skip. *)
+  let v = B.compare ~expect ~tolerance:0.2 ~baseline:base ~current () in
+  Alcotest.(check bool) "expected absence trips" true (B.any_regressed v);
+  Alcotest.(check (list string)) "missing named" [ "owned_gone" ] (B.missing v);
+  Alcotest.(check int) "foreign absence still skipped" 2 (List.length v);
+  Alcotest.(check bool) "report marks it" true
+    (contains ~affix:"MISSING FROM CANDIDATE" (B.report_verdicts v));
+  (* A candidate that emits everything it owns passes untouched. *)
+  let full =
+    B.make ~suite:"s" [ B.metric "owned_a" 10.; B.metric "owned_gone" 5. ]
+  in
+  Alcotest.(check bool) "complete candidate passes" false
+    (B.any_regressed (B.compare ~expect ~tolerance:0.2 ~baseline:base ~current:full ()))
 
 let test_bench_json_file_io () =
   let path = Filename.temp_file "geomix_bench" ".json" in
@@ -882,6 +908,7 @@ let () =
         [
           Alcotest.test_case "json roundtrip" `Quick test_bench_json_roundtrip;
           Alcotest.test_case "gate directions" `Quick test_regression_gate_directions;
+          Alcotest.test_case "gate expect" `Quick test_regression_gate_expect;
           Alcotest.test_case "file io" `Quick test_bench_json_file_io;
         ] );
       ( "exposition",
